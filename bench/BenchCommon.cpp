@@ -1,0 +1,87 @@
+//===- bench/BenchCommon.cpp - Shared evaluation harness -------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "fa/Regex.h"
+#include "support/StringUtil.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace cable;
+using namespace cable::bench;
+
+TablePrinter::TablePrinter(
+    std::vector<std::pair<std::string, size_t>> Columns)
+    : Columns(std::move(Columns)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Columns.size() && "cell count mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::print() const {
+  std::string Header, Rule;
+  for (const auto &[Name, Width] : Columns) {
+    Header += padString(Name, Width) + "  ";
+    Rule += std::string(Width, '-') + "  ";
+  }
+  std::printf("%s\n%s\n", Header.c_str(), Rule.c_str());
+  for (const auto &Row : Rows) {
+    std::string Line;
+    for (size_t I = 0; I < Row.size(); ++I)
+      Line += padString(Row[I], Columns[I].second) + "  ";
+    std::printf("%s\n", Line.c_str());
+  }
+}
+
+std::string cable::bench::cell(size_t N) { return std::to_string(N); }
+
+std::string cable::bench::cell1(double D) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", D);
+  return Buf;
+}
+
+SpecEvaluation cable::bench::evaluateProtocol(const ProtocolModel &Model) {
+  SpecEvaluation Out;
+  Out.Model = Model;
+
+  // Deterministic seed from the protocol name.
+  uint64_t Seed = 0xcbf29ce484222325ULL;
+  for (char C : Model.Name) {
+    Seed ^= static_cast<unsigned char>(C);
+    Seed *= 0x100000001b3ULL;
+  }
+  RNG Rand(Seed);
+
+  EventTable Table;
+  WorkloadGenerator Gen(Model, Table);
+  Out.Runs = Gen.generateRuns(Rand);
+
+  ExtractorOptions Extract;
+  Extract.SeedNames = Model.Seeds;
+  Extract.TransitiveValues = true;
+  TraceSet Scenarios = extractScenarios(Out.Runs, Extract);
+
+  Automaton Ref =
+      makeProtocolReferenceFA(Scenarios.traces(), Scenarios.table(), Model);
+  Out.S = std::make_unique<Session>(std::move(Scenarios), std::move(Ref));
+
+  Oracle Truth(Model, Out.S->table());
+  Out.Target = Truth.referenceLabeling(*Out.S);
+  Out.CorrectFA = Truth.correctFA();
+  return Out;
+}
+
+std::vector<SpecEvaluation> cable::bench::evaluateAllProtocols() {
+  std::vector<SpecEvaluation> Out;
+  for (const ProtocolModel &Model : allProtocols())
+    Out.push_back(evaluateProtocol(Model));
+  return Out;
+}

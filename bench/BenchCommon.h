@@ -1,0 +1,78 @@
+//===- bench/BenchCommon.h - Shared evaluation harness ----------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the table/figure reproduction binaries: a fixed-
+/// width ASCII table printer and the per-protocol evaluation pipeline
+/// (generate runs -> extract scenarios -> build the reference FA -> build
+/// the session -> oracle labeling), seeded deterministically so every
+/// bench run reproduces the same numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_BENCH_BENCHCOMMON_H
+#define CABLE_BENCH_BENCHCOMMON_H
+
+#include "cable/Session.h"
+#include "cable/Strategies.h"
+#include "cable/WellFormed.h"
+#include "miner/Miner.h"
+#include "support/RNG.h"
+#include "workload/Generator.h"
+#include "workload/Oracle.h"
+#include "workload/ReferenceFA.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cable::bench {
+
+/// Prints fixed-width ASCII tables with a header row and a rule.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::pair<std::string, size_t>> Columns);
+
+  /// Adds one row; cell count must match the column count.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Prints the whole table to stdout.
+  void print() const;
+
+private:
+  std::vector<std::pair<std::string, size_t>> Columns;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Everything the evaluation needs about one specification's workload.
+struct SpecEvaluation {
+  ProtocolModel Model;
+  TraceSet Runs;
+  /// One Session owning the extracted scenarios and the reference FA.
+  std::unique_ptr<Session> S;
+  /// Oracle ground truth over the session's objects.
+  ReferenceLabeling Target;
+  /// The protocol's correct FA compiled into the session's table.
+  Automaton CorrectFA;
+};
+
+/// Runs the front half of the pipeline for \p Model with a seed derived
+/// from the protocol name (fully deterministic across runs).
+SpecEvaluation evaluateProtocol(const ProtocolModel &Model);
+
+/// Runs evaluateProtocol for all 17 protocols, in Table 1 order.
+std::vector<SpecEvaluation> evaluateAllProtocols();
+
+/// Formats a size_t for a table cell.
+std::string cell(size_t N);
+
+/// Formats a double with one decimal for a table cell.
+std::string cell1(double D);
+
+} // namespace cable::bench
+
+#endif // CABLE_BENCH_BENCHCOMMON_H

@@ -1,0 +1,89 @@
+//===- bench/ablation_reference_fa.cpp - Reference-FA choice ablation ------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// §2.1/§4.1 argue the reference FA is a tunable knob: a large FA makes
+// fine distinctions (bigger lattice, more labeling power), a small one
+// coarser distinctions (smaller lattice, risk of ill-formedness). This
+// ablation measures, per specification and per reference-FA choice:
+// whether the induced lattice is well-formed for the oracle labeling, the
+// lattice size, and the Expert labeling cost.
+//
+// Choices: unordered template; recommended (unordered + seed-order
+// components, what Table 3 uses); prefix tree (finest — every class its
+// own attribute path); sk-strings mined FA (§2.2's default).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "fa/Templates.h"
+#include "learner/SkStrings.h"
+
+#include <cstdio>
+#include <functional>
+
+using namespace cable;
+using namespace cable::bench;
+
+namespace {
+
+std::string measure(const SpecEvaluation &E, Automaton Ref) {
+  // Fresh session on the same scenarios with the candidate reference FA.
+  Session S(E.S->allTraces(), std::move(Ref));
+  Oracle Truth(E.Model, S.table());
+  ReferenceLabeling Target = Truth.referenceLabeling(S);
+  bool WF = checkWellFormed(S, Target).LatticeWellFormed;
+  ExpertSimStrategy Expert;
+  StrategyCost Cost = Expert.run(S, Target);
+  std::string Out = WF ? "wf" : "ILL";
+  Out += "/" + std::to_string(S.lattice().size()) + "/";
+  Out += Cost.Finished ? std::to_string(Cost.total()) : std::string("-");
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablation: reference-FA choice "
+              "(cells: well-formed? / concepts / expert cost)\n\n");
+
+  TablePrinter T({{"Specification", 14},
+                  {"unordered", 14},
+                  {"recommended", 14},
+                  {"prefix-tree", 14},
+                  {"mined(sk)", 14}});
+
+  for (SpecEvaluation &E : evaluateAllProtocols()) {
+    Session &S = *E.S;
+    std::vector<Trace> Reps;
+    for (size_t Obj = 0; Obj < S.numObjects(); ++Obj)
+      Reps.push_back(S.object(Obj));
+    std::vector<EventId> Alphabet = templateAlphabet(Reps);
+
+    std::string Unordered =
+        measure(E, makeUnorderedFA(Alphabet, S.table()));
+    std::string Recommended = measure(
+        E, makeProtocolReferenceFA(Reps, S.table(), E.Model));
+    std::string PrefixTree =
+        measure(E, makePrefixTreeFA(Reps, S.table()));
+    SkStringsOptions Learn;
+    Learn.S = 1.0;
+    std::string Mined =
+        measure(E, learnSkStringsFA(Reps, S.table(), Learn));
+
+    T.addRow({E.Model.Name, Unordered, Recommended, PrefixTree, Mined});
+  }
+
+  T.print();
+  std::printf("\nExpected shape: 'recommended' is always well-formed with "
+              "moderate lattices;\n'unordered' goes ill-formed exactly on "
+              "specs with order-only errors; the\nprefix tree is always "
+              "well-formed but barely beats Baseline (lattice too\nfine); "
+              "the mined FA usually works (§2.2: \"usually a good starting "
+              "point\").\n");
+  return 0;
+}

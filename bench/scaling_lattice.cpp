@@ -1,0 +1,196 @@
+//===- bench/scaling_lattice.cpp - §5.2 / §3.1.1 scaling claims ------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's efficiency claims:
+//   §3.1.1 — Godin's algorithm runs in O(2^2k * |O|) for k an upper bound
+//            on attributes per object (k < 10, |O| up to hundreds there);
+//   §5.2   — lattice sizes grew roughly linearly with the number of FA
+//            transitions, and times slightly worse than linearly.
+//
+// Benchmarks sweep |O| at fixed k (expect ~linear time) and k at fixed
+// |O| (expect steep growth), and a trace-workload sweep over the number
+// of reference-FA transitions. Concept counts are reported as counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concepts/GodinBuilder.h"
+#include "concepts/LindigBuilder.h"
+#include "fa/Templates.h"
+#include "support/RNG.h"
+#include "cable/Session.h"
+#include "workload/Generator.h"
+#include "workload/ReferenceFA.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cable;
+
+namespace {
+
+/// Random context with exactly K attributes per object, drawn from a pool
+/// whose size scales with K (mirrors FA transitions per trace).
+Context randomContext(size_t NumObjects, size_t K, size_t PoolSize,
+                      uint64_t Seed) {
+  RNG Rand(Seed);
+  Context Ctx(NumObjects, PoolSize);
+  for (size_t O = 0; O < NumObjects; ++O) {
+    for (size_t J = 0; J < K; ++J)
+      Ctx.relate(O, Rand.nextIndex(PoolSize));
+  }
+  return Ctx;
+}
+
+void BM_GodinVsObjects(benchmark::State &State) {
+  size_t NumObjects = static_cast<size_t>(State.range(0));
+  Context Ctx = randomContext(NumObjects, /*K=*/6, /*PoolSize=*/24, 42);
+  size_t Concepts = 0;
+  for (auto _ : State) {
+    ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+    Concepts = L.size();
+    benchmark::DoNotOptimize(L);
+  }
+  State.counters["concepts"] = static_cast<double>(Concepts);
+  State.counters["objects"] = static_cast<double>(NumObjects);
+}
+
+void BM_LindigVsObjects(benchmark::State &State) {
+  size_t NumObjects = static_cast<size_t>(State.range(0));
+  Context Ctx = randomContext(NumObjects, /*K=*/6, /*PoolSize=*/24, 42);
+  size_t Concepts = 0;
+  for (auto _ : State) {
+    ConceptLattice L = LindigBuilder::buildLattice(Ctx);
+    Concepts = L.size();
+    benchmark::DoNotOptimize(L);
+  }
+  State.counters["concepts"] = static_cast<double>(Concepts);
+  State.counters["objects"] = static_cast<double>(NumObjects);
+}
+
+void BM_GodinVsK(benchmark::State &State) {
+  size_t K = static_cast<size_t>(State.range(0));
+  Context Ctx = randomContext(/*NumObjects=*/128, K, /*PoolSize=*/4 * K, 43);
+  size_t Concepts = 0;
+  for (auto _ : State) {
+    ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+    Concepts = L.size();
+    benchmark::DoNotOptimize(L);
+  }
+  State.counters["concepts"] = static_cast<double>(Concepts);
+  State.counters["k"] = static_cast<double>(K);
+}
+
+/// §5.2's x-axis: the number of reference-FA transitions, varied by
+/// growing the XtFree-style alphabet; lattice size should track it
+/// roughly linearly.
+void BM_LatticeVsTransitions(benchmark::State &State) {
+  size_t NumUses = static_cast<size_t>(State.range(0));
+  ProtocolModel M = protocolByName("XtFree");
+  // Regenerate the optional-use pool at the requested width.
+  std::vector<ProtoEvent> Uses;
+  for (size_t I = 0; I < NumUses; ++I)
+    Uses.push_back(ProtoEvent{"Use" + std::to_string(I), {0}});
+  M.Shapes[0].second.Steps[1] = ShapeStep::optional(Uses, 0.5);
+
+  EventTable Table;
+  WorkloadGenerator Gen(M, Table);
+  RNG Rand(44);
+  TraceSet Scenarios = Gen.generateScenarios(Rand, 200);
+  TraceSet Unique = Scenarios.dedup();
+  Automaton Ref =
+      makeUnorderedFA(templateAlphabet(Unique.traces()), Unique.table());
+
+  Context Ctx(Unique.size(), Ref.numTransitions());
+  for (size_t Obj = 0; Obj < Unique.size(); ++Obj)
+    for (size_t A : Ref.executedTransitions(Unique[Obj], Unique.table()))
+      Ctx.relate(Obj, A);
+
+  size_t Concepts = 0;
+  for (auto _ : State) {
+    ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+    Concepts = L.size();
+    benchmark::DoNotOptimize(L);
+  }
+  State.counters["fa_transitions"] = static_cast<double>(Ref.numTransitions());
+  State.counters["concepts"] = static_cast<double>(Concepts);
+  State.counters["unique_traces"] = static_cast<double>(Unique.size());
+}
+
+/// End-to-end session construction (R computation + Godin + covers) on
+/// the largest evaluation workload.
+void BM_SessionBuild(benchmark::State &State) {
+  ProtocolModel M = protocolByName("XtFree");
+  EventTable Table;
+  WorkloadGenerator Gen(M, Table);
+  RNG Rand(46);
+  TraceSet Scenarios =
+      Gen.generateScenarios(Rand, static_cast<size_t>(State.range(0)));
+  Automaton Ref =
+      makeProtocolReferenceFA(Scenarios.traces(), Scenarios.table(), M);
+  size_t Concepts = 0;
+  for (auto _ : State) {
+    Session S(Scenarios, Ref);
+    Concepts = S.lattice().size();
+    benchmark::DoNotOptimize(S);
+  }
+  State.counters["concepts"] = static_cast<double>(Concepts);
+  State.counters["scenarios"] =
+      static_cast<double>(State.range(0));
+}
+
+void BM_ExecutedTransitions(benchmark::State &State) {
+  ProtocolModel M = protocolByName("XtFree");
+  EventTable Table;
+  WorkloadGenerator Gen(M, Table);
+  RNG Rand(45);
+  TraceSet Scenarios = Gen.generateScenarios(Rand, 64);
+  Automaton Ref =
+      makeUnorderedFA(templateAlphabet(Scenarios.traces()), Scenarios.table());
+  size_t I = 0;
+  for (auto _ : State) {
+    BitVector Row = Ref.executedTransitions(
+        Scenarios[I++ % Scenarios.size()], Scenarios.table());
+    benchmark::DoNotOptimize(Row);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_GodinVsObjects)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_LindigVsObjects)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_GodinVsK)
+    ->DenseRange(2, 9, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_LatticeVsTransitions)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_SessionBuild)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_ExecutedTransitions)->MinTime(0.05);
+
+BENCHMARK_MAIN();

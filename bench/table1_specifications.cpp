@@ -1,0 +1,94 @@
+//===- bench/table1_specifications.cpp - Reproduces Table 1 ----------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 1: the seventeen debugged specifications, with the number of
+// states and transitions of each specification's FA after debugging, and
+// the specification in English. The pipeline per row: mine scenarios from
+// synthetic runs, debug them in a Cable session (ExpertSim labeling), then
+// re-learn from the good traces and minimize over the scenario alphabet.
+// A final column checks the debugged FA against the protocol's correct
+// language on the observed corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "fa/Dfa.h"
+#include "learner/SkStrings.h"
+
+#include <cstdio>
+
+using namespace cable;
+using namespace cable::bench;
+
+int main() {
+  std::printf("Table 1: debugged specifications "
+              "(states/transitions of the FA after debugging)\n\n");
+
+  TablePrinter T({{"Specification", 14},
+                  {"States", 6},
+                  {"Trans", 5},
+                  {"MaxScen", 7},
+                  {"Corpus-exact", 12},
+                  {"Note", 5},
+                  {"English", 62}});
+
+  for (SpecEvaluation &E : evaluateAllProtocols()) {
+    Session &S = *E.S;
+
+    // Debug: label every trace with the expert strategy.
+    ExpertSimStrategy Expert;
+    StrategyCost Cost = Expert.run(S, E.Target);
+    if (!Cost.Finished) {
+      T.addRow(
+          {E.Model.Name, "-", "-", "-", "-", "", "labeling did not finish"});
+      continue;
+    }
+
+    // Fix: re-learn from the traces labeled good (Step 3 of §2.2).
+    LabelId Good = S.internLabel("good");
+    std::vector<Trace> GoodTraces;
+    for (size_t Obj = 0; Obj < S.numObjects(); ++Obj)
+      if (*S.labelOf(Obj) == Good)
+        GoodTraces.push_back(S.object(Obj));
+    SkStringsOptions Learn;
+    Learn.S = 1.0;
+    Automaton Debugged = learnSkStringsFA(GoodTraces, S.table(), Learn);
+
+    // Report the canonical (minimal trimmed DFA) size over the scenario
+    // alphabet, as the paper's state/transition counts do.
+    std::vector<EventId> Alphabet = collectAlphabet(GoodTraces);
+    Dfa Min = Dfa::determinize(Debugged, Alphabet, S.table()).minimized();
+    Automaton Canonical = Min.toAutomaton(S.table());
+
+    // Sanity: on the observed corpus the debugged spec accepts exactly
+    // the good traces.
+    bool CorpusExact = true;
+    for (size_t Obj = 0; Obj < S.numObjects(); ++Obj) {
+      bool IsGood = *S.labelOf(Obj) == Good;
+      if (Debugged.accepts(S.object(Obj), S.table()) != IsGood)
+        CorpusExact = false;
+    }
+
+    // §5.1: these specifications are loop-free with short scenarios.
+    std::optional<size_t> MaxScenario = Canonical.longestAcceptedLength();
+    T.addRow({E.Model.Name, cell(Canonical.numStates()),
+              cell(Canonical.numTransitions()),
+              MaxScenario ? cell(*MaxScenario) : std::string("loop"),
+              CorpusExact ? "yes" : "NO",
+              E.Model.Reconstructed ? "(rec)" : "", E.Model.Description});
+  }
+
+  T.print();
+  std::printf(
+      "\n(rec) = row reconstructed; the paper names only 14 of the 17\n"
+      "specifications in its text (see DESIGN.md section 6).\n"
+      "Counts are minimal trimmed DFAs over each corpus alphabet; the\n"
+      "paper's specs are likewise small loop-free FAs with short "
+      "scenarios.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+//===- examples/program_corpus.cpp - Why frequency can't debug specs -------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's §6 observation, reproduced at the source: "we found that
+// some buggy traces occurred so frequently that suppressing them
+// [statistically] would also suppress valid traces."
+//
+// This example synthesizes a corpus of toy *programs* (not traces): each
+// program embeds several scenario sites, and a buggy site is buggy in
+// every run that reaches it — exactly how real bugs recur. It then mines
+// a specification from the corpus and tries to debug it two ways:
+//
+//   1. coring, at every threshold — fails, because the recurring buggy
+//      scenarios are as frequent as legitimate rare behaviors;
+//   2. Cable — clusters the scenarios, labels concepts, re-learns; works.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cable/Session.h"
+#include "cable/Strategies.h"
+#include "learner/Coring.h"
+#include "learner/SkStrings.h"
+#include "miner/ScenarioExtractor.h"
+#include "program/Synthesize.h"
+#include "support/RNG.h"
+#include "workload/Oracle.h"
+#include "workload/ReferenceFA.h"
+
+#include <cstdio>
+
+using namespace cable;
+
+int main() {
+  ProtocolModel Model = protocolByName("XFreeGC");
+  EventTable Table;
+  RNG Rand(0xC0DE);
+
+  // -- A corpus of programs, some with buggy sites --------------------------
+  CorpusOptions Options;
+  Options.NumPrograms = 14;
+  Options.RunsPerProgram = 3;
+  Options.SitesPerProgram = 3;
+  Options.BuggySiteRate = 0.25;
+  TraceSet Runs = generateProgramCorpus(Model, Table, Rand, Options);
+  std::printf("corpus: %zu runs of %zu synthesized programs "
+              "(%zu scenario sites each, %.0f%% of sites buggy)\n",
+              Runs.size(), Options.NumPrograms, Options.SitesPerProgram,
+              Options.BuggySiteRate * 100);
+
+  ExtractorOptions Extract;
+  Extract.SeedNames = Model.Seeds;
+  Extract.TransitiveValues = true;
+  TraceSet Scenarios = extractScenarios(Runs, Extract);
+  TraceClasses Classes = Scenarios.computeClasses();
+  Oracle Truth(Model, Scenarios.table());
+
+  // The key frequency structure: buggy classes with high multiplicity.
+  size_t BadOccurrences = 0, BadClasses = 0, MaxBadMult = 0;
+  size_t RareGoodClasses = 0;
+  for (size_t C = 0; C < Classes.numClasses(); ++C) {
+    bool Correct =
+        Truth.isCorrect(Classes.Representatives[C], Scenarios.table());
+    if (!Correct) {
+      ++BadClasses;
+      BadOccurrences += Classes.Multiplicity[C];
+      MaxBadMult = std::max(MaxBadMult, size_t(Classes.Multiplicity[C]));
+    } else if (Classes.Multiplicity[C] <= 2) {
+      ++RareGoodClasses;
+    }
+  }
+  std::printf("scenarios: %zu (%zu classes); %zu erroneous occurrences in "
+              "%zu classes;\n  most frequent buggy class occurs %zu times; "
+              "%zu correct classes occur <= 2 times\n\n",
+              Scenarios.size(), Classes.numClasses(), BadOccurrences,
+              BadClasses, MaxBadMult, RareGoodClasses);
+
+  // -- Attempt 1: coring ----------------------------------------------------
+  CountedAutomaton PTA = CountedAutomaton::buildPTA(Scenarios.traces());
+  std::printf("attempt 1, coring the mined automaton:\n");
+  bool AnyThresholdWorks = false;
+  for (double Threshold : {0.02, 0.05, 0.10, 0.20, 0.40}) {
+    Automaton Cored = coreAutomaton(PTA, Scenarios.table(), Threshold);
+    size_t GoodKept = 0, Goods = 0, BadDropped = 0, Bads = 0;
+    for (size_t C = 0; C < Classes.numClasses(); ++C) {
+      const Trace &T = Classes.Representatives[C];
+      bool Correct = Truth.isCorrect(T, Scenarios.table());
+      bool Accepted = Cored.accepts(T, Scenarios.table());
+      if (Correct) {
+        ++Goods;
+        GoodKept += Accepted;
+      } else {
+        ++Bads;
+        BadDropped += !Accepted;
+      }
+    }
+    bool Works = GoodKept == Goods && BadDropped == Bads;
+    AnyThresholdWorks |= Works;
+    std::printf("  threshold %.2f: keeps %zu/%zu correct classes, drops "
+                "%zu/%zu buggy ones%s\n",
+                Threshold, GoodKept, Goods, BadDropped, Bads,
+                Works ? "  <- perfect?!" : "");
+  }
+  std::printf("  => %s\n\n",
+              AnyThresholdWorks
+                  ? "a threshold happened to work on this corpus"
+                  : "no threshold both keeps all correct and drops all "
+                    "buggy behavior (the paper's point)");
+
+  // -- Attempt 2: Cable -----------------------------------------------------
+  std::printf("attempt 2, Cable:\n");
+  Automaton Ref = makeProtocolReferenceFA(Scenarios.traces(),
+                                          Scenarios.table(), Model);
+  Session S(std::move(Scenarios), std::move(Ref));
+  ReferenceLabeling Target = Truth.referenceLabeling(S);
+  ExpertSimStrategy Expert;
+  StrategyCost Cost = Expert.run(S, Target);
+  std::printf("  expert labeling: %zu ops over %zu concepts (%s); "
+              "baseline would cost %zu\n",
+              Cost.total(), S.lattice().size(),
+              Cost.Finished ? "finished" : "FAILED", 2 * S.numObjects());
+  if (!Cost.Finished)
+    return 1;
+
+  LabelId Good = S.internLabel("good");
+  std::vector<Trace> GoodTraces;
+  for (size_t Obj : S.objectsWithLabel(Good))
+    GoodTraces.push_back(S.object(Obj));
+  SkStringsOptions Learn;
+  Learn.S = 1.0;
+  Automaton Fixed = learnSkStringsFA(GoodTraces, S.table(), Learn);
+
+  size_t Right = 0;
+  for (size_t Obj = 0; Obj < S.numObjects(); ++Obj) {
+    bool IsGood = *S.labelOf(Obj) == Good;
+    Right += Fixed.accepts(S.object(Obj), S.table()) == IsGood;
+  }
+  std::printf("  debugged spec classifies %zu/%zu scenario classes "
+              "correctly\n",
+              Right, S.numObjects());
+  return 0;
+}

@@ -1,0 +1,88 @@
+//===- examples/quickstart.cpp - Cable in 80 lines -------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The smallest end-to-end use of the library: take a handful of scenario
+// traces (some erroneous), cluster them against a reference FA, label the
+// clusters, and learn the corrected specification from the traces labeled
+// good.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Cable.h"
+
+#include <cstdio>
+
+using namespace cable;
+
+int main() {
+  // 1. A few scenario traces. Two protocols are mixed together and two of
+  //    the traces are erroneous (a pipe closed with fclose, and a leak).
+  std::string ErrorMsg;
+  std::optional<TraceSet> Traces = TraceSet::parse(R"(
+    fopen(v0) fread(v0) fclose(v0)
+    fopen(v0) fwrite(v0) fclose(v0)
+    popen(v0) fread(v0) pclose(v0)
+    popen(v0) fwrite(v0) pclose(v0)
+    popen(v0) fread(v0) fclose(v0)
+    fopen(v0) fread(v0)
+  )",
+                                                   ErrorMsg);
+  if (!Traces) {
+    std::fprintf(stderr, "parse error: %s\n", ErrorMsg.c_str());
+    return 1;
+  }
+
+  // 2. A reference FA to define trace similarity. The unordered template
+  //    (one self-loop per event) is often enough; here we want ordering of
+  //    open/close to matter, so learn a small FA from the traces instead.
+  Automaton RefFA = learnSkStringsFA(Traces->traces(), Traces->table());
+
+  // 3. Cluster with concept analysis.
+  Session S(std::move(*Traces), std::move(RefFA));
+  std::printf("lattice has %zu concepts over %zu unique traces\n",
+              S.lattice().size(), S.numObjects());
+  for (Session::NodeId Id = 0; Id < S.lattice().size(); ++Id)
+    std::printf("  %s\n", S.describeConcept(Id).c_str());
+
+  // 4. Label concepts instead of traces. Find the concept of all traces
+  //    that execute pclose and mark them good en masse; then sweep the
+  //    leftovers.
+  LabelId Good = S.internLabel("good");
+  LabelId Bad = S.internLabel("bad");
+  for (Session::NodeId Id = 0; Id < S.lattice().size(); ++Id) {
+    // A concept is "the pclose traces" if every member ends with pclose.
+    BitVector Members = S.selectObjects(Id, TraceSelect::All);
+    if (Members.none())
+      continue;
+    bool AllGood = true;
+    for (size_t Obj : Members) {
+      const Trace &T = S.object(Obj);
+      std::string Last =
+          T.empty() ? ""
+                    : S.table().nameText(S.table().event(T[T.size() - 1]).Name);
+      bool EndsClosed = (Last == "pclose") ||
+                        (Last == "fclose" &&
+                         S.table().nameText(
+                             S.table().event(T[0]).Name) == "fopen");
+      if (!EndsClosed)
+        AllGood = false;
+    }
+    if (AllGood)
+      S.labelTraces(Id, TraceSelect::Unlabeled, Good);
+  }
+  // Everything still unlabeled is erroneous: label it at the top concept.
+  S.labelTraces(S.lattice().top(), TraceSelect::Unlabeled, Bad);
+
+  // 5. Learn the corrected specification from the good traces.
+  Automaton Fixed = S.showFA(S.lattice().top(), TraceSelect::WithLabel, Good);
+  std::printf("\ncorrected specification:\n%s",
+              Fixed.renderText(S.table()).c_str());
+
+  std::printf("\nlattice in DOT (render with graphviz):\n%s",
+              S.renderDot("quickstart").c_str());
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- examples/x11_audit.cpp - Auditing programs with debugged specs ------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// What the debugged specifications are *for* (§5.1: "The debugged
+// specifications found a total of 199 bugs, including resource leaks,
+// potential races, and performance bugs"): run the full loop for every
+// protocol in the evaluation suite —
+//
+//   mine -> debug with Cable -> re-learn -> verify fresh program runs —
+//
+// and report the program errors each debugged specification finds in a
+// previously unseen set of runs, categorized by error family.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cable/Session.h"
+#include "cable/Strategies.h"
+#include "learner/SkStrings.h"
+#include "support/RNG.h"
+#include "support/StringUtil.h"
+#include "verifier/Verifier.h"
+#include "workload/Generator.h"
+#include "workload/Oracle.h"
+#include "workload/ReferenceFA.h"
+
+#include <cstdio>
+
+using namespace cable;
+
+int main() {
+  std::printf("Auditing fresh program runs with Cable-debugged "
+              "specifications\n\n");
+  std::printf("%-15s %8s %8s %10s %10s\n", "Specification", "checked",
+              "flagged", "real-bugs", "false-pos");
+  std::printf("%-15s %8s %8s %10s %10s\n", "---------------", "-------",
+              "-------", "---------", "---------");
+
+  size_t TotalBugs = 0, TotalFalse = 0;
+  for (const ProtocolModel &Model : allProtocols()) {
+    EventTable Table;
+    WorkloadGenerator Gen(Model, Table);
+    RNG Rand(0xA0D17 ^ std::hash<std::string>{}(Model.Name));
+
+    // Training phase: mine scenarios and debug them.
+    TraceSet Training =
+        Gen.generateScenarios(Rand, Model.NumRuns * Model.ScenariosPerRun);
+    Automaton Ref =
+        makeProtocolReferenceFA(Training.traces(), Training.table(), Model);
+    Session S(std::move(Training), std::move(Ref));
+    Oracle Truth(Model, S.table());
+    ReferenceLabeling Target = Truth.referenceLabeling(S);
+    ExpertSimStrategy Expert;
+    if (!Expert.run(S, Target).Finished) {
+      std::printf("%-15s labeling failed\n", Model.Name.c_str());
+      continue;
+    }
+    LabelId Good = S.internLabel("good");
+    std::vector<Trace> GoodTraces;
+    for (size_t Obj : S.objectsWithLabel(Good))
+      GoodTraces.push_back(S.object(Obj));
+    // s = 0.5 merges more aggressively than s = 1.0; the extra
+    // generalization cuts false positives on unseen correct scenarios
+    // (the miner-parameter tuning §2.2 mentions).
+    SkStringsOptions Learn;
+    Learn.S = 0.5;
+    Automaton Debugged = learnSkStringsFA(GoodTraces, S.table(), Learn);
+
+    // Audit phase: fresh, unseen runs.
+    EventTable AuditTable = S.table();
+    WorkloadGenerator AuditGen(Model, AuditTable);
+    RNG AuditRand(Rand.fork());
+    TraceSet AuditRuns = AuditGen.generateRuns(AuditRand);
+    ExtractorOptions Extract;
+    Extract.SeedNames = Model.Seeds;
+    Extract.TransitiveValues = true;
+    VerificationResult R = verifyAgainstRuns(AuditRuns, Debugged, Extract);
+
+    // Score the reports against ground truth. A flagged trace that the
+    // oracle also rejects is a real program error; an accepted-but-
+    // erroneous trace would be a miss.
+    Oracle AuditTruth(Model, R.Violations.table());
+    size_t RealBugs = 0, FalsePositives = 0;
+    for (const Trace &T : R.Violations.traces()) {
+      if (AuditTruth.isCorrect(T, R.Violations.table()))
+        ++FalsePositives; // Debugged spec too narrow for this trace.
+      else
+        ++RealBugs;
+    }
+    TotalBugs += RealBugs;
+    TotalFalse += FalsePositives;
+    std::printf("%-15s %8zu %8zu %10zu %10zu\n", Model.Name.c_str(),
+                R.NumScenarios, R.Violations.size(), RealBugs,
+                FalsePositives);
+  }
+
+  std::printf("\ntotal real program errors found across the suite: %zu "
+              "(false positives: %zu)\n",
+              TotalBugs, TotalFalse);
+  std::printf("(the paper's corrected specifications found 199 bugs in "
+              "widely distributed X11 programs)\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+//===- cable/Advisor.h - Interactive lattice fine-tuning --------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §6 closes with: "it would be particularly interesting to
+/// explore interactive algorithms, which would allow the user to fine-tune
+/// the concept lattice as he uses it for labeling." This module implements
+/// that future-work idea:
+///
+///  - suggestFocusSeeds ranks the events of a concept's traces by how
+///    finely a seed-order template on that event would re-split the
+///    concept — the suggestion a user wants when staring at a mixed
+///    concept;
+///  - AutoFocusStrategy extends the Top-down strategy to *act* on the
+///    suggestion: when a traversal stalls (the lattice is not well-formed
+///    for the target labeling), it opens a Focus sub-session on the
+///    stuck concept with the best suggested seed FA, labels inside it,
+///    merges back, and resumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_CABLE_ADVISOR_H
+#define CABLE_CABLE_ADVISOR_H
+
+#include "cable/Session.h"
+#include "cable/Strategies.h"
+
+#include <vector>
+
+namespace cable {
+
+/// One focus-seed suggestion.
+struct SeedSuggestion {
+  /// Seed event for the seed-order template.
+  EventId Seed;
+  /// How many distinct attribute rows the template induces on the
+  /// concept's traces (more = finer split).
+  size_t NumGroups = 0;
+  /// How many of the concept's traces the template accepts (traces
+  /// without the seed are rejected and land in one extra group).
+  size_t NumAccepted = 0;
+};
+
+/// Ranks candidate seeds for focusing on \p Id. Candidates are the events
+/// occurring in the concept's traces; ranking is by NumGroups descending
+/// (then by acceptance, then event id for determinism). Returns at most
+/// \p MaxSuggestions entries, best first, and only ones that actually
+/// split the concept (NumGroups >= 2).
+std::vector<SeedSuggestion> suggestFocusSeeds(const Session &S,
+                                              ConceptLattice::NodeId Id,
+                                              size_t MaxSuggestions = 5);
+
+/// Builds the focus FA a suggestion stands for: unordered template over
+/// the concept's alphabet plus the seed-order component on \p Seed (the
+/// union keeps every trace accepted).
+Automaton buildSuggestedFocusFA(const Session &S, ConceptLattice::NodeId Id,
+                                EventId Seed);
+
+/// One name-projection suggestion (§4.1's other template family; "name
+/// projections work well when the inferred FA mentions several names").
+struct ProjectionSuggestion {
+  /// Canonical value to project onto.
+  ValueId Value = 0;
+  /// Distinct attribute rows the projection induces on the concept's
+  /// traces.
+  size_t NumGroups = 0;
+};
+
+/// Ranks canonical values occurring in the concept's traces by how finely
+/// a name-projection template on that value re-splits the concept. Only
+/// values that actually split it (NumGroups >= 2) are returned, best
+/// first.
+std::vector<ProjectionSuggestion>
+suggestNameProjections(const Session &S, ConceptLattice::NodeId Id,
+                       size_t MaxSuggestions = 5);
+
+/// Top-down labeling that self-repairs ill-formed lattices by focusing
+/// with suggested seed FAs (§6 future work made concrete). The cost model
+/// charges the sub-session's inspections and label operations like the
+/// parent's, plus one inspection per focus opened.
+class AutoFocusStrategy : public Strategy {
+public:
+  /// \p MaxFocusDepth bounds recursive focusing.
+  explicit AutoFocusStrategy(size_t MaxFocusDepth = 3)
+      : MaxFocusDepth(MaxFocusDepth) {}
+  std::string name() const override { return "Top-down+autofocus"; }
+  StrategyCost run(Session &S, const ReferenceLabeling &Target) override;
+
+private:
+  size_t MaxFocusDepth;
+
+  StrategyCost runAtDepth(Session &S, const ReferenceLabeling &Target,
+                          size_t Depth);
+};
+
+} // namespace cable
+
+#endif // CABLE_CABLE_ADVISOR_H

@@ -1,0 +1,310 @@
+//===- cable/Session.cpp - A Cable debugging session -----------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cable/Session.h"
+
+#include "concepts/GodinBuilder.h"
+#include "support/Dot.h"
+#include "support/StringUtil.h"
+
+#include <unordered_map>
+
+#include <cassert>
+
+using namespace cable;
+
+Session::Session(TraceSet TracesIn, Automaton ReferenceFA)
+    : Traces(std::move(TracesIn)), RefFA(std::move(ReferenceFA)) {
+  assert(!RefFA.hasEpsilons() &&
+         "reference FA must be epsilon-free (apply withoutEpsilons)");
+  Classes = Traces.computeClasses();
+
+  // Step 1b: one object per identical-trace class; one attribute per
+  // reference-FA transition; R = executed-on-an-accepting-run.
+  Ctx = Context(Classes.numClasses(), RefFA.numTransitions());
+  for (size_t Obj = 0; Obj < Classes.numClasses(); ++Obj) {
+    BitVector Row =
+        RefFA.executedTransitions(Classes.Representatives[Obj], table());
+    if (Row.none() && !Classes.Representatives[Obj].empty())
+      Rejected.push_back(Obj);
+    for (size_t A : Row)
+      Ctx.relate(Obj, A);
+  }
+
+  // Step 1c: concept analysis, with the paper's (Godin) algorithm.
+  Lattice = GodinBuilder::buildLattice(Ctx);
+
+  Labels.assign(Classes.numClasses(), std::nullopt);
+}
+
+BitVector Session::ownObjects(NodeId Id) const {
+  BitVector Own = Lattice.node(Id).Extent;
+  for (NodeId C : Lattice.children(Id))
+    Own.andNot(Lattice.node(C).Extent);
+  return Own;
+}
+
+LabelId Session::internLabel(std::string_view Name) {
+  for (LabelId Id = 0; Id < LabelNames.size(); ++Id)
+    if (LabelNames[Id] == Name)
+      return Id;
+  LabelNames.emplace_back(Name);
+  return static_cast<LabelId>(LabelNames.size() - 1);
+}
+
+void Session::clearLabels() {
+  Labels.assign(Classes.numClasses(), std::nullopt);
+  UndoStack.clear();
+}
+
+BitVector Session::selectObjects(NodeId Id, TraceSelect Select,
+                                 std::optional<LabelId> From) const {
+  const BitVector &Extent = Lattice.node(Id).Extent;
+  BitVector Out(Extent.size());
+  for (size_t Obj : Extent) {
+    switch (Select) {
+    case TraceSelect::All:
+      Out.set(Obj);
+      break;
+    case TraceSelect::Unlabeled:
+      if (!Labels[Obj])
+        Out.set(Obj);
+      break;
+    case TraceSelect::WithLabel:
+      assert(From && "WithLabel requires a source label");
+      if (Labels[Obj] && *Labels[Obj] == *From)
+        Out.set(Obj);
+      break;
+    }
+  }
+  return Out;
+}
+
+size_t Session::labelTraces(NodeId Id, TraceSelect Select, LabelId NewLabel,
+                            std::optional<LabelId> From) {
+  assert(NewLabel < LabelNames.size() && "label not interned");
+  BitVector Targets = selectObjects(Id, Select, From);
+  UndoRecord Record;
+  size_t Changed = 0;
+  for (size_t Obj : Targets) {
+    if (!Labels[Obj] || *Labels[Obj] != NewLabel) {
+      Record.emplace_back(Obj, Labels[Obj]);
+      Labels[Obj] = NewLabel;
+      ++Changed;
+    }
+  }
+  UndoStack.push_back(std::move(Record));
+  return Changed;
+}
+
+void Session::setLabel(size_t Obj, LabelId L) {
+  assert(Obj < Labels.size() && L < LabelNames.size() && "bad label/object");
+  UndoStack.push_back({{Obj, Labels[Obj]}});
+  Labels[Obj] = L;
+}
+
+bool Session::undo() {
+  if (UndoStack.empty())
+    return false;
+  for (const auto &[Obj, Prior] : UndoStack.back())
+    Labels[Obj] = Prior;
+  UndoStack.pop_back();
+  return true;
+}
+
+ConceptState Session::stateOf(NodeId Id) const {
+  const BitVector &Extent = Lattice.node(Id).Extent;
+  bool AnyLabeled = false, AnyUnlabeled = false;
+  for (size_t Obj : Extent) {
+    if (Labels[Obj])
+      AnyLabeled = true;
+    else
+      AnyUnlabeled = true;
+    if (AnyLabeled && AnyUnlabeled)
+      return ConceptState::PartlyLabeled;
+  }
+  if (AnyUnlabeled)
+    return ConceptState::Unlabeled;
+  return ConceptState::FullyLabeled; // Includes the empty concept.
+}
+
+bool Session::allLabeled() const {
+  for (const std::optional<LabelId> &L : Labels)
+    if (!L)
+      return false;
+  return true;
+}
+
+BitVector Session::unlabeledObjects() const {
+  BitVector Out(Labels.size());
+  for (size_t Obj = 0; Obj < Labels.size(); ++Obj)
+    if (!Labels[Obj])
+      Out.set(Obj);
+  return Out;
+}
+
+BitVector Session::objectsWithLabel(LabelId L) const {
+  BitVector Out(Labels.size());
+  for (size_t Obj = 0; Obj < Labels.size(); ++Obj)
+    if (Labels[Obj] && *Labels[Obj] == L)
+      Out.set(Obj);
+  return Out;
+}
+
+Automaton Session::showFA(NodeId Id, TraceSelect Select,
+                          std::optional<LabelId> From,
+                          const SkStringsOptions &Options) const {
+  std::vector<Trace> Selected;
+  for (size_t Obj : selectObjects(Id, Select, From))
+    Selected.push_back(Classes.Representatives[Obj]);
+  return learnSkStringsFA(Selected, table(), Options);
+}
+
+std::vector<TransitionId> Session::showTransitions(NodeId Id) const {
+  std::vector<TransitionId> Out;
+  for (size_t A : Lattice.node(Id).Intent)
+    Out.push_back(static_cast<TransitionId>(A));
+  return Out;
+}
+
+std::vector<size_t> Session::showTraces(NodeId Id, TraceSelect Select,
+                                        std::optional<LabelId> From) const {
+  return selectObjects(Id, Select, From).toIndices();
+}
+
+FocusSession Session::focus(NodeId Id, Automaton FocusFA) const {
+  // Collect the concept's traces into a fresh TraceSet (same event table,
+  // one copy per class representative).
+  std::vector<size_t> ParentObjects = Lattice.node(Id).Extent.toIndices();
+  TraceSet SubTraces;
+  SubTraces.table() = Traces.table();
+  for (size_t Obj : ParentObjects)
+    SubTraces.add(Classes.Representatives[Obj]);
+  FocusSession F{Session(std::move(SubTraces), std::move(FocusFA)),
+                 std::move(ParentObjects)};
+  return F;
+}
+
+void Session::mergeBack(const FocusSession &F) {
+  // Sub objects are classes over the focused traces; because the focused
+  // traces were distinct representatives, classes are singletons and the
+  // object order matches ParentObjects.
+  assert(F.Sub.numObjects() == F.ParentObjects.size() &&
+         "focus sub-session must have one object per parent object");
+  UndoRecord Record;
+  for (size_t SubObj = 0; SubObj < F.Sub.numObjects(); ++SubObj) {
+    std::optional<LabelId> L = F.Sub.labelOf(SubObj);
+    if (!L)
+      continue;
+    LabelId Here = internLabel(F.Sub.labelName(*L));
+    size_t Obj = F.ParentObjects[SubObj];
+    Record.emplace_back(Obj, Labels[Obj]);
+    Labels[Obj] = Here;
+  }
+  UndoStack.push_back(std::move(Record));
+}
+
+std::string Session::serializeLabels() const {
+  std::string Out;
+  for (size_t Obj = 0; Obj < numObjects(); ++Obj) {
+    if (!Labels[Obj])
+      continue;
+    Out += LabelNames[*Labels[Obj]];
+    Out += ' ';
+    Out += Classes.Representatives[Obj].render(table());
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool Session::loadLabels(std::string_view Text, std::string &ErrorMsg,
+                         size_t *NumUnmatched) {
+  // Index current objects by rendered trace text.
+  std::unordered_map<std::string, size_t> ByText;
+  for (size_t Obj = 0; Obj < numObjects(); ++Obj)
+    ByText.emplace(Classes.Representatives[Obj].render(table()), Obj);
+
+  size_t Unmatched = 0;
+  size_t LineNo = 0;
+  UndoRecord Record;
+  for (const std::string &Line : splitString(Text, '\n')) {
+    ++LineNo;
+    std::string_view Body = trimString(Line);
+    if (Body.empty() || Body[0] == '#')
+      continue;
+    size_t Space = Body.find(' ');
+    if (Space == std::string_view::npos) {
+      ErrorMsg = "line " + std::to_string(LineNo) +
+                 ": expected '<label> <trace>'";
+      // Leave the session unchanged on parse errors.
+      for (const auto &[Obj, Prior] : Record)
+        Labels[Obj] = Prior;
+      return false;
+    }
+    std::string LabelName(Body.substr(0, Space));
+    std::string TraceText(trimString(Body.substr(Space + 1)));
+    auto It = ByText.find(TraceText);
+    if (It == ByText.end()) {
+      ++Unmatched;
+      continue;
+    }
+    Record.emplace_back(It->second, Labels[It->second]);
+    Labels[It->second] = internLabel(LabelName);
+  }
+  UndoStack.push_back(std::move(Record));
+  if (NumUnmatched)
+    *NumUnmatched = Unmatched;
+  return true;
+}
+
+std::string Session::describeConcept(NodeId Id) const {
+  const Concept &C = Lattice.node(Id);
+  std::string State;
+  switch (stateOf(Id)) {
+  case ConceptState::Unlabeled:
+    State = "unlabeled";
+    break;
+  case ConceptState::PartlyLabeled:
+    State = "partly-labeled";
+    break;
+  case ConceptState::FullyLabeled:
+    State = "fully-labeled";
+    break;
+  }
+  return "concept " + std::to_string(Id) + ": " +
+         std::to_string(C.Extent.count()) + " trace(s), sim=" +
+         std::to_string(C.Intent.count()) + ", " + State;
+}
+
+std::string Session::renderDot(std::string_view Name) const {
+  DotWriter W{std::string(Name)};
+  W.addRaw("rankdir=TB;");
+  for (NodeId Id = 0; Id < Lattice.size(); ++Id) {
+    const Concept &C = Lattice.node(Id);
+    std::string Label = "c" + std::to_string(Id) + "\n|traces|=" +
+                        std::to_string(C.Extent.count()) +
+                        " sim=" + std::to_string(C.Intent.count());
+    const char *Color = nullptr;
+    switch (stateOf(Id)) {
+    case ConceptState::Unlabeled:
+      Color = "palegreen";
+      break;
+    case ConceptState::PartlyLabeled:
+      Color = "khaki";
+      break;
+    case ConceptState::FullyLabeled:
+      Color = "lightcoral";
+      break;
+    }
+    W.addNode("c" + std::to_string(Id), Label,
+              std::string("shape=box, style=filled, fillcolor=") + Color);
+  }
+  for (NodeId Id = 0; Id < Lattice.size(); ++Id)
+    for (NodeId C : Lattice.children(Id))
+      W.addEdge("c" + std::to_string(Id), "c" + std::to_string(C));
+  return W.str();
+}

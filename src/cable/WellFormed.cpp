@@ -1,0 +1,72 @@
+//===- cable/WellFormed.cpp - Lattice well-formedness (§4.3) ---------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cable/WellFormed.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cable;
+
+bool ReferenceLabeling::uniform(const BitVector &Objects) const {
+  std::optional<LabelId> Seen;
+  for (size_t Obj : Objects) {
+    assert(Obj < Target.size() && "object out of range");
+    if (!Seen)
+      Seen = Target[Obj];
+    else if (*Seen != Target[Obj])
+      return false;
+  }
+  return true;
+}
+
+LabelId ReferenceLabeling::sharedLabel(const BitVector &Objects) const {
+  size_t First = Objects.findFirst();
+  assert(First != BitVector::npos && "sharedLabel of an empty set");
+  assert(uniform(Objects) && "sharedLabel of a mixed set");
+  return Target[First];
+}
+
+WellFormedness cable::checkWellFormed(const Session &S,
+                                      const ReferenceLabeling &Target) {
+  const ConceptLattice &L = S.lattice();
+  std::vector<bool> WF(L.size(), false);
+
+  // Evaluate children before parents: reverse topological (top-down) order.
+  std::vector<ConceptLattice::NodeId> Order = L.topDownOrder();
+  std::reverse(Order.begin(), Order.end());
+
+  WellFormedness Out;
+  for (ConceptLattice::NodeId Id : Order) {
+    if (Target.uniform(L.node(Id).Extent)) {
+      WF[Id] = true;
+      continue;
+    }
+    bool ChildrenOk = true;
+    for (ConceptLattice::NodeId C : L.children(Id))
+      if (!WF[C]) {
+        ChildrenOk = false;
+        break;
+      }
+    WF[Id] = ChildrenOk && Target.uniform(S.ownObjects(Id));
+    if (!WF[Id])
+      Out.IllFormed.push_back(Id);
+  }
+  Out.LatticeWellFormed = Out.IllFormed.empty();
+  return Out;
+}
+
+ReferenceLabeling
+cable::makeReferenceLabeling(Session &S,
+                             const std::vector<std::string> &Names) {
+  assert(Names.size() == S.numObjects() && "one name per object required");
+  ReferenceLabeling Out;
+  Out.Target.reserve(Names.size());
+  for (const std::string &Name : Names)
+    Out.Target.push_back(S.internLabel(Name));
+  return Out;
+}

@@ -1,0 +1,66 @@
+//===- cable/WellFormed.h - Lattice well-formedness (§4.3) ------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's well-formedness condition (§4.3). Because Cable only labels
+/// concepts en masse, a lattice may make some target labelings unreachable.
+/// A concept c is well-formed for a labeling iff
+///
+///   1. every trace in c has the same target label, or
+///   2. all children of c are well-formed and every trace in c that is in
+///      no child of c has the same target label.
+///
+/// A lattice is well-formed iff every concept is. When it is, a sequence
+/// of `Label traces` commands (bottom-up) reaches the target labeling;
+/// when it is not, the user must Focus with a different FA or fall back to
+/// hand-labeling the mixed concepts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_CABLE_WELLFORMED_H
+#define CABLE_CABLE_WELLFORMED_H
+
+#include "cable/Session.h"
+
+#include <vector>
+
+namespace cable {
+
+/// A target labeling: the label every object should end with. Used both
+/// as the ground truth for strategy measurement and for well-formedness.
+struct ReferenceLabeling {
+  /// Target[Obj] = desired label of object Obj.
+  std::vector<LabelId> Target;
+
+  /// True if all objects in \p Objects share one target label (vacuously
+  /// true for the empty set).
+  bool uniform(const BitVector &Objects) const;
+
+  /// The shared target label of \p Objects; requires uniform() and a
+  /// nonempty set.
+  LabelId sharedLabel(const BitVector &Objects) const;
+};
+
+/// Result of the well-formedness analysis.
+struct WellFormedness {
+  bool LatticeWellFormed = false;
+  /// Concepts violating the recursive condition.
+  std::vector<ConceptLattice::NodeId> IllFormed;
+};
+
+/// Checks §4.3's condition for \p Target over \p S's lattice.
+WellFormedness checkWellFormed(const Session &S,
+                               const ReferenceLabeling &Target);
+
+/// Builds a ReferenceLabeling from per-object label names, interning the
+/// names into \p S so the ids are valid for that session.
+ReferenceLabeling makeReferenceLabeling(Session &S,
+                                        const std::vector<std::string> &Names);
+
+} // namespace cable
+
+#endif // CABLE_CABLE_WELLFORMED_H

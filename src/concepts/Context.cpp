@@ -1,0 +1,81 @@
+//===- concepts/Context.cpp - Formal contexts ------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concepts/Context.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace cable;
+
+Context::Context(size_t NumObjects, size_t NumAttributes)
+    : ObjectRows(NumObjects, BitVector(NumAttributes)),
+      AttributeCols(NumAttributes, BitVector(NumObjects)) {}
+
+void Context::relate(size_t Obj, size_t Attr) {
+  assert(Obj < numObjects() && Attr < numAttributes() && "index out of range");
+  ObjectRows[Obj].set(Attr);
+  AttributeCols[Attr].set(Obj);
+}
+
+bool Context::related(size_t Obj, size_t Attr) const {
+  assert(Obj < numObjects() && Attr < numAttributes() && "index out of range");
+  return ObjectRows[Obj].test(Attr);
+}
+
+BitVector Context::sigma(const BitVector &Objects) const {
+  assert(Objects.size() == numObjects() && "object universe mismatch");
+  BitVector Out(numAttributes());
+  Out.setAll();
+  for (size_t O : Objects)
+    Out &= ObjectRows[O];
+  return Out;
+}
+
+BitVector Context::tau(const BitVector &Attrs) const {
+  assert(Attrs.size() == numAttributes() && "attribute universe mismatch");
+  BitVector Out(numObjects());
+  Out.setAll();
+  for (size_t A : Attrs)
+    Out &= AttributeCols[A];
+  return Out;
+}
+
+Context Context::clarified(std::vector<size_t> *ObjectMap,
+                           std::vector<size_t> *AttributeMap) const {
+  // Dedup object rows.
+  std::unordered_map<BitVector, size_t, BitVectorHash> RowIds;
+  std::vector<size_t> ObjOf(numObjects());
+  std::vector<const BitVector *> Rows;
+  for (size_t O = 0; O < numObjects(); ++O) {
+    auto [It, Inserted] = RowIds.emplace(ObjectRows[O], Rows.size());
+    if (Inserted)
+      Rows.push_back(&ObjectRows[O]);
+    ObjOf[O] = It->second;
+  }
+  // Dedup attribute columns.
+  std::unordered_map<BitVector, size_t, BitVectorHash> ColIds;
+  std::vector<size_t> AttrOf(numAttributes());
+  std::vector<size_t> ColRep;
+  for (size_t A = 0; A < numAttributes(); ++A) {
+    auto [It, Inserted] = ColIds.emplace(AttributeCols[A], ColRep.size());
+    if (Inserted)
+      ColRep.push_back(A);
+    AttrOf[A] = It->second;
+  }
+
+  Context Out(Rows.size(), ColRep.size());
+  for (size_t O = 0; O < numObjects(); ++O)
+    for (size_t A : ObjectRows[O])
+      if (!Out.related(ObjOf[O], AttrOf[A]))
+        Out.relate(ObjOf[O], AttrOf[A]);
+  if (ObjectMap)
+    *ObjectMap = std::move(ObjOf);
+  if (AttributeMap)
+    *AttributeMap = std::move(AttrOf);
+  return Out;
+}

@@ -1,0 +1,93 @@
+//===- concepts/Context.h - Formal contexts ---------------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A formal context (O, A, R): objects, attributes, and a binary relation
+/// between them (§3.1). Provides the derivation operators
+///
+///   sigma(X) = { a | forall x in X. (x,a) in R }
+///   tau(Y)   = { o | forall y in Y. (o,y) in R }
+///
+/// with the standard conventions sigma(∅) = A and tau(∅) = O, and the
+/// paper's similarity measure sim(X) = |sigma(X)|.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_CONCEPTS_CONTEXT_H
+#define CABLE_CONCEPTS_CONTEXT_H
+
+#include "support/BitVector.h"
+
+#include <string>
+#include <vector>
+
+namespace cable {
+
+/// A formal context over fixed object and attribute universes.
+class Context {
+public:
+  Context() = default;
+  Context(size_t NumObjects, size_t NumAttributes);
+
+  size_t numObjects() const { return ObjectRows.size(); }
+  size_t numAttributes() const { return AttributeCols.size(); }
+
+  /// Records (Obj, Attr) in R.
+  void relate(size_t Obj, size_t Attr);
+
+  /// Returns true if (Obj, Attr) is in R.
+  bool related(size_t Obj, size_t Attr) const;
+
+  /// The attribute set of one object.
+  const BitVector &objectRow(size_t Obj) const { return ObjectRows[Obj]; }
+
+  /// The object set of one attribute.
+  const BitVector &attributeCol(size_t Attr) const {
+    return AttributeCols[Attr];
+  }
+
+  /// sigma: attributes common to all objects in \p Objects.
+  BitVector sigma(const BitVector &Objects) const;
+
+  /// tau: objects possessing all attributes in \p Attrs.
+  BitVector tau(const BitVector &Attrs) const;
+
+  /// Extent closure: tau(sigma(Objects)).
+  BitVector closeExtent(const BitVector &Objects) const {
+    return tau(sigma(Objects));
+  }
+
+  /// Intent closure: sigma(tau(Attrs)).
+  BitVector closeIntent(const BitVector &Attrs) const {
+    return sigma(tau(Attrs));
+  }
+
+  /// The paper's similarity of a set of objects: |sigma(Objects)| (§3.1).
+  size_t similarity(const BitVector &Objects) const {
+    return sigma(Objects).count();
+  }
+
+  /// Standard FCA clarification: merges objects with identical rows and
+  /// attributes with identical columns. The clarified context has an
+  /// isomorphic concept lattice but can be much smaller to build. The
+  /// optional out-parameters receive, for each original object/attribute,
+  /// its index in the clarified context.
+  Context clarified(std::vector<size_t> *ObjectMap = nullptr,
+                    std::vector<size_t> *AttributeMap = nullptr) const;
+
+  /// Optional display names (used by renderers; may stay empty).
+  std::vector<std::string> ObjectNames;
+  std::vector<std::string> AttributeNames;
+
+private:
+  std::vector<BitVector> ObjectRows;
+  std::vector<BitVector> AttributeCols;
+};
+
+} // namespace cable
+
+#endif // CABLE_CONCEPTS_CONTEXT_H

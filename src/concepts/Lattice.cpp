@@ -1,0 +1,283 @@
+//===- concepts/Lattice.cpp - Concept lattices -----------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concepts/Lattice.h"
+
+#include "support/Dot.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+
+using namespace cable;
+
+ConceptLattice ConceptLattice::fromConcepts(std::vector<Concept> Concepts) {
+  assert(!Concepts.empty() && "a concept lattice is never empty");
+  ConceptLattice L;
+  L.Concepts = std::move(Concepts);
+  L.Parents.assign(L.Concepts.size(), {});
+  L.Children.assign(L.Concepts.size(), {});
+  L.computeCovers();
+  L.locateTopAndBottom();
+  return L;
+}
+
+ConceptLattice ConceptLattice::fromConceptsAndCovers(
+    std::vector<Concept> Concepts,
+    const std::vector<std::pair<NodeId, NodeId>> &Covers) {
+  assert(!Concepts.empty() && "a concept lattice is never empty");
+  ConceptLattice L;
+  L.Concepts = std::move(Concepts);
+  L.Parents.assign(L.Concepts.size(), {});
+  L.Children.assign(L.Concepts.size(), {});
+  for (const auto &[Parent, Child] : Covers) {
+    assert(Parent < L.Concepts.size() && Child < L.Concepts.size() &&
+           "cover edge out of range");
+    L.Parents[Child].push_back(Parent);
+    L.Children[Parent].push_back(Child);
+  }
+  L.locateTopAndBottom();
+  return L;
+}
+
+void ConceptLattice::locateTopAndBottom() {
+  // Top has the unique maximal extent; bottom the unique minimal one.
+  Top = 0;
+  Bottom = 0;
+  for (NodeId Id = 0; Id < Concepts.size(); ++Id) {
+    if (Concepts[Top].Extent.isSubsetOf(Concepts[Id].Extent))
+      Top = Id;
+    if (Concepts[Id].Extent.isSubsetOf(Concepts[Bottom].Extent))
+      Bottom = Id;
+  }
+  assert(Parents[Top].empty() && "top must have no parents");
+  assert(Children[Bottom].empty() && "bottom must have no children");
+}
+
+void ConceptLattice::computeCovers() {
+  // Order ids by extent cardinality ascending; B covers A iff
+  // extent(A) < extent(B) and no C with extent(A) < extent(C) < extent(B).
+  size_t N = Concepts.size();
+  std::vector<NodeId> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::vector<size_t> Card(N);
+  for (size_t I = 0; I < N; ++I)
+    Card[I] = Concepts[I].Extent.count();
+  std::sort(Order.begin(), Order.end(),
+            [&](NodeId A, NodeId B) { return Card[A] < Card[B]; });
+
+  for (size_t AI = 0; AI < N; ++AI) {
+    NodeId A = Order[AI];
+    // Candidates: strictly larger extents containing extent(A), scanned in
+    // ascending cardinality so accepted covers are found before anything
+    // they are contained in.
+    std::vector<NodeId> Covers;
+    for (size_t BI = AI + 1; BI < N; ++BI) {
+      NodeId B = Order[BI];
+      if (Card[B] == Card[A])
+        continue; // Equal cardinality can't be a strict superset.
+      if (!Concepts[A].Extent.isSubsetOf(Concepts[B].Extent))
+        continue;
+      bool Dominated = false;
+      for (NodeId C : Covers)
+        if (Concepts[C].Extent.isSubsetOf(Concepts[B].Extent)) {
+          Dominated = true;
+          break;
+        }
+      if (!Dominated)
+        Covers.push_back(B);
+    }
+    for (NodeId B : Covers) {
+      Parents[A].push_back(B);
+      Children[B].push_back(A);
+    }
+  }
+}
+
+size_t ConceptLattice::numEdges() const {
+  size_t N = 0;
+  for (const auto &P : Parents)
+    N += P.size();
+  return N;
+}
+
+std::optional<ConceptLattice::NodeId>
+ConceptLattice::findByExtent(const BitVector &Extent) const {
+  for (NodeId Id = 0; Id < Concepts.size(); ++Id)
+    if (Concepts[Id].Extent == Extent)
+      return Id;
+  return std::nullopt;
+}
+
+std::optional<ConceptLattice::NodeId>
+ConceptLattice::findByIntent(const BitVector &Intent) const {
+  for (NodeId Id = 0; Id < Concepts.size(); ++Id)
+    if (Concepts[Id].Intent == Intent)
+      return Id;
+  return std::nullopt;
+}
+
+ConceptLattice::NodeId ConceptLattice::meet(NodeId A, NodeId B) const {
+  // The meet's extent is the largest concept extent contained in
+  // extent(A) & extent(B); because concept extents are closed under
+  // intersection, that intersection is itself an extent.
+  BitVector Want = Concepts[A].Extent & Concepts[B].Extent;
+  std::optional<NodeId> Found = findByExtent(Want);
+  if (!Found)
+    CABLE_UNREACHABLE("meet extent not found; lattice is incomplete");
+  return *Found;
+}
+
+ConceptLattice::NodeId ConceptLattice::join(NodeId A, NodeId B) const {
+  BitVector Want = Concepts[A].Intent & Concepts[B].Intent;
+  std::optional<NodeId> Found = findByIntent(Want);
+  if (!Found)
+    CABLE_UNREACHABLE("join intent not found; lattice is incomplete");
+  return *Found;
+}
+
+std::vector<ConceptLattice::NodeId> ConceptLattice::topDownOrder() const {
+  // Kahn's algorithm from top: a node is emitted once all parents are.
+  std::vector<size_t> Pending(Concepts.size());
+  std::vector<NodeId> Out;
+  std::vector<NodeId> Ready;
+  for (NodeId Id = 0; Id < Concepts.size(); ++Id) {
+    Pending[Id] = Parents[Id].size();
+    if (Pending[Id] == 0)
+      Ready.push_back(Id);
+  }
+  while (!Ready.empty()) {
+    NodeId Id = Ready.back();
+    Ready.pop_back();
+    Out.push_back(Id);
+    for (NodeId C : Children[Id])
+      if (--Pending[C] == 0)
+        Ready.push_back(C);
+  }
+  assert(Out.size() == Concepts.size() && "cover relation has a cycle");
+  return Out;
+}
+
+size_t ConceptLattice::height() const {
+  std::vector<size_t> Depth(Concepts.size(), 0);
+  size_t Max = 0;
+  for (NodeId Id : topDownOrder()) {
+    for (NodeId C : Children[Id])
+      Depth[C] = std::max(Depth[C], Depth[Id] + 1);
+    Max = std::max(Max, Depth[Id]);
+  }
+  return Max;
+}
+
+bool ConceptLattice::verify(const Context &Ctx, std::string *WhyNot) const {
+  auto Fail = [&](const std::string &Msg) {
+    if (WhyNot)
+      *WhyNot = Msg;
+    return false;
+  };
+
+  // 1. Every node is a concept: sigma(Extent) == Intent, tau(Intent) ==
+  //    Extent.
+  for (NodeId Id = 0; Id < Concepts.size(); ++Id) {
+    const Concept &C = Concepts[Id];
+    if (!(Ctx.sigma(C.Extent) == C.Intent))
+      return Fail("node " + std::to_string(Id) + ": sigma(extent) != intent");
+    if (!(Ctx.tau(C.Intent) == C.Extent))
+      return Fail("node " + std::to_string(Id) + ": tau(intent) != extent");
+  }
+
+  // 2. No duplicate extents.
+  std::unordered_map<BitVector, NodeId, BitVectorHash> Seen;
+  for (NodeId Id = 0; Id < Concepts.size(); ++Id)
+    if (!Seen.emplace(Concepts[Id].Extent, Id).second)
+      return Fail("duplicate extent at node " + std::to_string(Id));
+
+  // 3. Completeness: every closed extent appears. Closure of every subset
+  //    is too expensive; instead check closure of every single object and
+  //    of the empty and full sets, plus closure under pairwise
+  //    intersection of known extents.
+  {
+    BitVector Empty(Ctx.numObjects());
+    if (!Seen.count(Ctx.closeExtent(Empty)))
+      return Fail("missing closure of the empty object set");
+    BitVector Full(Ctx.numObjects());
+    Full.setAll();
+    if (!Seen.count(Ctx.closeExtent(Full)))
+      return Fail("missing top concept");
+    for (size_t O = 0; O < Ctx.numObjects(); ++O) {
+      BitVector Single(Ctx.numObjects());
+      Single.set(O);
+      if (!Seen.count(Ctx.closeExtent(Single)))
+        return Fail("missing closure of object " + std::to_string(O));
+    }
+    for (NodeId A = 0; A < Concepts.size(); ++A)
+      for (NodeId B = static_cast<NodeId>(A + 1); B < Concepts.size(); ++B) {
+        BitVector Meet = Concepts[A].Extent & Concepts[B].Extent;
+        if (!Seen.count(Meet))
+          return Fail("extents not closed under intersection (" +
+                      std::to_string(A) + ", " + std::to_string(B) + ")");
+      }
+  }
+
+  // 4. Cover edges are the transitive reduction of extent inclusion.
+  for (NodeId A = 0; A < Concepts.size(); ++A) {
+    for (NodeId P : Parents[A]) {
+      if (!(Concepts[A].Extent.isSubsetOf(Concepts[P].Extent)) ||
+          Concepts[A].Extent == Concepts[P].Extent)
+        return Fail("cover edge not a strict inclusion");
+      for (NodeId M = 0; M < Concepts.size(); ++M) {
+        if (M == A || M == P)
+          continue;
+        if (Concepts[A].Extent.isSubsetOf(Concepts[M].Extent) &&
+            Concepts[M].Extent.isSubsetOf(Concepts[P].Extent))
+          return Fail("cover edge skips an intermediate concept");
+      }
+    }
+    // And every true cover is present: count strict supersets with no
+    // intermediate.
+    for (NodeId B = 0; B < Concepts.size(); ++B) {
+      if (A == B)
+        continue;
+      if (!Concepts[A].Extent.isSubsetOf(Concepts[B].Extent) ||
+          Concepts[A].Extent == Concepts[B].Extent)
+        continue;
+      bool HasMid = false;
+      for (NodeId M = 0; M < Concepts.size(); ++M) {
+        if (M == A || M == B)
+          continue;
+        if (Concepts[A].Extent.isSubsetOf(Concepts[M].Extent) &&
+            Concepts[M].Extent.isSubsetOf(Concepts[B].Extent)) {
+          HasMid = true;
+          break;
+        }
+      }
+      bool EdgePresent =
+          std::find(Parents[A].begin(), Parents[A].end(), B) !=
+          Parents[A].end();
+      if (!HasMid && !EdgePresent)
+        return Fail("missing cover edge " + std::to_string(A) + " -> " +
+                    std::to_string(B));
+    }
+  }
+  return true;
+}
+
+std::string ConceptLattice::renderDot(
+    std::string_view Name,
+    const std::function<std::string(NodeId)> &NodeLabel) const {
+  DotWriter W{std::string(Name)};
+  W.addRaw("rankdir=TB;");
+  for (NodeId Id = 0; Id < Concepts.size(); ++Id)
+    W.addNode("c" + std::to_string(Id), NodeLabel(Id), "shape=box");
+  // Draw parent -> child so more general concepts sit higher.
+  for (NodeId Id = 0; Id < Concepts.size(); ++Id)
+    for (NodeId C : Children[Id])
+      W.addEdge("c" + std::to_string(Id), "c" + std::to_string(C));
+  return W.str();
+}

@@ -1,0 +1,122 @@
+//===- concepts/Lattice.h - Concept lattices --------------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concept lattice (§3.1): all concepts of a context, ordered by extent
+/// inclusion, with the cover (Hasse) relation materialized.
+///
+/// A concept pairs an extent X (objects) with an intent Y (attributes) such
+/// that sigma(X) = Y and tau(Y) = X. The lattice is a subset lattice on
+/// extents and simultaneously a superset lattice on intents; similarity
+/// sim(X) = |Y| therefore increases moving down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_CONCEPTS_LATTICE_H
+#define CABLE_CONCEPTS_LATTICE_H
+
+#include "concepts/Context.h"
+#include "support/BitVector.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cable {
+
+/// A formal concept: an extent/intent pair.
+struct Concept {
+  BitVector Extent;
+  BitVector Intent;
+};
+
+/// The complete lattice of concepts of a context.
+///
+/// Node ids index an internal vector and are stable for the lifetime of the
+/// lattice. Parents are *more general* (larger extent, smaller intent);
+/// children are more specific. "Top" is the unique maximal concept (extent
+/// = all objects) and "bottom" the unique minimal one.
+class ConceptLattice {
+public:
+  using NodeId = uint32_t;
+
+  /// Builds from a complete set of concepts (covers are computed here).
+  /// \p Concepts must be exactly the concepts of some context, including
+  /// top and bottom.
+  static ConceptLattice fromConcepts(std::vector<Concept> Concepts);
+
+  /// Builds from concepts plus an externally computed cover relation
+  /// (pairs are (parent, child) node indices into \p Concepts). Used by
+  /// constructions that produce the Hasse diagram natively (Lindig).
+  static ConceptLattice
+  fromConceptsAndCovers(std::vector<Concept> Concepts,
+                        const std::vector<std::pair<NodeId, NodeId>> &Covers);
+
+  size_t size() const { return Concepts.size(); }
+  const Concept &node(NodeId Id) const { return Concepts[Id]; }
+
+  NodeId top() const { return Top; }
+  NodeId bottom() const { return Bottom; }
+
+  /// Upper covers (immediately more general concepts).
+  const std::vector<NodeId> &parents(NodeId Id) const { return Parents[Id]; }
+
+  /// Lower covers (immediately more specific concepts).
+  const std::vector<NodeId> &children(NodeId Id) const { return Children[Id]; }
+
+  /// Number of cover edges.
+  size_t numEdges() const;
+
+  /// Partial order: true if \p A <= \p B (extent(A) subset of extent(B)).
+  bool lessEqual(NodeId A, NodeId B) const {
+    return Concepts[A].Extent.isSubsetOf(Concepts[B].Extent);
+  }
+
+  /// Finds the concept with exactly this extent, if any.
+  std::optional<NodeId> findByExtent(const BitVector &Extent) const;
+
+  /// Finds the concept with exactly this intent, if any.
+  std::optional<NodeId> findByIntent(const BitVector &Intent) const;
+
+  /// Greatest lower bound (meet): extent intersection, closed.
+  NodeId meet(NodeId A, NodeId B) const;
+
+  /// Least upper bound (join): intent intersection on the dual side.
+  NodeId join(NodeId A, NodeId B) const;
+
+  /// The longest chain length from top to bottom (lattice height).
+  size_t height() const;
+
+  /// Ids sorted topologically from top downwards (every parent precedes
+  /// each of its children).
+  std::vector<NodeId> topDownOrder() const;
+
+  /// Verifies lattice integrity against \p Ctx: every node is a concept of
+  /// \p Ctx, every concept of the order appears exactly once, cover edges
+  /// are exactly the transitive reduction. Intended for tests; O(n^2).
+  bool verify(const Context &Ctx, std::string *WhyNot = nullptr) const;
+
+  /// Renders DOT. \p NodeLabel maps a node to its display label.
+  std::string
+  renderDot(std::string_view Name,
+            const std::function<std::string(NodeId)> &NodeLabel) const;
+
+private:
+  std::vector<Concept> Concepts;
+  std::vector<std::vector<NodeId>> Parents;
+  std::vector<std::vector<NodeId>> Children;
+  NodeId Top = 0;
+  NodeId Bottom = 0;
+
+  void computeCovers();
+  void locateTopAndBottom();
+};
+
+} // namespace cable
+
+#endif // CABLE_CONCEPTS_LATTICE_H

@@ -1,0 +1,96 @@
+//===- concepts/LindigBuilder.cpp - Neighbor-based construction -----------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concepts/LindigBuilder.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+using namespace cable;
+
+std::vector<BitVector>
+LindigBuilder::upperNeighborExtents(const Context &Ctx,
+                                    const BitVector &Extent) {
+  assert(Ctx.closeExtent(Extent) == Extent && "extent must be closed");
+  size_t N = Ctx.numObjects();
+
+  // Lindig's neighbors algorithm: try every object g outside the extent
+  // as a generator; closure(Extent ∪ {g}) is an upper *neighbor* iff no
+  // previously disqualified generator sneaks into the closure alongside g.
+  BitVector Min(N);
+  for (size_t G = 0; G < N; ++G)
+    if (!Extent.test(G))
+      Min.set(G);
+
+  std::vector<BitVector> Out;
+  for (size_t G = 0; G < N; ++G) {
+    if (Extent.test(G))
+      continue;
+    BitVector Gen = Extent;
+    Gen.set(G);
+    BitVector Closed = Ctx.closeExtent(Gen);
+    // Extra = Closed \ Extent \ {g}.
+    BitVector Extra = Closed;
+    Extra.andNot(Extent);
+    Extra.reset(G);
+    if (!Extra.intersects(Min)) {
+      // Deduplicate: several minimal generators may produce one neighbor.
+      bool Seen = false;
+      for (const BitVector &Existing : Out)
+        if (Existing == Closed) {
+          Seen = true;
+          break;
+        }
+      if (!Seen)
+        Out.push_back(std::move(Closed));
+    } else {
+      Min.reset(G);
+    }
+  }
+  return Out;
+}
+
+ConceptLattice LindigBuilder::buildLattice(const Context &Ctx) {
+  std::vector<Concept> Concepts;
+  std::vector<std::pair<ConceptLattice::NodeId, ConceptLattice::NodeId>>
+      Covers;
+  std::unordered_map<BitVector, ConceptLattice::NodeId, BitVectorHash> Ids;
+
+  auto GetId = [&](const BitVector &Extent) {
+    auto It = Ids.find(Extent);
+    if (It != Ids.end())
+      return std::make_pair(It->second, false);
+    ConceptLattice::NodeId Id =
+        static_cast<ConceptLattice::NodeId>(Concepts.size());
+    Concept C;
+    C.Extent = Extent;
+    C.Intent = Ctx.sigma(Extent);
+    Concepts.push_back(std::move(C));
+    Ids.emplace(Extent, Id);
+    return std::make_pair(Id, true);
+  };
+
+  // Start at the bottom concept and climb.
+  BitVector Bottom = Ctx.closeExtent(BitVector(Ctx.numObjects()));
+  std::deque<ConceptLattice::NodeId> Worklist;
+  Worklist.push_back(GetId(Bottom).first);
+
+  while (!Worklist.empty()) {
+    ConceptLattice::NodeId Id = Worklist.front();
+    Worklist.pop_front();
+    // Copy the extent: Concepts may reallocate while neighbors are added.
+    BitVector Extent = Concepts[Id].Extent;
+    for (BitVector &Neighbor : upperNeighborExtents(Ctx, Extent)) {
+      auto [ParentId, IsNew] = GetId(Neighbor);
+      Covers.emplace_back(ParentId, Id);
+      if (IsNew)
+        Worklist.push_back(ParentId);
+    }
+  }
+  return ConceptLattice::fromConceptsAndCovers(std::move(Concepts), Covers);
+}

@@ -1,0 +1,70 @@
+//===- concepts/NextClosureBuilder.cpp - Batch lattice construction -------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concepts/NextClosureBuilder.h"
+
+using namespace cable;
+
+std::vector<BitVector>
+NextClosureBuilder::allClosedIntents(const Context &Ctx) {
+  size_t M = Ctx.numAttributes();
+  std::vector<BitVector> Out;
+
+  BitVector A = Ctx.closeIntent(BitVector(M));
+  Out.push_back(A);
+
+  // The lectically largest closed set is the closure of the full set, which
+  // is the full set itself only if reached; iterate until no successor.
+  for (;;) {
+    bool Advanced = false;
+    // Find the lectic successor of A.
+    for (size_t IPlus1 = M; IPlus1 > 0; --IPlus1) {
+      size_t I = IPlus1 - 1;
+      if (A.test(I))
+        continue;
+      // Candidate: closure((A ∩ {0..I-1}) ∪ {I}).
+      BitVector B(M);
+      for (size_t J : A) {
+        if (J >= I)
+          break;
+        B.set(J);
+      }
+      B.set(I);
+      B = Ctx.closeIntent(B);
+      // Accept iff B agrees with A below I (B +_i A in Ganter's notation).
+      bool Agrees = true;
+      for (size_t J : B) {
+        if (J >= I)
+          break;
+        if (!A.test(J)) {
+          Agrees = false;
+          break;
+        }
+      }
+      if (Agrees) {
+        A = std::move(B);
+        Out.push_back(A);
+        Advanced = true;
+        break;
+      }
+    }
+    if (!Advanced)
+      break;
+  }
+  return Out;
+}
+
+ConceptLattice NextClosureBuilder::buildLattice(const Context &Ctx) {
+  std::vector<Concept> Concepts;
+  for (BitVector &Intent : allClosedIntents(Ctx)) {
+    Concept C;
+    C.Extent = Ctx.tau(Intent);
+    C.Intent = std::move(Intent);
+    Concepts.push_back(std::move(C));
+  }
+  return ConceptLattice::fromConcepts(std::move(Concepts));
+}

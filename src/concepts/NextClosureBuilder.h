@@ -1,0 +1,35 @@
+//===- concepts/NextClosureBuilder.h - Batch lattice construction * C++ *-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ganter's NextClosure algorithm: enumerates all closed intents of a
+/// context in lectic order and assembles the concept lattice. Used as an
+/// independent oracle against GodinBuilder — the two must produce the same
+/// concept set — and as an alternative batch builder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_CONCEPTS_NEXTCLOSUREBUILDER_H
+#define CABLE_CONCEPTS_NEXTCLOSUREBUILDER_H
+
+#include "concepts/Lattice.h"
+
+namespace cable {
+
+/// Batch construction via NextClosure.
+class NextClosureBuilder {
+public:
+  /// Enumerates every closed intent of \p Ctx, in lectic order.
+  static std::vector<BitVector> allClosedIntents(const Context &Ctx);
+
+  /// Builds the full concept lattice of \p Ctx.
+  static ConceptLattice buildLattice(const Context &Ctx);
+};
+
+} // namespace cable
+
+#endif // CABLE_CONCEPTS_NEXTCLOSUREBUILDER_H

@@ -1,0 +1,128 @@
+//===- fa/Dfa.h - Deterministic automata over a finite alphabet -*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic finite automata over an explicit, finite event alphabet.
+///
+/// Pattern labels (wildcard, any-args) make a fully general product of two
+/// NFAs awkward, but every use in this system — language comparison,
+/// minimization for Table 1's state counts, complementation to check fixes
+/// — happens over the finite set of concrete events occurring in the traces
+/// under study. So all language-level algorithms run on a Dfa obtained by
+/// subset construction against that alphabet.
+///
+/// A Dfa is always *complete*: every state has a successor on every
+/// alphabet symbol (a dead state is materialized on demand).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_FA_DFA_H
+#define CABLE_FA_DFA_H
+
+#include "fa/Automaton.h"
+
+#include <optional>
+#include <vector>
+
+namespace cable {
+
+/// A complete DFA over an explicit alphabet of concrete events.
+class Dfa {
+public:
+  /// Builds by subset construction from \p NFA, restricted to \p Alphabet.
+  /// Label patterns are expanded against the concrete events.
+  static Dfa determinize(const Automaton &NFA,
+                         const std::vector<EventId> &Alphabet,
+                         const EventTable &Table);
+
+  size_t numStates() const { return Accepting.size(); }
+  StateId start() const { return Start; }
+  bool isAccepting(StateId S) const { return Accepting[S]; }
+  const std::vector<EventId> &alphabet() const { return Alphabet; }
+
+  /// Successor of \p S on the \p SymbolIdx-th alphabet symbol.
+  StateId next(StateId S, size_t SymbolIdx) const {
+    return Delta[S][SymbolIdx];
+  }
+
+  /// Returns true if the DFA accepts \p T. Events outside the alphabet make
+  /// the trace rejected.
+  bool accepts(const Trace &T) const;
+
+  /// Moore partition refinement; returns the minimal equivalent complete
+  /// DFA over the same alphabet.
+  Dfa minimized() const;
+
+  /// Hopcroft's O(n log n) minimization. Language-equivalent to
+  /// minimized() with the same state count; kept separately so the two
+  /// implementations cross-validate each other.
+  Dfa minimizedHopcroft() const;
+
+  /// Brzozowski minimization of \p NFA: reverse, determinize, reverse,
+  /// determinize. A third independent way to reach the minimal DFA.
+  static Dfa minimizeBrzozowski(const Automaton &NFA,
+                                const std::vector<EventId> &Alphabet,
+                                const EventTable &Table);
+
+  /// Returns the complement (accepting flags flipped; completeness makes
+  /// this the true complement over Alphabet*).
+  Dfa complemented() const;
+
+  /// Product construction. \p WantUnion selects union vs intersection.
+  /// Both operands must share the same alphabet (same EventIds in the same
+  /// order).
+  static Dfa product(const Dfa &A, const Dfa &B, bool WantUnion);
+
+  /// Returns true if the two DFAs accept the same language. Alphabets must
+  /// match.
+  static bool equivalent(const Dfa &A, const Dfa &B);
+
+  /// A shortest trace on which the two DFAs disagree, or std::nullopt when
+  /// they are equivalent. This is the Step 2b witness: when the checked
+  /// labeling produces the wrong language, the difference shows up as a
+  /// concrete trace that is wrongly present or wrongly absent.
+  static std::optional<Trace> shortestDifference(const Dfa &A, const Dfa &B);
+
+  /// Language inclusion: true iff every trace \p A accepts, \p B accepts
+  /// too. Alphabets must match.
+  static bool subsetOf(const Dfa &A, const Dfa &B);
+
+  /// Returns true if no string is accepted.
+  bool isEmpty() const;
+
+  /// Converts back to an Automaton (Exact labels; the dead state and other
+  /// useless states are trimmed away). Minimizing then converting is how
+  /// Table 1's state/transition counts are produced.
+  Automaton toAutomaton(const EventTable &Table) const;
+
+  /// Counts states that are not dead (can still reach acceptance); this is
+  /// the conventional "number of states" of a trimmed FA.
+  size_t numLiveStates() const;
+
+private:
+  StateId Start = 0;
+  std::vector<bool> Accepting;
+  std::vector<std::vector<StateId>> Delta; // Delta[state][symbolIdx]
+  std::vector<EventId> Alphabet;
+
+  /// Index of \p E in Alphabet, or npos.
+  size_t symbolIndex(EventId E) const;
+
+  /// Drops states unreachable from the start (products create them;
+  /// minimization must not count them).
+  Dfa trimUnreachable() const;
+
+  BitVector liveStates() const;
+};
+
+/// Collects the distinct events appearing in \p Traces, in first-appearance
+/// order — the standard alphabet for language-level comparisons.
+std::vector<EventId> collectAlphabet(const std::vector<Trace> &Traces);
+
+} // namespace cable
+
+#endif // CABLE_FA_DFA_H

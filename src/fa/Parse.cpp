@@ -1,0 +1,177 @@
+//===- fa/Parse.cpp - Automaton text format ---------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fa/Parse.h"
+
+#include "support/Error.h"
+#include "support/StringUtil.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace cable;
+
+namespace {
+
+/// Parses a label token: `<any>`, `~name`, `name`, or `name(p,...)` with
+/// patterns `*` / `v<digits>`.
+std::optional<TransitionLabel> parseLabel(std::string_view Text,
+                                          EventTable &Table,
+                                          std::string &ErrorMsg) {
+  if (Text == "<any>" || Text == ".")
+    return TransitionLabel::wildcard();
+  if (!Text.empty() && Text[0] == '~') {
+    std::string_view Name = Text.substr(1);
+    if (Name.empty()) {
+      ErrorMsg = "expected a name after '~'";
+      return std::nullopt;
+    }
+    return TransitionLabel::nameAny(Table.internName(Name));
+  }
+  size_t Paren = Text.find('(');
+  if (Paren == std::string_view::npos) {
+    if (Text.empty() || Text.find(')') != std::string_view::npos) {
+      ErrorMsg = "bad label '" + std::string(Text) + "'";
+      return std::nullopt;
+    }
+    return TransitionLabel::exact(Table.internName(Text), {});
+  }
+  if (Text.back() != ')') {
+    ErrorMsg = "missing ')' in label '" + std::string(Text) + "'";
+    return std::nullopt;
+  }
+  std::string_view Name = Text.substr(0, Paren);
+  if (Name.empty()) {
+    ErrorMsg = "missing name in label '" + std::string(Text) + "'";
+    return std::nullopt;
+  }
+  std::string_view ArgText = Text.substr(Paren + 1, Text.size() - Paren - 2);
+  std::vector<ArgPattern> Args;
+  if (!trimString(ArgText).empty()) {
+    for (const std::string &Tok : splitString(std::string(ArgText), ',')) {
+      std::string_view Arg = trimString(Tok);
+      if (Arg == "*") {
+        Args.push_back(ArgPattern::any());
+      } else if (Arg.size() >= 2 && Arg[0] == 'v' &&
+                 isAllDigits(Arg.substr(1))) {
+        Args.push_back(ArgPattern::value(
+            static_cast<ValueId>(std::stoul(std::string(Arg.substr(1))))));
+      } else {
+        ErrorMsg = "bad argument pattern '" + std::string(Arg) + "'";
+        return std::nullopt;
+      }
+    }
+  }
+  return TransitionLabel::exact(Table.internName(Name), std::move(Args));
+}
+
+/// Parses `q<digits>`; returns npos on failure.
+size_t parseStateName(std::string_view Text) {
+  if (Text.size() < 2 || Text[0] != 'q' || !isAllDigits(Text.substr(1)))
+    return static_cast<size_t>(-1);
+  return std::stoul(std::string(Text.substr(1)));
+}
+
+} // namespace
+
+std::optional<Automaton> cable::parseAutomaton(std::string_view Text,
+                                               EventTable &Table,
+                                               std::string &ErrorMsg) {
+  Automaton FA;
+  std::unordered_map<size_t, StateId> StateOf;
+  auto GetState = [&](size_t Name) {
+    auto It = StateOf.find(Name);
+    if (It != StateOf.end())
+      return It->second;
+    StateId Id = FA.addState();
+    StateOf.emplace(Name, Id);
+    return Id;
+  };
+
+  size_t LineNo = 0;
+  for (const std::string &Line : splitString(Text, '\n')) {
+    ++LineNo;
+    // Strip trailing comments.
+    std::string Body = Line;
+    if (size_t Hash = Body.find('#'); Hash != std::string::npos)
+      Body.resize(Hash);
+    std::vector<std::string> Tok = splitWhitespace(Body);
+    if (Tok.empty())
+      continue;
+    auto Fail = [&](const std::string &Msg) {
+      ErrorMsg = "line " + std::to_string(LineNo) + ": " + Msg;
+      return std::nullopt;
+    };
+
+    if (Tok[0] == "start" || Tok[0] == "accept") {
+      if (Tok.size() < 2)
+        return Fail("expected state names after '" + Tok[0] + "'");
+      for (size_t I = 1; I < Tok.size(); ++I) {
+        size_t Name = parseStateName(Tok[I]);
+        if (Name == static_cast<size_t>(-1))
+          return Fail("bad state name '" + Tok[I] + "'");
+        StateId S = GetState(Name);
+        if (Tok[0] == "start")
+          FA.setStart(S);
+        else
+          FA.setAccepting(S);
+      }
+      continue;
+    }
+
+    // Transition: `qFrom label qTo`.
+    if (Tok.size() != 3)
+      return Fail("expected 'qFrom label qTo'");
+    size_t From = parseStateName(Tok[0]);
+    size_t To = parseStateName(Tok[2]);
+    if (From == static_cast<size_t>(-1) || To == static_cast<size_t>(-1))
+      return Fail("bad state name in transition");
+    std::string LabelError;
+    std::optional<TransitionLabel> Label =
+        parseLabel(Tok[1], Table, LabelError);
+    if (!Label)
+      return Fail(LabelError);
+    FA.addTransition(GetState(From), GetState(To), std::move(*Label));
+  }
+  return FA;
+}
+
+std::string cable::renderAutomatonText(const Automaton &FA,
+                                       const EventTable &Table) {
+  assert(!FA.hasEpsilons() && "epsilon transitions are not representable");
+  std::string Out;
+  std::string Starts, Accepts;
+  for (size_t S = 0; S < FA.numStates(); ++S) {
+    if (FA.isStart(static_cast<StateId>(S)))
+      Starts += " q" + std::to_string(S);
+    if (FA.isAccepting(static_cast<StateId>(S)))
+      Accepts += " q" + std::to_string(S);
+  }
+  if (!Starts.empty())
+    Out += "start" + Starts + "\n";
+  if (!Accepts.empty())
+    Out += "accept" + Accepts + "\n";
+  for (const Transition &T : FA.transitions()) {
+    std::string Label;
+    switch (T.Label.kind()) {
+    case TransitionLabel::Kind::Wildcard:
+      Label = "<any>";
+      break;
+    case TransitionLabel::Kind::NameAny:
+      Label = "~" + Table.nameText(T.Label.name());
+      break;
+    case TransitionLabel::Kind::Exact:
+      Label = T.Label.render(Table);
+      break;
+    case TransitionLabel::Kind::Epsilon:
+      CABLE_UNREACHABLE("epsilon transition in renderAutomatonText");
+    }
+    Out += "q" + std::to_string(T.From) + " " + Label + " q" +
+           std::to_string(T.To) + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,304 @@
+//===- fa/Regex.cpp - Event regular expressions ----------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fa/Regex.h"
+
+#include "support/Error.h"
+#include "support/StringUtil.h"
+
+#include <cassert>
+#include <cctype>
+#include <vector>
+
+using namespace cable;
+
+namespace {
+
+/// Token kinds produced by the lexer.
+enum class TokKind { Event, NameAny, Dot, Bar, Star, Plus, Question,
+                     LBracket, RBracket, End };
+
+struct Token {
+  TokKind Kind;
+  std::string Text; // Event text or NameAny name.
+};
+
+/// Lexer + recursive-descent parser + Thompson construction.
+class RegexParser {
+public:
+  RegexParser(std::string_view Pattern, EventTable &Table)
+      : Pattern(Pattern), Table(Table) {}
+
+  std::optional<Automaton> parse(std::string &ErrorMsg) {
+    if (!tokenize(ErrorMsg))
+      return std::nullopt;
+    Frag F = parseAlt(ErrorMsg);
+    if (!Ok)
+      return std::nullopt;
+    if (Tokens[Pos].Kind != TokKind::End) {
+      ErrorMsg = "unexpected token after end of pattern";
+      return std::nullopt;
+    }
+    FA.setStart(F.Start);
+    FA.setAccepting(F.Accept);
+    return std::move(FA);
+  }
+
+private:
+  /// A Thompson fragment: single entry, single exit.
+  struct Frag {
+    StateId Start = 0;
+    StateId Accept = 0;
+  };
+
+  bool tokenize(std::string &ErrorMsg) {
+    size_t I = 0;
+    auto IsNameChar = [](char C) {
+      return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+    };
+    while (I < Pattern.size()) {
+      char C = Pattern[I];
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++I;
+        continue;
+      }
+      switch (C) {
+      case '|':
+        Tokens.push_back({TokKind::Bar, ""});
+        ++I;
+        continue;
+      case '*':
+        Tokens.push_back({TokKind::Star, ""});
+        ++I;
+        continue;
+      case '+':
+        Tokens.push_back({TokKind::Plus, ""});
+        ++I;
+        continue;
+      case '?':
+        Tokens.push_back({TokKind::Question, ""});
+        ++I;
+        continue;
+      case '[':
+        Tokens.push_back({TokKind::LBracket, ""});
+        ++I;
+        continue;
+      case ']':
+        Tokens.push_back({TokKind::RBracket, ""});
+        ++I;
+        continue;
+      case '.':
+        Tokens.push_back({TokKind::Dot, ""});
+        ++I;
+        continue;
+      case '~': {
+        size_t Start = ++I;
+        while (I < Pattern.size() && IsNameChar(Pattern[I]))
+          ++I;
+        if (I == Start) {
+          ErrorMsg = "expected a name after '~'";
+          return false;
+        }
+        Tokens.push_back(
+            {TokKind::NameAny, std::string(Pattern.substr(Start, I - Start))});
+        continue;
+      }
+      default:
+        break;
+      }
+      if (!IsNameChar(C)) {
+        ErrorMsg = std::string("unexpected character '") + C + "'";
+        return false;
+      }
+      size_t Start = I;
+      while (I < Pattern.size() && IsNameChar(Pattern[I]))
+        ++I;
+      // Optional argument list.
+      if (I < Pattern.size() && Pattern[I] == '(') {
+        size_t Close = Pattern.find(')', I);
+        if (Close == std::string_view::npos) {
+          ErrorMsg = "missing ')' in event";
+          return false;
+        }
+        I = Close + 1;
+      }
+      Tokens.push_back(
+          {TokKind::Event, std::string(Pattern.substr(Start, I - Start))});
+    }
+    Tokens.push_back({TokKind::End, ""});
+    return true;
+  }
+
+  const Token &peek() const { return Tokens[Pos]; }
+  void advance() { ++Pos; }
+
+  Frag makeEpsilon() {
+    Frag F{FA.addState(), FA.addState()};
+    FA.addTransition(F.Start, F.Accept, TransitionLabel::epsilon());
+    return F;
+  }
+
+  Frag makeLabel(TransitionLabel L) {
+    Frag F{FA.addState(), FA.addState()};
+    FA.addTransition(F.Start, F.Accept, std::move(L));
+    return F;
+  }
+
+  Frag fail(std::string &ErrorMsg, const std::string &Msg) {
+    if (Ok) {
+      Ok = false;
+      ErrorMsg = Msg;
+    }
+    return Frag{0, 0};
+  }
+
+  /// Parses an Exact label from event text `name` or `name(p,...)` with
+  /// argument patterns `*` or `v<digits>`.
+  std::optional<TransitionLabel> parseEventLabel(const std::string &Text,
+                                                 std::string &ErrorMsg) {
+    size_t Paren = Text.find('(');
+    if (Paren == std::string::npos)
+      return TransitionLabel::exact(Table.internName(Text), {});
+    std::string Name = Text.substr(0, Paren);
+    assert(Text.back() == ')' && "lexer guarantees a closing paren");
+    std::string ArgText = Text.substr(Paren + 1, Text.size() - Paren - 2);
+    std::vector<ArgPattern> Args;
+    if (!trimString(ArgText).empty()) {
+      for (const std::string &Tok : splitString(ArgText, ',')) {
+        std::string_view Arg = trimString(Tok);
+        if (Arg == "*") {
+          Args.push_back(ArgPattern::any());
+        } else if (Arg.size() >= 2 && Arg[0] == 'v' &&
+                   isAllDigits(Arg.substr(1))) {
+          Args.push_back(ArgPattern::value(
+              static_cast<ValueId>(std::stoul(std::string(Arg.substr(1))))));
+        } else {
+          ErrorMsg = "bad argument pattern '" + std::string(Arg) + "'";
+          return std::nullopt;
+        }
+      }
+    }
+    return TransitionLabel::exact(Table.internName(Name), std::move(Args));
+  }
+
+  Frag parseAtom(std::string &ErrorMsg) {
+    const Token &T = peek();
+    switch (T.Kind) {
+    case TokKind::Event: {
+      std::optional<TransitionLabel> L = parseEventLabel(T.Text, ErrorMsg);
+      if (!L)
+        return fail(ErrorMsg, ErrorMsg);
+      advance();
+      return makeLabel(std::move(*L));
+    }
+    case TokKind::NameAny: {
+      TransitionLabel L = TransitionLabel::nameAny(Table.internName(T.Text));
+      advance();
+      return makeLabel(std::move(L));
+    }
+    case TokKind::Dot:
+      advance();
+      return makeLabel(TransitionLabel::wildcard());
+    case TokKind::LBracket: {
+      advance();
+      Frag Inner = parseAlt(ErrorMsg);
+      if (!Ok)
+        return Inner;
+      if (peek().Kind != TokKind::RBracket)
+        return fail(ErrorMsg, "missing ']'");
+      advance();
+      return Inner;
+    }
+    default:
+      return fail(ErrorMsg, "expected an event, '.', '~name', or '['");
+    }
+  }
+
+  Frag parsePostfix(std::string &ErrorMsg) {
+    Frag F = parseAtom(ErrorMsg);
+    while (Ok) {
+      TokKind K = peek().Kind;
+      if (K != TokKind::Star && K != TokKind::Plus && K != TokKind::Question)
+        break;
+      advance();
+      StateId S = FA.addState();
+      StateId A = FA.addState();
+      FA.addTransition(S, F.Start, TransitionLabel::epsilon());
+      FA.addTransition(F.Accept, A, TransitionLabel::epsilon());
+      if (K == TokKind::Star || K == TokKind::Plus)
+        FA.addTransition(F.Accept, F.Start, TransitionLabel::epsilon());
+      if (K == TokKind::Star || K == TokKind::Question)
+        FA.addTransition(S, A, TransitionLabel::epsilon());
+      F = Frag{S, A};
+    }
+    return F;
+  }
+
+  static bool startsAtom(TokKind K) {
+    return K == TokKind::Event || K == TokKind::NameAny || K == TokKind::Dot ||
+           K == TokKind::LBracket;
+  }
+
+  Frag parseConcat(std::string &ErrorMsg) {
+    if (!startsAtom(peek().Kind))
+      return makeEpsilon(); // Empty concatenation = epsilon.
+    Frag F = parsePostfix(ErrorMsg);
+    while (Ok && startsAtom(peek().Kind)) {
+      Frag G = parsePostfix(ErrorMsg);
+      if (!Ok)
+        break;
+      FA.addTransition(F.Accept, G.Start, TransitionLabel::epsilon());
+      F = Frag{F.Start, G.Accept};
+    }
+    return F;
+  }
+
+  Frag parseAlt(std::string &ErrorMsg) {
+    Frag F = parseConcat(ErrorMsg);
+    while (Ok && peek().Kind == TokKind::Bar) {
+      advance();
+      Frag G = parseConcat(ErrorMsg);
+      if (!Ok)
+        break;
+      StateId S = FA.addState();
+      StateId A = FA.addState();
+      FA.addTransition(S, F.Start, TransitionLabel::epsilon());
+      FA.addTransition(S, G.Start, TransitionLabel::epsilon());
+      FA.addTransition(F.Accept, A, TransitionLabel::epsilon());
+      FA.addTransition(G.Accept, A, TransitionLabel::epsilon());
+      F = Frag{S, A};
+    }
+    return F;
+  }
+
+  std::string_view Pattern;
+  EventTable &Table;
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  Automaton FA;
+  bool Ok = true;
+};
+
+} // namespace
+
+std::optional<Automaton> cable::compileRegex(std::string_view Pattern,
+                                             EventTable &Table,
+                                             std::string &ErrorMsg) {
+  RegexParser P(Pattern, Table);
+  return P.parse(ErrorMsg);
+}
+
+Automaton cable::compileRegexOrDie(std::string_view Pattern,
+                                   EventTable &Table) {
+  std::string ErrorMsg;
+  std::optional<Automaton> FA = compileRegex(Pattern, Table, ErrorMsg);
+  if (!FA) {
+    std::string Msg = "bad regex '" + std::string(Pattern) + "': " + ErrorMsg;
+    reportFatalError(Msg.c_str());
+  }
+  return FA->withoutEpsilons();
+}

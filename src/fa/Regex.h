@@ -1,0 +1,56 @@
+//===- fa/Regex.h - Event regular expressions -------------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small regular-expression language over trace events, compiled to an
+/// Automaton by Thompson construction. The paper's users hand Cable FAs
+/// when focusing (§4.1); this is the concrete syntax our CLI and tests use
+/// to write them:
+///
+///   atom     := EVENT          e.g. fopen(v0), fclose(*), pclose(v0)
+///             | ~NAME          any-arguments event with this name
+///             | .              any event (wildcard)
+///             | [ regex ]      grouping (square brackets; parentheses
+///                              belong to event syntax)
+///   postfix  := atom (* | + | ?)*
+///   concat   := postfix postfix ...   (whitespace separated)
+///   regex    := concat | concat | ...
+///
+/// Example — the paper's buggy stdio specification (Fig. 1):
+///   `[fopen(v0) | popen(v0)] [fread(v0) | fwrite(v0)]* fclose(v0)`
+///
+/// The produced automaton contains epsilon transitions; callers that need
+/// an epsilon-free FA (e.g. to use it as a reference FA) should apply
+/// Automaton::withoutEpsilons().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_FA_REGEX_H
+#define CABLE_FA_REGEX_H
+
+#include "fa/Automaton.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cable {
+
+/// Compiles \p Pattern to an automaton (with epsilons). Returns
+/// std::nullopt and sets \p ErrorMsg on a syntax error. Event names and
+/// events are interned into \p Table.
+std::optional<Automaton> compileRegex(std::string_view Pattern,
+                                      EventTable &Table,
+                                      std::string &ErrorMsg);
+
+/// Convenience: compiles \p Pattern and returns the epsilon-free, trimmed
+/// automaton. Aborts on syntax errors — use only with literal patterns.
+Automaton compileRegexOrDie(std::string_view Pattern, EventTable &Table);
+
+} // namespace cable
+
+#endif // CABLE_FA_REGEX_H

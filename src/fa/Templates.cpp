@@ -1,0 +1,95 @@
+//===- fa/Templates.cpp - Reference-FA templates ---------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fa/Templates.h"
+
+#include "fa/Dfa.h"
+
+#include <map>
+
+using namespace cable;
+
+std::vector<EventId>
+cable::templateAlphabet(const std::vector<Trace> &Traces) {
+  return collectAlphabet(Traces);
+}
+
+Automaton cable::makeUnorderedFA(const std::vector<EventId> &Alphabet,
+                                 const EventTable &Table) {
+  Automaton FA;
+  StateId Q = FA.addState();
+  FA.setStart(Q);
+  FA.setAccepting(Q);
+  for (EventId E : Alphabet)
+    FA.addTransition(Q, Q, TransitionLabel::exactEvent(Table.event(E)));
+  return FA;
+}
+
+Automaton cable::makeNameProjectionFA(const std::vector<EventId> &Alphabet,
+                                      ValueId V, const EventTable &Table) {
+  Automaton FA;
+  StateId Q = FA.addState();
+  FA.setStart(Q);
+  FA.setAccepting(Q);
+  for (EventId E : Alphabet) {
+    TransitionLabel L = TransitionLabel::exactEvent(Table.event(E));
+    if (L.mentionsValue(V))
+      FA.addTransition(Q, Q, std::move(L));
+  }
+  FA.addTransition(Q, Q, TransitionLabel::wildcard());
+  return FA;
+}
+
+Automaton cable::makeSeedOrderFA(const std::vector<EventId> &Alphabet,
+                                 EventId Seed, const EventTable &Table) {
+  Automaton FA;
+  StateId Before = FA.addState();
+  StateId After = FA.addState();
+  FA.setStart(Before);
+  FA.setAccepting(After);
+  for (EventId E : Alphabet) {
+    FA.addTransition(Before, Before,
+                     TransitionLabel::exactEvent(Table.event(E)));
+    FA.addTransition(After, After,
+                     TransitionLabel::exactEvent(Table.event(E)));
+  }
+  FA.addTransition(Before, After,
+                   TransitionLabel::exactEvent(Table.event(Seed)));
+  return FA;
+}
+
+Automaton cable::makePrefixTreeFA(const std::vector<Trace> &Traces,
+                                  const EventTable &Table) {
+  Automaton FA;
+  StateId Root = FA.addState();
+  FA.setStart(Root);
+  // Child map per state, keyed by event.
+  std::vector<std::map<EventId, StateId>> Children(1);
+  for (const Trace &T : Traces) {
+    StateId Cur = Root;
+    for (EventId E : T.events()) {
+      auto It = Children[Cur].find(E);
+      if (It == Children[Cur].end()) {
+        StateId Next = FA.addState();
+        Children.emplace_back();
+        FA.addTransition(Cur, Next,
+                         TransitionLabel::exactEvent(Table.event(E)));
+        Children[Cur].emplace(E, Next);
+        Cur = Next;
+      } else {
+        Cur = It->second;
+      }
+    }
+    FA.setAccepting(Cur);
+  }
+  return FA;
+}
+
+Automaton cable::makeAllTracesFA(const std::vector<EventId> &Alphabet,
+                                 const EventTable &Table) {
+  return makeUnorderedFA(Alphabet, Table);
+}

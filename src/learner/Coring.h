@@ -1,0 +1,32 @@
+//===- learner/Coring.h - Frequency-based coring ----------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coring — the naive specification-debugging mechanism of the original
+/// Strauss work, which this paper supersedes (§6: "dropping low frequency
+/// transitions"). Kept here as the ablation baseline: an edge whose count
+/// is a small fraction of its source state's traffic is presumed to come
+/// from erroneous traces and is dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_LEARNER_CORING_H
+#define CABLE_LEARNER_CORING_H
+
+#include "learner/CountedAutomaton.h"
+
+namespace cable {
+
+/// Drops every edge with Count < MinFraction * totalCount(From) and every
+/// final marking with the analogous property, then trims unreachable and
+/// dead states. \p MinFraction in [0, 1].
+Automaton coreAutomaton(const CountedAutomaton &CA, const EventTable &Table,
+                        double MinFraction);
+
+} // namespace cable
+
+#endif // CABLE_LEARNER_CORING_H

@@ -1,0 +1,83 @@
+//===- learner/CountedAutomaton.cpp - Stochastic automata -----------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "learner/CountedAutomaton.h"
+
+#include <cassert>
+
+using namespace cable;
+
+StateId CountedAutomaton::addState() {
+  StateId Id = static_cast<StateId>(FinalCounts.size());
+  FinalCounts.push_back(0);
+  Outgoing.emplace_back();
+  return Id;
+}
+
+void CountedAutomaton::addEdge(StateId From, StateId To, EventId Symbol,
+                               uint64_t Count) {
+  assert(From < numStates() && To < numStates() && "bad state");
+  for (size_t EI : Outgoing[From]) {
+    Edge &E = Edges[EI];
+    if (E.To == To && E.Symbol == Symbol) {
+      E.Count += Count;
+      return;
+    }
+  }
+  Outgoing[From].push_back(Edges.size());
+  Edges.push_back(Edge{From, To, Symbol, Count});
+}
+
+void CountedAutomaton::addFinal(StateId S, uint64_t Count) {
+  assert(S < numStates() && "bad state");
+  FinalCounts[S] += Count;
+}
+
+uint64_t CountedAutomaton::totalCount(StateId S) const {
+  uint64_t Total = FinalCounts[S];
+  for (size_t EI : Outgoing[S])
+    Total += Edges[EI].Count;
+  return Total;
+}
+
+CountedAutomaton
+CountedAutomaton::buildPTA(const std::vector<Trace> &Traces) {
+  CountedAutomaton PTA;
+  PTA.addState(); // Root/start.
+  for (const Trace &T : Traces) {
+    StateId Cur = 0;
+    for (EventId E : T.events()) {
+      // Find the unique child on E (the PTA is deterministic).
+      StateId Next = static_cast<StateId>(-1);
+      for (size_t EI : PTA.Outgoing[Cur])
+        if (PTA.Edges[EI].Symbol == E) {
+          Next = PTA.Edges[EI].To;
+          break;
+        }
+      if (Next == static_cast<StateId>(-1))
+        Next = PTA.addState();
+      PTA.addEdge(Cur, Next, E);
+      Cur = Next;
+    }
+    PTA.addFinal(Cur);
+  }
+  return PTA;
+}
+
+Automaton CountedAutomaton::toAutomaton(const EventTable &Table) const {
+  Automaton Out;
+  for (size_t S = 0; S < numStates(); ++S) {
+    StateId Id = Out.addState();
+    Out.setAccepting(Id, isFinal(static_cast<StateId>(S)));
+  }
+  if (numStates() > 0)
+    Out.setStart(0);
+  for (const Edge &E : Edges)
+    Out.addTransition(E.From, E.To,
+                      TransitionLabel::exactEvent(Table.event(E.Symbol)));
+  return Out;
+}

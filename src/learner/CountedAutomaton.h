@@ -1,0 +1,78 @@
+//===- learner/CountedAutomaton.h - Stochastic automata ---------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A frequency-annotated automaton — the representation FA learners work
+/// on. Transitions carry concrete events (no patterns) and visit counts;
+/// states carry end-of-trace counts. The prefix-tree acceptor (PTA) built
+/// from a training set is the starting point of both the sk-strings
+/// learner and Strauss's coring baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_LEARNER_COUNTEDAUTOMATON_H
+#define CABLE_LEARNER_COUNTEDAUTOMATON_H
+
+#include "fa/Automaton.h"
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace cable {
+
+/// An automaton whose transitions are labeled with concrete events and
+/// annotated with training frequencies. Single start state 0 by
+/// convention.
+class CountedAutomaton {
+public:
+  struct Edge {
+    StateId From = 0;
+    StateId To = 0;
+    EventId Symbol = 0;
+    uint64_t Count = 0;
+  };
+
+  /// Adds a state; returns its id. State 0 is the start state.
+  StateId addState();
+
+  size_t numStates() const { return FinalCounts.size(); }
+  size_t numEdges() const { return Edges.size(); }
+
+  /// Adds \p Count occurrences of an edge (merging with an identical
+  /// existing edge).
+  void addEdge(StateId From, StateId To, EventId Symbol, uint64_t Count = 1);
+
+  /// Adds \p Count trace-endings at \p S.
+  void addFinal(StateId S, uint64_t Count = 1);
+
+  uint64_t finalCount(StateId S) const { return FinalCounts[S]; }
+  bool isFinal(StateId S) const { return FinalCounts[S] > 0; }
+
+  const std::vector<Edge> &edges() const { return Edges; }
+  const std::vector<size_t> &outgoing(StateId S) const { return Outgoing[S]; }
+  const Edge &edge(size_t I) const { return Edges[I]; }
+
+  /// Total outgoing transition count plus final count — the denominator of
+  /// every probability at \p S.
+  uint64_t totalCount(StateId S) const;
+
+  /// Builds the prefix-tree acceptor of \p Traces (identical traces merge
+  /// and increment counts along their shared path).
+  static CountedAutomaton buildPTA(const std::vector<Trace> &Traces);
+
+  /// Converts to a plain Automaton with Exact labels (counts dropped).
+  Automaton toAutomaton(const EventTable &Table) const;
+
+private:
+  std::vector<uint64_t> FinalCounts;
+  std::vector<Edge> Edges;
+  std::vector<std::vector<size_t>> Outgoing;
+};
+
+} // namespace cable
+
+#endif // CABLE_LEARNER_COUNTEDAUTOMATON_H

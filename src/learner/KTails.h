@@ -1,0 +1,39 @@
+//===- learner/KTails.h - The k-tails FA learner ----------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic k-tails inference method (Biermann & Feldman), one of the
+/// alternative learners the paper's §6 points to via Murphy's survey. Two
+/// PTA states are k-tail equivalent iff they admit exactly the same
+/// accepted suffixes of length at most k; the learned FA is the quotient
+/// of the PTA by that equivalence.
+///
+/// Compared with sk-strings, k-tails is deterministic-in-policy (no
+/// probability threshold): it merges more aggressively for small k and is
+/// exact (accepts precisely the training set) once k reaches the longest
+/// trace length.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_LEARNER_KTAILS_H
+#define CABLE_LEARNER_KTAILS_H
+
+#include "learner/CountedAutomaton.h"
+
+namespace cable {
+
+/// Runs k-tails over \p Traces: builds the PTA and merges k-tail
+/// equivalent states.
+CountedAutomaton learnKTails(const std::vector<Trace> &Traces, unsigned K);
+
+/// Convenience: learns and converts to a plain Automaton.
+Automaton learnKTailsFA(const std::vector<Trace> &Traces,
+                        const EventTable &Table, unsigned K);
+
+} // namespace cable
+
+#endif // CABLE_LEARNER_KTAILS_H

@@ -1,0 +1,44 @@
+//===- learner/Quotient.cpp - State-merging quotients -----------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "learner/Quotient.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace cable;
+
+CountedAutomaton
+cable::quotientAutomaton(const CountedAutomaton &CA,
+                         const std::vector<uint32_t> &ClassKeyOf,
+                         std::vector<StateId> *QuotientIdOf) {
+  assert(ClassKeyOf.size() == CA.numStates() && "one class key per state");
+  CountedAutomaton Q;
+  std::unordered_map<uint32_t, StateId> IdOfKey;
+  auto GetId = [&](uint32_t Key) {
+    auto It = IdOfKey.find(Key);
+    if (It != IdOfKey.end())
+      return It->second;
+    StateId Id = Q.addState();
+    IdOfKey.emplace(Key, Id);
+    return Id;
+  };
+
+  std::vector<StateId> Map(CA.numStates());
+  if (CA.numStates() > 0)
+    GetId(ClassKeyOf[0]); // Start class becomes quotient state 0.
+  for (size_t S = 0; S < CA.numStates(); ++S)
+    Map[S] = GetId(ClassKeyOf[S]);
+  for (size_t S = 0; S < CA.numStates(); ++S)
+    if (uint64_t F = CA.finalCount(static_cast<StateId>(S)))
+      Q.addFinal(Map[S], F);
+  for (const CountedAutomaton::Edge &E : CA.edges())
+    Q.addEdge(Map[E.From], Map[E.To], E.Symbol, E.Count);
+  if (QuotientIdOf)
+    *QuotientIdOf = std::move(Map);
+  return Q;
+}

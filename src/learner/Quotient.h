@@ -1,0 +1,36 @@
+//===- learner/Quotient.h - State-merging quotients -------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The quotient operation every state-merging FA learner is built on:
+/// collapse states of a counted automaton into classes, aggregating edge
+/// and final counts. Used by sk-strings (greedy red-blue merging) and
+/// k-tails (one-shot partition by tail sets).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_LEARNER_QUOTIENT_H
+#define CABLE_LEARNER_QUOTIENT_H
+
+#include "learner/CountedAutomaton.h"
+
+#include <vector>
+
+namespace cable {
+
+/// Merges the states of \p CA according to \p ClassKeyOf (states with
+/// equal keys merge; keys are arbitrary). The class of state 0 becomes
+/// quotient state 0 (the start). If \p QuotientIdOf is non-null it
+/// receives each original state's quotient id.
+CountedAutomaton quotientAutomaton(const CountedAutomaton &CA,
+                                   const std::vector<uint32_t> &ClassKeyOf,
+                                   std::vector<StateId> *QuotientIdOf
+                                   = nullptr);
+
+} // namespace cable
+
+#endif // CABLE_LEARNER_QUOTIENT_H

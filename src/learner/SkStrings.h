@@ -1,0 +1,67 @@
+//===- learner/SkStrings.h - The sk-strings FA learner ----------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sk-strings inference method of Raman and Patrick, which the paper
+/// uses both for Cable's "Show FA" concept summaries and as the Strauss
+/// back end (§4.1, §6).
+///
+/// The learner builds the prefix-tree acceptor of the training traces and
+/// then greedily merges states that are *sk-equivalent*: their most
+/// probable strings of length at most k agree. "Most probable" means the
+/// smallest prefix of the descending-probability string list whose mass
+/// reaches the fraction s. Three published agreement variants:
+///
+///   AND: every top string of each state is a k-string of the other;
+///   OR:  one state's top strings are all k-strings of the other (either
+///        direction suffices);
+///   LAX: the two top sets intersect.
+///
+/// Merging is organized red-blue (merge a frontier state into some
+/// established state or promote it), which keeps the number of equivalence
+/// tests near-linear in PTA size. The result is in general a
+/// nondeterministic FA that accepts every training trace and generalizes
+/// beyond them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_LEARNER_SKSTRINGS_H
+#define CABLE_LEARNER_SKSTRINGS_H
+
+#include "learner/CountedAutomaton.h"
+
+namespace cable {
+
+/// Tuning knobs for the sk-strings learner.
+struct SkStringsOptions {
+  /// Agreement test between two states' k-string sets.
+  enum class Variant { AND, OR, LAX };
+
+  /// String length bound k.
+  unsigned K = 2;
+
+  /// Probability-mass fraction s in (0, 1].
+  double S = 0.5;
+
+  Variant Agreement = Variant::AND;
+
+  /// Safety cap on distinct k-strings enumerated per state.
+  size_t MaxStringsPerState = 4096;
+};
+
+/// Runs sk-strings on \p Traces; returns the merged counted automaton.
+CountedAutomaton learnSkStrings(const std::vector<Trace> &Traces,
+                                const SkStringsOptions &Options = {});
+
+/// Convenience: learns and converts to a plain Automaton.
+Automaton learnSkStringsFA(const std::vector<Trace> &Traces,
+                           const EventTable &Table,
+                           const SkStringsOptions &Options = {});
+
+} // namespace cable
+
+#endif // CABLE_LEARNER_SKSTRINGS_H

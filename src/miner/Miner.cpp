@@ -1,0 +1,26 @@
+//===- miner/Miner.cpp - The Strauss pipeline ------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miner/Miner.h"
+
+using namespace cable;
+
+Specification Miner::learn(const std::vector<Trace> &Scenarios,
+                           const EventTable &Table, std::string Name) const {
+  Specification Spec;
+  Spec.Name = std::move(Name);
+  Spec.FA = learnSkStringsFA(Scenarios, Table, Options.Learn);
+  return Spec;
+}
+
+MiningResult Miner::mine(const TraceSet &Runs, std::string Name) const {
+  MiningResult Result;
+  Result.Scenarios = extract(Runs);
+  Result.Spec = learn(Result.Scenarios.traces(), Result.Scenarios.table(),
+                      std::move(Name));
+  return Result;
+}

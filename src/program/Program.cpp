@@ -1,0 +1,131 @@
+//===- program/Program.cpp - Toy programs that emit traces -----------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Program.h"
+
+#include <cassert>
+
+using namespace cable;
+
+Stmt Stmt::alloc(int Target) {
+  Stmt S;
+  S.K = Kind::Alloc;
+  S.Target = Target;
+  return S;
+}
+
+Stmt Stmt::call(std::string Name, std::vector<int> Args) {
+  Stmt S;
+  S.K = Kind::Call;
+  S.Name = std::move(Name);
+  S.Args = std::move(Args);
+  return S;
+}
+
+Stmt Stmt::iff(double Prob, std::vector<Stmt> Then, std::vector<Stmt> Else) {
+  Stmt S;
+  S.K = Kind::If;
+  S.Prob = Prob;
+  S.Then = std::move(Then);
+  S.Else = std::move(Else);
+  return S;
+}
+
+Stmt Stmt::loop(unsigned MinIter, unsigned MaxIter, std::vector<Stmt> Body) {
+  assert(MinIter <= MaxIter && "empty iteration range");
+  Stmt S;
+  S.K = Kind::Loop;
+  S.MinIter = MinIter;
+  S.MaxIter = MaxIter;
+  S.Body = std::move(Body);
+  return S;
+}
+
+Stmt Stmt::seq(std::vector<Stmt> Body) {
+  Stmt S;
+  S.K = Kind::Seq;
+  S.Body = std::move(Body);
+  return S;
+}
+
+namespace {
+
+size_t countCalls(const std::vector<Stmt> &Body) {
+  size_t N = 0;
+  for (const Stmt &S : Body) {
+    switch (S.K) {
+    case Stmt::Kind::Call:
+      ++N;
+      break;
+    case Stmt::Kind::If:
+      N += countCalls(S.Then) + countCalls(S.Else);
+      break;
+    case Stmt::Kind::Loop:
+    case Stmt::Kind::Seq:
+      N += countCalls(S.Body);
+      break;
+    case Stmt::Kind::Alloc:
+      break;
+    }
+  }
+  return N;
+}
+
+} // namespace
+
+size_t Program::numCallSites() const { return countCalls(Body); }
+
+Trace Interpreter::run(const Program &P, RNG &Rand, ValueId &NextValue) {
+  std::vector<ValueId> Locals(P.NumLocals, 0);
+  // Locals start bound to fresh values so a Call before any Alloc still
+  // refers to something.
+  for (ValueId &L : Locals)
+    L = NextValue++;
+  Trace Out;
+  exec(P.Body, Rand, Locals, NextValue, Out);
+  return Out;
+}
+
+void Interpreter::exec(const std::vector<Stmt> &Body, RNG &Rand,
+                       std::vector<ValueId> &Locals, ValueId &NextValue,
+                       Trace &Out) {
+  for (const Stmt &S : Body) {
+    switch (S.K) {
+    case Stmt::Kind::Alloc:
+      assert(static_cast<size_t>(S.Target) < Locals.size() && "bad local");
+      Locals[S.Target] = NextValue++;
+      break;
+    case Stmt::Kind::Call: {
+      std::vector<ValueId> Args;
+      Args.reserve(S.Args.size());
+      for (int L : S.Args) {
+        assert(static_cast<size_t>(L) < Locals.size() && "bad local");
+        Args.push_back(Locals[L]);
+      }
+      Out.append(Table.internEvent(S.Name, Args));
+      break;
+    }
+    case Stmt::Kind::If:
+      if (Rand.nextBool(S.Prob))
+        exec(S.Then, Rand, Locals, NextValue, Out);
+      else
+        exec(S.Else, Rand, Locals, NextValue, Out);
+      break;
+    case Stmt::Kind::Loop: {
+      unsigned Iters =
+          S.MinIter +
+          static_cast<unsigned>(Rand.nextBounded(S.MaxIter - S.MinIter + 1));
+      for (unsigned I = 0; I < Iters; ++I)
+        exec(S.Body, Rand, Locals, NextValue, Out);
+      break;
+    }
+    case Stmt::Kind::Seq:
+      exec(S.Body, Rand, Locals, NextValue, Out);
+      break;
+    }
+  }
+}

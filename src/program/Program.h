@@ -1,0 +1,107 @@
+//===- program/Program.h - Toy programs that emit traces --------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small program model, so the corpus is generated the way the paper's
+/// was: the paper analyzed *runs of 72 programs* (90 traces). Two
+/// properties of that regime matter to the method and are lost if one
+/// synthesizes traces directly:
+///
+///  - a buggy call site is buggy in *every* run that reaches it, so the
+///    same erroneous scenario recurs across the corpus (this is why
+///    frequency-based coring fails, §6, and why Cable exists);
+///  - runs of one program are correlated: they repeat that program's mix
+///    of scenario sites with different branch outcomes and loop counts.
+///
+/// A Program is a tree of statements over local variable slots: allocate
+/// a fresh runtime value into a local, emit an API event over locals,
+/// branch with a probability, or loop a bounded random number of times.
+/// The Interpreter plays a program against an RNG and appends events to a
+/// trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_PROGRAM_PROGRAM_H
+#define CABLE_PROGRAM_PROGRAM_H
+
+#include "support/RNG.h"
+#include "trace/TraceSet.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cable {
+
+/// One statement of the toy language.
+struct Stmt {
+  enum class Kind {
+    Alloc, ///< Local[Target] = fresh runtime value.
+    Call,  ///< Emit event Name(Locals...).
+    If,    ///< With probability Prob run Then, else run Else.
+    Loop,  ///< Run Body between MinIter and MaxIter times.
+    Seq,   ///< Run Body in order.
+  };
+
+  Kind K = Kind::Seq;
+
+  // Alloc.
+  int Target = 0;
+
+  // Call.
+  std::string Name;
+  std::vector<int> Args;
+
+  // If.
+  double Prob = 0.5;
+  std::vector<Stmt> Then;
+  std::vector<Stmt> Else;
+
+  // Loop / Seq.
+  unsigned MinIter = 0;
+  unsigned MaxIter = 0;
+  std::vector<Stmt> Body;
+
+  static Stmt alloc(int Target);
+  static Stmt call(std::string Name, std::vector<int> Args);
+  static Stmt iff(double Prob, std::vector<Stmt> Then,
+                  std::vector<Stmt> Else = {});
+  static Stmt loop(unsigned MinIter, unsigned MaxIter, std::vector<Stmt> Body);
+  static Stmt seq(std::vector<Stmt> Body);
+};
+
+/// A whole program: a name (for reporting) and a statement body over
+/// NumLocals local slots.
+struct Program {
+  std::string Name;
+  size_t NumLocals = 0;
+  std::vector<Stmt> Body;
+
+  /// Number of Call statements, counted statically.
+  size_t numCallSites() const;
+};
+
+/// Executes programs, emitting traces.
+class Interpreter {
+public:
+  explicit Interpreter(EventTable &Table) : Table(Table) {}
+
+  /// One run of \p P: every Alloc draws a fresh value from \p NextValue,
+  /// every Call appends an event. Branch and loop choices come from
+  /// \p Rand.
+  Trace run(const Program &P, RNG &Rand, ValueId &NextValue);
+
+private:
+  void exec(const std::vector<Stmt> &Body, RNG &Rand,
+            std::vector<ValueId> &Locals, ValueId &NextValue, Trace &Out);
+
+  EventTable &Table;
+};
+
+} // namespace cable
+
+#endif // CABLE_PROGRAM_PROGRAM_H

@@ -1,0 +1,228 @@
+//===- program/Synthesize.cpp - Protocol-exercising programs ---------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Synthesize.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cable;
+
+namespace {
+
+/// Compiles one scenario shape into site statements over locals
+/// [LocalBase, LocalBase + slots). Optional steps become per-run guarded
+/// calls in an order fixed at synthesis time; Repeat steps become loops
+/// whose body picks between the step's events at run time.
+std::vector<Stmt> compileShape(const ScenarioShape &Shape, int LocalBase,
+                               RNG &Rand) {
+  std::vector<Stmt> Out;
+  auto CallOf = [&](const ProtoEvent &E) {
+    std::vector<int> Args;
+    Args.reserve(E.Objs.size());
+    for (int Slot : E.Objs)
+      Args.push_back(LocalBase + Slot);
+    return Stmt::call(E.Name, std::move(Args));
+  };
+
+  for (const ShapeStep &Step : Shape.Steps) {
+    switch (Step.K) {
+    case ShapeStep::Kind::Required:
+      Out.push_back(CallOf(Step.Events[0]));
+      break;
+    case ShapeStep::Kind::Optional: {
+      std::vector<size_t> Order(Step.Events.size());
+      for (size_t I = 0; I < Order.size(); ++I)
+        Order[I] = I;
+      Rand.shuffle(Order);
+      for (size_t I : Order)
+        Out.push_back(
+            Stmt::iff(Step.IncludeProb, {CallOf(Step.Events[I])}));
+      break;
+    }
+    case ShapeStep::Kind::OneOf: {
+      // The call site is fixed at synthesis time: a given program calls
+      // one specific function here.
+      std::vector<double> W = Step.Weights;
+      if (W.empty())
+        W.assign(Step.Events.size(), 1.0);
+      Out.push_back(CallOf(Step.Events[Rand.pickWeighted(W)]));
+      break;
+    }
+    case ShapeStep::Kind::Repeat: {
+      std::vector<Stmt> Body;
+      if (Step.Events.size() == 1) {
+        Body.push_back(CallOf(Step.Events[0]));
+      } else {
+        // Alternate between two of the step's events per iteration.
+        size_t A = Rand.nextIndex(Step.Events.size());
+        size_t B = Rand.nextIndex(Step.Events.size());
+        Body.push_back(Stmt::iff(0.5, {CallOf(Step.Events[A])},
+                                 {CallOf(Step.Events[B])}));
+      }
+      Out.push_back(Stmt::loop(Step.MinReps, Step.MaxReps, std::move(Body)));
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+/// Index of the last top-level Call named \p Name, or npos.
+size_t lastCallNamed(const std::vector<Stmt> &Site, const std::string &Name) {
+  for (size_t I = Site.size(); I > 0; --I)
+    if (Site[I - 1].K == Stmt::Kind::Call && Site[I - 1].Name == Name)
+      return I - 1;
+  return static_cast<size_t>(-1);
+}
+
+/// Index of the first top-level Call, or npos.
+size_t firstCall(const std::vector<Stmt> &Site) {
+  for (size_t I = 0; I < Site.size(); ++I)
+    if (Site[I].K == Stmt::Kind::Call)
+      return I;
+  return static_cast<size_t>(-1);
+}
+
+/// Applies \p Mode to the site's statements — the static analogue of
+/// WorkloadGenerator::applyError. Mutations that find no target leave the
+/// site unchanged (it stays correct).
+void mutateSite(std::vector<Stmt> &Site, const ErrorMode &Mode) {
+  switch (Mode.K) {
+  case ErrorMode::Kind::DropNamed: {
+    size_t I = lastCallNamed(Site, Mode.A);
+    if (I != static_cast<size_t>(-1))
+      Site.erase(Site.begin() + static_cast<ptrdiff_t>(I));
+    break;
+  }
+  case ErrorMode::Kind::DropFirst: {
+    size_t I = firstCall(Site);
+    if (I != static_cast<size_t>(-1))
+      Site.erase(Site.begin() + static_cast<ptrdiff_t>(I));
+    break;
+  }
+  case ErrorMode::Kind::DuplicateNamed: {
+    size_t I = lastCallNamed(Site, Mode.A);
+    if (I != static_cast<size_t>(-1))
+      Site.push_back(Site[I]);
+    break;
+  }
+  case ErrorMode::Kind::ReplaceNamed: {
+    size_t I = lastCallNamed(Site, Mode.A);
+    if (I != static_cast<size_t>(-1))
+      Site[I].Name = Mode.B;
+    break;
+  }
+  case ErrorMode::Kind::AppendNamed: {
+    size_t I = lastCallNamed(Site, Mode.A);
+    if (I != static_cast<size_t>(-1)) {
+      Site.push_back(Site[I]);
+      break;
+    }
+    size_t F = firstCall(Site);
+    if (F != static_cast<size_t>(-1)) {
+      Stmt Call = Stmt::call(Mode.A, Site[F].Args);
+      Site.push_back(std::move(Call));
+    }
+    break;
+  }
+  case ErrorMode::Kind::TruncateTail: {
+    // Drop the last top-level call.
+    for (size_t I = Site.size(); I > 0; --I)
+      if (Site[I - 1].K == Stmt::Kind::Call) {
+        Site.erase(Site.begin() + static_cast<ptrdiff_t>(I - 1));
+        break;
+      }
+    break;
+  }
+  }
+}
+
+} // namespace
+
+Program cable::synthesizeProgram(const ProtocolModel &Model, RNG &Rand,
+                                 std::string Name, size_t NumSites,
+                                 size_t NumBuggy) {
+  assert(NumBuggy <= NumSites && "more buggy sites than sites");
+  Program P;
+  P.Name = std::move(Name);
+
+  // Which sites are buggy is a property of the *program*.
+  std::vector<int> Buggy(NumSites, 0);
+  for (size_t I = 0; I < NumBuggy; ++I)
+    Buggy[I] = 1;
+  Rand.shuffle(Buggy);
+
+  int LocalBase = 0;
+  for (size_t Site = 0; Site < NumSites; ++Site) {
+    // Pick a shape.
+    std::vector<double> Weights;
+    for (const auto &[W, Shape] : Model.Shapes)
+      Weights.push_back(W);
+    const ScenarioShape &Shape =
+        Model.Shapes[Rand.pickWeighted(Weights)].second;
+
+    // Count the slots it uses.
+    int MaxSlot = 0;
+    for (const ShapeStep &Step : Shape.Steps)
+      for (const ProtoEvent &E : Step.Events)
+        for (int Slot : E.Objs)
+          MaxSlot = std::max(MaxSlot, Slot);
+    int NumSlots = MaxSlot + 1;
+
+    // Allocate the site's objects, then the site body.
+    for (int Slot = 0; Slot < NumSlots; ++Slot)
+      P.Body.push_back(Stmt::alloc(LocalBase + Slot));
+    std::vector<Stmt> Stmts = compileShape(Shape, LocalBase, Rand);
+    if (Buggy[Site] != 0 && !Model.Errors.empty()) {
+      std::vector<double> EW;
+      for (const auto &[W, Mode] : Model.Errors)
+        EW.push_back(W);
+      mutateSite(Stmts, Model.Errors[Rand.pickWeighted(EW)].second);
+    }
+    for (Stmt &S : Stmts)
+      P.Body.push_back(std::move(S));
+
+    LocalBase += NumSlots;
+  }
+  P.NumLocals = static_cast<size_t>(LocalBase);
+  return P;
+}
+
+TraceSet cable::generateProgramCorpus(const ProtocolModel &Model,
+                                      EventTable &Table, RNG &Rand,
+                                      const CorpusOptions &Options) {
+  Interpreter Interp(Table);
+  std::vector<Trace> Runs;
+  ValueId NextValue = 0;
+  for (size_t PI = 0; PI < Options.NumPrograms; ++PI) {
+    // Decide the program's buggy-site count up front.
+    size_t NumBuggy = 0;
+    for (size_t S = 0; S < Options.SitesPerProgram; ++S)
+      NumBuggy += Rand.nextBool(Options.BuggySiteRate);
+    Program P = synthesizeProgram(Model, Rand,
+                                  "prog" + std::to_string(PI),
+                                  Options.SitesPerProgram, NumBuggy);
+
+    // Noise: unrelated calls appended so scenarios are not the whole run.
+    for (size_t I = 0; I < Options.NoiseCallsPerProgram; ++I) {
+      int Local = static_cast<int>(P.NumLocals);
+      P.Body.push_back(Stmt::alloc(Local));
+      P.Body.push_back(Stmt::call(
+          "XNoise" + std::to_string(Rand.nextBounded(3)), {Local}));
+      P.NumLocals = static_cast<size_t>(Local) + 1;
+    }
+
+    for (size_t R = 0; R < Options.RunsPerProgram; ++R)
+      Runs.push_back(Interp.run(P, Rand, NextValue));
+  }
+  TraceSet Out;
+  Out.table() = Table;
+  for (Trace &T : Runs)
+    Out.add(std::move(T));
+  return Out;
+}

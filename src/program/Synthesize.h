@@ -1,0 +1,57 @@
+//===- program/Synthesize.h - Protocol-exercising programs ------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesizes toy programs that exercise a protocol, reproducing the
+/// paper's corpus regime (§5: traces from full runs of 72 programs).
+///
+/// Each program embeds several *scenario sites*. A site is compiled from
+/// one of the protocol's scenario shapes: required steps become plain
+/// calls, optional steps become probability-guarded calls (decided per
+/// run), repeats become loops. Whether a site is *buggy* — and with which
+/// error mode — is decided once, at synthesis time, by mutating the
+/// site's statements. A buggy site therefore emits its erroneous scenario
+/// in every run that reaches it, which is exactly the frequency structure
+/// that defeats coring (§6) and motivates Cable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_PROGRAM_SYNTHESIZE_H
+#define CABLE_PROGRAM_SYNTHESIZE_H
+
+#include "program/Program.h"
+#include "workload/Protocols.h"
+
+namespace cable {
+
+/// Corpus sizing.
+struct CorpusOptions {
+  size_t NumPrograms = 12;
+  size_t RunsPerProgram = 2;
+  size_t SitesPerProgram = 4;
+  /// Probability that a site is synthesized buggy (the paper's training
+  /// sets "may have bugs").
+  double BuggySiteRate = 0.25;
+  size_t NoiseCallsPerProgram = 3;
+};
+
+/// Synthesizes one program with \p NumSites scenario sites of \p Model.
+/// \p NumBuggy of them (chosen at random positions) are mutated by
+/// weighted error modes.
+Program synthesizeProgram(const ProtocolModel &Model, RNG &Rand,
+                          std::string Name, size_t NumSites,
+                          size_t NumBuggy);
+
+/// Synthesizes a corpus of programs and runs each RunsPerProgram times;
+/// the result is the miner's training set. The returned TraceSet owns a
+/// copy of \p Table's final state.
+TraceSet generateProgramCorpus(const ProtocolModel &Model, EventTable &Table,
+                               RNG &Rand, const CorpusOptions &Options);
+
+} // namespace cable
+
+#endif // CABLE_PROGRAM_SYNTHESIZE_H

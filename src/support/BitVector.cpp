@@ -1,0 +1,148 @@
+//===- support/BitVector.cpp - Dynamic bit set ----------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVector.h"
+
+#include <bit>
+
+using namespace cable;
+
+void BitVector::clearUnusedBits() {
+  size_t Tail = NumBits % 64;
+  if (Tail != 0 && !Words.empty())
+    Words.back() &= (uint64_t(1) << Tail) - 1;
+}
+
+void BitVector::resize(size_t NewSize) {
+  NumBits = NewSize;
+  Words.resize((NewSize + 63) / 64, 0);
+  clearUnusedBits();
+}
+
+void BitVector::setAll() {
+  for (uint64_t &W : Words)
+    W = ~uint64_t(0);
+  clearUnusedBits();
+}
+
+size_t BitVector::count() const {
+  size_t N = 0;
+  for (uint64_t W : Words)
+    N += static_cast<size_t>(std::popcount(W));
+  return N;
+}
+
+bool BitVector::none() const {
+  for (uint64_t W : Words)
+    if (W != 0)
+      return false;
+  return true;
+}
+
+BitVector &BitVector::operator&=(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "universe size mismatch");
+  for (size_t I = 0; I < Words.size(); ++I)
+    Words[I] &= RHS.Words[I];
+  return *this;
+}
+
+BitVector &BitVector::operator|=(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "universe size mismatch");
+  for (size_t I = 0; I < Words.size(); ++I)
+    Words[I] |= RHS.Words[I];
+  return *this;
+}
+
+BitVector &BitVector::operator^=(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "universe size mismatch");
+  for (size_t I = 0; I < Words.size(); ++I)
+    Words[I] ^= RHS.Words[I];
+  return *this;
+}
+
+BitVector &BitVector::andNot(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "universe size mismatch");
+  for (size_t I = 0; I < Words.size(); ++I)
+    Words[I] &= ~RHS.Words[I];
+  return *this;
+}
+
+void BitVector::flipAll() {
+  for (uint64_t &W : Words)
+    W = ~W;
+  clearUnusedBits();
+}
+
+bool BitVector::isSubsetOf(const BitVector &RHS) const {
+  assert(NumBits == RHS.NumBits && "universe size mismatch");
+  for (size_t I = 0; I < Words.size(); ++I)
+    if ((Words[I] & ~RHS.Words[I]) != 0)
+      return false;
+  return true;
+}
+
+bool BitVector::intersects(const BitVector &RHS) const {
+  assert(NumBits == RHS.NumBits && "universe size mismatch");
+  for (size_t I = 0; I < Words.size(); ++I)
+    if ((Words[I] & RHS.Words[I]) != 0)
+      return true;
+  return false;
+}
+
+size_t BitVector::findFirst() const {
+  for (size_t I = 0; I < Words.size(); ++I)
+    if (Words[I] != 0)
+      return I * 64 + static_cast<size_t>(std::countr_zero(Words[I]));
+  return npos;
+}
+
+size_t BitVector::findNext(size_t Prev) const {
+  size_t Next = Prev + 1;
+  if (Next >= NumBits)
+    return npos;
+  size_t WordIdx = Next / 64;
+  uint64_t Masked = Words[WordIdx] & (~uint64_t(0) << (Next % 64));
+  if (Masked != 0)
+    return WordIdx * 64 + static_cast<size_t>(std::countr_zero(Masked));
+  for (size_t I = WordIdx + 1; I < Words.size(); ++I)
+    if (Words[I] != 0)
+      return I * 64 + static_cast<size_t>(std::countr_zero(Words[I]));
+  return npos;
+}
+
+std::vector<size_t> BitVector::toIndices() const {
+  std::vector<size_t> Out;
+  for (size_t I : *this)
+    Out.push_back(I);
+  return Out;
+}
+
+size_t BitVector::hashValue() const {
+  // FNV-1a over the words, mixed with the universe size.
+  uint64_t H = 0xcbf29ce484222325ULL ^ NumBits;
+  for (uint64_t W : Words) {
+    H ^= W;
+    H *= 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(H);
+}
+
+namespace cable {
+
+BitVector operator&(const BitVector &A, const BitVector &B) {
+  BitVector R = A;
+  R &= B;
+  return R;
+}
+
+BitVector operator|(const BitVector &A, const BitVector &B) {
+  BitVector R = A;
+  R |= B;
+  return R;
+}
+
+} // namespace cable

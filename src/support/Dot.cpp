@@ -1,0 +1,61 @@
+//===- support/Dot.cpp - Graphviz DOT emission ----------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Dot.h"
+
+using namespace cable;
+
+std::string DotWriter::escape(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+void DotWriter::addNode(std::string_view Id, std::string_view Label,
+                        std::string_view ExtraAttrs) {
+  std::string Line = "  \"" + escape(Id) + "\" [label=\"" + escape(Label) +
+                     "\"";
+  if (!ExtraAttrs.empty()) {
+    Line += ", ";
+    Line += ExtraAttrs;
+  }
+  Line += "];";
+  Lines.push_back(std::move(Line));
+}
+
+void DotWriter::addEdge(std::string_view From, std::string_view To,
+                        std::string_view Label) {
+  std::string Line =
+      "  \"" + escape(From) + "\" -> \"" + escape(To) + "\"";
+  if (!Label.empty())
+    Line += " [label=\"" + escape(Label) + "\"]";
+  Line += ";";
+  Lines.push_back(std::move(Line));
+}
+
+void DotWriter::addRaw(std::string_view Line) {
+  Lines.push_back("  " + std::string(Line));
+}
+
+std::string DotWriter::str() const {
+  std::string Out = "digraph \"" + escape(GraphName) + "\" {\n";
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,55 @@
+//===- support/Dot.h - Graphviz DOT emission --------------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small writer for Graphviz DOT files. The paper's Cable tool is built on
+/// Dotty; this reproduction exports the same structures (automata and
+/// concept lattices) as DOT text so any Graphviz viewer can stand in for
+/// Dotty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_SUPPORT_DOT_H
+#define CABLE_SUPPORT_DOT_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cable {
+
+/// Accumulates nodes and edges and renders a digraph as DOT text.
+class DotWriter {
+public:
+  explicit DotWriter(std::string GraphName) : GraphName(std::move(GraphName)) {}
+
+  /// Escapes \p Text for use inside a double-quoted DOT string.
+  static std::string escape(std::string_view Text);
+
+  /// Adds a node named \p Id with display label \p Label; \p ExtraAttrs is
+  /// raw attribute text (may be empty), e.g. "shape=doublecircle".
+  void addNode(std::string_view Id, std::string_view Label,
+               std::string_view ExtraAttrs = "");
+
+  /// Adds an edge with display label \p Label (may be empty).
+  void addEdge(std::string_view From, std::string_view To,
+               std::string_view Label = "");
+
+  /// Adds a raw line inside the graph body (for rankdir etc.).
+  void addRaw(std::string_view Line);
+
+  /// Renders the whole digraph.
+  std::string str() const;
+
+private:
+  std::string GraphName;
+  std::vector<std::string> Lines;
+};
+
+} // namespace cable
+
+#endif // CABLE_SUPPORT_DOT_H

@@ -1,0 +1,36 @@
+//===- support/Error.h - Fatal-error helpers -------------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal fatal-error machinery in the spirit of llvm_unreachable and
+/// report_fatal_error. The library proper never throws; programmatic errors
+/// abort with a message, and recoverable conditions are reported through
+/// return values (std::optional plus an out-parameter message).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_SUPPORT_ERROR_H
+#define CABLE_SUPPORT_ERROR_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cable {
+
+/// Prints \p Msg to stderr and aborts. Used for conditions that indicate a
+/// bug in the caller, not bad user input.
+[[noreturn]] inline void reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "cable fatal error: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace cable
+
+/// Marks a point in the code that must never be reached.
+#define CABLE_UNREACHABLE(MSG) ::cable::reportFatalError(MSG)
+
+#endif // CABLE_SUPPORT_ERROR_H

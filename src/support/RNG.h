@@ -1,0 +1,105 @@
+//===- support/RNG.h - Deterministic random numbers ------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic random number generator (SplitMix64). All random
+/// behavior in the library — workload generation, the Random labeling
+/// strategy, property-test case generation — flows through this class so
+/// that every run is reproducible from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_SUPPORT_RNG_H
+#define CABLE_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cable {
+
+/// Deterministic PRNG based on SplitMix64 (Steele, Lea, Flood 2014).
+///
+/// Not cryptographic; chosen for speed, statistical quality adequate for
+/// workload generation, and trivially portable determinism.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniformly distributed integer in [0, Bound). \p Bound must be
+  /// positive. Uses rejection sampling to avoid modulo bias.
+  uint64_t nextBounded(uint64_t Bound) {
+    assert(Bound > 0 && "nextBounded requires a positive bound");
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniformly distributed size_t index in [0, Size).
+  size_t nextIndex(size_t Size) {
+    return static_cast<size_t>(nextBounded(static_cast<uint64_t>(Size)));
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Fisher-Yates shuffles \p Items in place.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I) {
+      size_t J = nextIndex(I);
+      std::swap(Items[I - 1], Items[J]);
+    }
+  }
+
+  /// Picks an index in [0, Weights.size()) with probability proportional to
+  /// Weights[i]. At least one weight must be positive.
+  size_t pickWeighted(const std::vector<double> &Weights) {
+    double Total = 0;
+    for (double W : Weights) {
+      assert(W >= 0 && "negative weight");
+      Total += W;
+    }
+    assert(Total > 0 && "pickWeighted requires a positive total weight");
+    double X = nextDouble() * Total;
+    for (size_t I = 0; I < Weights.size(); ++I) {
+      X -= Weights[I];
+      if (X < 0)
+        return I;
+    }
+    return Weights.size() - 1; // Floating-point slop: last positive bucket.
+  }
+
+  /// Forks a statistically independent child generator. Deterministic: the
+  /// child stream depends only on the parent's current state.
+  RNG fork() { return RNG(next() ^ 0x5851f42d4c957f2dULL); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace cable
+
+#endif // CABLE_SUPPORT_RNG_H

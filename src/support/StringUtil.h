@@ -1,0 +1,46 @@
+//===- support/StringUtil.h - String helpers --------------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers used by the trace parser, the Cable REPL, and the
+/// table printers in bench/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_SUPPORT_STRINGUTIL_H
+#define CABLE_SUPPORT_STRINGUTIL_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cable {
+
+/// Splits \p Text on \p Sep. Adjacent separators produce empty fields;
+/// splitting an empty string yields one empty field.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Splits \p Text on runs of whitespace, dropping empty fields.
+std::vector<std::string> splitWhitespace(std::string_view Text);
+
+/// Returns \p Text with leading and trailing whitespace removed.
+std::string_view trimString(std::string_view Text);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// Returns true if \p Text consists only of decimal digits (and is
+/// nonempty).
+bool isAllDigits(std::string_view Text);
+
+/// Left-pads or truncates \p Text to exactly \p Width columns.
+std::string padString(std::string_view Text, size_t Width);
+
+} // namespace cable
+
+#endif // CABLE_SUPPORT_STRINGUTIL_H

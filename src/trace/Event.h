@@ -1,0 +1,74 @@
+//===- trace/Event.h - Program events ---------------------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event vocabulary for program execution traces.
+///
+/// An event is an interaction name (e.g. `fopen`, `pclose`) plus a list of
+/// value arguments. Following the paper's Strauss front end, values inside a
+/// scenario trace are *canonicalized*: the first distinct value becomes v0,
+/// the second v1, and so on. Canonicalization makes automaton simulation
+/// propositional — a transition label can match a concrete canonical value
+/// rather than performing unification — and it is what lets two scenario
+/// traces from different program runs compare equal (the identical-trace
+/// classes of §5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_TRACE_EVENT_H
+#define CABLE_TRACE_EVENT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cable {
+
+/// Interned interaction name (index into EventTable's name table).
+using NameId = uint32_t;
+
+/// A value argument. In canonicalized traces, value k is the (k+1)-th
+/// distinct value seen in the trace.
+using ValueId = uint32_t;
+
+/// Interned full event (name + arguments); index into EventTable's event
+/// table. Traces are sequences of EventIds, so identical-trace detection is
+/// a vector compare.
+using EventId = uint32_t;
+
+/// A structured event: interaction name plus value arguments.
+struct Event {
+  NameId Name = 0;
+  std::vector<ValueId> Args;
+
+  Event() = default;
+  Event(NameId Name, std::vector<ValueId> Args)
+      : Name(Name), Args(std::move(Args)) {}
+
+  bool operator==(const Event &RHS) const {
+    return Name == RHS.Name && Args == RHS.Args;
+  }
+};
+
+/// Hash functor for Event (FNV-1a over name and args).
+struct EventHash {
+  size_t operator()(const Event &E) const {
+    uint64_t H = 0xcbf29ce484222325ULL;
+    auto Mix = [&H](uint64_t V) {
+      H ^= V;
+      H *= 0x100000001b3ULL;
+    };
+    Mix(E.Name);
+    for (ValueId V : E.Args)
+      Mix(V + 0x9e3779b9ULL);
+    return static_cast<size_t>(H);
+  }
+};
+
+} // namespace cable
+
+#endif // CABLE_TRACE_EVENT_H

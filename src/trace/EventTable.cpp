@@ -1,0 +1,118 @@
+//===- trace/EventTable.cpp - Event interning -----------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/EventTable.h"
+
+#include "support/StringUtil.h"
+
+#include <cassert>
+
+using namespace cable;
+
+NameId EventTable::internName(std::string_view Name) {
+  auto It = NameIds.find(std::string(Name));
+  if (It != NameIds.end())
+    return It->second;
+  NameId Id = static_cast<NameId>(Names.size());
+  Names.emplace_back(Name);
+  NameIds.emplace(Names.back(), Id);
+  return Id;
+}
+
+std::optional<NameId> EventTable::lookupName(std::string_view Name) const {
+  auto It = NameIds.find(std::string(Name));
+  if (It == NameIds.end())
+    return std::nullopt;
+  return It->second;
+}
+
+const std::string &EventTable::nameText(NameId Id) const {
+  assert(Id < Names.size() && "bad NameId");
+  return Names[Id];
+}
+
+EventId EventTable::internEvent(const Event &E) {
+  assert(E.Name < Names.size() && "event uses an uninterned name");
+  auto It = EventIds.find(E);
+  if (It != EventIds.end())
+    return It->second;
+  EventId Id = static_cast<EventId>(Events.size());
+  Events.push_back(E);
+  EventIds.emplace(E, Id);
+  return Id;
+}
+
+EventId EventTable::internEvent(std::string_view Name,
+                                const std::vector<ValueId> &Args) {
+  return internEvent(Event(internName(Name), Args));
+}
+
+const Event &EventTable::event(EventId Id) const {
+  assert(Id < Events.size() && "bad EventId");
+  return Events[Id];
+}
+
+std::string EventTable::renderEvent(EventId Id) const {
+  return renderEvent(event(Id));
+}
+
+std::string EventTable::renderEvent(const Event &E) const {
+  std::string Out = nameText(E.Name);
+  if (E.Args.empty())
+    return Out;
+  Out += '(';
+  for (size_t I = 0; I < E.Args.size(); ++I) {
+    if (I != 0)
+      Out += ',';
+    Out += 'v';
+    Out += std::to_string(E.Args[I]);
+  }
+  Out += ')';
+  return Out;
+}
+
+std::optional<EventId> EventTable::parseEvent(std::string_view Text,
+                                              std::string &ErrorMsg) {
+  Text = trimString(Text);
+  if (Text.empty()) {
+    ErrorMsg = "empty event";
+    return std::nullopt;
+  }
+  size_t Paren = Text.find('(');
+  if (Paren == std::string_view::npos) {
+    // Bare name; reject stray close-paren.
+    if (Text.find(')') != std::string_view::npos) {
+      ErrorMsg = "unmatched ')' in event '" + std::string(Text) + "'";
+      return std::nullopt;
+    }
+    return internEvent(Text);
+  }
+  if (Text.back() != ')') {
+    ErrorMsg = "missing ')' in event '" + std::string(Text) + "'";
+    return std::nullopt;
+  }
+  std::string_view Name = trimString(Text.substr(0, Paren));
+  if (Name.empty()) {
+    ErrorMsg = "missing event name in '" + std::string(Text) + "'";
+    return std::nullopt;
+  }
+  std::string_view ArgText = Text.substr(Paren + 1, Text.size() - Paren - 2);
+  std::vector<ValueId> Args;
+  if (!trimString(ArgText).empty()) {
+    for (const std::string &Tok : splitString(ArgText, ',')) {
+      std::string_view Arg = trimString(Tok);
+      if (Arg.size() < 2 || Arg[0] != 'v' || !isAllDigits(Arg.substr(1))) {
+        ErrorMsg = "bad value token '" + std::string(Arg) +
+                   "' (expected v<digits>) in '" + std::string(Text) + "'";
+        return std::nullopt;
+      }
+      Args.push_back(
+          static_cast<ValueId>(std::stoul(std::string(Arg.substr(1)))));
+    }
+  }
+  return internEvent(Name, Args);
+}

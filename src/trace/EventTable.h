@@ -1,0 +1,77 @@
+//===- trace/EventTable.h - Event interning ---------------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interning tables for interaction names and full events. One EventTable is
+/// shared by everything that must agree on ids: the traces, the reference
+/// automaton's transition labels, and the learner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_TRACE_EVENTTABLE_H
+#define CABLE_TRACE_EVENTTABLE_H
+
+#include "trace/Event.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cable {
+
+/// Bidirectional interning of names and events.
+class EventTable {
+public:
+  /// Interns \p Name, returning a stable NameId.
+  NameId internName(std::string_view Name);
+
+  /// Returns the NameId for \p Name if already interned.
+  std::optional<NameId> lookupName(std::string_view Name) const;
+
+  /// Returns the spelling of \p Id.
+  const std::string &nameText(NameId Id) const;
+
+  /// Number of distinct names interned so far.
+  size_t numNames() const { return Names.size(); }
+
+  /// Interns \p E, returning a stable EventId.
+  EventId internEvent(const Event &E);
+
+  /// Convenience: interns name and event in one call.
+  EventId internEvent(std::string_view Name,
+                      const std::vector<ValueId> &Args = {});
+
+  /// Returns the structured event for \p Id.
+  const Event &event(EventId Id) const;
+
+  /// Number of distinct events interned so far.
+  size_t numEvents() const { return Events.size(); }
+
+  /// Renders \p Id as `name` or `name(v0,v1)`.
+  std::string renderEvent(EventId Id) const;
+
+  /// Renders a structured event (which need not be interned).
+  std::string renderEvent(const Event &E) const;
+
+  /// Parses `name` or `name(v0,v1,...)`. Value tokens must be `v<digits>`
+  /// (canonical form). Returns std::nullopt and sets \p ErrorMsg on bad
+  /// syntax. Interns the name and event as a side effect.
+  std::optional<EventId> parseEvent(std::string_view Text,
+                                    std::string &ErrorMsg);
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, NameId> NameIds;
+  std::vector<Event> Events;
+  std::unordered_map<Event, EventId, EventHash> EventIds;
+};
+
+} // namespace cable
+
+#endif // CABLE_TRACE_EVENTTABLE_H

@@ -1,0 +1,40 @@
+//===- trace/Trace.cpp - Program execution traces -------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include <unordered_map>
+
+using namespace cable;
+
+std::string Trace::render(const EventTable &Table) const {
+  std::string Out;
+  for (size_t I = 0; I < Events.size(); ++I) {
+    if (I != 0)
+      Out += ' ';
+    Out += Table.renderEvent(Events[I]);
+  }
+  return Out;
+}
+
+Trace Trace::canonicalized(EventTable &Table) const {
+  std::unordered_map<ValueId, ValueId> Renaming;
+  Trace Out;
+  for (EventId Id : Events) {
+    Event E = Table.event(Id);
+    for (ValueId &V : E.Args) {
+      auto It = Renaming.find(V);
+      if (It == Renaming.end()) {
+        ValueId Fresh = static_cast<ValueId>(Renaming.size());
+        It = Renaming.emplace(V, Fresh).first;
+      }
+      V = It->second;
+    }
+    Out.append(Table.internEvent(E));
+  }
+  return Out;
+}

@@ -1,0 +1,68 @@
+//===- trace/Trace.h - Program execution traces -----------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Trace is a finite sequence of interned events. Scenario traces (the
+/// miner's output) and violation traces (a verifier's output) are both
+/// represented this way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_TRACE_TRACE_H
+#define CABLE_TRACE_TRACE_H
+
+#include "trace/Event.h"
+#include "trace/EventTable.h"
+
+#include <string>
+#include <vector>
+
+namespace cable {
+
+/// A finite sequence of events. Event ids refer to an EventTable that the
+/// surrounding TraceSet (or caller) owns.
+class Trace {
+public:
+  Trace() = default;
+  explicit Trace(std::vector<EventId> Events) : Events(std::move(Events)) {}
+
+  size_t size() const { return Events.size(); }
+  bool empty() const { return Events.empty(); }
+  EventId operator[](size_t I) const { return Events[I]; }
+
+  const std::vector<EventId> &events() const { return Events; }
+
+  void append(EventId E) { Events.push_back(E); }
+
+  bool operator==(const Trace &RHS) const { return Events == RHS.Events; }
+
+  /// Renders as space-separated events, e.g. `fopen(v0) fread(v0)`.
+  std::string render(const EventTable &Table) const;
+
+  /// Rewrites the trace so values are numbered by first occurrence
+  /// (v0, v1, ...). Interns any new events into \p Table.
+  Trace canonicalized(EventTable &Table) const;
+
+private:
+  std::vector<EventId> Events;
+};
+
+/// Hash functor for Trace (for identical-trace classing).
+struct TraceHash {
+  size_t operator()(const Trace &T) const {
+    uint64_t H = 0xcbf29ce484222325ULL;
+    for (EventId E : T.events()) {
+      H ^= E + 0x9e3779b9ULL;
+      H *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(H);
+  }
+};
+
+} // namespace cable
+
+#endif // CABLE_TRACE_TRACE_H

@@ -1,0 +1,87 @@
+//===- trace/TraceSet.cpp - Collections of traces -------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceSet.h"
+
+#include "support/StringUtil.h"
+
+#include <unordered_map>
+
+using namespace cable;
+
+TraceClasses TraceSet::computeClasses() const {
+  TraceClasses Out;
+  std::unordered_map<Trace, size_t, TraceHash> ClassIndex;
+  Out.ClassOf.reserve(Traces.size());
+  for (size_t J = 0; J < Traces.size(); ++J) {
+    const Trace &T = Traces[J];
+    auto It = ClassIndex.find(T);
+    if (It == ClassIndex.end()) {
+      size_t C = Out.Representatives.size();
+      ClassIndex.emplace(T, C);
+      Out.Representatives.push_back(T);
+      Out.Multiplicity.push_back(0);
+      Out.Members.emplace_back();
+      It = ClassIndex.find(T);
+    }
+    size_t C = It->second;
+    ++Out.Multiplicity[C];
+    Out.Members[C].push_back(J);
+    Out.ClassOf.push_back(C);
+  }
+  return Out;
+}
+
+TraceSet TraceSet::dedup() const {
+  TraceClasses Classes = computeClasses();
+  TraceSet Out;
+  Out.Table = Table;
+  Out.Traces = std::move(Classes.Representatives);
+  return Out;
+}
+
+TraceSet TraceSet::subset(const std::vector<size_t> &Indices) const {
+  TraceSet Out;
+  Out.Table = Table;
+  for (size_t I : Indices)
+    Out.Traces.push_back(Traces[I]);
+  return Out;
+}
+
+std::string TraceSet::render() const {
+  std::string Out;
+  for (const Trace &T : Traces) {
+    Out += T.render(Table);
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::optional<TraceSet> TraceSet::parse(std::string_view Text,
+                                        std::string &ErrorMsg) {
+  TraceSet Out;
+  size_t LineNo = 0;
+  for (const std::string &Line : splitString(Text, '\n')) {
+    ++LineNo;
+    std::string_view Body = trimString(Line);
+    if (Body.empty() || Body[0] == '#')
+      continue;
+    Trace T;
+    for (const std::string &Tok : splitWhitespace(Body)) {
+      std::string EventError;
+      std::optional<EventId> Id = Out.Table.parseEvent(Tok, EventError);
+      if (!Id) {
+        ErrorMsg =
+            "line " + std::to_string(LineNo) + ": " + EventError;
+        return std::nullopt;
+      }
+      T.append(*Id);
+    }
+    Out.add(std::move(T));
+  }
+  return Out;
+}

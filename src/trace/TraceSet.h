@@ -1,0 +1,93 @@
+//===- trace/TraceSet.h - Collections of traces -----------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TraceSet bundles traces with the EventTable their event ids refer to.
+/// It provides the identical-trace classing of §5 (Strauss extracts many
+/// identical scenario traces; the paper builds the lattice from one
+/// representative per class and the Baseline method's cost is two ops per
+/// class), plus a line-oriented text format for files and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_TRACE_TRACESET_H
+#define CABLE_TRACE_TRACESET_H
+
+#include "trace/Trace.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cable {
+
+/// The result of grouping a TraceSet into classes of identical traces.
+struct TraceClasses {
+  /// One representative trace per class, in first-appearance order.
+  std::vector<Trace> Representatives;
+  /// Multiplicity[i] = how many original traces are in class i.
+  std::vector<uint32_t> Multiplicity;
+  /// Members[i] = original trace indices in class i.
+  std::vector<std::vector<size_t>> Members;
+  /// ClassOf[j] = class index of original trace j.
+  std::vector<size_t> ClassOf;
+
+  size_t numClasses() const { return Representatives.size(); }
+};
+
+/// Traces plus the event table they are expressed over.
+class TraceSet {
+public:
+  EventTable &table() { return Table; }
+  const EventTable &table() const { return Table; }
+
+  void add(Trace T) { Traces.push_back(std::move(T)); }
+
+  size_t size() const { return Traces.size(); }
+  bool empty() const { return Traces.empty(); }
+  const Trace &operator[](size_t I) const { return Traces[I]; }
+  const std::vector<Trace> &traces() const { return Traces; }
+
+  /// Groups the traces into classes of identical event sequences.
+  TraceClasses computeClasses() const;
+
+  /// Returns a new TraceSet (sharing no table state beyond copied entries)
+  /// with one representative per identical-trace class.
+  TraceSet dedup() const;
+
+  /// Returns the subset of traces at the given \p Indices.
+  TraceSet subset(const std::vector<size_t> &Indices) const;
+
+  /// Returns the traces satisfying \p Keep (e.g. the paper's Table 2
+  /// footnote: traces with uninteresting selection values were removed
+  /// before debugging three specifications).
+  template <typename Pred> TraceSet filter(Pred &&Keep) const {
+    TraceSet Out;
+    Out.Table = Table;
+    for (const Trace &T : Traces)
+      if (Keep(T))
+        Out.Traces.push_back(T);
+    return Out;
+  }
+
+  /// Renders one trace per line.
+  std::string render() const;
+
+  /// Parses the line-oriented format: each nonempty, non-`#` line is one
+  /// trace of whitespace-separated events (`name` or `name(v0,v1)`).
+  /// Returns std::nullopt and sets \p ErrorMsg on the first bad line.
+  static std::optional<TraceSet> parse(std::string_view Text,
+                                       std::string &ErrorMsg);
+
+private:
+  EventTable Table;
+  std::vector<Trace> Traces;
+};
+
+} // namespace cable
+
+#endif // CABLE_TRACE_TRACESET_H

@@ -1,0 +1,31 @@
+//===- verifier/Verifier.cpp - Specification testing harness ---------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verifier/Verifier.h"
+
+using namespace cable;
+
+VerificationResult cable::verifyScenarios(const TraceSet &Scenarios,
+                                          const Automaton &Spec) {
+  VerificationResult Out;
+  Out.Violations.table() = Scenarios.table();
+  Out.Accepted.table() = Scenarios.table();
+  Out.NumScenarios = Scenarios.size();
+  for (const Trace &T : Scenarios.traces()) {
+    if (Spec.accepts(T, Scenarios.table()))
+      Out.Accepted.add(T);
+    else
+      Out.Violations.add(T);
+  }
+  return Out;
+}
+
+VerificationResult cable::verifyAgainstRuns(const TraceSet &Runs,
+                                            const Automaton &Spec,
+                                            const ExtractorOptions &Extract) {
+  return verifyScenarios(extractScenarios(Runs, Extract), Spec);
+}

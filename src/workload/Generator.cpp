@@ -1,0 +1,218 @@
+//===- workload/Generator.cpp - Synthetic trace generation -----------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generator.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cable;
+
+namespace {
+
+/// Emits \p E with scenario slots mapped to values (slot k -> k).
+Event instantiate(const ProtoEvent &E, EventTable &Table) {
+  std::vector<ValueId> Args;
+  Args.reserve(E.Objs.size());
+  for (int Slot : E.Objs) {
+    assert(Slot >= 0 && "negative object slot");
+    Args.push_back(static_cast<ValueId>(Slot));
+  }
+  return Event(Table.internName(E.Name), std::move(Args));
+}
+
+} // namespace
+
+Trace WorkloadGenerator::generateCorrect(RNG &Rand) {
+  // Pick a shape by weight.
+  std::vector<double> Weights;
+  for (const auto &[W, Shape] : Model.Shapes)
+    Weights.push_back(W);
+  const ScenarioShape &Shape = Model.Shapes[Rand.pickWeighted(Weights)].second;
+
+  Trace Out;
+  for (const ShapeStep &Step : Shape.Steps) {
+    switch (Step.K) {
+    case ShapeStep::Kind::Required:
+      assert(Step.Events.size() == 1 && "Required step takes one event");
+      Out.append(Table.internEvent(instantiate(Step.Events[0], Table)));
+      break;
+    case ShapeStep::Kind::Optional: {
+      std::vector<size_t> Chosen;
+      for (size_t I = 0; I < Step.Events.size(); ++I)
+        if (Rand.nextBool(Step.IncludeProb))
+          Chosen.push_back(I);
+      Rand.shuffle(Chosen);
+      for (size_t I : Chosen)
+        Out.append(Table.internEvent(instantiate(Step.Events[I], Table)));
+      break;
+    }
+    case ShapeStep::Kind::OneOf: {
+      std::vector<double> W = Step.Weights;
+      if (W.empty())
+        W.assign(Step.Events.size(), 1.0);
+      size_t I = Rand.pickWeighted(W);
+      Out.append(Table.internEvent(instantiate(Step.Events[I], Table)));
+      break;
+    }
+    case ShapeStep::Kind::Repeat: {
+      unsigned Reps =
+          Step.MinReps + static_cast<unsigned>(Rand.nextBounded(
+                             Step.MaxReps - Step.MinReps + 1));
+      for (unsigned R = 0; R < Reps; ++R) {
+        size_t I = Rand.nextIndex(Step.Events.size());
+        Out.append(Table.internEvent(instantiate(Step.Events[I], Table)));
+      }
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+Trace WorkloadGenerator::applyError(const Trace &Correct,
+                                    const ErrorMode &Mode, RNG &Rand) {
+  (void)Rand;
+  std::vector<EventId> Events(Correct.events());
+  auto LastNamed = [&](const std::string &Name) -> size_t {
+    std::optional<NameId> Id = Table.lookupName(Name);
+    if (!Id)
+      return Events.size();
+    for (size_t I = Events.size(); I > 0; --I)
+      if (Table.event(Events[I - 1]).Name == *Id)
+        return I - 1;
+    return Events.size();
+  };
+
+  switch (Mode.K) {
+  case ErrorMode::Kind::DropNamed: {
+    size_t I = LastNamed(Mode.A);
+    if (I < Events.size())
+      Events.erase(Events.begin() + static_cast<ptrdiff_t>(I));
+    break;
+  }
+  case ErrorMode::Kind::DropFirst:
+    if (!Events.empty())
+      Events.erase(Events.begin());
+    break;
+  case ErrorMode::Kind::DuplicateNamed: {
+    size_t I = LastNamed(Mode.A);
+    if (I < Events.size())
+      Events.push_back(Events[I]);
+    break;
+  }
+  case ErrorMode::Kind::ReplaceNamed: {
+    size_t I = LastNamed(Mode.A);
+    if (I < Events.size()) {
+      Event E = Table.event(Events[I]);
+      E.Name = Table.internName(Mode.B);
+      Events[I] = Table.internEvent(E);
+    }
+    break;
+  }
+  case ErrorMode::Kind::AppendNamed: {
+    // Prefer copying an existing same-named event (preserves its argument
+    // signature, producing an order-only violation); otherwise the seed's
+    // arguments.
+    size_t I = LastNamed(Mode.A);
+    if (I < Events.size()) {
+      Events.push_back(Events[I]);
+    } else if (!Events.empty()) {
+      Event E(Table.internName(Mode.A), Table.event(Events[0]).Args);
+      Events.push_back(Table.internEvent(E));
+    }
+    break;
+  }
+  case ErrorMode::Kind::TruncateTail:
+    if (!Events.empty())
+      Events.pop_back();
+    break;
+  }
+  return Trace(std::move(Events));
+}
+
+Trace WorkloadGenerator::generateScenario(RNG &Rand) {
+  Trace Correct = generateCorrect(Rand);
+  if (!Rand.nextBool(Model.ErrorRate) || Model.Errors.empty())
+    return Correct;
+  std::vector<double> Weights;
+  for (const auto &[W, Mode] : Model.Errors)
+    Weights.push_back(W);
+  const ErrorMode &Mode = Model.Errors[Rand.pickWeighted(Weights)].second;
+  return applyError(Correct, Mode, Rand);
+}
+
+Trace WorkloadGenerator::generateRun(RNG &Rand, ValueId &NextValue) {
+  // Generate the scenarios, remapping slot values to fresh run values.
+  std::vector<std::vector<EventId>> Pending;
+  for (size_t I = 0; I < Model.ScenariosPerRun; ++I) {
+    Trace S = generateScenario(Rand);
+    // Remap: slot k -> NextValue + k (slots are small dense ints).
+    ValueId MaxSlot = 0;
+    for (EventId EI : S.events())
+      for (ValueId V : Table.event(EI).Args)
+        MaxSlot = std::max(MaxSlot, V);
+    std::vector<EventId> Remapped;
+    for (EventId EI : S.events()) {
+      Event E = Table.event(EI);
+      for (ValueId &V : E.Args)
+        V += NextValue;
+      Remapped.push_back(Table.internEvent(E));
+    }
+    NextValue += MaxSlot + 1;
+    if (!Remapped.empty())
+      Pending.push_back(std::move(Remapped));
+  }
+
+  // Noise: unrelated one-off events over fresh values; not seeds, so the
+  // extractor must ignore them.
+  for (size_t I = 0; I < Model.NoisePerRun; ++I) {
+    std::string Name = "XNoise" + std::to_string(Rand.nextBounded(3));
+    Event E(Table.internName(Name), {NextValue++});
+    Pending.push_back({Table.internEvent(E)});
+  }
+
+  // Random interleave preserving each scenario's order.
+  Trace Run;
+  std::vector<size_t> Cursor(Pending.size(), 0);
+  for (;;) {
+    std::vector<size_t> Live;
+    for (size_t I = 0; I < Pending.size(); ++I)
+      if (Cursor[I] < Pending[I].size())
+        Live.push_back(I);
+    if (Live.empty())
+      break;
+    size_t Pick = Live[Rand.nextIndex(Live.size())];
+    Run.append(Pending[Pick][Cursor[Pick]++]);
+  }
+  return Run;
+}
+
+TraceSet WorkloadGenerator::generateRuns(RNG &Rand) {
+  ValueId NextValue = 0;
+  std::vector<Trace> Runs;
+  for (size_t I = 0; I < Model.NumRuns; ++I)
+    Runs.push_back(generateRun(Rand, NextValue));
+  TraceSet Out;
+  Out.table() = Table;
+  for (Trace &T : Runs)
+    Out.add(std::move(T));
+  return Out;
+}
+
+TraceSet WorkloadGenerator::generateScenarios(RNG &Rand, size_t Count) {
+  std::vector<Trace> Scenarios;
+  for (size_t I = 0; I < Count; ++I)
+    Scenarios.push_back(generateScenario(Rand));
+  TraceSet Out;
+  Out.table() = Table;
+  for (Trace &T : Scenarios)
+    Out.add(T.canonicalized(Out.table()));
+  return Out;
+}

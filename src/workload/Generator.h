@@ -1,0 +1,63 @@
+//===- workload/Generator.h - Synthetic trace generation --------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a ProtocolModel into traces: single scenarios (correct or
+/// mutated), and whole synthetic program runs — several scenarios over
+/// fresh object values, randomly interleaved and mixed with unrelated
+/// noise events — which the Strauss front end then slices back apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_WORKLOAD_GENERATOR_H
+#define CABLE_WORKLOAD_GENERATOR_H
+
+#include "support/RNG.h"
+#include "trace/TraceSet.h"
+#include "workload/Protocols.h"
+
+namespace cable {
+
+/// Generates scenarios and runs for one protocol.
+class WorkloadGenerator {
+public:
+  /// \p Table receives all interned events.
+  WorkloadGenerator(const ProtocolModel &Model, EventTable &Table)
+      : Model(Model), Table(Table) {}
+
+  /// One correct scenario with canonical values (slot k = value k).
+  Trace generateCorrect(RNG &Rand);
+
+  /// Applies \p Mode to \p Correct. May return the trace unchanged when
+  /// the mutation's target event is absent.
+  Trace applyError(const Trace &Correct, const ErrorMode &Mode, RNG &Rand);
+
+  /// One scenario: correct with probability 1 - ErrorRate, else mutated by
+  /// a weighted error mode.
+  Trace generateScenario(RNG &Rand);
+
+  /// A full program run: ScenariosPerRun scenarios over globally fresh
+  /// values, randomly interleaved, plus NoisePerRun unrelated events.
+  /// \p NextValue supplies fresh run-global values and is advanced.
+  Trace generateRun(RNG &Rand, ValueId &NextValue);
+
+  /// NumRuns full runs (the miner's training set). The TraceSet owns a
+  /// copy of the table state at return time.
+  TraceSet generateRuns(RNG &Rand);
+
+  /// \p Count standalone scenarios, canonicalized — the shortcut used by
+  /// benches that do not exercise the extraction front end.
+  TraceSet generateScenarios(RNG &Rand, size_t Count);
+
+private:
+  const ProtocolModel &Model;
+  EventTable &Table;
+};
+
+} // namespace cable
+
+#endif // CABLE_WORKLOAD_GENERATOR_H

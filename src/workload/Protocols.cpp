@@ -1,0 +1,561 @@
+//===- workload/Protocols.cpp - Protocol workload models -------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Definitions of the 17 evaluation protocols. Sizing knobs are tuned so
+/// the unique-scenario-class regimes match what §5.3 reports: a handful of
+/// classes for the small specifications (XGetSelOwner, PrsTransTbl,
+/// RmvTimeOut), tens for the medium ones, and on the order of a hundred
+/// for XtFree (whose Baseline cost of 224 implies ~112 classes).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Protocols.h"
+
+#include "support/Error.h"
+
+using namespace cable;
+
+ShapeStep ShapeStep::required(ProtoEvent E) {
+  ShapeStep S;
+  S.K = Kind::Required;
+  S.Events.push_back(std::move(E));
+  return S;
+}
+
+ShapeStep ShapeStep::optional(std::vector<ProtoEvent> Events,
+                              double IncludeProb) {
+  ShapeStep S;
+  S.K = Kind::Optional;
+  S.Events = std::move(Events);
+  S.IncludeProb = IncludeProb;
+  return S;
+}
+
+ShapeStep ShapeStep::oneOf(std::vector<ProtoEvent> Events,
+                           std::vector<double> Weights) {
+  ShapeStep S;
+  S.K = Kind::OneOf;
+  S.Events = std::move(Events);
+  S.Weights = std::move(Weights);
+  return S;
+}
+
+ShapeStep ShapeStep::repeat(std::vector<ProtoEvent> Events, unsigned MinReps,
+                            unsigned MaxReps) {
+  ShapeStep S;
+  S.K = Kind::Repeat;
+  S.Events = std::move(Events);
+  S.MinReps = MinReps;
+  S.MaxReps = MaxReps;
+  return S;
+}
+
+ErrorMode ErrorMode::dropNamed(std::string A) {
+  return ErrorMode{Kind::DropNamed, std::move(A), ""};
+}
+ErrorMode ErrorMode::dropFirst() { return ErrorMode{Kind::DropFirst, "", ""}; }
+ErrorMode ErrorMode::duplicateNamed(std::string A) {
+  return ErrorMode{Kind::DuplicateNamed, std::move(A), ""};
+}
+ErrorMode ErrorMode::replaceNamed(std::string A, std::string B) {
+  return ErrorMode{Kind::ReplaceNamed, std::move(A), std::move(B)};
+}
+ErrorMode ErrorMode::appendNamed(std::string A) {
+  return ErrorMode{Kind::AppendNamed, std::move(A), ""};
+}
+ErrorMode ErrorMode::truncateTail() {
+  return ErrorMode{Kind::TruncateTail, "", ""};
+}
+
+namespace {
+
+/// Shorthand for a single-slot event template.
+ProtoEvent PE(std::string Name, std::vector<int> Objs = {0}) {
+  return ProtoEvent{std::move(Name), std::move(Objs)};
+}
+
+/// One create-use-destroy protocol over a single object: `Create`, then an
+/// optional set of `Uses`, then `Destroy`, with the standard resource error
+/// modes (leak, double destroy, use-after-destroy).
+ProtocolModel resourceProtocol(std::string Name, std::string Description,
+                               std::string Create,
+                               std::vector<std::string> Uses,
+                               std::string Destroy, double IncludeProb) {
+  ProtocolModel M;
+  M.Name = std::move(Name);
+  M.Description = std::move(Description);
+  M.Seeds = {Create};
+
+  ScenarioShape Shape;
+  Shape.Steps.push_back(ShapeStep::required(PE(Create)));
+  std::vector<ProtoEvent> UseEvents;
+  for (const std::string &U : Uses)
+    UseEvents.push_back(PE(U));
+  if (!UseEvents.empty())
+    Shape.Steps.push_back(ShapeStep::optional(UseEvents, IncludeProb));
+  Shape.Steps.push_back(ShapeStep::required(PE(Destroy)));
+  M.Shapes.emplace_back(1.0, std::move(Shape));
+
+  M.Errors.emplace_back(0.4, ErrorMode::dropNamed(Destroy));      // Leak.
+  M.Errors.emplace_back(0.3, ErrorMode::duplicateNamed(Destroy)); // Double.
+  if (!Uses.empty())
+    M.Errors.emplace_back(0.3, ErrorMode::appendNamed(Uses.front()));
+  else
+    M.Errors.emplace_back(0.3, ErrorMode::dropFirst());
+
+  // Oracle: Create [use|use|...]* Destroy.
+  std::string Alt;
+  for (size_t I = 0; I < Uses.size(); ++I) {
+    if (I != 0)
+      Alt += " | ";
+    Alt += Uses[I] + "(v0)";
+  }
+  M.CorrectRegex = Create + "(v0) " +
+                   (Alt.empty() ? std::string() : "[" + Alt + "]* ") +
+                   Destroy + "(v0)";
+  // Double-destroy and use-after-destroy are order-only violations.
+  M.ReferenceSeeds = {{Destroy, {0}}};
+  return M;
+}
+
+std::vector<ProtocolModel> makeAllProtocols() {
+  std::vector<ProtocolModel> Out;
+
+  // 1. XGetSelOwner — tiny: intern the atom, then query the owner.
+  {
+    ProtocolModel M;
+    M.Name = "XGetSelOwner";
+    M.Description = "Intern a selection atom before querying its owner";
+    M.Seeds = {"XInternAtom", "XGetSelectionOwner"};
+    ScenarioShape S;
+    S.Steps.push_back(ShapeStep::required(PE("XInternAtom")));
+    S.Steps.push_back(
+        ShapeStep::optional({PE("XGetSelectionOwner")}, 0.7));
+    S.Steps.push_back(ShapeStep::required(PE("XGetSelectionOwner")));
+    M.Shapes.emplace_back(1.0, std::move(S));
+    M.Errors.emplace_back(1.0, ErrorMode::dropFirst());
+    M.CorrectRegex = "XInternAtom(v0) XGetSelectionOwner(v0)+";
+    M.NumRuns = 6;
+    M.ScenariosPerRun = 4;
+    M.ErrorRate = 0.2;
+    Out.push_back(std::move(M));
+  }
+
+  // 2. XSetSelOwner — set the owner after interning; may re-query.
+  {
+    ProtocolModel M;
+    M.Name = "XSetSelOwner";
+    M.Description =
+        "Intern an atom, set the selection owner, optionally verify";
+    M.Seeds = {"XInternAtom", "XSetSelectionOwner"};
+    ScenarioShape S;
+    S.Steps.push_back(ShapeStep::required(PE("XInternAtom")));
+    S.Steps.push_back(ShapeStep::required(PE("XSetSelectionOwner")));
+    S.Steps.push_back(ShapeStep::optional(
+        {PE("XGetSelectionOwner"), PE("XConvertSelection")}, 0.5));
+    M.Shapes.emplace_back(1.0, std::move(S));
+    M.Errors.emplace_back(0.6, ErrorMode::dropFirst());
+    M.Errors.emplace_back(
+        0.4, ErrorMode::duplicateNamed("XSetSelectionOwner"));
+    M.CorrectRegex = "XInternAtom(v0) XSetSelectionOwner(v0) "
+                     "[XGetSelectionOwner(v0) | XConvertSelection(v0)]*";
+    M.ReferenceSeeds = {{"XSetSelectionOwner", {0}}};
+    M.NumRuns = 8;
+    M.ScenariosPerRun = 5;
+    M.ErrorRate = 0.25;
+    Out.push_back(std::move(M));
+  }
+
+  // 3. XtOwnSelection — own, serve conversions, then disown or lose.
+  {
+    ProtocolModel M;
+    M.Name = "XtOwnSel";
+    M.Description =
+        "Own a selection, serve convert callbacks, then disown or lose it";
+    M.Seeds = {"XtOwnSelection"};
+    ScenarioShape S;
+    S.Steps.push_back(ShapeStep::required(PE("XtOwnSelection")));
+    S.Steps.push_back(ShapeStep::optional(
+        {PE("ConvertSelectionCB"), PE("ConvertSelectionCB")}, 0.5));
+    S.Steps.push_back(ShapeStep::oneOf(
+        {PE("XtDisownSelection"), PE("LoseSelectionCB")}, {0.6, 0.4}));
+    M.Shapes.emplace_back(1.0, std::move(S));
+    M.Errors.emplace_back(0.5, ErrorMode::dropNamed("XtDisownSelection"));
+    M.Errors.emplace_back(0.5, ErrorMode::appendNamed("ConvertSelectionCB"));
+    M.CorrectRegex = "XtOwnSelection(v0) ConvertSelectionCB(v0)* "
+                     "[XtDisownSelection(v0) | LoseSelectionCB(v0)]";
+    M.ReferenceSeeds = {{"XtDisownSelection", {0}},
+                        {"LoseSelectionCB", {0}}};
+    M.NumRuns = 8;
+    M.ScenariosPerRun = 6;
+    M.ErrorRate = 0.2;
+    Out.push_back(std::move(M));
+  }
+
+  // 4. XInternAtom — intern once, then use the atom.
+  {
+    ProtocolModel M;
+    M.Name = "XInternAtom";
+    M.Description = "Intern an atom before any use of it";
+    M.Seeds = {"XInternAtom", "XGetAtomName"};
+    ScenarioShape S;
+    S.Steps.push_back(ShapeStep::required(PE("XInternAtom")));
+    S.Steps.push_back(ShapeStep::optional(
+        {PE("XGetAtomName"), PE("XChangeProperty"), PE("XGetWindowProperty")},
+        0.5));
+    S.Steps.push_back(ShapeStep::required(PE("XGetAtomName")));
+    M.Shapes.emplace_back(1.0, std::move(S));
+    M.Errors.emplace_back(1.0, ErrorMode::dropFirst());
+    M.CorrectRegex =
+        "XInternAtom(v0) [XGetAtomName(v0) | XChangeProperty(v0) | "
+        "XGetWindowProperty(v0)]* XGetAtomName(v0)";
+    M.NumRuns = 10;
+    M.ScenariosPerRun = 6;
+    M.ErrorRate = 0.2;
+    Out.push_back(std::move(M));
+  }
+
+  // 5. PrsTransTbl — parse a translation table, then install it.
+  {
+    ProtocolModel M;
+    M.Name = "PrsTransTbl";
+    M.Description =
+        "Parse a translation table, then augment or override with it";
+    M.Seeds = {"XtParseTranslationTable"};
+    ScenarioShape S;
+    S.Steps.push_back(ShapeStep::required(PE("XtParseTranslationTable")));
+    S.Steps.push_back(ShapeStep::oneOf(
+        {PE("XtAugmentTranslations"), PE("XtOverrideTranslations")}));
+    M.Shapes.emplace_back(1.0, std::move(S));
+    M.Errors.emplace_back(1.0,
+                          ErrorMode::dropNamed("XtAugmentTranslations"));
+    M.CorrectRegex = "XtParseTranslationTable(v0) "
+                     "[XtAugmentTranslations(v0) | "
+                     "XtOverrideTranslations(v0)]";
+    M.NumRuns = 6;
+    M.ScenariosPerRun = 4;
+    M.ErrorRate = 0.25;
+    Out.push_back(std::move(M));
+  }
+
+  // 6. PrsAccelTbl — parse an accelerator table, then install it.
+  {
+    ProtocolModel M;
+    M.Name = "PrsAccelTbl";
+    M.Description = "Parse an accelerator table, then install accelerators";
+    M.Seeds = {"XtParseAcceleratorTable", "XtInstallAccelerators"};
+    ScenarioShape S;
+    S.Steps.push_back(ShapeStep::required(PE("XtParseAcceleratorTable")));
+    S.Steps.push_back(ShapeStep::optional(
+        {PE("XtInstallAccelerators"), PE("XtInstallAllAccelerators")}, 0.6));
+    S.Steps.push_back(ShapeStep::required(PE("XtInstallAccelerators")));
+    M.Shapes.emplace_back(1.0, std::move(S));
+    M.Errors.emplace_back(1.0, ErrorMode::dropFirst());
+    M.CorrectRegex =
+        "XtParseAcceleratorTable(v0) [XtInstallAccelerators(v0) | "
+        "XtInstallAllAccelerators(v0)]* XtInstallAccelerators(v0)";
+    M.NumRuns = 10;
+    M.ScenariosPerRun = 5;
+    M.ErrorRate = 0.25;
+    Out.push_back(std::move(M));
+  }
+
+  // 7. RmvTimeOut — a timeout either fires or is removed, never both.
+  {
+    ProtocolModel M;
+    M.Name = "RmvTimeOut";
+    M.Description =
+        "A timeout either fires its callback or is removed, never both";
+    M.Seeds = {"XtAppAddTimeOut"};
+    ScenarioShape S;
+    S.Steps.push_back(ShapeStep::required(PE("XtAppAddTimeOut")));
+    S.Steps.push_back(ShapeStep::oneOf(
+        {PE("TimeOutCB"), PE("XtRemoveTimeOut")}, {0.6, 0.4}));
+    M.Shapes.emplace_back(1.0, std::move(S));
+    // The race: callback fires and the handle is removed anyway.
+    M.Errors.emplace_back(0.7, ErrorMode::appendNamed("XtRemoveTimeOut"));
+    M.Errors.emplace_back(0.3, ErrorMode::dropNamed("TimeOutCB"));
+    M.CorrectRegex =
+        "XtAppAddTimeOut(v0) [TimeOutCB(v0) | XtRemoveTimeOut(v0)]";
+    // "remove after remove" only differs from a correct trace in event
+    // order, so the reference FA needs a seed-order component.
+    M.ReferenceSeeds = {{"XtRemoveTimeOut", {0}}, {"TimeOutCB", {0}}};
+    M.NumRuns = 6;
+    M.ScenariosPerRun = 4;
+    M.ErrorRate = 0.25;
+    Out.push_back(std::move(M));
+  }
+
+  // 8. Quarks — a quark is created once, then converted back freely.
+  {
+    ProtocolModel M;
+    M.Name = "Quarks";
+    M.Description =
+        "Create a quark from a string before converting it back";
+    M.Seeds = {"XrmStringToQuark", "XrmQuarkToString"};
+    ScenarioShape S;
+    S.Steps.push_back(ShapeStep::required(PE("XrmStringToQuark")));
+    S.Steps.push_back(ShapeStep::optional(
+        {PE("XrmQuarkToString"), PE("XrmQPutResource"), PE("XrmQGetResource")},
+        0.5));
+    S.Steps.push_back(ShapeStep::required(PE("XrmQuarkToString")));
+    M.Shapes.emplace_back(1.0, std::move(S));
+    M.Errors.emplace_back(1.0, ErrorMode::dropFirst());
+    M.CorrectRegex = "XrmStringToQuark(v0) [XrmQuarkToString(v0) | "
+                     "XrmQPutResource(v0) | XrmQGetResource(v0)]* "
+                     "XrmQuarkToString(v0)";
+    M.NumRuns = 10;
+    M.ScenariosPerRun = 5;
+    M.ErrorRate = 0.2;
+    Out.push_back(std::move(M));
+  }
+
+  // 9. RegionsAlloc — create/use/destroy one region.
+  {
+    ProtocolModel M = resourceProtocol(
+        "RegionsAlloc", "A region is created, used, and destroyed once",
+        "XCreateRegion",
+        {"XOffsetRegion", "XShrinkRegion", "XClipBox", "XEmptyRegion"},
+        "XDestroyRegion", 0.45);
+    M.NumRuns = 14;
+    M.ScenariosPerRun = 6;
+    M.ErrorRate = 0.2;
+    Out.push_back(std::move(M));
+  }
+
+  // 10. RegionsBig — three regions interact; high diversity.
+  {
+    ProtocolModel M;
+    M.Name = "RegionsBig";
+    M.Description =
+        "Binary region operations read two live regions and write a third";
+    M.Seeds = {"XCreateRegion"};
+    ScenarioShape S;
+    S.Steps.push_back(ShapeStep::required(PE("XCreateRegion", {0})));
+    S.Steps.push_back(ShapeStep::required(PE("XCreateRegion", {1})));
+    S.Steps.push_back(ShapeStep::required(PE("XCreateRegion", {2})));
+    // At least one binary operation always ties the three regions into one
+    // dataflow scenario (otherwise slicing would rightly split them).
+    S.Steps.push_back(ShapeStep::oneOf(
+        {PE("XUnionRegion", {0, 1, 2}), PE("XIntersectRegion", {0, 1, 2})}));
+    S.Steps.push_back(ShapeStep::optional(
+        {PE("XUnionRegion", {0, 1, 2}), PE("XIntersectRegion", {0, 1, 2}),
+         PE("XSubtractRegion", {0, 1, 2}), PE("XXorRegion", {0, 1, 2}),
+         PE("XOffsetRegion", {2}), PE("XEmptyRegion", {2})},
+        0.45));
+    S.Steps.push_back(ShapeStep::required(PE("XDestroyRegion", {0})));
+    S.Steps.push_back(ShapeStep::required(PE("XDestroyRegion", {1})));
+    S.Steps.push_back(ShapeStep::required(PE("XDestroyRegion", {2})));
+    M.Shapes.emplace_back(1.0, std::move(S));
+    M.Errors.emplace_back(0.4, ErrorMode::dropNamed("XDestroyRegion"));
+    M.Errors.emplace_back(0.3, ErrorMode::duplicateNamed("XDestroyRegion"));
+    M.Errors.emplace_back(0.3, ErrorMode::appendNamed("XUnionRegion"));
+    M.CorrectRegex =
+        "XCreateRegion(v0) XCreateRegion(v1) XCreateRegion(v2) "
+        "[XUnionRegion(v0,v1,v2) | XIntersectRegion(v0,v1,v2) | "
+        "XSubtractRegion(v0,v1,v2) | XXorRegion(v0,v1,v2) | "
+        "XOffsetRegion(v2) | XEmptyRegion(v2)]* "
+        "XDestroyRegion(v0) XDestroyRegion(v1) XDestroyRegion(v2)";
+    M.ReferenceSeeds = {{"XDestroyRegion", {2}}};
+    M.NumRuns = 20;
+    M.ScenariosPerRun = 6;
+    M.ErrorRate = 0.25;
+    Out.push_back(std::move(M));
+  }
+
+  // 11. XFreeGC — a GC is created, configured, used, and freed once.
+  {
+    ProtocolModel M = resourceProtocol(
+        "XFreeGC", "A graphics context is freed exactly once",
+        "XCreateGC",
+        {"XSetForeground", "XSetBackground", "XSetLineAttributes",
+         "XSetClipMask"},
+        "XFreeGC", 0.45);
+    M.NumRuns = 14;
+    M.ScenariosPerRun = 6;
+    M.ErrorRate = 0.2;
+    Out.push_back(std::move(M));
+  }
+
+  // 12. XPutImage — an image is created, drawn, and destroyed.
+  {
+    ProtocolModel M = resourceProtocol(
+        "XPutImage", "An image is created, drawn from, and destroyed once",
+        "XCreateImage", {"XPutImage", "XGetPixel", "XPutPixel", "XSubImage"},
+        "XDestroyImage", 0.45);
+    M.NumRuns = 14;
+    M.ScenariosPerRun = 6;
+    M.ErrorRate = 0.2;
+    Out.push_back(std::move(M));
+  }
+
+  // 13. XSetFont — a font and a GC interact; errors differ from correct
+  // traces only in event order, which makes clusters mix (the paper found
+  // this specification barely easier with Cable than by hand).
+  {
+    ProtocolModel M;
+    M.Name = "XSetFont";
+    M.Description =
+        "A font must be loaded and bound to the GC before drawing";
+    M.Seeds = {"XLoadFont"};
+    ScenarioShape S;
+    S.Steps.push_back(ShapeStep::required(PE("XLoadFont", {0})));
+    S.Steps.push_back(ShapeStep::required(PE("XCreateGC", {1})));
+    S.Steps.push_back(ShapeStep::required(PE("XSetFont", {1, 0})));
+    S.Steps.push_back(ShapeStep::optional(
+        {PE("XDrawString", {1}), PE("XDrawImageString", {1}),
+         PE("XTextWidth", {0})},
+        0.5));
+    S.Steps.push_back(ShapeStep::required(PE("XUnloadFont", {0})));
+    S.Steps.push_back(ShapeStep::required(PE("XFreeGC", {1})));
+    M.Shapes.emplace_back(1.0, std::move(S));
+    // Use-after-unload: drawing still happens after the font is gone; the
+    // trace's event *set* equals a correct trace's, only the order differs.
+    M.Errors.emplace_back(0.5, ErrorMode::appendNamed("XDrawString"));
+    M.Errors.emplace_back(0.5, ErrorMode::dropNamed("XUnloadFont"));
+    M.CorrectRegex =
+        "XLoadFont(v0) XCreateGC(v1) XSetFont(v1,v0) [XDrawString(v1) | "
+        "XDrawImageString(v1) | XTextWidth(v0)]* XUnloadFont(v0) "
+        "XFreeGC(v1)";
+    M.ReferenceSeeds = {{"XUnloadFont", {0}}};
+    M.NumRuns = 14;
+    M.ScenariosPerRun = 6;
+    M.ErrorRate = 0.3;
+    Out.push_back(std::move(M));
+  }
+
+  // 14. XtFree — the paper's dramatic case: many allocation sites and use
+  // patterns produce on the order of a hundred unique scenario classes.
+  {
+    ProtocolModel M;
+    M.Name = "XtFree";
+    M.Description = "Xt heap storage is freed exactly once";
+    M.Seeds = {"XtMalloc", "XtNew", "XtNewString"};
+    ScenarioShape S;
+    S.Steps.push_back(ShapeStep::oneOf(
+        {PE("XtMalloc"), PE("XtNew"), PE("XtNewString")}, {0.5, 0.25, 0.25}));
+    S.Steps.push_back(ShapeStep::optional(
+        {PE("ReadMem"), PE("WriteMem"), PE("XtSetArg"), PE("StrCopyTo")},
+        0.5));
+    S.Steps.push_back(ShapeStep::required(PE("XtFree")));
+    M.Shapes.emplace_back(1.0, std::move(S));
+    M.Errors.emplace_back(0.4, ErrorMode::dropNamed("XtFree"));
+    M.Errors.emplace_back(0.35, ErrorMode::duplicateNamed("XtFree"));
+    M.Errors.emplace_back(0.25, ErrorMode::appendNamed("WriteMem"));
+    M.CorrectRegex =
+        "[XtMalloc(v0) | XtNew(v0) | XtNewString(v0)] [ReadMem(v0) | "
+        "WriteMem(v0) | XtSetArg(v0) | StrCopyTo(v0)]* XtFree(v0)";
+    M.ReferenceSeeds = {{"XtFree", {0}}};
+    M.NumRuns = 26;
+    M.ScenariosPerRun = 9;
+    M.ErrorRate = 0.25;
+    Out.push_back(std::move(M));
+  }
+
+  // 15. XOpenDisplay (reconstructed) — open/close a display.
+  {
+    ProtocolModel M = resourceProtocol(
+        "XOpenDisplay", "A display connection is closed exactly once",
+        "XOpenDisplay", {"XSync", "XFlush"}, "XCloseDisplay", 0.5);
+    M.Reconstructed = true;
+    M.NumRuns = 6;
+    M.ScenariosPerRun = 4;
+    M.ErrorRate = 0.2;
+    Out.push_back(std::move(M));
+  }
+
+  // 16. XCreatePixmap (reconstructed) — pixmaps are freed exactly once.
+  {
+    ProtocolModel M = resourceProtocol(
+        "XCreatePixmap", "A pixmap is freed exactly once", "XCreatePixmap",
+        {"XCopyArea", "XFillRectangle"}, "XFreePixmap", 0.5);
+    M.Reconstructed = true;
+    M.NumRuns = 8;
+    M.ScenariosPerRun = 5;
+    M.ErrorRate = 0.2;
+    Out.push_back(std::move(M));
+  }
+
+  // 17. XSaveContext (reconstructed) — save, find, delete a context slot.
+  {
+    ProtocolModel M;
+    M.Name = "XSaveContext";
+    M.Description =
+        "A context entry is saved before lookups and deleted afterwards";
+    M.Reconstructed = true;
+    M.Seeds = {"XSaveContext"};
+    ScenarioShape S;
+    S.Steps.push_back(ShapeStep::required(PE("XSaveContext")));
+    S.Steps.push_back(ShapeStep::optional(
+        {PE("XFindContext"), PE("XFindContext")}, 0.6));
+    S.Steps.push_back(ShapeStep::required(PE("XDeleteContext")));
+    M.Shapes.emplace_back(1.0, std::move(S));
+    M.Errors.emplace_back(0.5, ErrorMode::dropNamed("XDeleteContext"));
+    M.Errors.emplace_back(0.5, ErrorMode::appendNamed("XFindContext"));
+    M.CorrectRegex =
+        "XSaveContext(v0) XFindContext(v0)* XDeleteContext(v0)";
+    M.ReferenceSeeds = {{"XDeleteContext", {0}}};
+    M.NumRuns = 8;
+    M.ScenariosPerRun = 5;
+    M.ErrorRate = 0.25;
+    Out.push_back(std::move(M));
+  }
+
+  return Out;
+}
+
+} // namespace
+
+const std::vector<ProtocolModel> &cable::allProtocols() {
+  static const std::vector<ProtocolModel> Protocols = makeAllProtocols();
+  return Protocols;
+}
+
+const ProtocolModel &cable::protocolByName(const std::string &Name) {
+  for (const ProtocolModel &M : allProtocols())
+    if (M.Name == Name)
+      return M;
+  reportFatalError(("unknown protocol: " + Name).c_str());
+}
+
+ProtocolModel cable::stdioProtocol() {
+  ProtocolModel M;
+  M.Name = "stdio";
+  M.Description =
+      "fopen pointers are closed with fclose, popen pointers with pclose";
+  M.Seeds = {"fopen", "popen"};
+  {
+    ScenarioShape S;
+    S.Steps.push_back(ShapeStep::required(PE("fopen")));
+    S.Steps.push_back(ShapeStep::repeat({PE("fread"), PE("fwrite")}, 0, 3));
+    S.Steps.push_back(ShapeStep::required(PE("fclose")));
+    M.Shapes.emplace_back(0.55, std::move(S));
+  }
+  {
+    ScenarioShape S;
+    S.Steps.push_back(ShapeStep::required(PE("popen")));
+    S.Steps.push_back(ShapeStep::repeat({PE("fread"), PE("fwrite")}, 0, 3));
+    S.Steps.push_back(ShapeStep::required(PE("pclose")));
+    M.Shapes.emplace_back(0.45, std::move(S));
+  }
+  // The §2.1 violation population: pipes closed with fclose, plus leaks.
+  M.Errors.emplace_back(0.5, ErrorMode::replaceNamed("pclose", "fclose"));
+  M.Errors.emplace_back(0.25, ErrorMode::dropNamed("fclose"));
+  M.Errors.emplace_back(0.25, ErrorMode::dropNamed("pclose"));
+  M.CorrectRegex =
+      "[fopen(v0) [fread(v0) | fwrite(v0)]* fclose(v0)] | "
+      "[popen(v0) [fread(v0) | fwrite(v0)]* pclose(v0)]";
+  M.NumRuns = 12;
+  M.ScenariosPerRun = 6;
+  M.ErrorRate = 0.3;
+  return M;
+}
+
+std::string cable::stdioBuggyRegex() {
+  return "[fopen(v0) | popen(v0)] [fread(v0) | fwrite(v0)]* fclose(v0)";
+}

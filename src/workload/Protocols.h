@@ -1,0 +1,153 @@
+//===- workload/Protocols.h - Protocol workload models ----------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic workload models for the paper's evaluation (§5).
+///
+/// The paper debugs 17 specifications mined from runs of 72 real X11
+/// programs. Those traces are not available, so each specification is
+/// modeled as a *protocol*: a set of weighted correct scenario shapes (a
+/// linear sequence of required steps, optional-set steps, one-of choices,
+/// and bounded repeats over object slots), a set of weighted error modes
+/// that mutate correct scenarios (leaks, double frees, wrong-close,
+/// use-after-free, ...), an oracle regular expression defining the correct
+/// language, and sizing knobs that reproduce each specification's reported
+/// regime (e.g. fewer than 10 unique scenario classes for XGetSelOwner
+/// versus on the order of a hundred for XtFree).
+///
+/// Fourteen protocol names come from the paper's text; the remaining three
+/// rows of Table 1 are reconstructed in the same style (see DESIGN.md §6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_WORKLOAD_PROTOCOLS_H
+#define CABLE_WORKLOAD_PROTOCOLS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cable {
+
+/// An event template inside a scenario shape: an interaction name plus the
+/// object slots it mentions (slot k becomes the scenario's k-th value).
+struct ProtoEvent {
+  std::string Name;
+  std::vector<int> Objs;
+};
+
+/// One step of a linear scenario shape.
+struct ShapeStep {
+  enum class Kind {
+    Required, ///< Emit Events[0].
+    Optional, ///< Emit each event independently with IncludeProb, shuffled.
+    OneOf,    ///< Emit exactly one event, chosen by Weights.
+    Repeat,   ///< Emit between MinReps and MaxReps events drawn from Events.
+  };
+
+  Kind K = Kind::Required;
+  std::vector<ProtoEvent> Events;
+  std::vector<double> Weights; ///< OneOf only; empty = uniform.
+  double IncludeProb = 0.5;    ///< Optional only.
+  unsigned MinReps = 0;        ///< Repeat only.
+  unsigned MaxReps = 3;        ///< Repeat only.
+
+  static ShapeStep required(ProtoEvent E);
+  static ShapeStep optional(std::vector<ProtoEvent> Events,
+                            double IncludeProb = 0.5);
+  static ShapeStep oneOf(std::vector<ProtoEvent> Events,
+                         std::vector<double> Weights = {});
+  static ShapeStep repeat(std::vector<ProtoEvent> Events, unsigned MinReps,
+                          unsigned MaxReps);
+};
+
+/// A linear scenario shape: steps emitted in order.
+struct ScenarioShape {
+  std::vector<ShapeStep> Steps;
+};
+
+/// A mutation turning a correct scenario into an erroneous one.
+struct ErrorMode {
+  enum class Kind {
+    DropNamed,      ///< Remove the last event named A (leak).
+    DropFirst,      ///< Remove the first event (use without create).
+    DuplicateNamed, ///< Duplicate the last event named A (double free).
+    ReplaceNamed,   ///< Rename the last event named A to B (wrong close).
+    AppendNamed,    ///< Append event A with the first event's arguments
+                    ///< (use after free).
+    TruncateTail,   ///< Drop the final event (truncated protocol).
+  };
+
+  Kind K = Kind::TruncateTail;
+  std::string A;
+  std::string B;
+
+  static ErrorMode dropNamed(std::string A);
+  static ErrorMode dropFirst();
+  static ErrorMode duplicateNamed(std::string A);
+  static ErrorMode replaceNamed(std::string A, std::string B);
+  static ErrorMode appendNamed(std::string A);
+  static ErrorMode truncateTail();
+};
+
+/// A complete workload model for one specification.
+struct ProtocolModel {
+  std::string Name;        ///< Table 1 row name, e.g. "XtFree".
+  std::string Description; ///< Table 1 English gloss.
+  bool Reconstructed = false; ///< True for the three rows not named in the
+                              ///< paper's text.
+
+  /// Oracle regular expression (fa/Regex syntax) for the correct scenario
+  /// language; also the expected shape of the debugged specification.
+  std::string CorrectRegex;
+
+  /// Seed event names for scenario extraction.
+  std::vector<std::string> Seeds;
+
+  /// A seed event (name + object slots) for a seed-order reference-FA
+  /// component.
+  struct SeedSpec {
+    std::string Name;
+    std::vector<int> Args = {0};
+  };
+
+  /// When nonempty, the protocol's errors include order-only violations
+  /// (double destroy, use after destroy), so the recommended reference FA
+  /// adds one seed-order component per entry to the unordered template.
+  /// Empty = the unordered template alone separates correct from
+  /// erroneous traces.
+  std::vector<SeedSpec> ReferenceSeeds;
+
+  /// Weighted correct scenario shapes.
+  std::vector<std::pair<double, ScenarioShape>> Shapes;
+
+  /// Weighted error modes.
+  std::vector<std::pair<double, ErrorMode>> Errors;
+
+  // Sizing knobs (chosen per protocol to reproduce §5's regimes).
+  size_t NumRuns = 12;          ///< Program runs to synthesize.
+  size_t ScenariosPerRun = 8;   ///< Scenarios interleaved into each run.
+  double ErrorRate = 0.2;       ///< Fraction of scenarios mutated.
+  size_t NoisePerRun = 4;       ///< Unrelated events mixed into each run.
+};
+
+/// The 17 evaluation protocols, in Table 1 order.
+const std::vector<ProtocolModel> &allProtocols();
+
+/// Looks a protocol up by name; aborts if unknown.
+const ProtocolModel &protocolByName(const std::string &Name);
+
+/// The §2 running example: the stdio fopen/popen protocol.
+ProtocolModel stdioProtocol();
+
+/// The §2.1 *buggy* stdio specification of Fig. 1 (allows fclose on a
+/// popen'ed pointer), as a regex.
+std::string stdioBuggyRegex();
+
+} // namespace cable
+
+#endif // CABLE_WORKLOAD_PROTOCOLS_H

@@ -1,0 +1,26 @@
+//===- workload/ReferenceFA.cpp - Per-protocol reference FAs ---------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/ReferenceFA.h"
+
+using namespace cable;
+
+Automaton cable::makeProtocolReferenceFA(const std::vector<Trace> &Traces,
+                                         EventTable &Table,
+                                         const ProtocolModel &Model) {
+  std::vector<EventId> Alphabet = templateAlphabet(Traces);
+  Automaton Ref = makeUnorderedFA(Alphabet, Table);
+  for (const ProtocolModel::SeedSpec &Spec : Model.ReferenceSeeds) {
+    std::vector<ValueId> Args;
+    Args.reserve(Spec.Args.size());
+    for (int Slot : Spec.Args)
+      Args.push_back(static_cast<ValueId>(Slot));
+    EventId Seed = Table.internEvent(Spec.Name, Args);
+    Ref = Automaton::disjointUnion(Ref, makeSeedOrderFA(Alphabet, Seed, Table));
+  }
+  return Ref;
+}

@@ -1,0 +1,43 @@
+//===- workload/ReferenceFA.h - Per-protocol reference FAs ------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the reference FA Step 1a prescribes for each protocol workload.
+///
+/// Two templates are combined (via disjoint union, which unions the
+/// executed-transition relations):
+///
+///  - the unordered template always participates, so every trace is
+///    accepted and traces are distinguished by which events they contain;
+///  - protocols whose error modes are order-only (double destroy, use
+///    after destroy) add a seed-order component on their discriminating
+///    event, which separates "before the destroy" from "after it".
+///
+/// With this construction the trace's attribute set determines its
+/// good/bad classification for every protocol in the suite, which makes
+/// every induced lattice well-formed (§4.3) — the property the labeling-
+/// cost measurements of Table 3 rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_WORKLOAD_REFERENCEFA_H
+#define CABLE_WORKLOAD_REFERENCEFA_H
+
+#include "fa/Templates.h"
+#include "workload/Protocols.h"
+
+namespace cable {
+
+/// Builds the recommended reference FA for \p Model over the scenario set
+/// \p Traces (whose events live in \p Table).
+Automaton makeProtocolReferenceFA(const std::vector<Trace> &Traces,
+                                  EventTable &Table,
+                                  const ProtocolModel &Model);
+
+} // namespace cable
+
+#endif // CABLE_WORKLOAD_REFERENCEFA_H

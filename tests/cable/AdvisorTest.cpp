@@ -1,0 +1,191 @@
+//===- tests/cable/AdvisorTest.cpp -----------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cable/Advisor.h"
+
+#include "../TestHelpers.h"
+#include "fa/Templates.h"
+#include "support/RNG.h"
+#include "workload/Generator.h"
+#include "workload/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+using cable::test::parseTraces;
+
+namespace {
+
+/// A session whose unordered lattice is ill-formed: "use after free" only
+/// differs from a correct trace in event order.
+struct OrderOnlyFixture {
+  std::unique_ptr<Session> S;
+  ReferenceLabeling Target;
+
+  OrderOnlyFixture() {
+    TraceSet Traces = parseTraces(
+        "alloc(v0) use(v0) free(v0)\n"
+        "alloc(v0) free(v0)\n"
+        "alloc(v0) use(v0) use(v0) free(v0)\n"
+        "alloc(v0) free(v0) use(v0)\n"        // Use after free.
+        "alloc(v0) use(v0) free(v0) use(v0)\n" // Use after free.
+        "alloc(v0) use(v0) free(v0) free(v0)\n"); // Double free.
+    Automaton Ref =
+        makeUnorderedFA(templateAlphabet(Traces.traces()), Traces.table());
+    S = std::make_unique<Session>(std::move(Traces), std::move(Ref));
+    std::vector<std::string> Names{"good", "good", "good",
+                                   "bad",  "bad",  "bad"};
+    Target = makeReferenceLabeling(*S, Names);
+  }
+};
+
+} // namespace
+
+TEST(AdvisorTest, SuggestsSeedsThatSplitMixedConcepts) {
+  OrderOnlyFixture F;
+  ASSERT_FALSE(checkWellFormed(*F.S, F.Target).LatticeWellFormed)
+      << "the fixture must be ill-formed for the unordered template";
+
+  std::vector<SeedSuggestion> Suggestions =
+      suggestFocusSeeds(*F.S, F.S->lattice().top());
+  ASSERT_FALSE(Suggestions.empty());
+  for (const SeedSuggestion &Sg : Suggestions)
+    EXPECT_GE(Sg.NumGroups, 2u);
+
+  // A seed-order template on `free` separates use-after-free and double
+  // free from correct traces; it must be among the suggestions.
+  bool FreeSuggested = false;
+  for (const SeedSuggestion &Sg : Suggestions)
+    if (F.S->table().nameText(F.S->table().event(Sg.Seed).Name) == "free")
+      FreeSuggested = true;
+  EXPECT_TRUE(FreeSuggested);
+}
+
+TEST(AdvisorTest, SuggestionsEmptyForSingletons) {
+  OrderOnlyFixture F;
+  // Find a singleton concept.
+  for (Session::NodeId Id = 0; Id < F.S->lattice().size(); ++Id)
+    if (F.S->lattice().node(Id).Extent.count() <= 1)
+      EXPECT_TRUE(suggestFocusSeeds(*F.S, Id).empty());
+}
+
+TEST(AdvisorTest, BuildSuggestedFocusFAAcceptsAllConceptTraces) {
+  OrderOnlyFixture F;
+  Session::NodeId Top = F.S->lattice().top();
+  std::vector<SeedSuggestion> Suggestions = suggestFocusSeeds(*F.S, Top);
+  ASSERT_FALSE(Suggestions.empty());
+  Automaton FA = buildSuggestedFocusFA(*F.S, Top, Suggestions[0].Seed);
+  for (size_t Obj = 0; Obj < F.S->numObjects(); ++Obj)
+    EXPECT_TRUE(FA.accepts(F.S->object(Obj), F.S->table()))
+        << "the union with the unordered template accepts everything";
+}
+
+TEST(AdvisorTest, NameProjectionSuggestionsSplitMultiObjectConcepts) {
+  // Two-object traces where only the second object's fate differs; a
+  // projection onto v1 separates them, a projection onto v0 does not.
+  TraceSet Traces = parseTraces("bind(v0,v1) use(v0) close(v1)\n"
+                                "bind(v0,v1) use(v0) leak(v1)\n"
+                                "bind(v0,v1) use(v0) close(v1)\n");
+  Automaton Ref =
+      makeUnorderedFA(templateAlphabet(Traces.traces()), Traces.table());
+  Session S(std::move(Traces), std::move(Ref));
+  std::vector<ProjectionSuggestion> Suggestions =
+      suggestNameProjections(S, S.lattice().top());
+  ASSERT_FALSE(Suggestions.empty());
+  for (const ProjectionSuggestion &Sg : Suggestions)
+    EXPECT_GE(Sg.NumGroups, 2u);
+  // v1 must rank at least as well as anything else (it is the
+  // discriminating name).
+  bool V1Listed = false;
+  for (const ProjectionSuggestion &Sg : Suggestions)
+    V1Listed |= (Sg.Value == 1);
+  EXPECT_TRUE(V1Listed);
+}
+
+TEST(AdvisorTest, NameProjectionSuggestionsEmptyWhenNothingSplits) {
+  TraceSet Traces = parseTraces("a(v0)\na(v0)\n");
+  Automaton Ref =
+      makeUnorderedFA(templateAlphabet(Traces.traces()), Traces.table());
+  Session S(std::move(Traces), std::move(Ref));
+  EXPECT_TRUE(suggestNameProjections(S, S.lattice().top()).empty());
+}
+
+TEST(AdvisorTest, AutoFocusRepairsIllFormedLattice) {
+  OrderOnlyFixture F;
+  TopDownStrategy TD;
+  EXPECT_FALSE(TD.run(*F.S, F.Target).Finished)
+      << "plain top-down must fail on the ill-formed lattice";
+
+  AutoFocusStrategy AF;
+  StrategyCost Cost = AF.run(*F.S, F.Target);
+  EXPECT_TRUE(Cost.Finished)
+      << "auto-focus must finish by re-clustering the stuck concept";
+  for (size_t Obj = 0; Obj < F.S->numObjects(); ++Obj)
+    EXPECT_EQ(*F.S->labelOf(Obj), F.Target.Target[Obj]);
+}
+
+TEST(AdvisorTest, AutoFocusMatchesTopDownWhenWellFormed) {
+  // On a well-formed lattice the strategy degenerates to plain top-down.
+  TraceSet Traces = parseTraces("a(v0) b(v0)\n"
+                                "a(v0) c(v0)\n"
+                                "a(v0) err(v0)\n");
+  Automaton Ref =
+      makeUnorderedFA(templateAlphabet(Traces.traces()), Traces.table());
+  Session S(std::move(Traces), std::move(Ref));
+  ReferenceLabeling Target =
+      makeReferenceLabeling(S, {"good", "good", "bad"});
+
+  AutoFocusStrategy AF;
+  StrategyCost AFCost = AF.run(S, Target);
+  ASSERT_TRUE(AFCost.Finished);
+  TopDownStrategy TD;
+  StrategyCost TDCost = TD.run(S, Target);
+  ASSERT_TRUE(TDCost.Finished);
+  EXPECT_EQ(AFCost.total(), TDCost.total());
+}
+
+TEST(AdvisorTest, AutoFocusGivesUpOnInseparableLabelings) {
+  // The §4.3 parity labeling is beyond seed-order repair too (counting
+  // needs more than before/after distinctions).
+  TraceSet Traces = parseTraces("foo\nfoo foo\nfoo foo foo\n"
+                                "foo foo foo foo\nfoo foo foo foo foo\n");
+  EventTable &T = Traces.table();
+  Automaton Ref = makeUnorderedFA(templateAlphabet(Traces.traces()), T);
+  Session S(std::move(Traces), std::move(Ref));
+  std::vector<std::string> Names;
+  for (size_t Obj = 0; Obj < S.numObjects(); ++Obj)
+    Names.push_back(S.object(Obj).size() % 2 == 0 ? "good" : "bad");
+  ReferenceLabeling Target = makeReferenceLabeling(S, Names);
+
+  AutoFocusStrategy AF;
+  EXPECT_FALSE(AF.run(S, Target).Finished);
+}
+
+TEST(AdvisorTest, AutoFocusHandlesUnorderedProtocolWorkloads) {
+  // End-to-end: protocols whose unordered lattices are ill-formed (order-
+  // only errors) become solvable with auto-focus.
+  for (const char *Name : {"XFreeGC", "XtFree"}) {
+    ProtocolModel Model = protocolByName(Name);
+    EventTable Table;
+    WorkloadGenerator Gen(Model, Table);
+    RNG Rand(99);
+    TraceSet Scenarios = Gen.generateScenarios(Rand, 80);
+    Automaton Ref = makeUnorderedFA(templateAlphabet(Scenarios.traces()),
+                                    Scenarios.table());
+    Session S(std::move(Scenarios), std::move(Ref));
+    Oracle Truth(Model, S.table());
+    ReferenceLabeling Target = Truth.referenceLabeling(S);
+
+    TopDownStrategy TD;
+    bool TopDownFinished = TD.run(S, Target).Finished;
+    AutoFocusStrategy AF;
+    StrategyCost Cost = AF.run(S, Target);
+    EXPECT_TRUE(Cost.Finished) << Name;
+    if (!TopDownFinished)
+      EXPECT_GT(Cost.total(), 0u);
+  }
+}

@@ -1,0 +1,133 @@
+//===- tests/cable/WellFormedTest.cpp --------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cable/WellFormed.h"
+
+#include "../TestHelpers.h"
+#include "cable/Strategies.h"
+#include "fa/Templates.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+using cable::test::compileFA;
+using cable::test::parseTraces;
+
+TEST(WellFormedTest, UniformLabelingIsAlwaysWellFormed) {
+  TraceSet Traces = parseTraces("a(v0) b(v0)\n"
+                                "a(v0) c(v0)\n"
+                                "b(v0)\n");
+  Automaton Ref =
+      makeUnorderedFA(templateAlphabet(Traces.traces()), Traces.table());
+  Session S(std::move(Traces), std::move(Ref));
+  ReferenceLabeling Target = makeReferenceLabeling(
+      S, std::vector<std::string>(S.numObjects(), "good"));
+  WellFormedness WF = checkWellFormed(S, Target);
+  EXPECT_TRUE(WF.LatticeWellFormed);
+  EXPECT_TRUE(WF.IllFormed.empty());
+}
+
+TEST(WellFormedTest, PaperParityExampleIsIllFormed) {
+  // §4.3's example: foo must be called an even number of times; the
+  // reference FA has a single foo self-loop, so every trace lands in one
+  // concept and even/odd cannot be separated.
+  TraceSet Traces = parseTraces("foo foo\n"
+                                "foo\n"
+                                "foo foo foo\n"
+                                "foo foo foo foo\n");
+  Automaton Ref = compileFA("foo*", Traces.table());
+  Session S(std::move(Traces), std::move(Ref));
+
+  std::vector<std::string> Names;
+  for (size_t Obj = 0; Obj < S.numObjects(); ++Obj)
+    Names.push_back(S.object(Obj).size() % 2 == 0 ? "good" : "bad");
+  ReferenceLabeling Target = makeReferenceLabeling(S, Names);
+
+  WellFormedness WF = checkWellFormed(S, Target);
+  EXPECT_FALSE(WF.LatticeWellFormed);
+  EXPECT_FALSE(WF.IllFormed.empty());
+}
+
+TEST(WellFormedTest, SeparableLabelingIsWellFormed) {
+  // pclose-traces good, the rest bad: the unordered lattice separates
+  // them because the label depends only on which events occur.
+  TraceSet Traces = parseTraces("popen(v0) pclose(v0)\n"
+                                "popen(v0) fread(v0) pclose(v0)\n"
+                                "popen(v0) fread(v0)\n"
+                                "popen(v0)\n");
+  Automaton Ref =
+      makeUnorderedFA(templateAlphabet(Traces.traces()), Traces.table());
+  Session S(std::move(Traces), std::move(Ref));
+  std::vector<std::string> Names;
+  for (size_t Obj = 0; Obj < S.numObjects(); ++Obj) {
+    bool HasPclose = false;
+    for (EventId E : S.object(Obj).events())
+      if (S.table().nameText(S.table().event(E).Name) == "pclose")
+        HasPclose = true;
+    Names.push_back(HasPclose ? "good" : "bad");
+  }
+  ReferenceLabeling Target = makeReferenceLabeling(S, Names);
+  EXPECT_TRUE(checkWellFormed(S, Target).LatticeWellFormed);
+}
+
+TEST(WellFormedTest, UniformHelpers) {
+  TraceSet Traces = parseTraces("a\nb\n");
+  Automaton Ref =
+      makeUnorderedFA(templateAlphabet(Traces.traces()), Traces.table());
+  Session S(std::move(Traces), std::move(Ref));
+  ReferenceLabeling Target =
+      makeReferenceLabeling(S, {"good", "bad"});
+  BitVector None(2);
+  EXPECT_TRUE(Target.uniform(None)) << "vacuously uniform";
+  BitVector Both(2);
+  Both.setAll();
+  EXPECT_FALSE(Target.uniform(Both));
+  BitVector JustOne(2);
+  JustOne.set(1);
+  EXPECT_TRUE(Target.uniform(JustOne));
+  EXPECT_EQ(Target.sharedLabel(JustOne), Target.Target[1]);
+}
+
+/// The paper's implicit equivalence: a lattice is well-formed for a
+/// labeling iff the Bottom-up strategy reaches that labeling.
+class WellFormedEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WellFormedEquivalenceTest, WellFormedIffBottomUpFinishes) {
+  RNG Rand(GetParam());
+  // Random traces over a small alphabet, random target labeling.
+  TraceSet Traces;
+  std::vector<std::string> Names{"a", "b", "c", "d"};
+  size_t N = 2 + Rand.nextIndex(8);
+  for (size_t I = 0; I < N; ++I) {
+    Trace T;
+    size_t Len = 1 + Rand.nextIndex(4);
+    for (size_t J = 0; J < Len; ++J)
+      T.append(Traces.table().internEvent(Names[Rand.nextIndex(4)]));
+    Traces.add(std::move(T));
+  }
+  Automaton Ref =
+      makeUnorderedFA(templateAlphabet(Traces.traces()), Traces.table());
+  Session S(std::move(Traces), std::move(Ref));
+
+  std::vector<std::string> LabelNames;
+  for (size_t Obj = 0; Obj < S.numObjects(); ++Obj)
+    LabelNames.push_back(Rand.nextBool(0.5) ? "good" : "bad");
+  ReferenceLabeling Target = makeReferenceLabeling(S, LabelNames);
+
+  bool WF = checkWellFormed(S, Target).LatticeWellFormed;
+  BottomUpStrategy BU;
+  StrategyCost Cost = BU.run(S, Target);
+  EXPECT_EQ(WF, Cost.Finished)
+      << "well-formedness must coincide with bottom-up feasibility";
+  if (Cost.Finished)
+    for (size_t Obj = 0; Obj < S.numObjects(); ++Obj)
+      EXPECT_EQ(*S.labelOf(Obj), Target.Target[Obj]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WellFormedEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 40));

@@ -1,0 +1,228 @@
+//===- tests/concepts/LatticeTest.cpp --------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concepts/Lattice.h"
+
+#include "concepts/GodinBuilder.h"
+#include "concepts/NextClosureBuilder.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace cable;
+
+namespace {
+
+/// The animals-and-adjectives example in the spirit of Fig. 9 (the paper
+/// borrows it from Siff's thesis; the exact table lives in a figure, so
+/// this is a representative instance).
+/// Objects: cat, gerbil, dog, dolphin.
+/// Attrs:   0 four-legged, 1 hair-covered, 2 small, 3 smart, 4 marine.
+Context animalsContext() {
+  Context Ctx(4, 5);
+  // cat: four-legged, hair-covered, small.
+  Ctx.relate(0, 0);
+  Ctx.relate(0, 1);
+  Ctx.relate(0, 2);
+  // gerbil: four-legged, hair-covered, small.
+  Ctx.relate(1, 0);
+  Ctx.relate(1, 1);
+  Ctx.relate(1, 2);
+  // dog: four-legged, hair-covered, smart.
+  Ctx.relate(2, 0);
+  Ctx.relate(2, 1);
+  Ctx.relate(2, 3);
+  // dolphin: smart, marine.
+  Ctx.relate(3, 3);
+  Ctx.relate(3, 4);
+  return Ctx;
+}
+
+} // namespace
+
+TEST(LatticeTest, AnimalsLatticeStructure) {
+  Context Ctx = animalsContext();
+  ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+
+  std::string Why;
+  EXPECT_TRUE(L.verify(Ctx, &Why)) << Why;
+
+  // Expected concepts: top {all}x{}, {cat,gerbil,dog}x{4l,hair},
+  // {cat,gerbil}x{4l,hair,small}, {dog,dolphin}x{smart},
+  // {dog}x{4l,hair,smart}, {dolphin}x{smart,marine}, bottom {}x{all}.
+  EXPECT_EQ(L.size(), 7u);
+
+  const Concept &Top = L.node(L.top());
+  EXPECT_EQ(Top.Extent.count(), 4u);
+  EXPECT_EQ(Top.Intent.count(), 0u);
+  const Concept &Bottom = L.node(L.bottom());
+  EXPECT_EQ(Bottom.Extent.count(), 0u);
+  EXPECT_EQ(Bottom.Intent.count(), 5u);
+
+  // The {cat,gerbil} concept exists and sits below {cat,gerbil,dog}.
+  BitVector CatGerbil(4);
+  CatGerbil.set(0);
+  CatGerbil.set(1);
+  std::optional<ConceptLattice::NodeId> CG = L.findByExtent(CatGerbil);
+  ASSERT_TRUE(CG.has_value());
+  EXPECT_EQ(L.node(*CG).Intent.count(), 3u);
+  ASSERT_EQ(L.parents(*CG).size(), 1u);
+  EXPECT_EQ(L.node(L.parents(*CG)[0]).Extent.count(), 3u);
+}
+
+TEST(LatticeTest, SimilarityIncreasesDownward) {
+  Context Ctx = animalsContext();
+  ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+  for (ConceptLattice::NodeId Id = 0; Id < L.size(); ++Id)
+    for (ConceptLattice::NodeId C : L.children(Id)) {
+      EXPECT_GE(L.node(C).Intent.count(), L.node(Id).Intent.count())
+          << "children are at least as similar (paper §3.1)";
+      EXPECT_TRUE(L.node(C).Extent.isSubsetOf(L.node(Id).Extent));
+    }
+}
+
+TEST(LatticeTest, MeetAndJoin) {
+  Context Ctx = animalsContext();
+  ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+  // meet({cat,gerbil,dog}, {dog,dolphin}) = {dog}.
+  BitVector Mammals(4);
+  Mammals.set(0);
+  Mammals.set(1);
+  Mammals.set(2);
+  BitVector Smart(4);
+  Smart.set(2);
+  Smart.set(3);
+  auto A = L.findByExtent(Mammals);
+  auto B = L.findByExtent(Smart);
+  ASSERT_TRUE(A && B);
+  ConceptLattice::NodeId M = L.meet(*A, *B);
+  EXPECT_EQ(L.node(M).Extent.toIndices(), (std::vector<size_t>{2}));
+  // join of {dog} and {dolphin} = {dog,dolphin}.
+  BitVector Dog(4), Dolphin(4);
+  Dog.set(2);
+  Dolphin.set(3);
+  auto D1 = L.findByExtent(Dog);
+  auto D2 = L.findByExtent(Dolphin);
+  ASSERT_TRUE(D1 && D2);
+  ConceptLattice::NodeId J = L.join(*D1, *D2);
+  EXPECT_EQ(L.node(J).Extent.toIndices(), (std::vector<size_t>{2, 3}));
+}
+
+TEST(LatticeTest, LessEqualIsExtentInclusion) {
+  Context Ctx = animalsContext();
+  ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+  EXPECT_TRUE(L.lessEqual(L.bottom(), L.top()));
+  EXPECT_FALSE(L.lessEqual(L.top(), L.bottom()));
+  for (ConceptLattice::NodeId Id = 0; Id < L.size(); ++Id) {
+    EXPECT_TRUE(L.lessEqual(Id, Id));
+    EXPECT_TRUE(L.lessEqual(Id, L.top()));
+    EXPECT_TRUE(L.lessEqual(L.bottom(), Id));
+  }
+}
+
+TEST(LatticeTest, TopDownOrderRespectsCovers) {
+  Context Ctx = animalsContext();
+  ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+  std::vector<ConceptLattice::NodeId> Order = L.topDownOrder();
+  ASSERT_EQ(Order.size(), L.size());
+  std::vector<size_t> Pos(L.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Pos[Order[I]] = I;
+  EXPECT_EQ(Order.front(), L.top());
+  for (ConceptLattice::NodeId Id = 0; Id < L.size(); ++Id)
+    for (ConceptLattice::NodeId C : L.children(Id))
+      EXPECT_LT(Pos[Id], Pos[C]);
+}
+
+TEST(LatticeTest, HeightOfAnimalsLattice) {
+  Context Ctx = animalsContext();
+  ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+  // top -> {4l,hair} -> {cat,gerbil} -> bottom is a longest chain.
+  EXPECT_EQ(L.height(), 3u);
+}
+
+/// Lattice algebra laws on random contexts.
+class LatticeAlgebraTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LatticeAlgebraTest, MeetJoinLaws) {
+  RNG Rand(GetParam() * 211 + 17);
+  size_t O = 2 + Rand.nextIndex(7);
+  size_t A = 2 + Rand.nextIndex(7);
+  Context Ctx(O, A);
+  for (size_t I = 0; I < O; ++I)
+    for (size_t J = 0; J < A; ++J)
+      if (Rand.nextBool(0.4))
+        Ctx.relate(I, J);
+  ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    auto X = static_cast<ConceptLattice::NodeId>(Rand.nextIndex(L.size()));
+    auto Y = static_cast<ConceptLattice::NodeId>(Rand.nextIndex(L.size()));
+    auto Z = static_cast<ConceptLattice::NodeId>(Rand.nextIndex(L.size()));
+
+    // Commutativity.
+    EXPECT_EQ(L.meet(X, Y), L.meet(Y, X));
+    EXPECT_EQ(L.join(X, Y), L.join(Y, X));
+    // Idempotence.
+    EXPECT_EQ(L.meet(X, X), X);
+    EXPECT_EQ(L.join(X, X), X);
+    // Associativity.
+    EXPECT_EQ(L.meet(L.meet(X, Y), Z), L.meet(X, L.meet(Y, Z)));
+    EXPECT_EQ(L.join(L.join(X, Y), Z), L.join(X, L.join(Y, Z)));
+    // Absorption.
+    EXPECT_EQ(L.meet(X, L.join(X, Y)), X);
+    EXPECT_EQ(L.join(X, L.meet(X, Y)), X);
+    // Bounds and order coherence.
+    EXPECT_TRUE(L.lessEqual(L.meet(X, Y), X));
+    EXPECT_TRUE(L.lessEqual(X, L.join(X, Y)));
+    EXPECT_EQ(L.meet(X, L.bottom()), L.bottom());
+    EXPECT_EQ(L.join(X, L.top()), L.top());
+    // x <= y iff meet(x,y) == x iff join(x,y) == y.
+    bool LE = L.lessEqual(X, Y);
+    EXPECT_EQ(LE, L.meet(X, Y) == X);
+    EXPECT_EQ(LE, L.join(X, Y) == Y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticeAlgebraTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+TEST(LatticeTest, SingleConceptLattice) {
+  // One object with zero attributes: the lattice degenerates.
+  Context Ctx(1, 0);
+  ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+  EXPECT_EQ(L.size(), 1u);
+  EXPECT_EQ(L.top(), L.bottom());
+  EXPECT_EQ(L.height(), 0u);
+  std::string Why;
+  EXPECT_TRUE(L.verify(Ctx, &Why)) << Why;
+}
+
+TEST(LatticeTest, RenderDotHasAllNodes) {
+  Context Ctx = animalsContext();
+  ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+  std::string Dot = L.renderDot("animals", [](ConceptLattice::NodeId Id) {
+    return "node" + std::to_string(Id);
+  });
+  for (ConceptLattice::NodeId Id = 0; Id < L.size(); ++Id)
+    EXPECT_NE(Dot.find("node" + std::to_string(Id)), std::string::npos);
+}
+
+TEST(LatticeTest, DisjointObjectsProduceDiamond) {
+  // Two objects with disjoint attributes: top, two atoms, bottom.
+  Context Ctx(2, 2);
+  Ctx.relate(0, 0);
+  Ctx.relate(1, 1);
+  ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+  EXPECT_EQ(L.size(), 4u);
+  EXPECT_EQ(L.children(L.top()).size(), 2u);
+  EXPECT_EQ(L.parents(L.bottom()).size(), 2u);
+  std::string Why;
+  EXPECT_TRUE(L.verify(Ctx, &Why)) << Why;
+}

@@ -1,0 +1,288 @@
+//===- tests/fa/DfaTest.cpp ------------------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fa/Dfa.h"
+
+#include "../TestHelpers.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+using cable::test::compileFA;
+using cable::test::makeTrace;
+
+namespace {
+
+std::vector<EventId> internAlphabet(EventTable &T,
+                                    std::initializer_list<const char *> Names) {
+  std::vector<EventId> Out;
+  for (const char *N : Names)
+    Out.push_back(T.internEvent(N));
+  return Out;
+}
+
+Trace randomTraceOver(RNG &Rand, const std::vector<EventId> &Alphabet,
+                      size_t MaxLen) {
+  Trace T;
+  size_t Len = Rand.nextIndex(MaxLen + 1);
+  for (size_t I = 0; I < Len; ++I)
+    T.append(Alphabet[Rand.nextIndex(Alphabet.size())]);
+  return T;
+}
+
+} // namespace
+
+TEST(DfaTest, CollectAlphabetFirstAppearanceOrder) {
+  EventTable T;
+  Trace A = makeTrace(T, "b a b c");
+  Trace B = makeTrace(T, "c d");
+  std::vector<EventId> Alpha = collectAlphabet({A, B});
+  ASSERT_EQ(Alpha.size(), 4u);
+  EXPECT_EQ(T.renderEvent(Alpha[0]), "b");
+  EXPECT_EQ(T.renderEvent(Alpha[1]), "a");
+  EXPECT_EQ(T.renderEvent(Alpha[2]), "c");
+  EXPECT_EQ(T.renderEvent(Alpha[3]), "d");
+}
+
+TEST(DfaTest, DeterminizePreservesAcceptance) {
+  EventTable T;
+  Automaton NFA = compileFA("[a | a b]* c", T);
+  std::vector<EventId> Alpha = internAlphabet(T, {"a", "b", "c"});
+  Dfa D = Dfa::determinize(NFA, Alpha, T);
+  RNG Rand(5);
+  for (int I = 0; I < 200; ++I) {
+    Trace Tr = randomTraceOver(Rand, Alpha, 7);
+    EXPECT_EQ(D.accepts(Tr), NFA.accepts(Tr, T)) << Tr.render(T);
+  }
+}
+
+TEST(DfaTest, AcceptRejectsOutOfAlphabetEvents) {
+  EventTable T;
+  Automaton NFA = compileFA("a", T);
+  std::vector<EventId> Alpha = internAlphabet(T, {"a"});
+  Dfa D = Dfa::determinize(NFA, Alpha, T);
+  Trace Foreign;
+  Foreign.append(T.internEvent("zzz"));
+  EXPECT_FALSE(D.accepts(Foreign));
+}
+
+TEST(DfaTest, MinimizeReducesAndPreserves) {
+  EventTable T;
+  // a a | a a a a -> minimal DFA needs 6 states (incl. dead).
+  Automaton NFA = compileFA("[a a] | [a a a a]", T);
+  std::vector<EventId> Alpha = internAlphabet(T, {"a"});
+  Dfa D = Dfa::determinize(NFA, Alpha, T);
+  Dfa M = D.minimized();
+  EXPECT_LE(M.numStates(), D.numStates());
+  EXPECT_TRUE(Dfa::equivalent(D, M));
+  RNG Rand(6);
+  for (int I = 0; I < 100; ++I) {
+    Trace Tr = randomTraceOver(Rand, Alpha, 6);
+    EXPECT_EQ(M.accepts(Tr), D.accepts(Tr));
+  }
+}
+
+TEST(DfaTest, MinimizedIsCanonicalAcrossPresentations) {
+  EventTable T1, T2;
+  // Same language, two different regexes.
+  Automaton A = compileFA("[a b]* ", T1);
+  Automaton B = compileFA("[a b [a b]*]? ", T2);
+  std::vector<EventId> Alpha1 = internAlphabet(T1, {"a", "b"});
+  std::vector<EventId> Alpha2 = internAlphabet(T2, {"a", "b"});
+  Dfa DA = Dfa::determinize(A, Alpha1, T1).minimized();
+  Dfa DB = Dfa::determinize(B, Alpha2, T2).minimized();
+  EXPECT_EQ(DA.numStates(), DB.numStates())
+      << "minimal DFAs of one language have equal size";
+}
+
+TEST(DfaTest, ComplementFlipsAcceptance) {
+  EventTable T;
+  Automaton NFA = compileFA("a b*", T);
+  std::vector<EventId> Alpha = internAlphabet(T, {"a", "b"});
+  Dfa D = Dfa::determinize(NFA, Alpha, T);
+  Dfa C = D.complemented();
+  RNG Rand(7);
+  for (int I = 0; I < 100; ++I) {
+    Trace Tr = randomTraceOver(Rand, Alpha, 6);
+    EXPECT_NE(C.accepts(Tr), D.accepts(Tr));
+  }
+}
+
+TEST(DfaTest, ProductIntersectionAndUnion) {
+  EventTable T;
+  Automaton A = compileFA("a .*", T);  // Starts with a.
+  Automaton B = compileFA(".* b", T);  // Ends with b.
+  std::vector<EventId> Alpha = internAlphabet(T, {"a", "b"});
+  Dfa DA = Dfa::determinize(A, Alpha, T);
+  Dfa DB = Dfa::determinize(B, Alpha, T);
+  Dfa Inter = Dfa::product(DA, DB, /*WantUnion=*/false);
+  Dfa Uni = Dfa::product(DA, DB, /*WantUnion=*/true);
+  RNG Rand(8);
+  for (int I = 0; I < 150; ++I) {
+    Trace Tr = randomTraceOver(Rand, Alpha, 6);
+    EXPECT_EQ(Inter.accepts(Tr), DA.accepts(Tr) && DB.accepts(Tr));
+    EXPECT_EQ(Uni.accepts(Tr), DA.accepts(Tr) || DB.accepts(Tr));
+  }
+}
+
+TEST(DfaTest, EquivalenceDetectsDifference) {
+  EventTable T;
+  std::vector<EventId> Alpha = internAlphabet(T, {"a", "b"});
+  Dfa A = Dfa::determinize(compileFA("a b", T), Alpha, T);
+  Dfa B = Dfa::determinize(compileFA("a b", T), Alpha, T);
+  Dfa C = Dfa::determinize(compileFA("a b | b", T), Alpha, T);
+  EXPECT_TRUE(Dfa::equivalent(A, B));
+  EXPECT_FALSE(Dfa::equivalent(A, C));
+}
+
+TEST(DfaTest, IsEmpty) {
+  EventTable T;
+  std::vector<EventId> Alpha = internAlphabet(T, {"a"});
+  Dfa NonEmpty = Dfa::determinize(compileFA("a", T), Alpha, T);
+  EXPECT_FALSE(NonEmpty.isEmpty());
+  // a AND not-a is empty.
+  Dfa Empty = Dfa::product(NonEmpty, NonEmpty.complemented(), false);
+  EXPECT_TRUE(Empty.isEmpty());
+}
+
+TEST(DfaTest, ToAutomatonRoundTripsLanguage) {
+  EventTable T;
+  Automaton NFA = compileFA("open [read | write]* close", T);
+  std::vector<EventId> Alpha =
+      internAlphabet(T, {"open", "read", "write", "close"});
+  Dfa D = Dfa::determinize(NFA, Alpha, T).minimized();
+  Automaton Back = D.toAutomaton(T);
+  RNG Rand(9);
+  for (int I = 0; I < 150; ++I) {
+    Trace Tr = randomTraceOver(Rand, Alpha, 6);
+    EXPECT_EQ(Back.accepts(Tr, T), D.accepts(Tr)) << Tr.render(T);
+  }
+}
+
+TEST(DfaTest, ToAutomatonDropsDeadState) {
+  EventTable T;
+  Automaton NFA = compileFA("a b", T);
+  std::vector<EventId> Alpha = internAlphabet(T, {"a", "b"});
+  Dfa D = Dfa::determinize(NFA, Alpha, T).minimized();
+  Automaton Back = D.toAutomaton(T);
+  // The trimmed FA for "a b" is a 3-state chain with 2 transitions.
+  EXPECT_EQ(Back.numStates(), 3u);
+  EXPECT_EQ(Back.numTransitions(), 2u);
+  EXPECT_EQ(D.numLiveStates(), 3u);
+}
+
+TEST(DfaTest, EmptyLanguageToAutomaton) {
+  EventTable T;
+  Automaton None = compileFA("a", T);
+  std::vector<EventId> Alpha = internAlphabet(T, {"a"});
+  Dfa D = Dfa::determinize(None, Alpha, T);
+  Dfa Empty = Dfa::product(D, D.complemented(), false);
+  Automaton Back = Empty.toAutomaton(T);
+  EXPECT_FALSE(Back.accepts(makeTrace(T, "a"), T));
+  EXPECT_FALSE(Back.accepts(Trace(), T));
+}
+
+TEST(DfaTest, ShortestDifferenceOnEquivalentIsNull) {
+  EventTable T;
+  std::vector<EventId> Alpha = internAlphabet(T, {"a", "b"});
+  Dfa A = Dfa::determinize(compileFA("a b*", T), Alpha, T);
+  Dfa B = Dfa::determinize(compileFA("a | a b b*", T), Alpha, T);
+  // a b* == a | a b b*.
+  EXPECT_FALSE(Dfa::shortestDifference(A, B).has_value());
+}
+
+TEST(DfaTest, ShortestDifferenceFindsMinimalWitness) {
+  EventTable T;
+  std::vector<EventId> Alpha = internAlphabet(T, {"a", "b"});
+  Dfa A = Dfa::determinize(compileFA("a* b", T), Alpha, T);
+  Dfa B = Dfa::determinize(compileFA("a a* b", T), Alpha, T);
+  // They differ exactly on "b" (length 1), the shortest disagreement.
+  std::optional<Trace> W = Dfa::shortestDifference(A, B);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ(W->render(T), "b");
+  EXPECT_NE(A.accepts(*W), B.accepts(*W));
+}
+
+TEST(DfaTest, ShortestDifferenceAgainstEmptyLanguage) {
+  EventTable T;
+  std::vector<EventId> Alpha = internAlphabet(T, {"a"});
+  Dfa A = Dfa::determinize(compileFA("a a a", T), Alpha, T);
+  Dfa Empty = Dfa::product(A, A.complemented(), false);
+  std::optional<Trace> W = Dfa::shortestDifference(A, Empty);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ(W->size(), 3u) << "the shortest accepted string is the witness";
+  EXPECT_TRUE(A.accepts(*W));
+}
+
+TEST(DfaTest, SubsetOf) {
+  EventTable T;
+  std::vector<EventId> Alpha = internAlphabet(T, {"a", "b"});
+  Dfa Narrow = Dfa::determinize(compileFA("a b", T), Alpha, T);
+  Dfa Wide = Dfa::determinize(compileFA("a [a | b]*", T), Alpha, T);
+  EXPECT_TRUE(Dfa::subsetOf(Narrow, Wide));
+  EXPECT_FALSE(Dfa::subsetOf(Wide, Narrow));
+  EXPECT_TRUE(Dfa::subsetOf(Narrow, Narrow));
+  // Empty language is a subset of everything.
+  Dfa Empty = Dfa::product(Narrow, Narrow.complemented(), false);
+  EXPECT_TRUE(Dfa::subsetOf(Empty, Narrow));
+  EXPECT_FALSE(Dfa::subsetOf(Narrow, Empty));
+}
+
+TEST(DfaTest, ShortestDifferenceConsistentWithEquivalent) {
+  RNG Rand(31);
+  EventTable T;
+  std::vector<EventId> Alpha = internAlphabet(T, {"a", "b"});
+  for (int I = 0; I < 20; ++I) {
+    std::string P1 = Rand.nextBool(0.5) ? "a [a | b]*" : "a* b?";
+    std::string P2 = Rand.nextBool(0.5) ? "a [a | b]*" : "a* b?";
+    Dfa A = Dfa::determinize(compileFA(P1, T), Alpha, T);
+    Dfa B = Dfa::determinize(compileFA(P2, T), Alpha, T);
+    EXPECT_EQ(Dfa::equivalent(A, B),
+              !Dfa::shortestDifference(A, B).has_value());
+  }
+}
+
+/// Property: determinize/minimize agree with the NFA across random regexes
+/// built from a tiny grammar.
+class DfaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DfaPropertyTest, PipelinePreservesLanguage) {
+  RNG Rand(GetParam());
+  // Random small regex: alternation of 1-3 concatenations of a/b/c atoms
+  // with optional stars.
+  std::string Pattern;
+  size_t Alts = 1 + Rand.nextIndex(3);
+  for (size_t A = 0; A < Alts; ++A) {
+    if (A)
+      Pattern += " | ";
+    Pattern += "[";
+    size_t Atoms = 1 + Rand.nextIndex(4);
+    for (size_t I = 0; I < Atoms; ++I) {
+      Pattern += " ";
+      Pattern += static_cast<char>('a' + Rand.nextIndex(3));
+      if (Rand.nextBool(0.3))
+        Pattern += "*";
+    }
+    Pattern += " ]";
+  }
+  EventTable T;
+  Automaton NFA = compileFA(Pattern, T);
+  std::vector<EventId> Alpha = internAlphabet(T, {"a", "b", "c"});
+  Dfa D = Dfa::determinize(NFA, Alpha, T);
+  Dfa M = D.minimized();
+  ASSERT_TRUE(Dfa::equivalent(D, M));
+  for (int I = 0; I < 60; ++I) {
+    Trace Tr = randomTraceOver(Rand, Alpha, 8);
+    bool Expected = NFA.accepts(Tr, T);
+    EXPECT_EQ(D.accepts(Tr), Expected) << Pattern << " on " << Tr.render(T);
+    EXPECT_EQ(M.accepts(Tr), Expected) << Pattern << " on " << Tr.render(T);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfaPropertyTest,
+                         ::testing::Range<uint64_t>(0, 25));

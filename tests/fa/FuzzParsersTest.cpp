@@ -1,0 +1,110 @@
+//===- tests/fa/FuzzParsersTest.cpp ----------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Robustness sweeps: every text front end (trace sets, regexes, automaton
+// files, label files) must survive arbitrary byte soup — returning a clean
+// error or a valid object, never crashing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cable/Session.h"
+#include "fa/Parse.h"
+#include "fa/Regex.h"
+#include "fa/Templates.h"
+#include "support/RNG.h"
+#include "trace/TraceSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+
+namespace {
+
+/// Random text over a charset likely to hit parser edge cases.
+std::string randomText(RNG &Rand, size_t MaxLen) {
+  static const char Charset[] =
+      "abcxyz019 ()[]|*+?~,.#\n\tv<>=-_\\\"q";
+  std::string Out;
+  size_t Len = Rand.nextIndex(MaxLen + 1);
+  for (size_t I = 0; I < Len; ++I)
+    Out += Charset[Rand.nextIndex(sizeof(Charset) - 1)];
+  return Out;
+}
+
+} // namespace
+
+class FuzzParsersTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzParsersTest, TraceSetParseNeverCrashes) {
+  RNG Rand(GetParam());
+  for (int I = 0; I < 50; ++I) {
+    std::string Text = randomText(Rand, 120);
+    std::string Err;
+    std::optional<TraceSet> TS = TraceSet::parse(Text, Err);
+    if (!TS)
+      EXPECT_FALSE(Err.empty());
+    else
+      // A successful parse must render back without crashing.
+      (void)TS->render();
+  }
+}
+
+TEST_P(FuzzParsersTest, RegexCompileNeverCrashes) {
+  RNG Rand(GetParam() * 31 + 1);
+  for (int I = 0; I < 50; ++I) {
+    std::string Pattern = randomText(Rand, 60);
+    EventTable T;
+    std::string Err;
+    std::optional<Automaton> FA = compileRegex(Pattern, T, Err);
+    if (FA) {
+      // Whatever parsed must be a usable automaton.
+      Automaton Clean = FA->withoutEpsilons();
+      Trace Probe;
+      Probe.append(T.internEvent("a"));
+      (void)Clean.accepts(Probe, T);
+    } else {
+      EXPECT_FALSE(Err.empty());
+    }
+  }
+}
+
+TEST_P(FuzzParsersTest, AutomatonParseNeverCrashes) {
+  RNG Rand(GetParam() * 131 + 7);
+  for (int I = 0; I < 50; ++I) {
+    std::string Text = randomText(Rand, 120);
+    EventTable T;
+    std::string Err;
+    std::optional<Automaton> FA = parseAutomaton(Text, T, Err);
+    if (FA) {
+      Trace Probe;
+      Probe.append(T.internEvent("a"));
+      (void)FA->accepts(Probe, T);
+    } else {
+      EXPECT_FALSE(Err.empty());
+    }
+  }
+}
+
+TEST_P(FuzzParsersTest, LabelLoadNeverCrashes) {
+  RNG Rand(GetParam() * 733 + 11);
+  std::string ParseErr;
+  TraceSet Traces = *TraceSet::parse("a(v0) b(v0)\nc(v0)\n", ParseErr);
+  Automaton Ref =
+      makeUnorderedFA(templateAlphabet(Traces.traces()), Traces.table());
+  Session S(std::move(Traces), std::move(Ref));
+  for (int I = 0; I < 50; ++I) {
+    std::string Text = randomText(Rand, 100);
+    std::string Err;
+    size_t Unmatched = 0;
+    bool Ok = S.loadLabels(Text, Err, &Unmatched);
+    if (!Ok)
+      EXPECT_FALSE(Err.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzParsersTest,
+                         ::testing::Range<uint64_t>(0, 12));

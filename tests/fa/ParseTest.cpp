@@ -1,0 +1,123 @@
+//===- tests/fa/ParseTest.cpp ----------------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fa/Parse.h"
+
+#include "../TestHelpers.h"
+#include "fa/Dfa.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+using cable::test::compileFA;
+using cable::test::makeTrace;
+
+TEST(ParseTest, ParsesSimpleAutomaton) {
+  EventTable T;
+  std::string Err;
+  std::optional<Automaton> FA = parseAutomaton(R"(
+    # the stdio open/close core
+    start q0
+    accept q2
+    q0 fopen(v0) q1
+    q1 fread(v0) q1
+    q1 fclose(v0) q2
+  )",
+                                               T, Err);
+  ASSERT_TRUE(FA.has_value()) << Err;
+  EXPECT_EQ(FA->numStates(), 3u);
+  EXPECT_EQ(FA->numTransitions(), 3u);
+  EXPECT_TRUE(FA->accepts(makeTrace(T, "fopen(v0) fclose(v0)"), T));
+  EXPECT_TRUE(FA->accepts(
+      makeTrace(T, "fopen(v0) fread(v0) fread(v0) fclose(v0)"), T));
+  EXPECT_FALSE(FA->accepts(makeTrace(T, "fopen(v0)"), T));
+}
+
+TEST(ParseTest, WildcardAndNameAnyLabels) {
+  EventTable T;
+  std::string Err;
+  std::optional<Automaton> FA = parseAutomaton("start q0\n"
+                                               "accept q1\n"
+                                               "q0 <any> q1\n"
+                                               "q1 ~f q1\n",
+                                               T, Err);
+  ASSERT_TRUE(FA.has_value()) << Err;
+  EXPECT_TRUE(FA->accepts(makeTrace(T, "zzz"), T));
+  EXPECT_TRUE(FA->accepts(makeTrace(T, "zzz f(v0,v1) f"), T));
+  EXPECT_FALSE(FA->accepts(makeTrace(T, "zzz g"), T));
+}
+
+TEST(ParseTest, WildcardArgPattern) {
+  EventTable T;
+  std::string Err;
+  std::optional<Automaton> FA = parseAutomaton("start q0\naccept q1\n"
+                                               "q0 f(v0,*) q1\n",
+                                               T, Err);
+  ASSERT_TRUE(FA.has_value()) << Err;
+  EXPECT_TRUE(FA->accepts(makeTrace(T, "f(v0,v9)"), T));
+  EXPECT_FALSE(FA->accepts(makeTrace(T, "f(v1,v9)"), T));
+}
+
+TEST(ParseTest, SparseStateIdsAreCompacted) {
+  EventTable T;
+  std::string Err;
+  std::optional<Automaton> FA = parseAutomaton("start q10\naccept q99\n"
+                                               "q10 a q99\n",
+                                               T, Err);
+  ASSERT_TRUE(FA.has_value()) << Err;
+  EXPECT_EQ(FA->numStates(), 2u);
+  EXPECT_TRUE(FA->accepts(makeTrace(T, "a"), T));
+}
+
+TEST(ParseTest, Errors) {
+  EventTable T;
+  std::string Err;
+  EXPECT_FALSE(parseAutomaton("start\n", T, Err).has_value());
+  EXPECT_NE(Err.find("line 1"), std::string::npos);
+  EXPECT_FALSE(parseAutomaton("q0 a\n", T, Err).has_value());
+  EXPECT_FALSE(parseAutomaton("x0 a q1\n", T, Err).has_value());
+  EXPECT_FALSE(parseAutomaton("q0 a(vx) q1\n", T, Err).has_value());
+  EXPECT_FALSE(parseAutomaton("q0 a(v0 q1\n", T, Err).has_value());
+  EXPECT_FALSE(parseAutomaton("q0 ~ q1\n", T, Err).has_value());
+}
+
+TEST(ParseTest, RoundTripPreservesLanguage) {
+  EventTable T;
+  Automaton Orig = compileFA(
+      "[fopen(v0) [fread(v0) | fwrite(v0)]* fclose(v0)] | "
+      "[popen(v0) pclose(v0)]",
+      T);
+  std::string Text = renderAutomatonText(Orig, T);
+  std::string Err;
+  std::optional<Automaton> Again = parseAutomaton(Text, T, Err);
+  ASSERT_TRUE(Again.has_value()) << Err;
+  std::vector<EventId> Alphabet;
+  for (const char *E :
+       {"fopen(v0)", "fread(v0)", "fwrite(v0)", "fclose(v0)", "popen(v0)",
+        "pclose(v0)"}) {
+    std::string E2;
+    Alphabet.push_back(*T.parseEvent(E, E2));
+  }
+  Dfa A = Dfa::determinize(Orig, Alphabet, T);
+  Dfa B = Dfa::determinize(*Again, Alphabet, T);
+  EXPECT_TRUE(Dfa::equivalent(A, B));
+}
+
+TEST(ParseTest, RoundTripKeepsLabelKinds) {
+  EventTable T;
+  std::string Err;
+  std::optional<Automaton> FA = parseAutomaton("start q0\naccept q0\n"
+                                               "q0 <any> q0\n"
+                                               "q0 ~f q0\n"
+                                               "q0 f(v0,*) q0\n",
+                                               T, Err);
+  ASSERT_TRUE(FA.has_value()) << Err;
+  std::string Text = renderAutomatonText(*FA, T);
+  EXPECT_NE(Text.find("<any>"), std::string::npos);
+  EXPECT_NE(Text.find("~f"), std::string::npos);
+  EXPECT_NE(Text.find("f(v0,*)"), std::string::npos);
+}

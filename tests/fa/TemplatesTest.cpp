@@ -1,0 +1,126 @@
+//===- tests/fa/TemplatesTest.cpp ------------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fa/Templates.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+using cable::test::makeTrace;
+using cable::test::parseTraces;
+
+namespace {
+
+struct TemplatesTest : ::testing::Test {
+  EventTable T;
+};
+
+} // namespace
+
+TEST_F(TemplatesTest, UnorderedAcceptsAnyOrderOfAlphabet) {
+  Trace A = makeTrace(T, "x(v0) y(v0)");
+  std::vector<EventId> Alpha = templateAlphabet({A});
+  Automaton FA = makeUnorderedFA(Alpha, T);
+  EXPECT_EQ(FA.numStates(), 1u);
+  EXPECT_EQ(FA.numTransitions(), 2u);
+  EXPECT_TRUE(FA.accepts(makeTrace(T, "y(v0) x(v0) x(v0)"), T));
+  EXPECT_TRUE(FA.accepts(Trace(), T));
+  EXPECT_FALSE(FA.accepts(makeTrace(T, "z(v0)"), T))
+      << "events outside the alphabet are rejected";
+}
+
+TEST_F(TemplatesTest, UnorderedAttributesAreEventOccurrence) {
+  // With the unordered template, the executed transitions are exactly the
+  // events occurring in the trace — order is ignored (§4.1).
+  Trace A = makeTrace(T, "x(v0) y(v0) z(v0)");
+  std::vector<EventId> Alpha = templateAlphabet({A});
+  Automaton FA = makeUnorderedFA(Alpha, T);
+  BitVector E1 = FA.executedTransitions(makeTrace(T, "x(v0) y(v0)"), T);
+  BitVector E2 = FA.executedTransitions(makeTrace(T, "y(v0) x(v0)"), T);
+  EXPECT_TRUE(E1 == E2) << "order must not matter";
+  EXPECT_EQ(E1.count(), 2u);
+}
+
+TEST_F(TemplatesTest, NameProjectionKeepsOnlyEventsMentioningValue) {
+  Trace A = makeTrace(T, "bind(v0) use(v0,v1) other(v1) free(v0)");
+  std::vector<EventId> Alpha = templateAlphabet({A});
+  Automaton FA = makeNameProjectionFA(Alpha, /*V=*/0, T);
+  // Self-loops: bind(v0), use(v0,v1), free(v0), and one wildcard.
+  EXPECT_EQ(FA.numTransitions(), 4u);
+  EXPECT_TRUE(FA.accepts(A, T));
+  // The other(v1) event is matched only by the wildcard, so two traces
+  // differing only in non-v0 events get the same projected attributes.
+  BitVector E1 = FA.executedTransitions(
+      makeTrace(T, "bind(v0) other(v1) free(v0)"), T);
+  BitVector E2 = FA.executedTransitions(
+      makeTrace(T, "bind(v0) somethingelse(v9) free(v0)"), T);
+  EXPECT_TRUE(E1 == E2);
+}
+
+TEST_F(TemplatesTest, SeedOrderSplitsBeforeAfter) {
+  Trace A = makeTrace(T, "a(v0) seed(v0) b(v0)");
+  std::vector<EventId> Alpha = templateAlphabet({A});
+  EventId Seed = T.internEvent("seed", {0});
+  Automaton FA = makeSeedOrderFA(Alpha, Seed, T);
+  EXPECT_TRUE(FA.accepts(A, T));
+  EXPECT_TRUE(FA.accepts(makeTrace(T, "seed(v0)"), T));
+  EXPECT_FALSE(FA.accepts(makeTrace(T, "a(v0) b(v0)"), T))
+      << "a trace without the seed is rejected";
+
+  // a-before-seed and a-after-seed execute different transitions.
+  BitVector Before =
+      FA.executedTransitions(makeTrace(T, "a(v0) seed(v0)"), T);
+  BitVector After = FA.executedTransitions(makeTrace(T, "seed(v0) a(v0)"), T);
+  EXPECT_FALSE(Before == After);
+}
+
+TEST_F(TemplatesTest, SeedOrderAcceptsRepeatedSeed) {
+  Trace A = makeTrace(T, "seed(v0) seed(v0)");
+  std::vector<EventId> Alpha = templateAlphabet({A});
+  EventId Seed = T.internEvent("seed", {0});
+  Automaton FA = makeSeedOrderFA(Alpha, Seed, T);
+  EXPECT_TRUE(FA.accepts(A, T));
+}
+
+TEST_F(TemplatesTest, PrefixTreeAcceptsExactlyTheTraces) {
+  TraceSet TS = parseTraces("a b\n"
+                            "a c\n"
+                            "d\n");
+  Automaton FA = makePrefixTreeFA(TS.traces(), TS.table());
+  for (const Trace &Tr : TS.traces())
+    EXPECT_TRUE(FA.accepts(Tr, TS.table()));
+  EXPECT_FALSE(FA.accepts(cable::test::makeTrace(TS.table(), "a"), TS.table()))
+      << "prefixes are not accepted";
+  EXPECT_FALSE(
+      FA.accepts(cable::test::makeTrace(TS.table(), "a b c"), TS.table()));
+  EXPECT_FALSE(FA.accepts(Trace(), TS.table()));
+}
+
+TEST_F(TemplatesTest, PrefixTreeSharesPrefixes) {
+  TraceSet TS = parseTraces("a b c\n"
+                            "a b d\n");
+  Automaton FA = makePrefixTreeFA(TS.traces(), TS.table());
+  // Root + shared a,b chain + two leaves = 5 states, 4 transitions.
+  EXPECT_EQ(FA.numStates(), 5u);
+  EXPECT_EQ(FA.numTransitions(), 4u);
+}
+
+TEST_F(TemplatesTest, PrefixTreeEmptyTraceAcceptedWhenPresent) {
+  EventTable Table;
+  std::vector<Trace> Traces{Trace()};
+  Automaton FA = makePrefixTreeFA(Traces, Table);
+  EXPECT_TRUE(FA.accepts(Trace(), Table));
+}
+
+TEST_F(TemplatesTest, AllTracesFAAcceptsEverythingOverAlphabet) {
+  Trace A = makeTrace(T, "p q r");
+  std::vector<EventId> Alpha = templateAlphabet({A});
+  Automaton FA = makeAllTracesFA(Alpha, T);
+  EXPECT_TRUE(FA.accepts(makeTrace(T, "r r q p"), T));
+}

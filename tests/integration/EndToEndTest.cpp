@@ -1,0 +1,240 @@
+//===- tests/integration/EndToEndTest.cpp ----------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Full-pipeline tests: the §2.1 debugging-by-testing flow and the §2.2
+/// mined-specification flow, end to end, on the stdio workload.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cable/Session.h"
+#include "cable/Strategies.h"
+#include "cable/WellFormed.h"
+#include "fa/Dfa.h"
+#include "fa/Templates.h"
+#include "miner/Miner.h"
+#include "support/RNG.h"
+#include "verifier/Verifier.h"
+#include "workload/Generator.h"
+#include "workload/Oracle.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+using cable::test::compileFA;
+
+namespace {
+
+struct StdioWorld {
+  ProtocolModel Model = stdioProtocol();
+  EventTable Table;
+  WorkloadGenerator Gen{Model, Table};
+  RNG Rand{31337};
+  TraceSet Runs;
+
+  StdioWorld() { Runs = Gen.generateRuns(Rand); }
+};
+
+} // namespace
+
+TEST(EndToEndTest, Section21DebuggingByTesting) {
+  StdioWorld W;
+
+  // The author tests the buggy Fig. 1 specification against the program.
+  Automaton Buggy = compileFA(stdioBuggyRegex(), W.Runs.table());
+  ExtractorOptions Extract;
+  Extract.SeedNames = W.Model.Seeds;
+  VerificationResult R = verifyAgainstRuns(W.Runs, Buggy, Extract);
+  ASSERT_GT(R.Violations.size(), 0u)
+      << "the buggy spec must reject the correct popen/pclose scenarios";
+
+  // Step 1a: a reference FA recognizing the violation traces (unordered
+  // template works; §2.1 says a great learner is not essential).
+  Automaton Ref = makeUnorderedFA(templateAlphabet(R.Violations.traces()),
+                                  R.Violations.table());
+
+  // Steps 1b/1c: cluster.
+  Session S(std::move(R.Violations), std::move(Ref));
+  EXPECT_TRUE(S.rejectedObjects().empty());
+  EXPECT_GT(S.lattice().size(), 2u);
+
+  // Step 2: label. Violation traces that the *correct* protocol accepts
+  // are good (spec bugs); the rest demonstrate program errors.
+  Oracle Truth(W.Model, S.table());
+  ReferenceLabeling Target = Truth.referenceLabeling(S);
+  ASSERT_TRUE(checkWellFormed(S, Target).LatticeWellFormed);
+  TopDownStrategy TD;
+  StrategyCost Cost = TD.run(S, Target);
+  ASSERT_TRUE(Cost.Finished);
+
+  // Step 2b: check the labeling — the FA over good traces must accept
+  // every good trace and no bad one.
+  LabelId Good = S.internLabel("good");
+  Automaton GoodFA = S.showFA(S.lattice().top(), TraceSelect::WithLabel, Good);
+  for (size_t Obj = 0; Obj < S.numObjects(); ++Obj) {
+    bool IsGood = Target.Target[Obj] == Good;
+    EXPECT_EQ(GoodFA.accepts(S.object(Obj), S.table()), IsGood);
+  }
+
+  // Step 3: fix the specification: buggy spec ∪ good traces must accept
+  // every correct scenario in the corpus while still rejecting bad ones
+  // (here we check the language fix on the observed corpus).
+  for (size_t Obj = 0; Obj < S.numObjects(); ++Obj) {
+    if (Target.Target[Obj] == Good)
+      EXPECT_TRUE(Truth.isCorrect(S.object(Obj), S.table()));
+    else
+      EXPECT_FALSE(Truth.isCorrect(S.object(Obj), S.table()));
+  }
+}
+
+TEST(EndToEndTest, Section22DebuggingAMinedSpecification) {
+  StdioWorld W;
+
+  // Mine a specification from buggy training runs.
+  MinerOptions Options;
+  Options.Extract.SeedNames = W.Model.Seeds;
+  Options.Learn.S = 1.0;
+  Miner M(Options);
+  MiningResult Mined = M.mine(W.Runs, "stdio");
+  ASSERT_GT(Mined.Scenarios.size(), 0u);
+
+  // Step 1a: the miner's FA is the reference FA (§2.2).
+  Session S(Mined.Scenarios, Mined.Spec.FA);
+
+  // Step 2: the expert labels scenario traces.
+  Oracle Truth(W.Model, S.table());
+  ReferenceLabeling Target = Truth.referenceLabeling(S);
+  ExpertSimStrategy Expert;
+  StrategyCost Cost = Expert.run(S, Target);
+  if (!Cost.Finished) {
+    // If the mined lattice is not well-formed, focus with the unordered
+    // template (§4.3's remedy) and finish there.
+    std::vector<Trace> Reps;
+    for (size_t Obj = 0; Obj < S.numObjects(); ++Obj)
+      Reps.push_back(S.object(Obj));
+    FocusSession F = S.focus(
+        S.lattice().top(),
+        makeUnorderedFA(templateAlphabet(Reps), S.table()));
+    ReferenceLabeling SubTarget = Truth.referenceLabeling(F.Sub);
+    TopDownStrategy TD;
+    ASSERT_TRUE(TD.run(F.Sub, SubTarget).Finished);
+    S.mergeBack(F);
+  }
+  ASSERT_TRUE(S.allLabeled());
+
+  // Step 3: rerun the back end on the good traces.
+  LabelId Good = S.internLabel("good");
+  std::vector<Trace> GoodTraces;
+  for (size_t Obj = 0; Obj < S.numObjects(); ++Obj)
+    if (*S.labelOf(Obj) == Good)
+      GoodTraces.push_back(S.object(Obj));
+  ASSERT_FALSE(GoodTraces.empty());
+  Specification Fixed = M.learn(GoodTraces, S.table(), "stdio-fixed");
+
+  // The fixed specification accepts all good and rejects all bad
+  // scenarios.
+  for (size_t Obj = 0; Obj < S.numObjects(); ++Obj) {
+    bool IsGood = *S.labelOf(Obj) == Good;
+    EXPECT_EQ(Fixed.FA.accepts(S.object(Obj), S.table()), IsGood)
+        << S.object(Obj).render(S.table());
+  }
+
+  // And it generalizes: most freshly sampled correct scenarios (including
+  // unseen read/write interleavings) are accepted. Perfect generalization
+  // is not guaranteed — §2.2 discusses exactly this miner limitation — so
+  // require a large majority rather than all.
+  RNG Sample(77);
+  size_t Accepted = 0, Sampled = 0;
+  for (int I = 0; I < 50; ++I) {
+    Trace T = W.Gen.generateCorrect(Sample).canonicalized(S.table());
+    if (!Truth.isCorrect(T, S.table()))
+      continue;
+    ++Sampled;
+    if (Fixed.FA.accepts(T, S.table()))
+      ++Accepted;
+  }
+  EXPECT_GE(Accepted * 10, Sampled * 7)
+      << "fixed spec accepted only " << Accepted << "/" << Sampled
+      << " unseen correct scenarios";
+}
+
+TEST(EndToEndTest, CableBeatsBaselineOnXtFree) {
+  // The headline result: on the XtFree-style workload, Cable's expert
+  // cost is a small fraction of the Baseline cost (paper: 28 vs 224).
+  ProtocolModel Model = protocolByName("XtFree");
+  EventTable Table;
+  WorkloadGenerator Gen(Model, Table);
+  RNG Rand(4242);
+  TraceSet Scenarios =
+      Gen.generateScenarios(Rand, Model.NumRuns * Model.ScenariosPerRun);
+
+  // The unordered template cannot separate a double free from a single
+  // free (same event *set*, §4.3); the seed-order template on XtFree
+  // distinguishes events before and after the free, which is exactly what
+  // the protocol's errors hinge on.
+  EventId Seed = Scenarios.table().internEvent("XtFree", {0});
+  Automaton Ref = makeSeedOrderFA(templateAlphabet(Scenarios.traces()), Seed,
+                                  Scenarios.table());
+  Session S(std::move(Scenarios), std::move(Ref));
+  Oracle Truth(Model, S.table());
+  ReferenceLabeling Target = Truth.referenceLabeling(S);
+  ASSERT_TRUE(checkWellFormed(S, Target).LatticeWellFormed);
+
+  ExpertSimStrategy Expert;
+  StrategyCost ExpertCost = Expert.run(S, Target);
+  ASSERT_TRUE(ExpertCost.Finished);
+  BaselineMethod Baseline;
+  StrategyCost BaselineCost = Baseline.run(S, Target);
+
+  EXPECT_GE(S.numObjects(), 60u) << "the workload regime must be large";
+  EXPECT_LT(ExpertCost.total() * 3, BaselineCost.total())
+      << "expert=" << ExpertCost.total()
+      << " baseline=" << BaselineCost.total();
+}
+
+TEST(EndToEndTest, MultiGoodLabelsGuardAgainstOvergeneralization) {
+  // §2.2: with good_fopen / good_popen labels, re-mining per label family
+  // prevents the fopen/popen cross products.
+  StdioWorld W;
+  MinerOptions Options;
+  Options.Extract.SeedNames = W.Model.Seeds;
+  Miner M(Options);
+  TraceSet Scenarios = M.extract(W.Runs);
+  Automaton Ref = makeUnorderedFA(templateAlphabet(Scenarios.traces()),
+                                  Scenarios.table());
+  Session S(std::move(Scenarios), std::move(Ref));
+  Oracle Truth(W.Model, S.table());
+  ReferenceLabeling Target = Truth.referenceLabeling(S, /*Variants=*/true);
+  EXPECT_GE(S.numLabels(), 2u);
+
+  BottomUpStrategy BU;
+  if (!BU.run(S, Target).Finished)
+    GTEST_SKIP() << "variant labeling not separable on this lattice";
+
+  // Mine one specification per good variant, then union: the result must
+  // reject the cross products.
+  EventTable &T = S.table();
+  std::vector<Trace> AllGood;
+  bool RejectsCross = true;
+  for (LabelId L = 0; L < S.numLabels(); ++L) {
+    if (S.labelName(L).rfind("good_", 0) != 0)
+      continue;
+    std::vector<Trace> Family;
+    for (size_t Obj : S.objectsWithLabel(L))
+      Family.push_back(S.object(Obj));
+    if (Family.empty())
+      continue;
+    Specification Spec = M.learn(Family, T, S.labelName(L));
+    Trace Cross = cable::test::makeTrace(T, "popen(v0) fclose(v0)");
+    RejectsCross &= !Spec.FA.accepts(Cross, T);
+    for (const Trace &Tr : Family)
+      EXPECT_TRUE(Spec.FA.accepts(Tr, T));
+  }
+  EXPECT_TRUE(RejectsCross);
+}

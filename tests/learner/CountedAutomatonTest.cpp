@@ -1,0 +1,86 @@
+//===- tests/learner/CountedAutomatonTest.cpp ------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "learner/CountedAutomaton.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+using cable::test::makeTrace;
+using cable::test::parseTraces;
+
+TEST(CountedAutomatonTest, PTAAcceptsExactlyTrainingSet) {
+  TraceSet TS = parseTraces("a b c\n"
+                            "a b d\n"
+                            "e\n");
+  CountedAutomaton PTA = CountedAutomaton::buildPTA(TS.traces());
+  Automaton FA = PTA.toAutomaton(TS.table());
+  for (const Trace &T : TS.traces())
+    EXPECT_TRUE(FA.accepts(T, TS.table())) << T.render(TS.table());
+  EXPECT_FALSE(FA.accepts(makeTrace(TS.table(), "a b"), TS.table()));
+  EXPECT_FALSE(FA.accepts(makeTrace(TS.table(), "a b c d"), TS.table()));
+  EXPECT_FALSE(FA.accepts(Trace(), TS.table()));
+}
+
+TEST(CountedAutomatonTest, PTACountsAccumulate) {
+  TraceSet TS = parseTraces("a b\n"
+                            "a b\n"
+                            "a c\n");
+  CountedAutomaton PTA = CountedAutomaton::buildPTA(TS.traces());
+  // Root has one outgoing edge on 'a' with count 3.
+  ASSERT_EQ(PTA.outgoing(0).size(), 1u);
+  EXPECT_EQ(PTA.edge(PTA.outgoing(0)[0]).Count, 3u);
+  EXPECT_EQ(PTA.totalCount(0), 3u);
+  // The 'a' state splits 2/1.
+  StateId AState = PTA.edge(PTA.outgoing(0)[0]).To;
+  ASSERT_EQ(PTA.outgoing(AState).size(), 2u);
+  uint64_t C0 = PTA.edge(PTA.outgoing(AState)[0]).Count;
+  uint64_t C1 = PTA.edge(PTA.outgoing(AState)[1]).Count;
+  EXPECT_EQ(C0 + C1, 3u);
+}
+
+TEST(CountedAutomatonTest, FinalCountsTrackTraceEnds) {
+  TraceSet TS = parseTraces("a\n"
+                            "a b\n"
+                            "a\n");
+  CountedAutomaton PTA = CountedAutomaton::buildPTA(TS.traces());
+  StateId AState = PTA.edge(PTA.outgoing(0)[0]).To;
+  EXPECT_EQ(PTA.finalCount(AState), 2u);
+  EXPECT_TRUE(PTA.isFinal(AState));
+  EXPECT_FALSE(PTA.isFinal(0));
+  EXPECT_EQ(PTA.totalCount(AState), 3u) << "2 ends + 1 outgoing";
+}
+
+TEST(CountedAutomatonTest, EmptyTrainingSet) {
+  CountedAutomaton PTA = CountedAutomaton::buildPTA({});
+  EXPECT_EQ(PTA.numStates(), 1u);
+  EventTable T;
+  Automaton FA = PTA.toAutomaton(T);
+  EXPECT_FALSE(FA.accepts(Trace(), T));
+}
+
+TEST(CountedAutomatonTest, EmptyTraceMakesRootFinal) {
+  std::vector<Trace> Traces{Trace()};
+  CountedAutomaton PTA = CountedAutomaton::buildPTA(Traces);
+  EXPECT_TRUE(PTA.isFinal(0));
+  EventTable T;
+  EXPECT_TRUE(PTA.toAutomaton(T).accepts(Trace(), T));
+}
+
+TEST(CountedAutomatonTest, AddEdgeMergesParallelEdges) {
+  CountedAutomaton CA;
+  CA.addState();
+  CA.addState();
+  CA.addEdge(0, 1, 7, 2);
+  CA.addEdge(0, 1, 7, 3);
+  ASSERT_EQ(CA.numEdges(), 1u);
+  EXPECT_EQ(CA.edge(0).Count, 5u);
+  CA.addEdge(0, 1, 8);
+  EXPECT_EQ(CA.numEdges(), 2u);
+}

@@ -1,0 +1,111 @@
+//===- tests/learner/KTailsTest.cpp ----------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "learner/KTails.h"
+
+#include "../TestHelpers.h"
+#include "fa/Dfa.h"
+#include "fa/Templates.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+using cable::test::makeTrace;
+using cable::test::parseTraces;
+
+TEST(KTailsTest, AcceptsAllTrainingTraces) {
+  TraceSet TS = parseTraces("open read close\n"
+                            "open write close\n"
+                            "open close\n");
+  for (unsigned K : {0u, 1u, 2u, 5u}) {
+    Automaton FA = learnKTailsFA(TS.traces(), TS.table(), K);
+    for (const Trace &T : TS.traces())
+      EXPECT_TRUE(FA.accepts(T, TS.table())) << "k=" << K;
+  }
+}
+
+TEST(KTailsTest, LargeKIsExact) {
+  // Once k exceeds the longest trace, every PTA state keeps a distinct
+  // tail set unless truly equivalent, so the language equals the training
+  // set's (prefix-tree) language.
+  TraceSet TS = parseTraces("a b\n"
+                            "a c\n"
+                            "b\n");
+  Automaton KT = learnKTailsFA(TS.traces(), TS.table(), 10);
+  Automaton PT = makePrefixTreeFA(TS.traces(), TS.table());
+  std::vector<EventId> Alpha = collectAlphabet(TS.traces());
+  Dfa A = Dfa::determinize(KT, Alpha, TS.table());
+  Dfa B = Dfa::determinize(PT, Alpha, TS.table());
+  EXPECT_TRUE(Dfa::equivalent(A, B));
+}
+
+TEST(KTailsTest, SmallKMergesAggressively) {
+  TraceSet TS = parseTraces("a b\n"
+                            "a a b\n"
+                            "a a a b\n");
+  CountedAutomaton K0 = learnKTails(TS.traces(), 0);
+  CountedAutomaton K1 = learnKTails(TS.traces(), 1);
+  CountedAutomaton K9 = learnKTails(TS.traces(), 9);
+  EXPECT_LE(K0.numStates(), K1.numStates());
+  EXPECT_LE(K1.numStates(), K9.numStates());
+  EXPECT_LT(K1.numStates(),
+            CountedAutomaton::buildPTA(TS.traces()).numStates());
+}
+
+TEST(KTailsTest, K1GeneralizesTheReadLoop) {
+  TraceSet TS = parseTraces("open close\n"
+                            "open read close\n"
+                            "open read read close\n");
+  Automaton FA = learnKTailsFA(TS.traces(), TS.table(), 1);
+  EXPECT_TRUE(FA.accepts(
+      makeTrace(TS.table(), "open read read read read close"), TS.table()))
+      << FA.renderText(TS.table());
+}
+
+TEST(KTailsTest, TailEquivalenceIsExactNotStochastic) {
+  // Unlike sk-strings, k-tails ignores frequencies entirely: duplicating
+  // a trace many times must not change the learned language.
+  TraceSet Few = parseTraces("a b\na c\n");
+  TraceSet Many = parseTraces("a b\na b\na b\na b\na b\na b\na c\n");
+  Automaton A = learnKTailsFA(Few.traces(), Few.table(), 2);
+  Automaton B = learnKTailsFA(Many.traces(), Many.table(), 2);
+  std::vector<EventId> Alpha = collectAlphabet(Few.traces());
+  EXPECT_TRUE(Dfa::equivalent(Dfa::determinize(A, Alpha, Few.table()),
+                              Dfa::determinize(B, Alpha, Many.table())));
+}
+
+TEST(KTailsTest, EmptyInput) {
+  EventTable T;
+  Automaton FA = learnKTailsFA({}, T, 2);
+  EXPECT_FALSE(FA.accepts(Trace(), T));
+}
+
+/// Property: training traces are always accepted, for random inputs and k.
+class KTailsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KTailsPropertyTest, AlwaysAcceptsTrainingSet) {
+  RNG Rand(GetParam());
+  EventTable T;
+  std::vector<std::string> Names{"a", "b", "c"};
+  std::vector<Trace> Traces;
+  size_t N = 1 + Rand.nextIndex(10);
+  for (size_t I = 0; I < N; ++I) {
+    Trace Tr;
+    size_t Len = Rand.nextIndex(6);
+    for (size_t J = 0; J < Len; ++J)
+      Tr.append(T.internEvent(Names[Rand.nextIndex(Names.size())]));
+    Traces.push_back(std::move(Tr));
+  }
+  unsigned K = static_cast<unsigned>(Rand.nextIndex(4));
+  Automaton FA = learnKTailsFA(Traces, T, K);
+  for (const Trace &Tr : Traces)
+    EXPECT_TRUE(FA.accepts(Tr, T)) << "k=" << K << " '" << Tr.render(T) << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KTailsPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));

@@ -1,0 +1,144 @@
+//===- tests/learner/SkStringsTest.cpp -------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "learner/SkStrings.h"
+
+#include "../TestHelpers.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+using cable::test::makeTrace;
+using cable::test::parseTraces;
+
+TEST(SkStringsTest, AcceptsAllTrainingTraces) {
+  TraceSet TS = parseTraces("open(v0) read(v0) close(v0)\n"
+                            "open(v0) write(v0) close(v0)\n"
+                            "open(v0) close(v0)\n");
+  Automaton FA = learnSkStringsFA(TS.traces(), TS.table());
+  for (const Trace &T : TS.traces())
+    EXPECT_TRUE(FA.accepts(T, TS.table())) << T.render(TS.table());
+}
+
+TEST(SkStringsTest, GeneralizesRepetition) {
+  // Fig. 8's point: traces with 0..3 reads should induce an FA accepting
+  // unboundedly many reads once states merge.
+  TraceSet TS = parseTraces("open(v0) close(v0)\n"
+                            "open(v0) read(v0) close(v0)\n"
+                            "open(v0) read(v0) read(v0) close(v0)\n"
+                            "open(v0) read(v0) read(v0) read(v0) close(v0)\n");
+  SkStringsOptions Options;
+  Options.K = 2;
+  Options.S = 1.0;
+  Options.Agreement = SkStringsOptions::Variant::AND;
+  Automaton FA = learnSkStringsFA(TS.traces(), TS.table(), Options);
+  Trace Longer = makeTrace(
+      TS.table(),
+      "open(v0) read(v0) read(v0) read(v0) read(v0) read(v0) close(v0)");
+  EXPECT_TRUE(FA.accepts(Longer, TS.table()))
+      << "merging must generalize the read loop:\n"
+      << FA.renderText(TS.table());
+}
+
+TEST(SkStringsTest, MergingReducesStates) {
+  TraceSet TS = parseTraces("a b\n"
+                            "a a b\n"
+                            "a a a b\n"
+                            "a a a a b\n");
+  CountedAutomaton PTA = CountedAutomaton::buildPTA(TS.traces());
+  CountedAutomaton Merged = learnSkStrings(TS.traces());
+  EXPECT_LT(Merged.numStates(), PTA.numStates());
+}
+
+TEST(SkStringsTest, KeepsDistinctProtocolsApartWithStrictS) {
+  // fopen...fclose vs popen...pclose: with s = 1 and AND agreement, the
+  // closing events differ, so the final states must not merge into
+  // something accepting the cross products.
+  TraceSet TS = parseTraces("fopen(v0) fclose(v0)\n"
+                            "popen(v0) pclose(v0)\n");
+  SkStringsOptions Options;
+  Options.K = 2;
+  Options.S = 1.0;
+  Automaton FA = learnSkStringsFA(TS.traces(), TS.table(), Options);
+  EXPECT_TRUE(FA.accepts(makeTrace(TS.table(), "fopen(v0) fclose(v0)"),
+                         TS.table()));
+  EXPECT_TRUE(FA.accepts(makeTrace(TS.table(), "popen(v0) pclose(v0)"),
+                         TS.table()));
+  EXPECT_FALSE(FA.accepts(makeTrace(TS.table(), "popen(v0) fclose(v0)"),
+                          TS.table()))
+      << FA.renderText(TS.table());
+}
+
+TEST(SkStringsTest, EmptyAndSingletonInputs) {
+  EventTable T;
+  Automaton None = learnSkStringsFA({}, T);
+  EXPECT_FALSE(None.accepts(Trace(), T));
+  TraceSet TS = parseTraces("a\n");
+  Automaton One = learnSkStringsFA(TS.traces(), TS.table());
+  EXPECT_TRUE(One.accepts(TS[0], TS.table()));
+  EXPECT_FALSE(One.accepts(Trace(), TS.table()));
+}
+
+TEST(SkStringsTest, AllVariantsProduceValidLearners) {
+  // Every agreement variant must stay within the PTA's size and keep
+  // accepting the training set. (OR agreement is weaker than AND, so it
+  // merges at least as eagerly on any single test; final sizes depend on
+  // merge order, so only the sound bounds are asserted.)
+  TraceSet TS = parseTraces("a b c\n"
+                            "a c\n"
+                            "b b c\n"
+                            "b c c\n"
+                            "a b b c\n");
+  size_t PTAStates = CountedAutomaton::buildPTA(TS.traces()).numStates();
+  for (auto V :
+       {SkStringsOptions::Variant::AND, SkStringsOptions::Variant::OR,
+        SkStringsOptions::Variant::LAX}) {
+    SkStringsOptions Options;
+    Options.K = 2;
+    Options.S = 0.5;
+    Options.Agreement = V;
+    CountedAutomaton Learned = learnSkStrings(TS.traces(), Options);
+    EXPECT_LE(Learned.numStates(), PTAStates);
+    Automaton FA = Learned.toAutomaton(TS.table());
+    for (const Trace &T : TS.traces())
+      EXPECT_TRUE(FA.accepts(T, TS.table()));
+  }
+}
+
+/// Property: whatever the options, the learner accepts every training
+/// trace (the sk-strings guarantee Cable's Show FA summary relies on).
+class SkStringsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SkStringsPropertyTest, AlwaysAcceptsTrainingSet) {
+  RNG Rand(GetParam());
+  EventTable T;
+  std::vector<std::string> Names{"a", "b", "c", "d"};
+  std::vector<Trace> Traces;
+  size_t N = 1 + Rand.nextIndex(12);
+  for (size_t I = 0; I < N; ++I) {
+    Trace Tr;
+    size_t Len = Rand.nextIndex(7);
+    for (size_t J = 0; J < Len; ++J)
+      Tr.append(T.internEvent(Names[Rand.nextIndex(Names.size())]));
+    Traces.push_back(std::move(Tr));
+  }
+  SkStringsOptions Options;
+  Options.K = 1 + static_cast<unsigned>(Rand.nextIndex(3));
+  Options.S = 0.3 + 0.7 * Rand.nextDouble();
+  Options.Agreement = static_cast<SkStringsOptions::Variant>(
+      Rand.nextIndex(3));
+  Automaton FA = learnSkStringsFA(Traces, T, Options);
+  for (const Trace &Tr : Traces)
+    EXPECT_TRUE(FA.accepts(Tr, T))
+        << "k=" << Options.K << " s=" << Options.S << " trace '"
+        << Tr.render(T) << "'\n"
+        << FA.renderText(T);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkStringsPropertyTest,
+                         ::testing::Range<uint64_t>(0, 30));

@@ -1,0 +1,127 @@
+//===- tests/miner/ExtractorTest.cpp ---------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miner/ScenarioExtractor.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cable;
+using cable::test::parseTraces;
+
+namespace {
+
+std::multiset<std::string> renderedSet(const TraceSet &TS) {
+  std::multiset<std::string> Out;
+  for (const Trace &T : TS.traces())
+    Out.insert(T.render(TS.table()));
+  return Out;
+}
+
+} // namespace
+
+TEST(ExtractorTest, SlicesInterleavedScenariosApart) {
+  // Two fopen protocols interleaved in one run.
+  TraceSet Runs = parseTraces(
+      "fopen(v1) fopen(v2) fread(v1) fwrite(v2) fclose(v2) fclose(v1)\n");
+  ExtractorOptions Options;
+  Options.SeedNames = {"fopen"};
+  TraceSet Scenarios = extractScenarios(Runs, Options);
+  EXPECT_EQ(renderedSet(Scenarios),
+            (std::multiset<std::string>{"fopen(v0) fread(v0) fclose(v0)",
+                                        "fopen(v0) fwrite(v0) fclose(v0)"}));
+}
+
+TEST(ExtractorTest, IgnoresNonSeedObjects) {
+  TraceSet Runs = parseTraces("noise(v9) fopen(v1) other(v3) fclose(v1)\n");
+  ExtractorOptions Options;
+  Options.SeedNames = {"fopen"};
+  TraceSet Scenarios = extractScenarios(Runs, Options);
+  ASSERT_EQ(Scenarios.size(), 1u);
+  EXPECT_EQ(Scenarios[0].render(Scenarios.table()), "fopen(v0) fclose(v0)");
+}
+
+TEST(ExtractorTest, ArglessEventsNeverJoinScenarios) {
+  TraceSet Runs = parseTraces("fopen(v1) barrier fclose(v1)\n");
+  ExtractorOptions Options;
+  Options.SeedNames = {"fopen"};
+  TraceSet Scenarios = extractScenarios(Runs, Options);
+  ASSERT_EQ(Scenarios.size(), 1u);
+  EXPECT_EQ(Scenarios[0].render(Scenarios.table()), "fopen(v0) fclose(v0)");
+}
+
+TEST(ExtractorTest, MultipleSeedNames) {
+  TraceSet Runs = parseTraces("fopen(v1) fclose(v1) popen(v2) pclose(v2)\n");
+  ExtractorOptions Options;
+  Options.SeedNames = {"fopen", "popen"};
+  TraceSet Scenarios = extractScenarios(Runs, Options);
+  EXPECT_EQ(renderedSet(Scenarios),
+            (std::multiset<std::string>{"fopen(v0) fclose(v0)",
+                                        "popen(v0) pclose(v0)"}));
+}
+
+TEST(ExtractorTest, RepeatedSeedOnSameObjectOpensOneScenario) {
+  TraceSet Runs = parseTraces("seed(v1) use(v1) seed(v1) use(v1)\n");
+  ExtractorOptions Options;
+  Options.SeedNames = {"seed"};
+  TraceSet Scenarios = extractScenarios(Runs, Options);
+  ASSERT_EQ(Scenarios.size(), 1u);
+  EXPECT_EQ(Scenarios[0].render(Scenarios.table()),
+            "seed(v0) use(v0) seed(v0) use(v0)");
+}
+
+TEST(ExtractorTest, TransitiveValuesFollowSharedEvents) {
+  TraceSet Runs =
+      parseTraces("seed(v1) bridge(v1,v2) tail(v2) lonely(v3)\n");
+  ExtractorOptions Direct;
+  Direct.SeedNames = {"seed"};
+  Direct.TransitiveValues = false;
+  TraceSet S1 = extractScenarios(Runs, Direct);
+  ASSERT_EQ(S1.size(), 1u);
+  EXPECT_EQ(S1[0].render(S1.table()), "seed(v0) bridge(v0,v1)")
+      << "without transitivity, tail(v2) is not reached";
+
+  ExtractorOptions Transitive = Direct;
+  Transitive.TransitiveValues = true;
+  TraceSet S2 = extractScenarios(Runs, Transitive);
+  ASSERT_EQ(S2.size(), 1u);
+  EXPECT_EQ(S2[0].render(S2.table()), "seed(v0) bridge(v0,v1) tail(v1)")
+      << "with transitivity, v2 joins through the bridge event; lonely(v3) "
+         "stays out";
+}
+
+TEST(ExtractorTest, ScenariosAreCanonicalized) {
+  TraceSet Runs = parseTraces("fopen(v7) fclose(v7)\n"
+                              "fopen(v42) fclose(v42)\n");
+  ExtractorOptions Options;
+  Options.SeedNames = {"fopen"};
+  TraceSet Scenarios = extractScenarios(Runs, Options);
+  ASSERT_EQ(Scenarios.size(), 2u);
+  EXPECT_TRUE(Scenarios[0] == Scenarios[1])
+      << "same protocol from different runs must compare equal";
+}
+
+TEST(ExtractorTest, MaxScenarioLengthTruncates) {
+  TraceSet Runs = parseTraces("seed(v1) a(v1) b(v1) c(v1) d(v1)\n");
+  ExtractorOptions Options;
+  Options.SeedNames = {"seed"};
+  Options.MaxScenarioLength = 3;
+  TraceSet Scenarios = extractScenarios(Runs, Options);
+  ASSERT_EQ(Scenarios.size(), 1u);
+  EXPECT_EQ(Scenarios[0].size(), 3u);
+}
+
+TEST(ExtractorTest, NoSeedsNoScenarios) {
+  TraceSet Runs = parseTraces("a(v1) b(v1)\n");
+  ExtractorOptions Options;
+  Options.SeedNames = {"zzz"};
+  TraceSet Scenarios = extractScenarios(Runs, Options);
+  EXPECT_TRUE(Scenarios.empty());
+}

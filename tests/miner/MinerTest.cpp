@@ -1,0 +1,111 @@
+//===- tests/miner/MinerTest.cpp -------------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miner/Miner.h"
+
+#include "../TestHelpers.h"
+#include "support/RNG.h"
+#include "workload/Generator.h"
+#include "workload/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+using cable::test::makeTrace;
+
+namespace {
+
+MinerOptions stdioMinerOptions() {
+  MinerOptions Options;
+  Options.Extract.SeedNames = {"fopen", "popen"};
+  Options.Learn.K = 2;
+  Options.Learn.S = 1.0;
+  return Options;
+}
+
+} // namespace
+
+TEST(MinerTest, MinedSpecAcceptsAllScenarios) {
+  ProtocolModel Model = stdioProtocol();
+  EventTable Table;
+  WorkloadGenerator Gen(Model, Table);
+  RNG Rand(2024);
+  TraceSet Runs = Gen.generateRuns(Rand);
+  ASSERT_FALSE(Runs.empty());
+
+  Miner M(stdioMinerOptions());
+  MiningResult Result = M.mine(Runs, "stdio");
+  ASSERT_FALSE(Result.Scenarios.empty());
+  for (const Trace &T : Result.Scenarios.traces())
+    EXPECT_TRUE(Result.Spec.FA.accepts(T, Result.Scenarios.table()))
+        << T.render(Result.Scenarios.table());
+}
+
+TEST(MinerTest, MinedSpecFromBuggyTrainingAcceptsBuggyTraces) {
+  // §2.2: erroneous scenarios in the training set make the miner learn a
+  // specification that accepts erroneous traces — the debugging problem.
+  ProtocolModel Model = stdioProtocol();
+  Model.ErrorRate = 0.4;
+  EventTable Table;
+  WorkloadGenerator Gen(Model, Table);
+  RNG Rand(7);
+  TraceSet Runs = Gen.generateRuns(Rand);
+  Miner M(stdioMinerOptions());
+  MiningResult Result = M.mine(Runs, "stdio");
+
+  Oracle Truth(Model, Result.Scenarios.table());
+  bool AcceptsSomeBad = false;
+  for (const Trace &T : Result.Scenarios.traces())
+    if (!Truth.isCorrect(T, Result.Scenarios.table()))
+      AcceptsSomeBad |= Result.Spec.FA.accepts(T, Result.Scenarios.table());
+  EXPECT_TRUE(AcceptsSomeBad)
+      << "with 40% error rate the mined FA must cover erroneous traces";
+}
+
+TEST(MinerTest, RelearningFromGoodTracesFixesSpec) {
+  // The §2.2 fix: rerun the back end on the good traces only; the result
+  // must accept good scenarios and reject the bad ones.
+  ProtocolModel Model = stdioProtocol();
+  EventTable Table;
+  WorkloadGenerator Gen(Model, Table);
+  RNG Rand(11);
+  TraceSet Runs = Gen.generateRuns(Rand);
+  Miner M(stdioMinerOptions());
+  TraceSet Scenarios = M.extract(Runs);
+  ASSERT_FALSE(Scenarios.empty());
+
+  Oracle Truth(Model, Scenarios.table());
+  std::vector<Trace> Good;
+  std::vector<Trace> Bad;
+  for (const Trace &T : Scenarios.traces()) {
+    if (Truth.isCorrect(T, Scenarios.table()))
+      Good.push_back(T);
+    else
+      Bad.push_back(T);
+  }
+  ASSERT_FALSE(Good.empty());
+  ASSERT_FALSE(Bad.empty());
+
+  Specification Fixed = M.learn(Good, Scenarios.table(), "stdio-fixed");
+  for (const Trace &T : Good)
+    EXPECT_TRUE(Fixed.FA.accepts(T, Scenarios.table()));
+  for (const Trace &T : Bad)
+    EXPECT_FALSE(Fixed.FA.accepts(T, Scenarios.table()))
+        << T.render(Scenarios.table());
+}
+
+TEST(MinerTest, SpecificationCounts) {
+  EventTable Table;
+  std::vector<Trace> Traces{makeTrace(Table, "a b"),
+                            makeTrace(Table, "a c")};
+  Miner M(MinerOptions{});
+  Specification Spec = M.learn(Traces, Table, "tiny");
+  EXPECT_EQ(Spec.Name, "tiny");
+  EXPECT_EQ(Spec.numStates(), Spec.FA.numStates());
+  EXPECT_EQ(Spec.numTransitions(), Spec.FA.numTransitions());
+  EXPECT_GT(Spec.numStates(), 0u);
+}

@@ -1,0 +1,217 @@
+//===- tests/program/ProgramTest.cpp ---------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Program.h"
+#include "program/Synthesize.h"
+
+#include "../TestHelpers.h"
+#include "miner/ScenarioExtractor.h"
+#include "workload/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+
+TEST(ProgramTest, SequenceOfCallsEmitsEvents) {
+  EventTable T;
+  Program P;
+  P.Name = "p";
+  P.NumLocals = 2;
+  P.Body = {Stmt::alloc(0), Stmt::alloc(1), Stmt::call("open", {0}),
+            Stmt::call("link", {0, 1}), Stmt::call("close", {1})};
+  Interpreter Interp(T);
+  RNG Rand(1);
+  ValueId Next = 0;
+  Trace Tr = Interp.run(P, Rand, Next);
+  ASSERT_EQ(Tr.size(), 3u);
+  Trace Canon = Tr.canonicalized(T);
+  EXPECT_EQ(Canon.render(T), "open(v0) link(v0,v1) close(v1)");
+}
+
+TEST(ProgramTest, AllocDrawsFreshValues) {
+  EventTable T;
+  Program P;
+  P.Name = "p";
+  P.NumLocals = 1;
+  P.Body = {Stmt::alloc(0), Stmt::call("use", {0}), Stmt::alloc(0),
+            Stmt::call("use", {0})};
+  Interpreter Interp(T);
+  RNG Rand(2);
+  ValueId Next = 0;
+  Trace Tr = Interp.run(P, Rand, Next);
+  ASSERT_EQ(Tr.size(), 2u);
+  EXPECT_NE(T.event(Tr[0]).Args[0], T.event(Tr[1]).Args[0])
+      << "a second Alloc rebinds the local to a fresh value";
+}
+
+TEST(ProgramTest, IfProbabilityExtremes) {
+  EventTable T;
+  Program Always;
+  Always.NumLocals = 1;
+  Always.Body = {Stmt::alloc(0),
+                 Stmt::iff(1.0, {Stmt::call("yes", {0})},
+                           {Stmt::call("no", {0})})};
+  Program Never = Always;
+  Never.Body[1].Prob = 0.0;
+  Interpreter Interp(T);
+  RNG Rand(3);
+  ValueId Next = 0;
+  for (int I = 0; I < 20; ++I) {
+    Trace A = Interp.run(Always, Rand, Next);
+    EXPECT_EQ(T.nameText(T.event(A[0]).Name), "yes");
+    Trace B = Interp.run(Never, Rand, Next);
+    EXPECT_EQ(T.nameText(T.event(B[0]).Name), "no");
+  }
+}
+
+TEST(ProgramTest, LoopBoundsRespected) {
+  EventTable T;
+  Program P;
+  P.NumLocals = 1;
+  P.Body = {Stmt::alloc(0),
+            Stmt::loop(1, 3, {Stmt::call("tick", {0})})};
+  Interpreter Interp(T);
+  RNG Rand(4);
+  ValueId Next = 0;
+  bool SawMin = false, SawMax = false;
+  for (int I = 0; I < 100; ++I) {
+    Trace Tr = Interp.run(P, Rand, Next);
+    EXPECT_GE(Tr.size(), 1u);
+    EXPECT_LE(Tr.size(), 3u);
+    SawMin |= Tr.size() == 1;
+    SawMax |= Tr.size() == 3;
+  }
+  EXPECT_TRUE(SawMin);
+  EXPECT_TRUE(SawMax);
+}
+
+TEST(ProgramTest, NumCallSitesCountsNested) {
+  Program P;
+  P.NumLocals = 1;
+  P.Body = {Stmt::call("a", {0}),
+            Stmt::iff(0.5, {Stmt::call("b", {0})}, {Stmt::call("c", {0})}),
+            Stmt::loop(0, 2, {Stmt::call("d", {0})}),
+            Stmt::seq({Stmt::call("e", {0})}), Stmt::alloc(0)};
+  EXPECT_EQ(P.numCallSites(), 5u);
+}
+
+TEST(SynthesizeTest, CorrectSitesYieldOracleAcceptedScenarios) {
+  ProtocolModel Model = protocolByName("XFreeGC");
+  EventTable T;
+  RNG Rand(10);
+  CorpusOptions Options;
+  Options.NumPrograms = 8;
+  Options.RunsPerProgram = 2;
+  Options.SitesPerProgram = 3;
+  Options.BuggySiteRate = 0.0;
+  TraceSet Runs = generateProgramCorpus(Model, T, Rand, Options);
+  ASSERT_EQ(Runs.size(), 16u);
+
+  ExtractorOptions Extract;
+  Extract.SeedNames = Model.Seeds;
+  Extract.TransitiveValues = true;
+  TraceSet Scenarios = extractScenarios(Runs, Extract);
+  ASSERT_EQ(Scenarios.size(),
+            Options.NumPrograms * Options.RunsPerProgram *
+                Options.SitesPerProgram);
+  Oracle Truth(Model, Scenarios.table());
+  for (const Trace &Tr : Scenarios.traces())
+    EXPECT_TRUE(Truth.isCorrect(Tr, Scenarios.table()))
+        << Tr.render(Scenarios.table());
+}
+
+TEST(SynthesizeTest, BuggySitesAreBuggyInEveryRun) {
+  // The regime that defeats coring: with every site buggy, every run of
+  // every program emits only erroneous scenarios.
+  ProtocolModel Model = protocolByName("XFreeGC");
+  EventTable T;
+  RNG Rand(11);
+  CorpusOptions Options;
+  Options.NumPrograms = 6;
+  Options.RunsPerProgram = 3;
+  Options.SitesPerProgram = 2;
+  Options.BuggySiteRate = 1.0;
+  TraceSet Runs = generateProgramCorpus(Model, T, Rand, Options);
+
+  ExtractorOptions Extract;
+  Extract.SeedNames = Model.Seeds;
+  Extract.TransitiveValues = true;
+  TraceSet Scenarios = extractScenarios(Runs, Extract);
+  ASSERT_GT(Scenarios.size(), 0u);
+  Oracle Truth(Model, Scenarios.table());
+  for (const Trace &Tr : Scenarios.traces())
+    EXPECT_FALSE(Truth.isCorrect(Tr, Scenarios.table()))
+        << Tr.render(Scenarios.table());
+}
+
+TEST(SynthesizeTest, MixedCorpusHasBothKinds) {
+  ProtocolModel Model = protocolByName("RegionsAlloc");
+  EventTable T;
+  RNG Rand(12);
+  CorpusOptions Options;
+  Options.NumPrograms = 10;
+  Options.RunsPerProgram = 2;
+  Options.SitesPerProgram = 4;
+  Options.BuggySiteRate = 0.3;
+  TraceSet Runs = generateProgramCorpus(Model, T, Rand, Options);
+
+  ExtractorOptions Extract;
+  Extract.SeedNames = Model.Seeds;
+  Extract.TransitiveValues = true;
+  TraceSet Scenarios = extractScenarios(Runs, Extract);
+  Oracle Truth(Model, Scenarios.table());
+  size_t Good = 0, Bad = 0;
+  for (const Trace &Tr : Scenarios.traces())
+    (Truth.isCorrect(Tr, Scenarios.table()) ? Good : Bad) += 1;
+  EXPECT_GT(Good, 0u);
+  EXPECT_GT(Bad, 0u);
+  EXPECT_GT(Good, Bad);
+}
+
+TEST(SynthesizeTest, RunsOfOneProgramShareBuggySites) {
+  // Synthesize a single program with one (forcibly buggy) site and run it
+  // repeatedly: either every run's scenario is bad, or (if the chosen
+  // mutation was a no-op) every run's scenario is good — never a mix,
+  // because the bug lives in the program, not the run.
+  ProtocolModel Model = protocolByName("XPutImage");
+  EventTable T;
+  RNG Rand(13);
+  Program P = synthesizeProgram(Model, Rand, "p", /*NumSites=*/1,
+                                /*NumBuggy=*/1);
+  Interpreter Interp(T);
+  ValueId Next = 0;
+  Oracle Truth(Model, T);
+  ExtractorOptions Extract;
+  Extract.SeedNames = Model.Seeds;
+  Extract.TransitiveValues = true;
+
+  std::optional<bool> AllCorrect;
+  for (int R = 0; R < 10; ++R) {
+    Trace RunTrace = Interp.run(P, Rand, Next); // Interns into T first.
+    TraceSet Runs;
+    Runs.table() = T;
+    Runs.add(std::move(RunTrace));
+    TraceSet Scenarios = extractScenarios(Runs, Extract);
+    ASSERT_EQ(Scenarios.size(), 1u);
+    bool Correct = Truth.isCorrect(Scenarios[0], Scenarios.table());
+    if (!AllCorrect)
+      AllCorrect = Correct;
+    EXPECT_EQ(*AllCorrect, Correct)
+        << "a site's correctness must not vary across runs";
+  }
+}
+
+TEST(SynthesizeTest, SiteCountMatches) {
+  ProtocolModel Model = stdioProtocol();
+  RNG Rand(14);
+  Program P = synthesizeProgram(Model, Rand, "p", 3, 0);
+  // Each stdio site has one open, one close, and a loop; at least 2 calls
+  // per site at the top level.
+  EXPECT_GE(P.numCallSites(), 6u);
+  EXPECT_EQ(P.Name, "p");
+  EXPECT_GT(P.NumLocals, 0u);
+}

@@ -1,0 +1,102 @@
+//===- tests/support/RNGTest.cpp -------------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+using namespace cable;
+
+TEST(RNGTest, DeterministicPerSeed) {
+  RNG A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNGTest, DifferentSeedsDiffer) {
+  RNG A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I < 16; ++I)
+    AnyDiff |= (A.next() != B.next());
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(RNGTest, BoundedStaysInRange) {
+  RNG Rand(7);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(Rand.nextBounded(17), 17u);
+    EXPECT_LT(Rand.nextBounded(1), 1u);
+  }
+}
+
+TEST(RNGTest, BoundedCoversRange) {
+  RNG Rand(9);
+  std::vector<bool> Seen(8, false);
+  for (int I = 0; I < 500; ++I)
+    Seen[Rand.nextBounded(8)] = true;
+  for (bool B : Seen)
+    EXPECT_TRUE(B);
+}
+
+TEST(RNGTest, DoubleInUnitInterval) {
+  RNG Rand(11);
+  for (int I = 0; I < 1000; ++I) {
+    double D = Rand.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RNGTest, NextBoolExtremes) {
+  RNG Rand(13);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(Rand.nextBool(0.0));
+    EXPECT_TRUE(Rand.nextBool(1.0));
+  }
+}
+
+TEST(RNGTest, ShuffleIsPermutation) {
+  RNG Rand(17);
+  std::vector<int> V(50);
+  std::iota(V.begin(), V.end(), 0);
+  std::vector<int> Orig = V;
+  Rand.shuffle(V);
+  EXPECT_FALSE(std::is_sorted(V.begin(), V.end()))
+      << "a 50-element shuffle staying sorted is vanishingly unlikely";
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(RNGTest, PickWeightedRespectsZeroWeights) {
+  RNG Rand(19);
+  std::vector<double> W{0.0, 1.0, 0.0};
+  for (int I = 0; I < 200; ++I)
+    EXPECT_EQ(Rand.pickWeighted(W), 1u);
+}
+
+TEST(RNGTest, PickWeightedRoughProportions) {
+  RNG Rand(23);
+  std::vector<double> W{1.0, 3.0};
+  int Counts[2] = {0, 0};
+  for (int I = 0; I < 4000; ++I)
+    ++Counts[Rand.pickWeighted(W)];
+  double Ratio = static_cast<double>(Counts[1]) / Counts[0];
+  EXPECT_GT(Ratio, 2.0);
+  EXPECT_LT(Ratio, 4.5);
+}
+
+TEST(RNGTest, ForkIndependentOfParentContinuation) {
+  RNG A(31);
+  RNG Child = A.fork();
+  uint64_t C1 = Child.next();
+  RNG B(31);
+  RNG Child2 = B.fork();
+  EXPECT_EQ(C1, Child2.next()) << "forking must be deterministic";
+}

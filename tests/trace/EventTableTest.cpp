@@ -1,0 +1,88 @@
+//===- tests/trace/EventTableTest.cpp --------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/EventTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+
+TEST(EventTableTest, NameInterningIsStable) {
+  EventTable T;
+  NameId A = T.internName("fopen");
+  NameId B = T.internName("fclose");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(T.internName("fopen"), A);
+  EXPECT_EQ(T.nameText(A), "fopen");
+  EXPECT_EQ(T.numNames(), 2u);
+}
+
+TEST(EventTableTest, LookupNameWithoutInterning) {
+  EventTable T;
+  EXPECT_FALSE(T.lookupName("nope").has_value());
+  NameId A = T.internName("yes");
+  ASSERT_TRUE(T.lookupName("yes").has_value());
+  EXPECT_EQ(*T.lookupName("yes"), A);
+}
+
+TEST(EventTableTest, EventInterningDedups) {
+  EventTable T;
+  EventId A = T.internEvent("fopen", {0});
+  EventId B = T.internEvent("fopen", {0});
+  EventId C = T.internEvent("fopen", {1});
+  EventId D = T.internEvent("fopen");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, D);
+  EXPECT_EQ(T.numEvents(), 3u);
+}
+
+TEST(EventTableTest, RenderEvent) {
+  EventTable T;
+  EventId A = T.internEvent("f", {0, 2});
+  EventId B = T.internEvent("g");
+  EXPECT_EQ(T.renderEvent(A), "f(v0,v2)");
+  EXPECT_EQ(T.renderEvent(B), "g");
+}
+
+TEST(EventTableTest, ParseRoundTrip) {
+  EventTable T;
+  std::string Err;
+  for (const char *Text : {"f(v0,v2)", "g", "h(v10)"}) {
+    std::optional<EventId> Id = T.parseEvent(Text, Err);
+    ASSERT_TRUE(Id.has_value()) << Err;
+    EXPECT_EQ(T.renderEvent(*Id), Text);
+  }
+}
+
+TEST(EventTableTest, ParseToleratesSpaces) {
+  EventTable T;
+  std::string Err;
+  std::optional<EventId> Id = T.parseEvent(" f( v0 , v1 ) ", Err);
+  ASSERT_TRUE(Id.has_value()) << Err;
+  EXPECT_EQ(T.renderEvent(*Id), "f(v0,v1)");
+}
+
+TEST(EventTableTest, ParseEmptyArgList) {
+  EventTable T;
+  std::string Err;
+  std::optional<EventId> Id = T.parseEvent("f()", Err);
+  ASSERT_TRUE(Id.has_value()) << Err;
+  EXPECT_EQ(T.event(*Id).Args.size(), 0u);
+}
+
+TEST(EventTableTest, ParseErrors) {
+  EventTable T;
+  std::string Err;
+  EXPECT_FALSE(T.parseEvent("", Err).has_value());
+  EXPECT_FALSE(T.parseEvent("f(v0", Err).has_value());
+  EXPECT_FALSE(T.parseEvent("f(x0)", Err).has_value());
+  EXPECT_FALSE(T.parseEvent("f(v)", Err).has_value());
+  EXPECT_FALSE(T.parseEvent("(v0)", Err).has_value());
+  EXPECT_FALSE(T.parseEvent("fv0)", Err).has_value());
+  EXPECT_FALSE(Err.empty());
+}

@@ -1,0 +1,105 @@
+//===- tests/trace/TraceSetTest.cpp ----------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+
+namespace {
+
+TraceSet parseOrDie(const char *Text) {
+  std::string Err;
+  std::optional<TraceSet> TS = TraceSet::parse(Text, Err);
+  EXPECT_TRUE(TS.has_value()) << Err;
+  return std::move(*TS);
+}
+
+} // namespace
+
+TEST(TraceSetTest, ParsesLinesSkippingCommentsAndBlanks) {
+  TraceSet TS = parseOrDie("# header\n"
+                           "a(v0) b(v0)\n"
+                           "\n"
+                           "  # indented comment\n"
+                           "c\n");
+  ASSERT_EQ(TS.size(), 2u);
+  EXPECT_EQ(TS[0].size(), 2u);
+  EXPECT_EQ(TS[1].size(), 1u);
+}
+
+TEST(TraceSetTest, ParseReportsLineNumber) {
+  std::string Err;
+  std::optional<TraceSet> TS = TraceSet::parse("a(v0)\nb(vX)\n", Err);
+  EXPECT_FALSE(TS.has_value());
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+}
+
+TEST(TraceSetTest, RenderParseRoundTrip) {
+  TraceSet TS = parseOrDie("a(v0) b(v0,v1)\nc d(v2)\n");
+  TraceSet Again = parseOrDie(TS.render().c_str());
+  ASSERT_EQ(Again.size(), TS.size());
+  for (size_t I = 0; I < TS.size(); ++I)
+    EXPECT_EQ(Again[I].render(Again.table()), TS[I].render(TS.table()));
+}
+
+TEST(TraceSetTest, ComputeClassesGroupsIdenticalTraces) {
+  TraceSet TS = parseOrDie("a b\n"
+                           "c\n"
+                           "a b\n"
+                           "a b\n"
+                           "c\n");
+  TraceClasses C = TS.computeClasses();
+  ASSERT_EQ(C.numClasses(), 2u);
+  EXPECT_EQ(C.Multiplicity[0], 3u);
+  EXPECT_EQ(C.Multiplicity[1], 2u);
+  EXPECT_EQ(C.Members[0], (std::vector<size_t>{0, 2, 3}));
+  EXPECT_EQ(C.ClassOf, (std::vector<size_t>{0, 1, 0, 0, 1}));
+}
+
+TEST(TraceSetTest, DedupKeepsFirstAppearanceOrder) {
+  TraceSet TS = parseOrDie("b\na\nb\na\nc\n");
+  TraceSet D = TS.dedup();
+  ASSERT_EQ(D.size(), 3u);
+  EXPECT_EQ(D[0].render(D.table()), "b");
+  EXPECT_EQ(D[1].render(D.table()), "a");
+  EXPECT_EQ(D[2].render(D.table()), "c");
+}
+
+TEST(TraceSetTest, SubsetSelectsByIndex) {
+  TraceSet TS = parseOrDie("a\nb\nc\n");
+  TraceSet Sub = TS.subset({2, 0});
+  ASSERT_EQ(Sub.size(), 2u);
+  EXPECT_EQ(Sub[0].render(Sub.table()), "c");
+  EXPECT_EQ(Sub[1].render(Sub.table()), "a");
+}
+
+TEST(TraceSetTest, FilterKeepsMatchingTraces) {
+  TraceSet TS = parseOrDie("a b\nc\na\n");
+  TraceSet Long = TS.filter([](const Trace &T) { return T.size() >= 2; });
+  ASSERT_EQ(Long.size(), 1u);
+  EXPECT_EQ(Long[0].render(Long.table()), "a b");
+  TraceSet None = TS.filter([](const Trace &) { return false; });
+  EXPECT_TRUE(None.empty());
+  TraceSet All = TS.filter([](const Trace &) { return true; });
+  EXPECT_EQ(All.size(), TS.size());
+}
+
+TEST(TraceSetTest, EmptySetBehaves) {
+  TraceSet TS = parseOrDie("");
+  EXPECT_TRUE(TS.empty());
+  EXPECT_EQ(TS.computeClasses().numClasses(), 0u);
+  EXPECT_EQ(TS.render(), "");
+}
+
+TEST(TraceSetTest, ClassesDistinguishValuePatterns) {
+  // Same event names, different value wiring: distinct classes.
+  TraceSet TS = parseOrDie("open(v0) close(v0)\n"
+                           "open(v0) close(v1)\n");
+  EXPECT_EQ(TS.computeClasses().numClasses(), 2u);
+}

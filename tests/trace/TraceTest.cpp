@@ -1,0 +1,73 @@
+//===- tests/trace/TraceTest.cpp -------------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include "trace/TraceSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace cable;
+
+namespace {
+
+Trace makeTrace(EventTable &T, std::initializer_list<const char *> Events) {
+  Trace Out;
+  std::string Err;
+  for (const char *E : Events) {
+    std::optional<EventId> Id = T.parseEvent(E, Err);
+    EXPECT_TRUE(Id.has_value()) << Err;
+    Out.append(*Id);
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(TraceTest, RenderSpaceSeparated) {
+  EventTable T;
+  Trace Tr = makeTrace(T, {"a(v0)", "b", "c(v0,v1)"});
+  EXPECT_EQ(Tr.render(T), "a(v0) b c(v0,v1)");
+}
+
+TEST(TraceTest, CanonicalizeRenumbersByFirstOccurrence) {
+  EventTable T;
+  Trace Tr = makeTrace(T, {"open(v7)", "use(v7,v3)", "close(v3)"});
+  Trace Canon = Tr.canonicalized(T);
+  EXPECT_EQ(Canon.render(T), "open(v0) use(v0,v1) close(v1)");
+}
+
+TEST(TraceTest, CanonicalizeIsIdempotent) {
+  EventTable T;
+  Trace Tr = makeTrace(T, {"a(v5)", "b(v5,v9)", "c(v9)"});
+  Trace C1 = Tr.canonicalized(T);
+  Trace C2 = C1.canonicalized(T);
+  EXPECT_TRUE(C1 == C2);
+}
+
+TEST(TraceTest, CanonicalizeMergesRenamedCopies) {
+  EventTable T;
+  Trace A = makeTrace(T, {"open(v1)", "close(v1)"});
+  Trace B = makeTrace(T, {"open(v8)", "close(v8)"});
+  EXPECT_FALSE(A == B);
+  EXPECT_TRUE(A.canonicalized(T) == B.canonicalized(T));
+}
+
+TEST(TraceTest, EmptyTrace) {
+  EventTable T;
+  Trace Tr;
+  EXPECT_TRUE(Tr.empty());
+  EXPECT_EQ(Tr.render(T), "");
+  EXPECT_TRUE(Tr.canonicalized(T) == Tr);
+}
+
+TEST(TraceTest, HashEqualTracesEqualHashes) {
+  EventTable T;
+  Trace A = makeTrace(T, {"a(v0)", "b(v0)"});
+  Trace B = makeTrace(T, {"a(v0)", "b(v0)"});
+  EXPECT_EQ(TraceHash{}(A), TraceHash{}(B));
+}

@@ -1,0 +1,245 @@
+//===- tests/workload/ProtocolsTest.cpp ------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Protocols.h"
+
+#include "../TestHelpers.h"
+#include "cable/Strategies.h"
+#include "miner/ScenarioExtractor.h"
+#include "support/RNG.h"
+#include "workload/Generator.h"
+#include "workload/Oracle.h"
+#include "workload/ReferenceFA.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cable;
+
+TEST(ProtocolsTest, ExactlySeventeenProtocols) {
+  EXPECT_EQ(allProtocols().size(), 17u);
+}
+
+TEST(ProtocolsTest, NamesFromThePaperArePresent) {
+  std::set<std::string> Names;
+  for (const ProtocolModel &M : allProtocols())
+    Names.insert(M.Name);
+  for (const char *Expected :
+       {"XGetSelOwner", "XSetSelOwner", "XtOwnSel", "XInternAtom",
+        "PrsTransTbl", "PrsAccelTbl", "RmvTimeOut", "Quarks", "RegionsAlloc",
+        "RegionsBig", "XFreeGC", "XPutImage", "XSetFont", "XtFree"})
+    EXPECT_TRUE(Names.count(Expected)) << Expected;
+}
+
+TEST(ProtocolsTest, ExactlyThreeReconstructedRows) {
+  size_t Reconstructed = 0;
+  for (const ProtocolModel &M : allProtocols())
+    if (M.Reconstructed)
+      ++Reconstructed;
+  EXPECT_EQ(Reconstructed, 3u);
+}
+
+TEST(ProtocolsTest, ProtocolByNameFindsEach) {
+  for (const ProtocolModel &M : allProtocols())
+    EXPECT_EQ(protocolByName(M.Name).Name, M.Name);
+}
+
+TEST(ProtocolsTest, ModelsAreComplete) {
+  for (const ProtocolModel &M : allProtocols()) {
+    EXPECT_FALSE(M.Description.empty()) << M.Name;
+    EXPECT_FALSE(M.CorrectRegex.empty()) << M.Name;
+    EXPECT_FALSE(M.Seeds.empty()) << M.Name;
+    EXPECT_FALSE(M.Shapes.empty()) << M.Name;
+    EXPECT_FALSE(M.Errors.empty()) << M.Name;
+    EXPECT_GT(M.NumRuns, 0u) << M.Name;
+    EXPECT_GT(M.ErrorRate, 0.0) << M.Name;
+    EXPECT_LT(M.ErrorRate, 1.0) << M.Name;
+  }
+}
+
+/// Per-protocol properties, parameterized over all 17 + stdio.
+class PerProtocolTest : public ::testing::TestWithParam<std::string> {
+protected:
+  ProtocolModel model() const {
+    if (GetParam() == "stdio")
+      return stdioProtocol();
+    return protocolByName(GetParam());
+  }
+};
+
+TEST_P(PerProtocolTest, CorrectScenariosAreAcceptedByOracle) {
+  ProtocolModel M = model();
+  EventTable Table;
+  WorkloadGenerator Gen(M, Table);
+  Oracle Truth(M, Table);
+  RNG Rand(42);
+  for (int I = 0; I < 100; ++I) {
+    Trace T = Gen.generateCorrect(Rand).canonicalized(Table);
+    EXPECT_TRUE(Truth.isCorrect(T, Table))
+        << M.Name << ": correct scenario rejected: " << T.render(Table);
+  }
+}
+
+TEST_P(PerProtocolTest, ErrorModesProduceRejectedOrUnchangedTraces) {
+  ProtocolModel M = model();
+  EventTable Table;
+  WorkloadGenerator Gen(M, Table);
+  Oracle Truth(M, Table);
+  RNG Rand(43);
+  for (int I = 0; I < 60; ++I) {
+    Trace Correct = Gen.generateCorrect(Rand);
+    for (const auto &[W, Mode] : M.Errors) {
+      Trace Mutated = Gen.applyError(Correct, Mode, Rand);
+      if (Mutated == Correct)
+        continue; // The mutation had no target event; still correct.
+      Trace Canon = Mutated.canonicalized(Table);
+      EXPECT_FALSE(Truth.isCorrect(Canon, Table))
+          << M.Name << ": mutant accepted: " << Canon.render(Table);
+    }
+  }
+}
+
+TEST_P(PerProtocolTest, RunsContainBothKinds) {
+  ProtocolModel M = model();
+  EventTable Table;
+  WorkloadGenerator Gen(M, Table);
+  RNG Rand(44);
+  TraceSet Runs = Gen.generateRuns(Rand);
+  EXPECT_EQ(Runs.size(), M.NumRuns);
+
+  ExtractorOptions Extract;
+  Extract.SeedNames = M.Seeds;
+  Extract.TransitiveValues = true;
+  TraceSet Scenarios = extractScenarios(Runs, Extract);
+  EXPECT_GE(Scenarios.size(), M.NumRuns * M.ScenariosPerRun / 2)
+      << "extraction must recover most scenarios";
+
+  Oracle Truth(M, Scenarios.table());
+  size_t Good = 0, Bad = 0;
+  for (const Trace &T : Scenarios.traces()) {
+    if (Truth.isCorrect(T, Scenarios.table()))
+      ++Good;
+    else
+      ++Bad;
+  }
+  EXPECT_GT(Good, 0u) << M.Name;
+  EXPECT_GT(Bad, 0u) << M.Name;
+  EXPECT_GT(Good, Bad) << "correct behavior must dominate";
+}
+
+TEST_P(PerProtocolTest, ExtractionRecoversGeneratedScenarios) {
+  // Generating scenarios directly and slicing them out of interleaved
+  // runs must produce the same multiset of canonical traces.
+  ProtocolModel M = model();
+  M.NoisePerRun = 3;
+  EventTable TableA;
+  WorkloadGenerator GenA(M, TableA);
+  RNG RandRuns(7);
+  ValueId Next = 0;
+  Trace Run = GenA.generateRun(RandRuns, Next);
+
+  // Regenerate the same scenarios with an identical RNG stream.
+  EventTable TableB;
+  WorkloadGenerator GenB(M, TableB);
+  RNG RandDirect(7);
+  std::multiset<std::string> Direct;
+  for (size_t I = 0; I < M.ScenariosPerRun; ++I) {
+    Trace S = GenB.generateScenario(RandDirect);
+    // Only scenarios containing a seed event are recoverable by the
+    // extractor; mutations are designed to preserve one, but filter
+    // defensively.
+    bool HasSeed = false;
+    for (EventId E : S.events()) {
+      const std::string &Name = TableB.nameText(TableB.event(E).Name);
+      for (const std::string &Seed : M.Seeds)
+        if (Name == Seed && !TableB.event(E).Args.empty())
+          HasSeed = true;
+    }
+    if (HasSeed)
+      Direct.insert(S.canonicalized(TableB).render(TableB));
+  }
+
+  TraceSet Runs;
+  Runs.table() = TableA;
+  Runs.add(Run);
+  ExtractorOptions Extract;
+  Extract.SeedNames = M.Seeds;
+  Extract.TransitiveValues = true;
+  TraceSet Scenarios = extractScenarios(Runs, Extract);
+  std::multiset<std::string> Extracted;
+  for (const Trace &T : Scenarios.traces())
+    Extracted.insert(T.render(Scenarios.table()));
+
+  EXPECT_EQ(Extracted, Direct) << M.Name;
+}
+
+TEST_P(PerProtocolTest, ReferenceFAYieldsWellFormedLattice) {
+  // The Table 3 measurements require that the recommended reference FA
+  // separates good from bad: the induced lattice must be well-formed for
+  // the oracle labeling, and the lattice-based strategies must finish.
+  ProtocolModel M = model();
+  EventTable Table;
+  WorkloadGenerator Gen(M, Table);
+  RNG Rand(321);
+  TraceSet Scenarios =
+      Gen.generateScenarios(Rand, M.NumRuns * M.ScenariosPerRun);
+  Automaton Ref =
+      makeProtocolReferenceFA(Scenarios.traces(), Scenarios.table(), M);
+  Session S(std::move(Scenarios), std::move(Ref));
+  Oracle Truth(M, S.table());
+  ReferenceLabeling Target = Truth.referenceLabeling(S);
+  EXPECT_TRUE(checkWellFormed(S, Target).LatticeWellFormed) << M.Name;
+  TopDownStrategy TD;
+  EXPECT_TRUE(TD.run(S, Target).Finished) << M.Name;
+  ExpertSimStrategy Expert;
+  EXPECT_TRUE(Expert.run(S, Target).Finished) << M.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, PerProtocolTest,
+                         ::testing::Values(
+                             "XGetSelOwner", "XSetSelOwner", "XtOwnSel",
+                             "XInternAtom", "PrsTransTbl", "PrsAccelTbl",
+                             "RmvTimeOut", "Quarks", "RegionsAlloc",
+                             "RegionsBig", "XFreeGC", "XPutImage", "XSetFont",
+                             "XtFree", "XOpenDisplay", "XCreatePixmap",
+                             "XSaveContext", "stdio"));
+
+TEST(ProtocolsTest, StdioBuggySpecHasTheFig1Bug) {
+  EventTable T;
+  Automaton Buggy = cable::test::compileFA(stdioBuggyRegex(), T);
+  EXPECT_TRUE(
+      Buggy.accepts(cable::test::makeTrace(T, "popen(v0) fclose(v0)"), T));
+  EXPECT_FALSE(
+      Buggy.accepts(cable::test::makeTrace(T, "popen(v0) pclose(v0)"), T));
+}
+
+TEST(ProtocolsTest, XtFreeRegimeIsLarge) {
+  // §5.3: the XtFree specification had on the order of a hundred unique
+  // scenario classes (Baseline 224 => ~112 classes).
+  ProtocolModel M = protocolByName("XtFree");
+  EventTable Table;
+  WorkloadGenerator Gen(M, Table);
+  RNG Rand(1);
+  TraceSet Scenarios =
+      Gen.generateScenarios(Rand, M.NumRuns * M.ScenariosPerRun);
+  size_t Unique = Scenarios.computeClasses().numClasses();
+  EXPECT_GE(Unique, 60u);
+  EXPECT_LE(Unique, 180u);
+}
+
+TEST(ProtocolsTest, SmallProtocolsStaySmall) {
+  for (const char *Name : {"XGetSelOwner", "PrsTransTbl", "RmvTimeOut"}) {
+    ProtocolModel M = protocolByName(Name);
+    EventTable Table;
+    WorkloadGenerator Gen(M, Table);
+    RNG Rand(2);
+    TraceSet Scenarios =
+        Gen.generateScenarios(Rand, M.NumRuns * M.ScenariosPerRun);
+    EXPECT_LE(Scenarios.computeClasses().numClasses(), 12u) << Name;
+  }
+}

@@ -1,0 +1,536 @@
+//===- tools/cable-cli.cpp - The Cable tool ---------------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// A command-line rendition of the paper's Dotty-based Cable tool (§4). It
+// loads traces (from a file, or a generated protocol workload), clusters
+// them against a reference FA, and offers the paper's commands: concept
+// listing with the green/yellow/red states, the three summary views, the
+// `Label traces` command with its selection semantics, Focus sub-sessions
+// with label merge-back, and DOT export. Reads commands from stdin, so it
+// works both interactively and scripted.
+//
+// Usage:
+//   cable-cli --traces FILE [--ref REGEX | --unordered | --seed EVENT]
+//   cable-cli --protocol NAME [--seed EVENT | ...]   (synthetic workload)
+//   cable-cli --help
+//
+//===----------------------------------------------------------------------===//
+
+#include "cable/Advisor.h"
+#include "cable/Session.h"
+#include "cable/Strategies.h"
+#include "cable/WellFormed.h"
+#include "fa/Dfa.h"
+#include "fa/Parse.h"
+#include "fa/Regex.h"
+#include "fa/Templates.h"
+#include "support/RNG.h"
+#include "support/StringUtil.h"
+#include "workload/Generator.h"
+#include "workload/Oracle.h"
+#include "workload/ReferenceFA.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cable;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "cable-cli: debug temporal specifications with concept analysis\n"
+      "\n"
+      "input (one of):\n"
+      "  --traces FILE      load traces (one per line: name or name(v0,..))\n"
+      "  --protocol NAME    generate the named synthetic workload\n"
+      "                     (one of the 17 evaluation protocols or 'stdio')\n"
+      "\n"
+      "reference FA (default: unordered template):\n"
+      "  --ref REGEX        compile REGEX (fa/Regex syntax)\n"
+      "  --ref-file FILE    load an automaton in the fa/Parse format\n"
+      "  --seed EVENT       seed-order template on EVENT, e.g. XtFree(v0)\n"
+      "  --recommended      protocol's recommended FA (with --protocol)\n"
+      "\n"
+      "commands (stdin):\n"
+      "  ls                  list concepts (state, size, similarity)\n"
+      "  fa ID [SEL]         Show FA summary (SEL: all|unlabeled|LABEL)\n"
+      "  transitions ID      Show transitions of the concept's intent\n"
+      "  traces ID [SEL]     Show traces\n"
+      "  label ID NAME [SEL] Label traces (SEL: all|unlabeled|from OLD)\n"
+      "  focus ID REGEX      start a Focus sub-session with REGEX\n"
+      "  unfocus             end the sub-session, merging labels back\n"
+      "  check NAME          FA over all traces labeled NAME (Step 2b)\n"
+      "  diff NAME NAME      shortest trace separating two labels' FAs\n"
+      "  suggest ID          rank focus seeds that would split concept ID\n"
+      "  meet ID ID          greatest lower bound of two concepts\n"
+      "  join ID ID          least upper bound of two concepts\n"
+      "  undo                revert the last labeling operation\n"
+      "  save FILE           save the current labels\n"
+      "  load FILE           restore labels saved with 'save'\n"
+      "  oracle              auto-label with the protocol oracle (demo)\n"
+      "  dot FILE            write the lattice as Graphviz DOT\n"
+      "  status              labeling progress\n"
+      "  help / quit\n");
+}
+
+struct CliState {
+  std::unique_ptr<Session> Base;
+  // Focus stack: sessions above Base; labels merge down on unfocus.
+  std::vector<std::unique_ptr<FocusSession>> Stack;
+  std::optional<ProtocolModel> Protocol;
+
+  Session &current() {
+    return Stack.empty() ? *Base : Stack.back()->Sub;
+  }
+  Session &parentOfTop() {
+    return Stack.size() <= 1 ? *Base : Stack[Stack.size() - 2]->Sub;
+  }
+};
+
+std::optional<TraceSelect> parseSelect(const std::vector<std::string> &Args,
+                                       size_t From, Session &S,
+                                       std::optional<LabelId> &FromLabel) {
+  if (Args.size() <= From)
+    return TraceSelect::All;
+  if (Args[From] == "all")
+    return TraceSelect::All;
+  if (Args[From] == "unlabeled")
+    return TraceSelect::Unlabeled;
+  if (Args[From] == "from" && Args.size() > From + 1) {
+    FromLabel = S.internLabel(Args[From + 1]);
+    return TraceSelect::WithLabel;
+  }
+  // A bare label name.
+  FromLabel = S.internLabel(Args[From]);
+  return TraceSelect::WithLabel;
+}
+
+std::optional<Session::NodeId> parseConcept(const std::string &Text,
+                                            const Session &S) {
+  std::string_view Id = Text;
+  if (!Id.empty() && Id[0] == 'c')
+    Id.remove_prefix(1);
+  if (!isAllDigits(Id)) {
+    std::printf("error: bad concept id '%s'\n", Text.c_str());
+    return std::nullopt;
+  }
+  unsigned long N = std::stoul(std::string(Id));
+  if (N >= S.lattice().size()) {
+    std::printf("error: concept %lu out of range (lattice has %zu)\n", N,
+                S.lattice().size());
+    return std::nullopt;
+  }
+  return static_cast<Session::NodeId>(N);
+}
+
+void cmdLs(Session &S) {
+  for (Session::NodeId Id : S.lattice().topDownOrder()) {
+    const char *State = "";
+    switch (S.stateOf(Id)) {
+    case ConceptState::Unlabeled:
+      State = "[green ]";
+      break;
+    case ConceptState::PartlyLabeled:
+      State = "[yellow]";
+      break;
+    case ConceptState::FullyLabeled:
+      State = "[red   ]";
+      break;
+    }
+    const Concept &C = S.lattice().node(Id);
+    std::printf("%s c%-3u traces=%-4zu sim=%-3zu children:", State, Id,
+                C.Extent.count(), C.Intent.count());
+    for (Session::NodeId Child : S.lattice().children(Id))
+      std::printf(" c%u", Child);
+    std::printf("\n");
+  }
+}
+
+void cmdStatus(Session &S) {
+  size_t Unlabeled = S.unlabeledObjects().count();
+  std::printf("%zu unique traces; %zu unlabeled; %zu labels; %zu concepts\n",
+              S.numObjects(), Unlabeled, S.numLabels(), S.lattice().size());
+  for (LabelId L = 0; L < S.numLabels(); ++L)
+    std::printf("  %-16s %zu trace(s)\n", S.labelName(L).c_str(),
+                S.objectsWithLabel(L).count());
+  if (!S.rejectedObjects().empty())
+    std::printf("warning: %zu trace(s) rejected by the reference FA\n",
+                S.rejectedObjects().size());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string TracesFile, RefRegex, RefFile, SeedEvent, ProtocolName;
+  bool Recommended = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> std::string {
+      return I + 1 < Argc ? Argv[++I] : std::string();
+    };
+    if (Arg == "--traces")
+      TracesFile = Next();
+    else if (Arg == "--ref")
+      RefRegex = Next();
+    else if (Arg == "--ref-file")
+      RefFile = Next();
+    else if (Arg == "--seed")
+      SeedEvent = Next();
+    else if (Arg == "--protocol")
+      ProtocolName = Next();
+    else if (Arg == "--recommended")
+      Recommended = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s' (try --help)\n", Arg.c_str());
+      return 1;
+    }
+  }
+
+  CliState Cli;
+
+  // Assemble the trace set.
+  TraceSet Traces;
+  if (!ProtocolName.empty()) {
+    Cli.Protocol = ProtocolName == "stdio" ? stdioProtocol()
+                                           : protocolByName(ProtocolName);
+    EventTable Table;
+    WorkloadGenerator Gen(*Cli.Protocol, Table);
+    RNG Rand(0xC11);
+    Traces = Gen.generateScenarios(
+        Rand, Cli.Protocol->NumRuns * Cli.Protocol->ScenariosPerRun);
+    std::printf("generated %zu scenario traces for protocol %s\n",
+                Traces.size(), Cli.Protocol->Name.c_str());
+  } else if (!TracesFile.empty()) {
+    std::ifstream In(TracesFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", TracesFile.c_str());
+      return 1;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    std::string Err;
+    std::optional<TraceSet> Parsed = TraceSet::parse(Buf.str(), Err);
+    if (!Parsed) {
+      std::fprintf(stderr, "error: %s: %s\n", TracesFile.c_str(),
+                   Err.c_str());
+      return 1;
+    }
+    Traces = std::move(*Parsed);
+    std::printf("loaded %zu traces from %s\n", Traces.size(),
+                TracesFile.c_str());
+  } else {
+    printUsage();
+    return 1;
+  }
+  if (Traces.empty()) {
+    std::fprintf(stderr, "error: no traces\n");
+    return 1;
+  }
+
+  // Build the reference FA.
+  Automaton Ref;
+  if (!RefRegex.empty()) {
+    std::string Err;
+    std::optional<Automaton> FA = compileRegex(RefRegex, Traces.table(), Err);
+    if (!FA) {
+      std::fprintf(stderr, "error: bad --ref regex: %s\n", Err.c_str());
+      return 1;
+    }
+    Ref = FA->withoutEpsilons();
+  } else if (!RefFile.empty()) {
+    std::ifstream In(RefFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", RefFile.c_str());
+      return 1;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    std::string Err;
+    std::optional<Automaton> FA =
+        parseAutomaton(Buf.str(), Traces.table(), Err);
+    if (!FA) {
+      std::fprintf(stderr, "error: %s: %s\n", RefFile.c_str(), Err.c_str());
+      return 1;
+    }
+    Ref = std::move(*FA);
+  } else if (!SeedEvent.empty()) {
+    std::string Err;
+    std::optional<EventId> Seed = Traces.table().parseEvent(SeedEvent, Err);
+    if (!Seed) {
+      std::fprintf(stderr, "error: bad --seed event: %s\n", Err.c_str());
+      return 1;
+    }
+    Ref = makeSeedOrderFA(templateAlphabet(Traces.traces()), *Seed,
+                          Traces.table());
+  } else if (Recommended && Cli.Protocol) {
+    Ref = makeProtocolReferenceFA(Traces.traces(), Traces.table(),
+                                  *Cli.Protocol);
+  } else {
+    Ref = makeUnorderedFA(templateAlphabet(Traces.traces()), Traces.table());
+  }
+
+  Cli.Base = std::make_unique<Session>(std::move(Traces), std::move(Ref));
+  std::printf("session: %zu unique traces, %zu FA transitions, %zu "
+              "concepts\n",
+              Cli.Base->numObjects(),
+              Cli.Base->referenceFA().numTransitions(),
+              Cli.Base->lattice().size());
+  std::printf("type 'help' for commands\n");
+
+  std::string Line;
+  while (std::printf("cable> "), std::fflush(stdout),
+         std::getline(std::cin, Line)) {
+    std::vector<std::string> Args = splitWhitespace(Line);
+    if (Args.empty())
+      continue;
+    Session &S = Cli.current();
+    const std::string &Cmd = Args[0];
+
+    if (Cmd == "quit" || Cmd == "exit")
+      break;
+    if (Cmd == "help") {
+      printUsage();
+      continue;
+    }
+    if (Cmd == "ls") {
+      cmdLs(S);
+      continue;
+    }
+    if (Cmd == "status") {
+      cmdStatus(S);
+      continue;
+    }
+    if (Cmd == "fa" && Args.size() >= 2) {
+      std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
+      if (!Id)
+        continue;
+      std::optional<LabelId> From;
+      std::optional<TraceSelect> Sel = parseSelect(Args, 2, S, From);
+      if (!Sel)
+        continue;
+      Automaton FA = S.showFA(*Id, *Sel, From);
+      std::printf("%s", FA.renderText(S.table()).c_str());
+      continue;
+    }
+    if (Cmd == "transitions" && Args.size() >= 2) {
+      std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
+      if (!Id)
+        continue;
+      for (TransitionId TI : S.showTransitions(*Id)) {
+        const Transition &T = S.referenceFA().transition(TI);
+        std::printf("  t%-3u q%u --%s--> q%u\n", TI, T.From,
+                    T.Label.render(S.table()).c_str(), T.To);
+      }
+      continue;
+    }
+    if (Cmd == "traces" && Args.size() >= 2) {
+      std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
+      if (!Id)
+        continue;
+      std::optional<LabelId> From;
+      std::optional<TraceSelect> Sel = parseSelect(Args, 2, S, From);
+      if (!Sel)
+        continue;
+      for (size_t Obj : S.showTraces(*Id, *Sel, From)) {
+        std::string Label = S.labelOf(Obj)
+                                ? S.labelName(*S.labelOf(Obj))
+                                : std::string("-");
+        std::printf("  [%s] %s\n", Label.c_str(),
+                    S.object(Obj).render(S.table()).c_str());
+      }
+      continue;
+    }
+    if (Cmd == "label" && Args.size() >= 3) {
+      std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
+      if (!Id)
+        continue;
+      LabelId NewLabel = S.internLabel(Args[2]);
+      std::optional<LabelId> From;
+      std::optional<TraceSelect> Sel = parseSelect(Args, 3, S, From);
+      if (!Sel)
+        continue;
+      if (Args.size() == 3)
+        Sel = TraceSelect::Unlabeled; // Default: label the unlabeled.
+      size_t N = S.labelTraces(*Id, *Sel, NewLabel, From);
+      std::printf("labeled %zu trace(s) as '%s'\n", N, Args[2].c_str());
+      continue;
+    }
+    if (Cmd == "focus" && Args.size() >= 3) {
+      std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
+      if (!Id)
+        continue;
+      std::string Pattern;
+      for (size_t I = 2; I < Args.size(); ++I) {
+        if (I != 2)
+          Pattern += ' ';
+        Pattern += Args[I];
+      }
+      std::string Err;
+      std::optional<Automaton> FA =
+          compileRegex(Pattern, S.table(), Err);
+      if (!FA) {
+        std::printf("error: bad focus regex: %s\n", Err.c_str());
+        continue;
+      }
+      Cli.Stack.push_back(std::make_unique<FocusSession>(
+          S.focus(*Id, FA->withoutEpsilons())));
+      Session &Sub = Cli.current();
+      std::printf("focused: %zu traces, %zu concepts",
+                  Sub.numObjects(), Sub.lattice().size());
+      if (!Sub.rejectedObjects().empty())
+        std::printf(" (%zu rejected by the focus FA)",
+                    Sub.rejectedObjects().size());
+      std::printf("\n");
+      continue;
+    }
+    if (Cmd == "unfocus") {
+      if (Cli.Stack.empty()) {
+        std::printf("not in a focus session\n");
+        continue;
+      }
+      Session &Parent = Cli.parentOfTop();
+      Parent.mergeBack(*Cli.Stack.back());
+      Cli.Stack.pop_back();
+      std::printf("labels merged back\n");
+      continue;
+    }
+    if (Cmd == "check" && Args.size() >= 2) {
+      LabelId L = S.internLabel(Args[1]);
+      Automaton FA =
+          S.showFA(S.lattice().top(), TraceSelect::WithLabel, L);
+      std::printf("FA over all traces labeled '%s':\n%s", Args[1].c_str(),
+                  FA.renderText(S.table()).c_str());
+      continue;
+    }
+    if (Cmd == "oracle") {
+      if (!Cli.Protocol) {
+        std::printf("oracle requires --protocol\n");
+        continue;
+      }
+      Oracle Truth(*Cli.Protocol, S.table());
+      ReferenceLabeling Target = Truth.referenceLabeling(S);
+      ExpertSimStrategy Expert;
+      StrategyCost Cost = Expert.run(S, Target);
+      std::printf("expert simulation: %zu inspections + %zu label ops "
+                  "(%s)\n",
+                  Cost.Inspections, Cost.LabelOps,
+                  Cost.Finished ? "finished" : "DID NOT FINISH");
+      continue;
+    }
+    if ((Cmd == "meet" || Cmd == "join") && Args.size() >= 3) {
+      std::optional<Session::NodeId> A = parseConcept(Args[1], S);
+      std::optional<Session::NodeId> B = parseConcept(Args[2], S);
+      if (!A || !B)
+        continue;
+      Session::NodeId R = Cmd == "meet" ? S.lattice().meet(*A, *B)
+                                        : S.lattice().join(*A, *B);
+      std::printf("%s(c%u, c%u) = %s\n", Cmd.c_str(), *A, *B,
+                  S.describeConcept(R).c_str());
+      continue;
+    }
+    if (Cmd == "undo") {
+      std::printf(S.undo() ? "undone\n" : "nothing to undo\n");
+      continue;
+    }
+    if (Cmd == "diff" && Args.size() >= 3) {
+      LabelId L1 = S.internLabel(Args[1]);
+      LabelId L2 = S.internLabel(Args[2]);
+      Automaton A = S.showFA(S.lattice().top(), TraceSelect::WithLabel, L1);
+      Automaton B = S.showFA(S.lattice().top(), TraceSelect::WithLabel, L2);
+      std::vector<Trace> Reps;
+      for (size_t Obj = 0; Obj < S.numObjects(); ++Obj)
+        Reps.push_back(S.object(Obj));
+      std::vector<EventId> Alphabet = collectAlphabet(Reps);
+      Dfa DA = Dfa::determinize(A, Alphabet, S.table());
+      Dfa DB = Dfa::determinize(B, Alphabet, S.table());
+      if (std::optional<Trace> W = Dfa::shortestDifference(DA, DB)) {
+        std::printf("shortest separating trace: %s\n  accepted by the "
+                    "'%s' FA: %s; by the '%s' FA: %s\n",
+                    W->render(S.table()).c_str(), Args[1].c_str(),
+                    DA.accepts(*W) ? "yes" : "no", Args[2].c_str(),
+                    DB.accepts(*W) ? "yes" : "no");
+      } else {
+        std::printf("the two labels' FAs are language-equivalent over the "
+                    "session alphabet\n");
+      }
+      continue;
+    }
+    if (Cmd == "suggest" && Args.size() >= 2) {
+      std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
+      if (!Id)
+        continue;
+      std::vector<SeedSuggestion> Suggestions = suggestFocusSeeds(S, *Id);
+      std::vector<ProjectionSuggestion> Projections =
+          suggestNameProjections(S, *Id);
+      if (Suggestions.empty() && Projections.empty()) {
+        std::printf("no seed-order or name-projection template splits "
+                    "this concept\n");
+        continue;
+      }
+      for (const SeedSuggestion &Sg : Suggestions)
+        std::printf("  seed order on %-24s -> %zu groups "
+                    "(%zu traces carry the seed)\n",
+                    S.table().renderEvent(Sg.Seed).c_str(), Sg.NumGroups,
+                    Sg.NumAccepted);
+      for (const ProjectionSuggestion &Pg : Projections)
+        std::printf("  name projection on v%-13u -> %zu groups\n", Pg.Value,
+                    Pg.NumGroups);
+      continue;
+    }
+    if (Cmd == "save" && Args.size() >= 2) {
+      std::ofstream Out(Args[1]);
+      if (!Out) {
+        std::printf("error: cannot write '%s'\n", Args[1].c_str());
+        continue;
+      }
+      Out << S.serializeLabels();
+      std::printf("wrote labels to %s\n", Args[1].c_str());
+      continue;
+    }
+    if (Cmd == "load" && Args.size() >= 2) {
+      std::ifstream In(Args[1]);
+      if (!In) {
+        std::printf("error: cannot open '%s'\n", Args[1].c_str());
+        continue;
+      }
+      std::stringstream Buf;
+      Buf << In.rdbuf();
+      std::string Err;
+      size_t Unmatched = 0;
+      if (!S.loadLabels(Buf.str(), Err, &Unmatched)) {
+        std::printf("error: %s\n", Err.c_str());
+        continue;
+      }
+      std::printf("labels loaded (%zu line(s) matched no trace here)\n",
+                  Unmatched);
+      continue;
+    }
+    if (Cmd == "dot" && Args.size() >= 2) {
+      std::ofstream Out(Args[1]);
+      if (!Out) {
+        std::printf("error: cannot write '%s'\n", Args[1].c_str());
+        continue;
+      }
+      Out << S.renderDot("cable_lattice");
+      std::printf("wrote %s\n", Args[1].c_str());
+      continue;
+    }
+    std::printf("unknown command '%s' (try 'help')\n", Cmd.c_str());
+  }
+  return 0;
+}
