@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_autofocus.dir/ablation_autofocus.cpp.o"
+  "CMakeFiles/ablation_autofocus.dir/ablation_autofocus.cpp.o.d"
+  "ablation_autofocus"
+  "ablation_autofocus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_autofocus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coring.dir/ablation_coring.cpp.o"
+  "CMakeFiles/ablation_coring.dir/ablation_coring.cpp.o.d"
+  "ablation_coring"
+  "ablation_coring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

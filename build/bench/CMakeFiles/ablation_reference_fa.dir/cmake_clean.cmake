@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reference_fa.dir/ablation_reference_fa.cpp.o"
+  "CMakeFiles/ablation_reference_fa.dir/ablation_reference_fa.cpp.o.d"
+  "ablation_reference_fa"
+  "ablation_reference_fa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reference_fa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_pipeline.dir/corpus_pipeline.cpp.o"
+  "CMakeFiles/corpus_pipeline.dir/corpus_pipeline.cpp.o.d"
+  "corpus_pipeline"
+  "corpus_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_6_stdio_specs.dir/fig1_6_stdio_specs.cpp.o"
+  "CMakeFiles/fig1_6_stdio_specs.dir/fig1_6_stdio_specs.cpp.o.d"
+  "fig1_6_stdio_specs"
+  "fig1_6_stdio_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_6_stdio_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

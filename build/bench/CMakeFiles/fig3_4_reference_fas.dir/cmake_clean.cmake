@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_4_reference_fas.dir/fig3_4_reference_fas.cpp.o"
+  "CMakeFiles/fig3_4_reference_fas.dir/fig3_4_reference_fas.cpp.o.d"
+  "fig3_4_reference_fas"
+  "fig3_4_reference_fas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_4_reference_fas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_stdio_lattice.dir/fig5_stdio_lattice.cpp.o"
+  "CMakeFiles/fig5_stdio_lattice.dir/fig5_stdio_lattice.cpp.o.d"
+  "fig5_stdio_lattice"
+  "fig5_stdio_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_stdio_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_10_animals.dir/fig9_10_animals.cpp.o"
+  "CMakeFiles/fig9_10_animals.dir/fig9_10_animals.cpp.o.d"
+  "fig9_10_animals"
+  "fig9_10_animals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_10_animals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

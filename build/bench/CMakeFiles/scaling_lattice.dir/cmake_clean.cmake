@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_lattice.dir/scaling_lattice.cpp.o"
+  "CMakeFiles/scaling_lattice.dir/scaling_lattice.cpp.o.d"
+  "scaling_lattice"
+  "scaling_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

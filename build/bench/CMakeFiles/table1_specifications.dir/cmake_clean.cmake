@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_specifications.dir/table1_specifications.cpp.o"
+  "CMakeFiles/table1_specifications.dir/table1_specifications.cpp.o.d"
+  "table1_specifications"
+  "table1_specifications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_specifications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

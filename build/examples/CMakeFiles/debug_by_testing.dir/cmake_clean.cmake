@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_by_testing.dir/debug_by_testing.cpp.o"
+  "CMakeFiles/debug_by_testing.dir/debug_by_testing.cpp.o.d"
+  "debug_by_testing"
+  "debug_by_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_by_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

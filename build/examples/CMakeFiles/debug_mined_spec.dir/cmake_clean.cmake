@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_mined_spec.dir/debug_mined_spec.cpp.o"
+  "CMakeFiles/debug_mined_spec.dir/debug_mined_spec.cpp.o.d"
+  "debug_mined_spec"
+  "debug_mined_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_mined_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

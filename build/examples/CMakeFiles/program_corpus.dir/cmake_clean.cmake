@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_corpus.dir/program_corpus.cpp.o"
+  "CMakeFiles/program_corpus.dir/program_corpus.cpp.o.d"
+  "program_corpus"
+  "program_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

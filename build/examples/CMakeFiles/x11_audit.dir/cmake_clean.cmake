@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x11_audit.dir/x11_audit.cpp.o"
+  "CMakeFiles/x11_audit.dir/x11_audit.cpp.o.d"
+  "x11_audit"
+  "x11_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x11_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for x11_audit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cable/Advisor.cpp" "src/cable/CMakeFiles/cable_core.dir/Advisor.cpp.o" "gcc" "src/cable/CMakeFiles/cable_core.dir/Advisor.cpp.o.d"
+  "/root/repo/src/cable/Session.cpp" "src/cable/CMakeFiles/cable_core.dir/Session.cpp.o" "gcc" "src/cable/CMakeFiles/cable_core.dir/Session.cpp.o.d"
+  "/root/repo/src/cable/Strategies.cpp" "src/cable/CMakeFiles/cable_core.dir/Strategies.cpp.o" "gcc" "src/cable/CMakeFiles/cable_core.dir/Strategies.cpp.o.d"
+  "/root/repo/src/cable/WellFormed.cpp" "src/cable/CMakeFiles/cable_core.dir/WellFormed.cpp.o" "gcc" "src/cable/CMakeFiles/cable_core.dir/WellFormed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/concepts/CMakeFiles/cable_concepts.dir/DependInfo.cmake"
+  "/root/repo/build/src/learner/CMakeFiles/cable_learner.dir/DependInfo.cmake"
+  "/root/repo/build/src/fa/CMakeFiles/cable_fa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cable_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cable_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cable_core.dir/Advisor.cpp.o"
+  "CMakeFiles/cable_core.dir/Advisor.cpp.o.d"
+  "CMakeFiles/cable_core.dir/Session.cpp.o"
+  "CMakeFiles/cable_core.dir/Session.cpp.o.d"
+  "CMakeFiles/cable_core.dir/Strategies.cpp.o"
+  "CMakeFiles/cable_core.dir/Strategies.cpp.o.d"
+  "CMakeFiles/cable_core.dir/WellFormed.cpp.o"
+  "CMakeFiles/cable_core.dir/WellFormed.cpp.o.d"
+  "libcable_core.a"
+  "libcable_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cable_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

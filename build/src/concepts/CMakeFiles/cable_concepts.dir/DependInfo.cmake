@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/concepts/Context.cpp" "src/concepts/CMakeFiles/cable_concepts.dir/Context.cpp.o" "gcc" "src/concepts/CMakeFiles/cable_concepts.dir/Context.cpp.o.d"
+  "/root/repo/src/concepts/GodinBuilder.cpp" "src/concepts/CMakeFiles/cable_concepts.dir/GodinBuilder.cpp.o" "gcc" "src/concepts/CMakeFiles/cable_concepts.dir/GodinBuilder.cpp.o.d"
+  "/root/repo/src/concepts/Lattice.cpp" "src/concepts/CMakeFiles/cable_concepts.dir/Lattice.cpp.o" "gcc" "src/concepts/CMakeFiles/cable_concepts.dir/Lattice.cpp.o.d"
+  "/root/repo/src/concepts/LindigBuilder.cpp" "src/concepts/CMakeFiles/cable_concepts.dir/LindigBuilder.cpp.o" "gcc" "src/concepts/CMakeFiles/cable_concepts.dir/LindigBuilder.cpp.o.d"
+  "/root/repo/src/concepts/NextClosureBuilder.cpp" "src/concepts/CMakeFiles/cable_concepts.dir/NextClosureBuilder.cpp.o" "gcc" "src/concepts/CMakeFiles/cable_concepts.dir/NextClosureBuilder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cable_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cable_concepts.dir/Context.cpp.o"
+  "CMakeFiles/cable_concepts.dir/Context.cpp.o.d"
+  "CMakeFiles/cable_concepts.dir/GodinBuilder.cpp.o"
+  "CMakeFiles/cable_concepts.dir/GodinBuilder.cpp.o.d"
+  "CMakeFiles/cable_concepts.dir/Lattice.cpp.o"
+  "CMakeFiles/cable_concepts.dir/Lattice.cpp.o.d"
+  "CMakeFiles/cable_concepts.dir/LindigBuilder.cpp.o"
+  "CMakeFiles/cable_concepts.dir/LindigBuilder.cpp.o.d"
+  "CMakeFiles/cable_concepts.dir/NextClosureBuilder.cpp.o"
+  "CMakeFiles/cable_concepts.dir/NextClosureBuilder.cpp.o.d"
+  "libcable_concepts.a"
+  "libcable_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cable_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fa/Automaton.cpp" "src/fa/CMakeFiles/cable_fa.dir/Automaton.cpp.o" "gcc" "src/fa/CMakeFiles/cable_fa.dir/Automaton.cpp.o.d"
+  "/root/repo/src/fa/Dfa.cpp" "src/fa/CMakeFiles/cable_fa.dir/Dfa.cpp.o" "gcc" "src/fa/CMakeFiles/cable_fa.dir/Dfa.cpp.o.d"
+  "/root/repo/src/fa/Label.cpp" "src/fa/CMakeFiles/cable_fa.dir/Label.cpp.o" "gcc" "src/fa/CMakeFiles/cable_fa.dir/Label.cpp.o.d"
+  "/root/repo/src/fa/Parse.cpp" "src/fa/CMakeFiles/cable_fa.dir/Parse.cpp.o" "gcc" "src/fa/CMakeFiles/cable_fa.dir/Parse.cpp.o.d"
+  "/root/repo/src/fa/Regex.cpp" "src/fa/CMakeFiles/cable_fa.dir/Regex.cpp.o" "gcc" "src/fa/CMakeFiles/cable_fa.dir/Regex.cpp.o.d"
+  "/root/repo/src/fa/Templates.cpp" "src/fa/CMakeFiles/cable_fa.dir/Templates.cpp.o" "gcc" "src/fa/CMakeFiles/cable_fa.dir/Templates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/cable_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cable_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cable_fa.dir/Automaton.cpp.o"
+  "CMakeFiles/cable_fa.dir/Automaton.cpp.o.d"
+  "CMakeFiles/cable_fa.dir/Dfa.cpp.o"
+  "CMakeFiles/cable_fa.dir/Dfa.cpp.o.d"
+  "CMakeFiles/cable_fa.dir/Label.cpp.o"
+  "CMakeFiles/cable_fa.dir/Label.cpp.o.d"
+  "CMakeFiles/cable_fa.dir/Parse.cpp.o"
+  "CMakeFiles/cable_fa.dir/Parse.cpp.o.d"
+  "CMakeFiles/cable_fa.dir/Regex.cpp.o"
+  "CMakeFiles/cable_fa.dir/Regex.cpp.o.d"
+  "CMakeFiles/cable_fa.dir/Templates.cpp.o"
+  "CMakeFiles/cable_fa.dir/Templates.cpp.o.d"
+  "libcable_fa.a"
+  "libcable_fa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cable_fa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learner/Coring.cpp" "src/learner/CMakeFiles/cable_learner.dir/Coring.cpp.o" "gcc" "src/learner/CMakeFiles/cable_learner.dir/Coring.cpp.o.d"
+  "/root/repo/src/learner/CountedAutomaton.cpp" "src/learner/CMakeFiles/cable_learner.dir/CountedAutomaton.cpp.o" "gcc" "src/learner/CMakeFiles/cable_learner.dir/CountedAutomaton.cpp.o.d"
+  "/root/repo/src/learner/KTails.cpp" "src/learner/CMakeFiles/cable_learner.dir/KTails.cpp.o" "gcc" "src/learner/CMakeFiles/cable_learner.dir/KTails.cpp.o.d"
+  "/root/repo/src/learner/Quotient.cpp" "src/learner/CMakeFiles/cable_learner.dir/Quotient.cpp.o" "gcc" "src/learner/CMakeFiles/cable_learner.dir/Quotient.cpp.o.d"
+  "/root/repo/src/learner/SkStrings.cpp" "src/learner/CMakeFiles/cable_learner.dir/SkStrings.cpp.o" "gcc" "src/learner/CMakeFiles/cable_learner.dir/SkStrings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fa/CMakeFiles/cable_fa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cable_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cable_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cable_learner.dir/Coring.cpp.o"
+  "CMakeFiles/cable_learner.dir/Coring.cpp.o.d"
+  "CMakeFiles/cable_learner.dir/CountedAutomaton.cpp.o"
+  "CMakeFiles/cable_learner.dir/CountedAutomaton.cpp.o.d"
+  "CMakeFiles/cable_learner.dir/KTails.cpp.o"
+  "CMakeFiles/cable_learner.dir/KTails.cpp.o.d"
+  "CMakeFiles/cable_learner.dir/Quotient.cpp.o"
+  "CMakeFiles/cable_learner.dir/Quotient.cpp.o.d"
+  "CMakeFiles/cable_learner.dir/SkStrings.cpp.o"
+  "CMakeFiles/cable_learner.dir/SkStrings.cpp.o.d"
+  "libcable_learner.a"
+  "libcable_learner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cable_learner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

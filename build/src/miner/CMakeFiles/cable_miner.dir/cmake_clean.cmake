@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cable_miner.dir/Miner.cpp.o"
+  "CMakeFiles/cable_miner.dir/Miner.cpp.o.d"
+  "CMakeFiles/cable_miner.dir/ScenarioExtractor.cpp.o"
+  "CMakeFiles/cable_miner.dir/ScenarioExtractor.cpp.o.d"
+  "libcable_miner.a"
+  "libcable_miner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cable_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

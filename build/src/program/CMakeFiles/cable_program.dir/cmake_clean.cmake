@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cable_program.dir/Program.cpp.o"
+  "CMakeFiles/cable_program.dir/Program.cpp.o.d"
+  "CMakeFiles/cable_program.dir/Synthesize.cpp.o"
+  "CMakeFiles/cable_program.dir/Synthesize.cpp.o.d"
+  "libcable_program.a"
+  "libcable_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cable_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

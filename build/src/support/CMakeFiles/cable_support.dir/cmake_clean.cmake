@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cable_support.dir/BitVector.cpp.o"
+  "CMakeFiles/cable_support.dir/BitVector.cpp.o.d"
+  "CMakeFiles/cable_support.dir/Dot.cpp.o"
+  "CMakeFiles/cable_support.dir/Dot.cpp.o.d"
+  "CMakeFiles/cable_support.dir/StringUtil.cpp.o"
+  "CMakeFiles/cable_support.dir/StringUtil.cpp.o.d"
+  "libcable_support.a"
+  "libcable_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cable_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

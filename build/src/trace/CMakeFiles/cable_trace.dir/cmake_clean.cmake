@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cable_trace.dir/EventTable.cpp.o"
+  "CMakeFiles/cable_trace.dir/EventTable.cpp.o.d"
+  "CMakeFiles/cable_trace.dir/Trace.cpp.o"
+  "CMakeFiles/cable_trace.dir/Trace.cpp.o.d"
+  "CMakeFiles/cable_trace.dir/TraceSet.cpp.o"
+  "CMakeFiles/cable_trace.dir/TraceSet.cpp.o.d"
+  "libcable_trace.a"
+  "libcable_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cable_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cable_verifier.dir/Verifier.cpp.o"
+  "CMakeFiles/cable_verifier.dir/Verifier.cpp.o.d"
+  "libcable_verifier.a"
+  "libcable_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cable_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

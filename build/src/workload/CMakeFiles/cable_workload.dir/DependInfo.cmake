@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/Generator.cpp" "src/workload/CMakeFiles/cable_workload.dir/Generator.cpp.o" "gcc" "src/workload/CMakeFiles/cable_workload.dir/Generator.cpp.o.d"
+  "/root/repo/src/workload/Oracle.cpp" "src/workload/CMakeFiles/cable_workload.dir/Oracle.cpp.o" "gcc" "src/workload/CMakeFiles/cable_workload.dir/Oracle.cpp.o.d"
+  "/root/repo/src/workload/Protocols.cpp" "src/workload/CMakeFiles/cable_workload.dir/Protocols.cpp.o" "gcc" "src/workload/CMakeFiles/cable_workload.dir/Protocols.cpp.o.d"
+  "/root/repo/src/workload/ReferenceFA.cpp" "src/workload/CMakeFiles/cable_workload.dir/ReferenceFA.cpp.o" "gcc" "src/workload/CMakeFiles/cable_workload.dir/ReferenceFA.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cable/CMakeFiles/cable_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/miner/CMakeFiles/cable_miner.dir/DependInfo.cmake"
+  "/root/repo/build/src/fa/CMakeFiles/cable_fa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cable_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cable_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/concepts/CMakeFiles/cable_concepts.dir/DependInfo.cmake"
+  "/root/repo/build/src/learner/CMakeFiles/cable_learner.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cable_workload.dir/Generator.cpp.o"
+  "CMakeFiles/cable_workload.dir/Generator.cpp.o.d"
+  "CMakeFiles/cable_workload.dir/Oracle.cpp.o"
+  "CMakeFiles/cable_workload.dir/Oracle.cpp.o.d"
+  "CMakeFiles/cable_workload.dir/Protocols.cpp.o"
+  "CMakeFiles/cable_workload.dir/Protocols.cpp.o.d"
+  "CMakeFiles/cable_workload.dir/ReferenceFA.cpp.o"
+  "CMakeFiles/cable_workload.dir/ReferenceFA.cpp.o.d"
+  "libcable_workload.a"
+  "libcable_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cable_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

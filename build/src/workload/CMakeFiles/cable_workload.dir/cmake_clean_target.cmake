@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcable_workload.a"
+)

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cable/AdvisorTest.cpp" "tests/CMakeFiles/cable_tests.dir/cable/AdvisorTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/cable/AdvisorTest.cpp.o.d"
+  "/root/repo/tests/cable/PersistenceTest.cpp" "tests/CMakeFiles/cable_tests.dir/cable/PersistenceTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/cable/PersistenceTest.cpp.o.d"
+  "/root/repo/tests/cable/SessionModelTest.cpp" "tests/CMakeFiles/cable_tests.dir/cable/SessionModelTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/cable/SessionModelTest.cpp.o.d"
+  "/root/repo/tests/cable/SessionTest.cpp" "tests/CMakeFiles/cable_tests.dir/cable/SessionTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/cable/SessionTest.cpp.o.d"
+  "/root/repo/tests/cable/StrategiesTest.cpp" "tests/CMakeFiles/cable_tests.dir/cable/StrategiesTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/cable/StrategiesTest.cpp.o.d"
+  "/root/repo/tests/cable/WellFormedTest.cpp" "tests/CMakeFiles/cable_tests.dir/cable/WellFormedTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/cable/WellFormedTest.cpp.o.d"
+  "/root/repo/tests/concepts/BuildersTest.cpp" "tests/CMakeFiles/cable_tests.dir/concepts/BuildersTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/concepts/BuildersTest.cpp.o.d"
+  "/root/repo/tests/concepts/ContextTest.cpp" "tests/CMakeFiles/cable_tests.dir/concepts/ContextTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/concepts/ContextTest.cpp.o.d"
+  "/root/repo/tests/concepts/LatticeTest.cpp" "tests/CMakeFiles/cable_tests.dir/concepts/LatticeTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/concepts/LatticeTest.cpp.o.d"
+  "/root/repo/tests/fa/AutomatonTest.cpp" "tests/CMakeFiles/cable_tests.dir/fa/AutomatonTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/fa/AutomatonTest.cpp.o.d"
+  "/root/repo/tests/fa/DfaTest.cpp" "tests/CMakeFiles/cable_tests.dir/fa/DfaTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/fa/DfaTest.cpp.o.d"
+  "/root/repo/tests/fa/FuzzParsersTest.cpp" "tests/CMakeFiles/cable_tests.dir/fa/FuzzParsersTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/fa/FuzzParsersTest.cpp.o.d"
+  "/root/repo/tests/fa/LabelTest.cpp" "tests/CMakeFiles/cable_tests.dir/fa/LabelTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/fa/LabelTest.cpp.o.d"
+  "/root/repo/tests/fa/MinimizationTest.cpp" "tests/CMakeFiles/cable_tests.dir/fa/MinimizationTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/fa/MinimizationTest.cpp.o.d"
+  "/root/repo/tests/fa/ParseTest.cpp" "tests/CMakeFiles/cable_tests.dir/fa/ParseTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/fa/ParseTest.cpp.o.d"
+  "/root/repo/tests/fa/RegexTest.cpp" "tests/CMakeFiles/cable_tests.dir/fa/RegexTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/fa/RegexTest.cpp.o.d"
+  "/root/repo/tests/fa/TemplatesTest.cpp" "tests/CMakeFiles/cable_tests.dir/fa/TemplatesTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/fa/TemplatesTest.cpp.o.d"
+  "/root/repo/tests/integration/EndToEndTest.cpp" "tests/CMakeFiles/cable_tests.dir/integration/EndToEndTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/integration/EndToEndTest.cpp.o.d"
+  "/root/repo/tests/integration/PipelineTest.cpp" "tests/CMakeFiles/cable_tests.dir/integration/PipelineTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/integration/PipelineTest.cpp.o.d"
+  "/root/repo/tests/learner/CoringTest.cpp" "tests/CMakeFiles/cable_tests.dir/learner/CoringTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/learner/CoringTest.cpp.o.d"
+  "/root/repo/tests/learner/CountedAutomatonTest.cpp" "tests/CMakeFiles/cable_tests.dir/learner/CountedAutomatonTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/learner/CountedAutomatonTest.cpp.o.d"
+  "/root/repo/tests/learner/KTailsTest.cpp" "tests/CMakeFiles/cable_tests.dir/learner/KTailsTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/learner/KTailsTest.cpp.o.d"
+  "/root/repo/tests/learner/SkStringsTest.cpp" "tests/CMakeFiles/cable_tests.dir/learner/SkStringsTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/learner/SkStringsTest.cpp.o.d"
+  "/root/repo/tests/miner/ExtractorTest.cpp" "tests/CMakeFiles/cable_tests.dir/miner/ExtractorTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/miner/ExtractorTest.cpp.o.d"
+  "/root/repo/tests/miner/MinerTest.cpp" "tests/CMakeFiles/cable_tests.dir/miner/MinerTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/miner/MinerTest.cpp.o.d"
+  "/root/repo/tests/program/ProgramTest.cpp" "tests/CMakeFiles/cable_tests.dir/program/ProgramTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/program/ProgramTest.cpp.o.d"
+  "/root/repo/tests/support/BitVectorTest.cpp" "tests/CMakeFiles/cable_tests.dir/support/BitVectorTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/support/BitVectorTest.cpp.o.d"
+  "/root/repo/tests/support/RNGTest.cpp" "tests/CMakeFiles/cable_tests.dir/support/RNGTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/support/RNGTest.cpp.o.d"
+  "/root/repo/tests/support/StringUtilTest.cpp" "tests/CMakeFiles/cable_tests.dir/support/StringUtilTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/support/StringUtilTest.cpp.o.d"
+  "/root/repo/tests/trace/EventTableTest.cpp" "tests/CMakeFiles/cable_tests.dir/trace/EventTableTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/trace/EventTableTest.cpp.o.d"
+  "/root/repo/tests/trace/TraceSetTest.cpp" "tests/CMakeFiles/cable_tests.dir/trace/TraceSetTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/trace/TraceSetTest.cpp.o.d"
+  "/root/repo/tests/trace/TraceTest.cpp" "tests/CMakeFiles/cable_tests.dir/trace/TraceTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/trace/TraceTest.cpp.o.d"
+  "/root/repo/tests/verifier/VerifierTest.cpp" "tests/CMakeFiles/cable_tests.dir/verifier/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/verifier/VerifierTest.cpp.o.d"
+  "/root/repo/tests/workload/ProtocolsTest.cpp" "tests/CMakeFiles/cable_tests.dir/workload/ProtocolsTest.cpp.o" "gcc" "tests/CMakeFiles/cable_tests.dir/workload/ProtocolsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/program/CMakeFiles/cable_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cable_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cable/CMakeFiles/cable_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/cable_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/miner/CMakeFiles/cable_miner.dir/DependInfo.cmake"
+  "/root/repo/build/src/learner/CMakeFiles/cable_learner.dir/DependInfo.cmake"
+  "/root/repo/build/src/concepts/CMakeFiles/cable_concepts.dir/DependInfo.cmake"
+  "/root/repo/build/src/fa/CMakeFiles/cable_fa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cable_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cable_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

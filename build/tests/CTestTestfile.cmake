@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cable_tests[1]_include.cmake")
+add_test(cable_cli_smoke "bash" "-c" "set -e;     out=\$(printf 'status
+ls
+label c1 good
+status
+suggest c2
+save /root/repo/build/tests/cli_labels.txt
+load /root/repo/build/tests/cli_labels.txt
+check good
+dot /root/repo/build/tests/cli_lattice.dot
+oracle
+status
+quit
+' | /root/repo/build/tools/cable-cli --protocol stdio);     echo \"\$out\" | grep -q 'unique traces';     echo \"\$out\" | grep -q 'labeled .* trace(s)';     echo \"\$out\" | grep -q 'expert simulation';     echo \"\$out\" | grep -q 'labels loaded';     test -s /root/repo/build/tests/cli_lattice.dot;     grep -q digraph /root/repo/build/tests/cli_lattice.dot")
+set_tests_properties(cable_cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;47;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cable_cli_traces_file "bash" "-c" "set -e;     printf 'fopen(v0) fclose(v0)\\npopen(v0) pclose(v0)\\n' > /root/repo/build/tests/cli_traces.txt;     printf 'start q0\\naccept q0\\nq0 <any> q0\\n' > /root/repo/build/tests/cli_ref.fa;     out=\$(printf 'status
+quit
+' | /root/repo/build/tools/cable-cli --traces /root/repo/build/tests/cli_traces.txt --ref-file /root/repo/build/tests/cli_ref.fa);     echo \"\$out\" | grep -q '2 unique traces'")
+set_tests_properties(cable_cli_traces_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;57;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(spec_lint_reports_violations "bash" "-c" "set -e;     out=\$(/root/repo/build/tools/spec-lint --spec /root/repo/examples/data/stdio_buggy.fa --traces /root/repo/examples/data/stdio_traces.txt) && exit 1 || true;     echo \"\$out\" | grep -q '6 violation(s)';     echo \"\$out\" | grep -q 'maximal clusters'")
+set_tests_properties(spec_lint_reports_violations PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;64;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(spec_lint_clean_exit_zero "bash" "-c" "set -e;     printf 'fopen(v0) fclose(v0)\\n' > /root/repo/build/tests/lint_clean.txt;     /root/repo/build/tools/spec-lint --spec-regex 'fopen(v0) fclose(v0)' --traces /root/repo/build/tests/lint_clean.txt | grep -q '0 violation(s)'")
+set_tests_properties(spec_lint_clean_exit_zero PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;70;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/cable-cli.cpp" "tools/CMakeFiles/cable-cli.dir/cable-cli.cpp.o" "gcc" "tools/CMakeFiles/cable-cli.dir/cable-cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/cable_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cable/CMakeFiles/cable_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/cable_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/miner/CMakeFiles/cable_miner.dir/DependInfo.cmake"
+  "/root/repo/build/src/learner/CMakeFiles/cable_learner.dir/DependInfo.cmake"
+  "/root/repo/build/src/concepts/CMakeFiles/cable_concepts.dir/DependInfo.cmake"
+  "/root/repo/build/src/fa/CMakeFiles/cable_fa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cable_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cable_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cable-cli.dir/cable-cli.cpp.o"
+  "CMakeFiles/cable-cli.dir/cable-cli.cpp.o.d"
+  "cable-cli"
+  "cable-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cable-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

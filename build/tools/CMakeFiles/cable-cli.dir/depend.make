@@ -1,0 +1,2 @@
+# Empty dependencies file for cable-cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec-lint.dir/spec-lint.cpp.o"
+  "CMakeFiles/spec-lint.dir/spec-lint.cpp.o.d"
+  "spec-lint"
+  "spec-lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec-lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
