@@ -19,6 +19,8 @@
 
 #include "concepts/GodinBuilder.h"
 #include "concepts/LindigBuilder.h"
+#include "concepts/NextClosureBuilder.h"
+#include "concepts/ParallelBuilder.h"
 #include "fa/Templates.h"
 #include "support/RNG.h"
 #include "cable/Session.h"
@@ -26,6 +28,8 @@
 #include "workload/ReferenceFA.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 using namespace cable;
 
@@ -141,6 +145,72 @@ void BM_SessionBuild(benchmark::State &State) {
       static_cast<double>(State.range(0));
 }
 
+/// Serial NextClosure baseline on the largest context of the sweep — the
+/// denominator for BM_ParallelVsThreads' speedup counter.
+void BM_NextClosureSerial(benchmark::State &State) {
+  Context Ctx = randomContext(/*NumObjects=*/512, /*K=*/6, /*PoolSize=*/24, 42);
+  size_t Concepts = 0;
+  for (auto _ : State) {
+    ConceptLattice L = NextClosureBuilder::buildLattice(Ctx);
+    Concepts = L.size();
+    benchmark::DoNotOptimize(L);
+  }
+  State.counters["concepts"] = static_cast<double>(Concepts);
+  State.counters["lattices_per_s"] =
+      benchmark::Counter(static_cast<double>(State.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+/// The parallel builder at 1/2/4/8 workers on the same context. The
+/// speedup counter is measured against a serial NextClosure run timed
+/// inside this process, so the report is self-contained; identical==1
+/// confirms the bit-for-bit contract held on this machine.
+void BM_ParallelVsThreads(benchmark::State &State) {
+  unsigned NumThreads = static_cast<unsigned>(State.range(0));
+  Context Ctx = randomContext(/*NumObjects=*/512, /*K=*/6, /*PoolSize=*/24, 42);
+
+  // One-shot serial baseline (outside the timed loop).
+  auto SerialStart = std::chrono::steady_clock::now();
+  ConceptLattice Serial = NextClosureBuilder::buildLattice(Ctx);
+  double SerialSecs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    SerialStart)
+          .count();
+
+  ThreadPool Pool(NumThreads);
+  size_t Concepts = 0;
+  auto ParallelStart = std::chrono::steady_clock::now();
+  for (auto _ : State) {
+    ConceptLattice L = ParallelBuilder::buildLattice(Ctx, Pool);
+    Concepts = L.size();
+    benchmark::DoNotOptimize(L);
+  }
+  double ParallelSecs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ParallelStart)
+          .count() /
+      static_cast<double>(State.iterations());
+
+  ConceptLattice P = ParallelBuilder::buildLattice(Ctx, Pool);
+  bool Identical = P.size() == Serial.size() && P.top() == Serial.top() &&
+                   P.bottom() == Serial.bottom() &&
+                   P.numEdges() == Serial.numEdges();
+  for (ConceptLattice::NodeId Id = 0; Identical && Id < P.size(); ++Id)
+    Identical = P.node(Id).Extent == Serial.node(Id).Extent &&
+                P.node(Id).Intent == Serial.node(Id).Intent &&
+                P.parents(Id) == Serial.parents(Id) &&
+                P.children(Id) == Serial.children(Id);
+
+  State.counters["threads"] = static_cast<double>(Pool.numThreads());
+  State.counters["concepts"] = static_cast<double>(Concepts);
+  State.counters["lattices_per_s"] =
+      benchmark::Counter(static_cast<double>(State.iterations()),
+                         benchmark::Counter::kIsRate);
+  State.counters["speedup_vs_serial"] =
+      ParallelSecs > 0 ? SerialSecs / ParallelSecs : 0;
+  State.counters["identical"] = Identical ? 1 : 0;
+}
+
 void BM_ExecutedTransitions(benchmark::State &State) {
   ProtocolModel M = protocolByName("XtFree");
   EventTable Table;
@@ -189,6 +259,14 @@ BENCHMARK(BM_SessionBuild)
     ->Arg(64)
     ->Arg(128)
     ->Arg(256)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_NextClosureSerial)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+BENCHMARK(BM_ParallelVsThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.05);
 BENCHMARK(BM_ExecutedTransitions)->MinTime(0.05);

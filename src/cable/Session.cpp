@@ -7,7 +7,7 @@
 
 #include "cable/Session.h"
 
-#include "concepts/GodinBuilder.h"
+#include "concepts/ParallelBuilder.h"
 #include "support/Dot.h"
 #include "support/StringUtil.h"
 
@@ -17,8 +17,10 @@
 
 using namespace cable;
 
-Session::Session(TraceSet TracesIn, Automaton ReferenceFA)
-    : Traces(std::move(TracesIn)), RefFA(std::move(ReferenceFA)) {
+Session::Session(TraceSet TracesIn, Automaton ReferenceFA,
+                 unsigned NumThreadsIn)
+    : Traces(std::move(TracesIn)), RefFA(std::move(ReferenceFA)),
+      NumThreads(NumThreadsIn) {
   assert(!RefFA.hasEpsilons() &&
          "reference FA must be epsilon-free (apply withoutEpsilons)");
   Classes = Traces.computeClasses();
@@ -35,8 +37,9 @@ Session::Session(TraceSet TracesIn, Automaton ReferenceFA)
       Ctx.relate(Obj, A);
   }
 
-  // Step 1c: concept analysis, with the paper's (Godin) algorithm.
-  Lattice = GodinBuilder::buildLattice(Ctx);
+  // Step 1c: concept analysis. The parallel batch builder is the default
+  // path; its lattice is bit-for-bit identical at every thread count.
+  Lattice = ParallelBuilder::buildLattice(Ctx, NumThreads);
 
   Labels.assign(Classes.numClasses(), std::nullopt);
 }
@@ -184,7 +187,7 @@ FocusSession Session::focus(NodeId Id, Automaton FocusFA) const {
   SubTraces.table() = Traces.table();
   for (size_t Obj : ParentObjects)
     SubTraces.add(Classes.Representatives[Obj]);
-  FocusSession F{Session(std::move(SubTraces), std::move(FocusFA)),
+  FocusSession F{Session(std::move(SubTraces), std::move(FocusFA), NumThreads),
                  std::move(ParentObjects)};
   return F;
 }

@@ -11,8 +11,10 @@
 ///
 ///  Step 1b/1c: the context has one object per class of identical traces
 ///  and one attribute per reference-FA transition, related by the executed-
-///  transition relation R; the concept lattice is built incrementally with
-///  Godin's algorithm.
+///  transition relation R; the concept lattice is built with the parallel
+///  batch builder (lectic-canonical, identical at every thread count;
+///  GodinBuilder remains available for incremental maintenance and as a
+///  differential oracle).
 ///
 ///  Step 2: the user partitions traces into labels (`good`, `bad`, or
 ///  domain-specific labels like `good_fopen`) by labeling whole concepts.
@@ -65,10 +67,17 @@ public:
 
   /// Builds the session: dedups \p Traces into identical-trace classes,
   /// simulates each representative on \p ReferenceFA to obtain its
-  /// attribute row, and constructs the concept lattice. \p ReferenceFA
-  /// must be epsilon-free. Traces the FA rejects get empty attribute rows
-  /// and are reported by rejectedObjects().
-  Session(TraceSet Traces, Automaton ReferenceFA);
+  /// attribute row, and constructs the concept lattice with the parallel
+  /// batch builder on \p NumThreads workers (0 = hardware concurrency,
+  /// 1 = the exact serial NextClosure path; the lattice is bit-for-bit
+  /// identical either way). \p ReferenceFA must be epsilon-free. Traces
+  /// the FA rejects get empty attribute rows and are reported by
+  /// rejectedObjects().
+  Session(TraceSet Traces, Automaton ReferenceFA, unsigned NumThreads = 0);
+
+  /// The thread count this session was built with (inherited by Focus
+  /// sub-sessions).
+  unsigned numThreads() const { return NumThreads; }
 
   // -- Structure ----------------------------------------------------------
 
@@ -203,6 +212,7 @@ private:
   Context Ctx;
   ConceptLattice Lattice;
   std::vector<size_t> Rejected;
+  unsigned NumThreads = 0;
 
   std::vector<std::optional<LabelId>> Labels;
   std::vector<std::string> LabelNames;

@@ -60,40 +60,57 @@ void ConceptLattice::locateTopAndBottom() {
   assert(Children[Bottom].empty() && "bottom must have no children");
 }
 
-void ConceptLattice::computeCovers() {
-  // Order ids by extent cardinality ascending; B covers A iff
-  // extent(A) < extent(B) and no C with extent(A) < extent(C) < extent(B).
-  size_t N = Concepts.size();
-  std::vector<NodeId> Order(N);
+std::vector<ConceptLattice::NodeId>
+ConceptLattice::coverScanOrder(const std::vector<size_t> &Card) {
+  std::vector<NodeId> Order(Card.size());
   std::iota(Order.begin(), Order.end(), 0);
+  // The id tie-break makes the order a total one, so serial and sharded
+  // cover computation see the same scan sequence.
+  std::sort(Order.begin(), Order.end(), [&](NodeId A, NodeId B) {
+    return Card[A] != Card[B] ? Card[A] < Card[B] : A < B;
+  });
+  return Order;
+}
+
+std::vector<ConceptLattice::NodeId>
+ConceptLattice::coversAt(const std::vector<Concept> &Concepts,
+                         const std::vector<NodeId> &Order,
+                         const std::vector<size_t> &Card, size_t AI) {
+  NodeId A = Order[AI];
+  // Candidates: strictly larger extents containing extent(A), scanned in
+  // ascending cardinality so accepted covers are found before anything
+  // they are contained in.
+  std::vector<NodeId> Covers;
+  for (size_t BI = AI + 1; BI < Order.size(); ++BI) {
+    NodeId B = Order[BI];
+    if (Card[B] == Card[A])
+      continue; // Equal cardinality can't be a strict superset.
+    if (!Concepts[A].Extent.isSubsetOf(Concepts[B].Extent))
+      continue;
+    bool Dominated = false;
+    for (NodeId C : Covers)
+      if (Concepts[C].Extent.isSubsetOf(Concepts[B].Extent)) {
+        Dominated = true;
+        break;
+      }
+    if (!Dominated)
+      Covers.push_back(B);
+  }
+  return Covers;
+}
+
+void ConceptLattice::computeCovers() {
+  // B covers A iff extent(A) < extent(B) and no C with
+  // extent(A) < extent(C) < extent(B).
+  size_t N = Concepts.size();
   std::vector<size_t> Card(N);
   for (size_t I = 0; I < N; ++I)
     Card[I] = Concepts[I].Extent.count();
-  std::sort(Order.begin(), Order.end(),
-            [&](NodeId A, NodeId B) { return Card[A] < Card[B]; });
+  std::vector<NodeId> Order = coverScanOrder(Card);
 
   for (size_t AI = 0; AI < N; ++AI) {
     NodeId A = Order[AI];
-    // Candidates: strictly larger extents containing extent(A), scanned in
-    // ascending cardinality so accepted covers are found before anything
-    // they are contained in.
-    std::vector<NodeId> Covers;
-    for (size_t BI = AI + 1; BI < N; ++BI) {
-      NodeId B = Order[BI];
-      if (Card[B] == Card[A])
-        continue; // Equal cardinality can't be a strict superset.
-      if (!Concepts[A].Extent.isSubsetOf(Concepts[B].Extent))
-        continue;
-      bool Dominated = false;
-      for (NodeId C : Covers)
-        if (Concepts[C].Extent.isSubsetOf(Concepts[B].Extent)) {
-          Dominated = true;
-          break;
-        }
-      if (!Dominated)
-        Covers.push_back(B);
-    }
-    for (NodeId B : Covers) {
+    for (NodeId B : coversAt(Concepts, Order, Card, AI)) {
       Parents[A].push_back(B);
       Children[B].push_back(A);
     }

@@ -96,6 +96,22 @@ public:
   /// each of its children).
   std::vector<NodeId> topDownOrder() const;
 
+  /// The canonical scan order cover computation uses: ascending extent
+  /// cardinality, ties broken by node id. \p Card[i] must be the extent
+  /// cardinality of concept i. Exposed so batch builders that compute the
+  /// cover relation themselves (in parallel) reproduce fromConcepts
+  /// bit-for-bit.
+  static std::vector<NodeId> coverScanOrder(const std::vector<size_t> &Card);
+
+  /// Upper covers of the concept at scan position \p AI: the minimal
+  /// strict superset extents among later scan positions, in scan order.
+  /// Pure function of its arguments, safe to call concurrently for
+  /// different positions.
+  static std::vector<NodeId> coversAt(const std::vector<Concept> &Concepts,
+                                      const std::vector<NodeId> &Order,
+                                      const std::vector<size_t> &Card,
+                                      size_t AI);
+
   /// Verifies lattice integrity against \p Ctx: every node is a concept of
   /// \p Ctx, every concept of the order appears exactly once, cover edges
   /// are exactly the transitive reduction. Intended for tests; O(n^2).

@@ -1,0 +1,174 @@
+//===- concepts/ParallelBuilder.cpp - Parallel batch construction ----------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Why the partition is sound. Order attributes 0 < 1 < ... < M-1 and use
+// Ganter's lectic order (the set owning the smallest differing attribute
+// is the greater one). Then:
+//
+//  1. closure(∅) is a subset of every closed intent, hence lectically
+//     least; every other closed intent B has a well-defined minimum
+//     attribute min(B).
+//  2. For closed B, C with min(B) < min(C), the smallest differing
+//     attribute is min(B), so B > C: intents grouped by minimum attribute
+//     occupy contiguous lectic ranges ("blocks"), blocks with larger
+//     minima coming first.
+//  3. Within block p, the standard NextClosure successor of A is found at
+//     some position i > p (a success at i < p would yield closure({i}),
+//     which contains i < p and so left the block), and the acceptance
+//     test "agrees with A below i" forces the candidate to keep p and
+//     exclude everything below p. Restricting the successor scan to
+//     positions strictly above p therefore enumerates exactly the rest of
+//     the block and stops at its end.
+//
+// Concatenating closure(∅) and the blocks for p = M-1 down to 0 yields
+// the full enumeration in exact lectic order, independent of how blocks
+// were scheduled — the canonical order node ids are assigned in.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concepts/ParallelBuilder.h"
+
+#include "concepts/NextClosureBuilder.h"
+
+#include <cassert>
+
+using namespace cable;
+
+std::vector<BitVector> ParallelBuilder::blockIntents(const Context &Ctx,
+                                                     size_t P,
+                                                     const BitVector &TopIntent) {
+  size_t M = Ctx.numAttributes();
+  std::vector<BitVector> Out;
+
+  BitVector Start(M);
+  Start.set(P);
+  BitVector A = Ctx.closeIntent(Start);
+  // closure({p}) is contained in every closed set whose minimum is p, so
+  // it is the block's lectic least — unless it pulls in an attribute
+  // below p, in which case no closed set has minimum p at all.
+  if (A.findFirst() != P)
+    return Out;
+  // closure(∅) can coincide with closure({p}); the caller emits it.
+  if (!(A == TopIntent))
+    Out.push_back(A);
+
+  for (;;) {
+    bool Advanced = false;
+    // Lectic successor, restricted to candidate positions above P (the
+    // prefix-restriction trick; see the file comment).
+    for (size_t IPlus1 = M; IPlus1 > P + 1; --IPlus1) {
+      size_t I = IPlus1 - 1;
+      if (A.test(I))
+        continue;
+      BitVector B(M);
+      for (size_t J : A) {
+        if (J >= I)
+          break;
+        B.set(J);
+      }
+      B.set(I);
+      B = Ctx.closeIntent(B);
+      bool Agrees = true;
+      for (size_t J : B) {
+        if (J >= I)
+          break;
+        if (!A.test(J)) {
+          Agrees = false;
+          break;
+        }
+      }
+      if (Agrees) {
+        A = std::move(B);
+        Out.push_back(A);
+        Advanced = true;
+        break;
+      }
+    }
+    if (!Advanced)
+      break;
+  }
+  return Out;
+}
+
+std::vector<BitVector> ParallelBuilder::allClosedIntents(const Context &Ctx,
+                                                         ThreadPool &Pool) {
+  size_t M = Ctx.numAttributes();
+  BitVector TopIntent = Ctx.closeIntent(BitVector(M));
+
+  // Each block is an independent task; results are merged by attribute
+  // index, so the output does not depend on scheduling.
+  std::vector<std::vector<BitVector>> Blocks(M);
+  Pool.parallelFor(M, [&](size_t Begin, size_t End) {
+    for (size_t P = Begin; P < End; ++P)
+      Blocks[P] = blockIntents(Ctx, P, TopIntent);
+  });
+
+  std::vector<BitVector> Out;
+  size_t Total = 1;
+  for (const std::vector<BitVector> &B : Blocks)
+    Total += B.size();
+  Out.reserve(Total);
+  Out.push_back(std::move(TopIntent));
+  for (size_t P = M; P > 0; --P)
+    for (BitVector &Intent : Blocks[P - 1])
+      Out.push_back(std::move(Intent));
+  return Out;
+}
+
+ConceptLattice ParallelBuilder::buildLattice(const Context &Ctx,
+                                             ThreadPool &Pool) {
+  using NodeId = ConceptLattice::NodeId;
+
+  std::vector<BitVector> Intents = allClosedIntents(Ctx, Pool);
+  size_t N = Intents.size();
+
+  // Extents shard trivially: every concept is written by exactly one
+  // worker, at an index fixed by the canonical enumeration order.
+  std::vector<Concept> Concepts(N);
+  Pool.parallelFor(N, [&](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I) {
+      Concepts[I].Extent = Ctx.tau(Intents[I]);
+      Concepts[I].Intent = std::move(Intents[I]);
+    }
+  });
+
+  // Cover relation: same canonical scan order as fromConcepts, the
+  // per-concept scans sharded across workers (each is a pure function of
+  // the read-only concept vector).
+  std::vector<size_t> Card(N);
+  Pool.parallelFor(N, [&](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I)
+      Card[I] = Concepts[I].Extent.count();
+  });
+  std::vector<NodeId> Order = ConceptLattice::coverScanOrder(Card);
+  std::vector<std::vector<NodeId>> CoversOf(N);
+  Pool.parallelFor(N, [&](size_t Begin, size_t End) {
+    for (size_t AI = Begin; AI < End; ++AI)
+      CoversOf[AI] = ConceptLattice::coversAt(Concepts, Order, Card, AI);
+  });
+
+  // Emit edges in the serial path's insertion order so the per-node
+  // parent/child lists come out identical.
+  std::vector<std::pair<NodeId, NodeId>> Edges;
+  size_t NumEdges = 0;
+  for (const std::vector<NodeId> &C : CoversOf)
+    NumEdges += C.size();
+  Edges.reserve(NumEdges);
+  for (size_t AI = 0; AI < N; ++AI)
+    for (NodeId B : CoversOf[AI])
+      Edges.emplace_back(B, Order[AI]);
+  return ConceptLattice::fromConceptsAndCovers(std::move(Concepts), Edges);
+}
+
+ConceptLattice ParallelBuilder::buildLattice(const Context &Ctx,
+                                             unsigned NumThreads) {
+  unsigned Resolved = ThreadPool::resolveThreadCount(NumThreads);
+  if (Resolved == 1)
+    return NextClosureBuilder::buildLattice(Ctx); // Exact serial fallback.
+  ThreadPool Pool(Resolved);
+  return buildLattice(Ctx, Pool);
+}

@@ -24,3 +24,8 @@ MiningResult Miner::mine(const TraceSet &Runs, std::string Name) const {
                       std::move(Name));
   return Result;
 }
+
+Session Miner::debugSession(TraceSet Scenarios, Automaton ReferenceFA) const {
+  return Session(std::move(Scenarios), std::move(ReferenceFA),
+                 Options.NumThreads);
+}

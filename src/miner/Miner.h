@@ -17,6 +17,7 @@
 #ifndef CABLE_MINER_MINER_H
 #define CABLE_MINER_MINER_H
 
+#include "cable/Session.h"
 #include "learner/SkStrings.h"
 #include "miner/ScenarioExtractor.h"
 
@@ -37,6 +38,10 @@ struct Specification {
 struct MinerOptions {
   ExtractorOptions Extract;
   SkStringsOptions Learn;
+  /// Worker count for concept-lattice construction when a mined
+  /// specification is debugged (0 = hardware concurrency, 1 = exact
+  /// serial path). The lattice is identical at every setting.
+  unsigned NumThreads = 0;
 };
 
 /// Result of a full mining run.
@@ -64,6 +69,11 @@ public:
 
   /// Full pipeline.
   MiningResult mine(const TraceSet &Runs, std::string Name) const;
+
+  /// Opens a Cable debugging session over \p Scenarios clustered against
+  /// \p ReferenceFA (§2.2: debugging a mined specification), building the
+  /// lattice with Options.NumThreads workers.
+  Session debugSession(TraceSet Scenarios, Automaton ReferenceFA) const;
 
   const MinerOptions &options() const { return Options; }
 

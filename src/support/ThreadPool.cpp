@@ -1,0 +1,110 @@
+//===- support/ThreadPool.cpp - Deterministic thread pool ------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace cable;
+
+unsigned ThreadPool::resolveThreadCount(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads)
+    : NumWorkers(resolveThreadCount(NumThreads)) {
+  if (NumWorkers == 1)
+    return; // Inline execution; no workers, no queues.
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I) {
+    Workers.push_back(std::make_unique<Worker>());
+    Worker &W = *Workers.back();
+    W.Thread = std::thread([this, &W] { workerLoop(W); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (std::unique_ptr<Worker> &W : Workers) {
+    {
+      std::lock_guard<std::mutex> Lock(W->Mutex);
+      W->ShuttingDown = true;
+    }
+    W->WorkAvailable.notify_all();
+  }
+  for (std::unique_ptr<Worker> &W : Workers)
+    W->Thread.join();
+}
+
+void ThreadPool::workerLoop(Worker &W) {
+  for (;;) {
+    std::packaged_task<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(W.Mutex);
+      W.WorkAvailable.wait(
+          Lock, [&] { return W.ShuttingDown || !W.Queue.empty(); });
+      // Shutdown drains the queue: exit only once it is empty.
+      if (W.Queue.empty())
+        return;
+      Task = std::move(W.Queue.front());
+      W.Queue.pop_front();
+    }
+    Task(); // Exceptions land in the task's future.
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> Task) {
+  std::packaged_task<void()> Packaged(std::move(Task));
+  std::future<void> Result = Packaged.get_future();
+  if (NumWorkers == 1) {
+    Packaged(); // Serial fallback: run on the caller, eagerly.
+    return Result;
+  }
+  Worker *W;
+  {
+    std::lock_guard<std::mutex> Lock(SubmitMutex);
+    W = Workers[NextWorker].get();
+    NextWorker = (NextWorker + 1) % Workers.size();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(W->Mutex);
+    W->Queue.push_back(std::move(Packaged));
+  }
+  W->WorkAvailable.notify_one();
+  return Result;
+}
+
+void ThreadPool::parallelFor(
+    size_t N, const std::function<void(size_t Begin, size_t End)> &Body) {
+  if (N == 0)
+    return;
+  if (NumWorkers == 1) {
+    Body(0, N);
+    return;
+  }
+  size_t NumChunks = std::min<size_t>(NumWorkers, N);
+  std::vector<std::future<void>> Futures;
+  Futures.reserve(NumChunks);
+  for (size_t C = 0; C < NumChunks; ++C) {
+    size_t Begin = C * N / NumChunks;
+    size_t End = (C + 1) * N / NumChunks;
+    Futures.push_back(submit([&Body, Begin, End] { Body(Begin, End); }));
+  }
+  // Wait for everything, then rethrow the lowest-indexed chunk's
+  // exception so the choice of surfaced error is deterministic.
+  std::exception_ptr First;
+  for (std::future<void> &F : Futures) {
+    try {
+      F.get();
+    } catch (...) {
+      if (!First)
+        First = std::current_exception();
+    }
+  }
+  if (First)
+    std::rethrow_exception(First);
+}

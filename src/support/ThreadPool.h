@@ -1,0 +1,90 @@
+//===- support/ThreadPool.h - Deterministic thread pool ---------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, work-stealing-free thread pool. Tasks are assigned to
+/// workers statically (round-robin at submit time, contiguous chunks for
+/// parallelFor) and each worker drains only its own queue, so the mapping
+/// from task to executing worker depends on submission order alone — never
+/// on scheduling. Callers that index results by task id therefore get
+/// bit-for-bit identical output at every thread count, which is the
+/// property the parallel lattice builder is built on.
+///
+/// A pool resolved to one thread runs everything inline on the caller: the
+/// exact serial fallback, with no threads created at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_SUPPORT_THREADPOOL_H
+#define CABLE_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cable {
+
+/// A fixed-size pool of workers with static task assignment.
+class ThreadPool {
+public:
+  /// Creates a pool of resolveThreadCount(\p NumThreads) workers. A pool
+  /// of one worker executes submitted work inline on the calling thread.
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  /// Finishes every task already submitted (queued work is drained, never
+  /// dropped), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of workers (>= 1; 1 means inline execution).
+  unsigned numThreads() const { return NumWorkers; }
+
+  /// Maps a requested thread count to an actual one: 0 becomes the
+  /// hardware concurrency (at least 1), anything else is taken literally.
+  static unsigned resolveThreadCount(unsigned Requested);
+
+  /// Enqueues \p Task on the next worker in round-robin order. The future
+  /// carries any exception the task throws. With one worker the task runs
+  /// before submit returns.
+  std::future<void> submit(std::function<void()> Task);
+
+  /// Splits [0, \p N) into numThreads() contiguous chunks, runs
+  /// \p Body(Begin, End) for each, and waits for all of them. Chunk
+  /// boundaries depend only on N and the worker count. If chunks throw,
+  /// the exception of the lowest-indexed throwing chunk is rethrown after
+  /// every chunk has finished.
+  void parallelFor(size_t N,
+                   const std::function<void(size_t Begin, size_t End)> &Body);
+
+private:
+  struct Worker {
+    std::thread Thread;
+    std::mutex Mutex;
+    std::condition_variable WorkAvailable;
+    std::deque<std::packaged_task<void()>> Queue;
+    bool ShuttingDown = false;
+  };
+
+  void workerLoop(Worker &W);
+
+  unsigned NumWorkers = 1;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  size_t NextWorker = 0;
+  std::mutex SubmitMutex;
+};
+
+} // namespace cable
+
+#endif // CABLE_SUPPORT_THREADPOOL_H

@@ -1,0 +1,190 @@
+//===- tests/support/ThreadPoolTest.cpp ------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The three properties the parallel lattice builder leans on: static task
+// assignment makes results independent of the thread count, exceptions
+// propagate out of workers deterministically, and shutdown drains queued
+// work instead of dropping it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+using namespace cable;
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_GE(ThreadPool::resolveThreadCount(0), 1u);
+  EXPECT_EQ(ThreadPool::resolveThreadCount(1), 1u);
+  EXPECT_EQ(ThreadPool::resolveThreadCount(7), 7u);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineOnCaller) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.numThreads(), 1u);
+  std::thread::id Executor;
+  std::future<void> Done =
+      Pool.submit([&] { Executor = std::this_thread::get_id(); });
+  // Inline execution: the task already ran, on this thread.
+  EXPECT_EQ(Done.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(Executor, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, SameTaskSetSameResultsAtEveryThreadCount) {
+  // Each task writes a pure function of its index into its own slot; the
+  // assembled vector must not depend on the worker count.
+  constexpr size_t N = 512;
+  std::vector<uint64_t> Reference;
+  for (unsigned T = 1; T <= 8; ++T) {
+    ThreadPool Pool(T);
+    std::vector<uint64_t> Results(N, 0);
+    std::vector<std::future<void>> Futures;
+    for (size_t I = 0; I < N; ++I)
+      Futures.push_back(Pool.submit(
+          [&Results, I] { Results[I] = I * I + 7 * I + 3; }));
+    for (std::future<void> &F : Futures)
+      F.get();
+    if (T == 1)
+      Reference = Results;
+    else
+      EXPECT_EQ(Results, Reference) << "thread count " << T;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSameResultsAtEveryThreadCount) {
+  constexpr size_t N = 1000;
+  std::vector<uint64_t> Reference;
+  for (unsigned T = 1; T <= 8; ++T) {
+    ThreadPool Pool(T);
+    std::vector<uint64_t> Results(N, 0);
+    Pool.parallelFor(N, [&](size_t Begin, size_t End) {
+      for (size_t I = Begin; I < End; ++I)
+        Results[I] = (I * 2654435761u) % 1000003;
+    });
+    if (T == 1)
+      Reference = Results;
+    else
+      EXPECT_EQ(Results, Reference) << "thread count " << T;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (unsigned T : {2u, 3u, 5u, 8u}) {
+    for (size_t N : {size_t(0), size_t(1), size_t(7), size_t(64),
+                     size_t(1001)}) {
+      ThreadPool Pool(T);
+      std::vector<std::atomic<uint32_t>> Hits(N);
+      Pool.parallelFor(N, [&](size_t Begin, size_t End) {
+        for (size_t I = Begin; I < End; ++I)
+          Hits[I].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (size_t I = 0; I < N; ++I)
+        ASSERT_EQ(Hits[I].load(), 1u) << "N=" << N << " T=" << T;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  for (unsigned T : {1u, 4u}) {
+    ThreadPool Pool(T);
+    std::future<void> Done =
+        Pool.submit([] { throw std::runtime_error("worker failed"); });
+    EXPECT_THROW(
+        {
+          try {
+            Done.get();
+          } catch (const std::runtime_error &E) {
+            EXPECT_STREQ(E.what(), "worker failed");
+            throw;
+          }
+        },
+        std::runtime_error);
+    // The pool survives a throwing task.
+    std::atomic<bool> Ran{false};
+    Pool.submit([&] { Ran = true; }).get();
+    EXPECT_TRUE(Ran);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestChunkException) {
+  // Every chunk throws, tagged with its begin index; the surfaced error
+  // must deterministically be the lowest-indexed chunk's.
+  for (unsigned T : {1u, 2u, 4u, 8u}) {
+    ThreadPool Pool(T);
+    try {
+      Pool.parallelFor(64, [](size_t Begin, size_t) {
+        throw std::runtime_error(std::to_string(Begin));
+      });
+      FAIL() << "parallelFor must rethrow";
+    } catch (const std::runtime_error &E) {
+      EXPECT_STREQ(E.what(), "0") << "thread count " << T;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPartialFailureStillRunsAllChunks) {
+  ThreadPool Pool(4);
+  std::atomic<size_t> Visited{0};
+  try {
+    Pool.parallelFor(100, [&](size_t Begin, size_t End) {
+      Visited.fetch_add(End - Begin);
+      if (Begin == 0)
+        throw std::runtime_error("first chunk");
+    });
+    FAIL() << "parallelFor must rethrow";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "first chunk");
+  }
+  // parallelFor waits for every chunk before rethrowing, so all indices
+  // were visited even though one chunk failed.
+  EXPECT_EQ(Visited.load(), 100u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<size_t> Completed{0};
+  constexpr size_t NumTasks = 64;
+  {
+    ThreadPool Pool(2);
+    for (size_t I = 0; I < NumTasks; ++I)
+      Pool.submit([&Completed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        Completed.fetch_add(1, std::memory_order_relaxed);
+      });
+    // Destruction with most of the queue still pending.
+  }
+  EXPECT_EQ(Completed.load(), NumTasks)
+      << "shutdown must finish queued tasks, not drop them";
+}
+
+TEST(ThreadPoolTest, ManyConcurrentSubmittersSeeEveryTask) {
+  // submit must be callable from multiple threads at once (the pool is
+  // also used from test drivers that fan out sessions).
+  ThreadPool Pool(4);
+  std::atomic<size_t> Count{0};
+  std::vector<std::thread> Producers;
+  constexpr size_t PerProducer = 200;
+  std::vector<std::vector<std::future<void>>> Futures(4);
+  for (size_t P = 0; P < 4; ++P)
+    Producers.emplace_back([&, P] {
+      for (size_t I = 0; I < PerProducer; ++I)
+        Futures[P].push_back(Pool.submit([&Count] { Count.fetch_add(1); }));
+    });
+  for (std::thread &Th : Producers)
+    Th.join();
+  for (std::vector<std::future<void>> &FS : Futures)
+    for (std::future<void> &F : FS)
+      F.get();
+  EXPECT_EQ(Count.load(), 4 * PerProducer);
+}

@@ -63,6 +63,11 @@ void printUsage() {
       "  --seed EVENT       seed-order template on EVENT, e.g. XtFree(v0)\n"
       "  --recommended      protocol's recommended FA (with --protocol)\n"
       "\n"
+      "performance:\n"
+      "  --threads N        lattice-construction workers (0 = hardware\n"
+      "                     concurrency, 1 = serial; same lattice either\n"
+      "                     way; default 0)\n"
+      "\n"
       "commands (stdin):\n"
       "  ls                  list concepts (state, size, similarity)\n"
       "  fa ID [SEL]         Show FA summary (SEL: all|unlabeled|LABEL)\n"
@@ -175,6 +180,7 @@ void cmdStatus(Session &S) {
 int main(int Argc, char **Argv) {
   std::string TracesFile, RefRegex, RefFile, SeedEvent, ProtocolName;
   bool Recommended = false;
+  unsigned NumThreads = 0;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> std::string {
@@ -192,6 +198,15 @@ int main(int Argc, char **Argv) {
       ProtocolName = Next();
     else if (Arg == "--recommended")
       Recommended = true;
+    else if (Arg == "--threads") {
+      std::string N = Next();
+      if (!isAllDigits(N)) {
+        std::fprintf(stderr, "error: --threads expects a number, got '%s'\n",
+                     N.c_str());
+        return 1;
+      }
+      NumThreads = static_cast<unsigned>(std::stoul(N));
+    }
     else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return 0;
@@ -284,7 +299,8 @@ int main(int Argc, char **Argv) {
     Ref = makeUnorderedFA(templateAlphabet(Traces.traces()), Traces.table());
   }
 
-  Cli.Base = std::make_unique<Session>(std::move(Traces), std::move(Ref));
+  Cli.Base =
+      std::make_unique<Session>(std::move(Traces), std::move(Ref), NumThreads);
   std::printf("session: %zu unique traces, %zu FA transitions, %zu "
               "concepts\n",
               Cli.Base->numObjects(),

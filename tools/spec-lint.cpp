@@ -48,6 +48,16 @@ std::optional<std::string> readFile(const std::string &Path) {
   return Buf.str();
 }
 
+bool parseCount(const std::string &Text, unsigned long &Out) {
+  if (Text.empty())
+    return false;
+  for (char Ch : Text)
+    if (Ch < '0' || Ch > '9')
+      return false;
+  Out = std::stoul(Text);
+  return true;
+}
+
 void printUsage() {
   std::printf(
       "spec-lint: check a temporal specification against traces and group\n"
@@ -58,7 +68,9 @@ void printUsage() {
       "  --traces FILE      scenario traces, one per line\n"
       "  --runs FILE        full program runs; sliced into scenarios\n"
       "  --seeds a,b,c      seed event names for --runs slicing\n"
-      "  --max-samples N    sample traces shown per cluster (default 3)\n");
+      "  --max-samples N    sample traces shown per cluster (default 3)\n"
+      "  --threads N        lattice-construction workers (0 = hardware\n"
+      "                     concurrency, 1 = serial; default 0)\n");
 }
 
 } // namespace
@@ -66,6 +78,7 @@ void printUsage() {
 int main(int Argc, char **Argv) {
   std::string SpecFile, SpecRegex, TracesFile, RunsFile, SeedsArg;
   size_t MaxSamples = 3;
+  unsigned NumThreads = 0;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> std::string {
@@ -81,8 +94,19 @@ int main(int Argc, char **Argv) {
       RunsFile = Next();
     else if (Arg == "--seeds")
       SeedsArg = Next();
-    else if (Arg == "--max-samples")
-      MaxSamples = std::stoul(Next());
+    else if (Arg == "--max-samples" || Arg == "--threads") {
+      std::string Value = Next();
+      unsigned long N;
+      if (!parseCount(Value, N)) {
+        std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                     Arg.c_str(), Value.c_str());
+        return 2;
+      }
+      if (Arg == "--max-samples")
+        MaxSamples = N;
+      else
+        NumThreads = static_cast<unsigned>(N);
+    }
     else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return 0;
@@ -163,7 +187,7 @@ int main(int Argc, char **Argv) {
   // concept's children), each with the three §4.1 summaries.
   Automaton Ref = makeUnorderedFA(templateAlphabet(R.Violations.traces()),
                                   R.Violations.table());
-  Session S(std::move(R.Violations), std::move(Ref));
+  Session S(std::move(R.Violations), std::move(Ref), NumThreads);
   const ConceptLattice &L = S.lattice();
 
   std::printf("\n%zu unique violation trace(s) in %zu concept(s); maximal "
