@@ -1,0 +1,153 @@
+//===- bench/budget_overhead.cpp - Budget checkpoint cost ------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The budgeted entry points poll a BudgetMeter once per candidate closure
+// (docs/ALGORITHMS.md, "Budgets, cancellation, and truncation"). These
+// sweeps measure that overhead: each builder runs the same context through
+// its unbudgeted path and through buildLatticeBudgeted with an unlimited
+// meter — the pair should be within noise of each other. A third sweep
+// measures how quickly a 10 ms deadline actually stops a contranominal
+// build (the worst-case exponential input), reporting the enumerated
+// prefix size as a counter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concepts/GodinBuilder.h"
+#include "concepts/LindigBuilder.h"
+#include "concepts/NextClosureBuilder.h"
+#include "concepts/ParallelBuilder.h"
+#include "support/Budget.h"
+#include "support/RNG.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cable;
+
+namespace {
+
+Context randomContext(size_t NumObjects, size_t K, size_t PoolSize,
+                      uint64_t Seed) {
+  RNG Rand(Seed);
+  Context Ctx(NumObjects, PoolSize);
+  for (size_t O = 0; O < NumObjects; ++O)
+    for (size_t J = 0; J < K; ++J)
+      Ctx.relate(O, Rand.nextIndex(PoolSize));
+  return Ctx;
+}
+
+/// Object i related to every attribute except i: the lattice is the full
+/// powerset, 2^N concepts — the adversarial budget-test input.
+Context contranominal(size_t N) {
+  Context Ctx(N, N);
+  for (size_t O = 0; O < N; ++O)
+    for (size_t A = 0; A < N; ++A)
+      if (O != A)
+        Ctx.relate(O, A);
+  return Ctx;
+}
+
+void BM_NextClosureUnbudgeted(benchmark::State &State) {
+  Context Ctx = randomContext(64, 6, 24, 42);
+  for (auto _ : State) {
+    ConceptLattice L = NextClosureBuilder::buildLattice(Ctx);
+    benchmark::DoNotOptimize(L);
+  }
+}
+BENCHMARK(BM_NextClosureUnbudgeted);
+
+void BM_NextClosureUnlimitedMeter(benchmark::State &State) {
+  Context Ctx = randomContext(64, 6, 24, 42);
+  for (auto _ : State) {
+    BudgetMeter Meter{Budget{}};
+    LatticeBuildResult R = NextClosureBuilder::buildLatticeBudgeted(Ctx, Meter);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_NextClosureUnlimitedMeter);
+
+void BM_GodinUnbudgeted(benchmark::State &State) {
+  Context Ctx = randomContext(64, 6, 24, 42);
+  for (auto _ : State) {
+    ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+    benchmark::DoNotOptimize(L);
+  }
+}
+BENCHMARK(BM_GodinUnbudgeted);
+
+void BM_GodinUnlimitedMeter(benchmark::State &State) {
+  Context Ctx = randomContext(64, 6, 24, 42);
+  for (auto _ : State) {
+    BudgetMeter Meter{Budget{}};
+    LatticeBuildResult R = GodinBuilder::buildLatticeBudgeted(Ctx, Meter);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_GodinUnlimitedMeter);
+
+void BM_LindigUnbudgeted(benchmark::State &State) {
+  Context Ctx = randomContext(64, 6, 24, 42);
+  for (auto _ : State) {
+    ConceptLattice L = LindigBuilder::buildLattice(Ctx);
+    benchmark::DoNotOptimize(L);
+  }
+}
+BENCHMARK(BM_LindigUnbudgeted);
+
+void BM_LindigUnlimitedMeter(benchmark::State &State) {
+  Context Ctx = randomContext(64, 6, 24, 42);
+  for (auto _ : State) {
+    BudgetMeter Meter{Budget{}};
+    LatticeBuildResult R = LindigBuilder::buildLatticeBudgeted(Ctx, Meter);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_LindigUnlimitedMeter);
+
+void BM_ParallelUnbudgeted(benchmark::State &State) {
+  Context Ctx = randomContext(64, 6, 24, 42);
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    ConceptLattice L = ParallelBuilder::buildLattice(Ctx, Threads);
+    benchmark::DoNotOptimize(L);
+  }
+}
+BENCHMARK(BM_ParallelUnbudgeted)->Arg(1)->Arg(4);
+
+void BM_ParallelUnlimitedMeter(benchmark::State &State) {
+  Context Ctx = randomContext(64, 6, 24, 42);
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    BudgetMeter Meter{Budget{}};
+    LatticeBuildResult R =
+        ParallelBuilder::buildLatticeBudgeted(Ctx, Meter, Threads);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ParallelUnlimitedMeter)->Arg(1)->Arg(4);
+
+/// How fast a 10 ms deadline stops the exponential worst case, and how
+/// large a prefix survives. Not a throughput number — the interesting
+/// output is wall time staying near the deadline instead of 2^22.
+void BM_DeadlineStopsContranominal(benchmark::State &State) {
+  Context Ctx = contranominal(22);
+  size_t Kept = 0;
+  for (auto _ : State) {
+    Budget B;
+    B.TimeLimit = std::chrono::milliseconds(10);
+    BudgetMeter Meter(B);
+    LatticeBuildResult R =
+        ParallelBuilder::buildLatticeBudgeted(Ctx, Meter, 4u);
+    Kept = R.Lattice.size();
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["kept_concepts"] = static_cast<double>(Kept);
+}
+BENCHMARK(BM_DeadlineStopsContranominal)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -7,6 +7,7 @@
 
 #include "cable/Session.h"
 
+#include "concepts/BuildResult.h"
 #include "concepts/ParallelBuilder.h"
 #include "support/Dot.h"
 #include "support/StringUtil.h"
@@ -18,11 +19,37 @@
 using namespace cable;
 
 Session::Session(TraceSet TracesIn, Automaton ReferenceFA,
-                 unsigned NumThreadsIn)
-    : Traces(std::move(TracesIn)), RefFA(std::move(ReferenceFA)),
-      NumThreads(NumThreadsIn) {
+                 unsigned NumThreadsIn) {
+  Traces = std::move(TracesIn);
+  RefFA = std::move(ReferenceFA);
   assert(!RefFA.hasEpsilons() &&
          "reference FA must be epsilon-free (apply withoutEpsilons)");
+  SessionOptions Options;
+  Options.NumThreads = NumThreadsIn;
+  // Unlimited budget: init() cannot fail (the epsilon case asserted above
+  // is its only other error).
+  Status S = init(Options);
+  (void)S;
+  assert(S.isOk() && "unbudgeted session construction cannot fail");
+}
+
+StatusOr<Session> Session::build(TraceSet Traces, Automaton ReferenceFA,
+                                 const SessionOptions &Options) {
+  Session S;
+  S.Traces = std::move(Traces);
+  S.RefFA = std::move(ReferenceFA);
+  if (S.RefFA.hasEpsilons())
+    return Status::error(
+        ErrorCode::InvalidArgument,
+        "reference FA has epsilon transitions; apply withoutEpsilons() "
+        "before building a session");
+  if (Status InitSt = S.init(Options); !InitSt.isOk())
+    return InitSt;
+  return S;
+}
+
+Status Session::init(const SessionOptions &Options) {
+  NumThreads = Options.NumThreads;
   Classes = Traces.computeClasses();
 
   // Step 1b: one object per identical-trace class; one attribute per
@@ -37,11 +64,25 @@ Session::Session(TraceSet TracesIn, Automaton ReferenceFA,
       Ctx.relate(Obj, A);
   }
 
+  // A context over the cell budget is an outright error unless the caller
+  // asked to keep going, in which case the budgeted builder degrades to a
+  // top/bottom-only lattice and the baseline clustering carries the day.
+  if (Status CellsSt = checkContextCells(Ctx, Options.ResourceBudget);
+      !CellsSt.isOk() && !Options.KeepGoing)
+    return CellsSt;
+
   // Step 1c: concept analysis. The parallel batch builder is the default
-  // path; its lattice is bit-for-bit identical at every thread count.
-  Lattice = ParallelBuilder::buildLattice(Ctx, NumThreads);
+  // path; its lattice is bit-for-bit identical at every thread count, as
+  // is the truncation point when the budget runs out.
+  BudgetMeter Meter(Options.ResourceBudget);
+  LatticeBuildResult R =
+      ParallelBuilder::buildLatticeBudgeted(Ctx, Meter, NumThreads);
+  Lattice = std::move(R.Lattice);
+  Truncated = R.Truncated;
+  BuildSt = std::move(R.BuildStatus);
 
   Labels.assign(Classes.numClasses(), std::nullopt);
+  return Status::ok();
 }
 
 BitVector Session::ownObjects(NodeId Id) const {

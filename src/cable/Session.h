@@ -32,6 +32,8 @@
 #include "concepts/Lattice.h"
 #include "fa/Automaton.h"
 #include "learner/SkStrings.h"
+#include "support/Budget.h"
+#include "support/Status.h"
 #include "trace/TraceSet.h"
 
 #include <optional>
@@ -60,6 +62,25 @@ enum class ConceptState {
 
 struct FocusSession;
 
+/// Options for Session::build.
+struct SessionOptions {
+  /// Lattice-builder workers (0 = hardware concurrency, 1 = the exact
+  /// serial NextClosure path; the lattice is bit-for-bit identical either
+  /// way).
+  unsigned NumThreads = 0;
+
+  /// Resource limits for lattice construction. On exhaustion the session
+  /// still builds, with truncated() set and buildStatus() explaining why;
+  /// the §5 identical-trace baseline clustering (baselineClasses()) is
+  /// always complete regardless.
+  Budget ResourceBudget;
+
+  /// When the context itself exceeds Budget::MaxContextCells: true builds
+  /// a degenerate (top/bottom only) truncated lattice so baseline
+  /// clustering remains usable; false makes build() fail outright.
+  bool KeepGoing = false;
+};
+
 /// One Cable debugging session.
 class Session {
 public:
@@ -75,9 +96,30 @@ public:
   /// rejectedObjects().
   Session(TraceSet Traces, Automaton ReferenceFA, unsigned NumThreads = 0);
 
+  /// Budget-aware construction: as the constructor, but recoverable
+  /// errors (an epsilon FA, a context over MaxContextCells without
+  /// KeepGoing) come back as a failed Status instead of aborting, and
+  /// lattice construction honors Options.ResourceBudget — on exhaustion
+  /// the session is still returned with truncated() set, a partial (but
+  /// well-formed) lattice, and the complete baseline clustering.
+  static StatusOr<Session> build(TraceSet Traces, Automaton ReferenceFA,
+                                 const SessionOptions &Options = {});
+
   /// The thread count this session was built with (inherited by Focus
   /// sub-sessions).
   unsigned numThreads() const { return NumThreads; }
+
+  /// True when lattice construction stopped early on a budget limit; the
+  /// lattice is then a valid sub-lattice (lectic prefix plus top/bottom)
+  /// rather than the full concept set.
+  bool truncated() const { return Truncated; }
+
+  /// Ok, or the diagnostic explaining why the lattice was truncated.
+  const Status &buildStatus() const { return BuildSt; }
+
+  /// The §5 identical-trace-class baseline clustering — always complete,
+  /// even when the lattice is truncated (graceful degradation target).
+  const TraceClasses &baselineClasses() const { return Classes; }
 
   // -- Structure ----------------------------------------------------------
 
@@ -206,6 +248,13 @@ public:
   std::string describeConcept(NodeId Id) const;
 
 private:
+  /// For build(): members are filled in by init().
+  Session() = default;
+
+  /// Shared construction tail; returns a failed Status only for the
+  /// recoverable errors documented on build().
+  Status init(const SessionOptions &Options);
+
   TraceSet Traces;
   TraceClasses Classes;
   Automaton RefFA;
@@ -213,6 +262,8 @@ private:
   ConceptLattice Lattice;
   std::vector<size_t> Rejected;
   unsigned NumThreads = 0;
+  bool Truncated = false;
+  Status BuildSt;
 
   std::vector<std::optional<LabelId>> Labels;
   std::vector<std::string> LabelNames;

@@ -8,7 +8,6 @@
 #include "concepts/Lattice.h"
 
 #include "support/Dot.h"
-#include "support/Error.h"
 
 #include <algorithm>
 #include <cassert>
@@ -143,20 +142,49 @@ ConceptLattice::findByIntent(const BitVector &Intent) const {
 ConceptLattice::NodeId ConceptLattice::meet(NodeId A, NodeId B) const {
   // The meet's extent is the largest concept extent contained in
   // extent(A) & extent(B); because concept extents are closed under
-  // intersection, that intersection is itself an extent.
+  // intersection, that intersection is itself an extent of the *context*.
+  // On a complete lattice it is present and is returned exactly. On a
+  // truncated lattice it may be missing; fall back to the largest present
+  // extent contained in the intersection (the bottom concept always
+  // qualifies, so a best approximation exists).
   BitVector Want = Concepts[A].Extent & Concepts[B].Extent;
   std::optional<NodeId> Found = findByExtent(Want);
-  if (!Found)
-    CABLE_UNREACHABLE("meet extent not found; lattice is incomplete");
-  return *Found;
+  if (Found)
+    return *Found;
+  NodeId Best = Bottom;
+  size_t BestCard = Concepts[Bottom].Extent.count();
+  for (NodeId Id = 0; Id < Concepts.size(); ++Id) {
+    if (!Concepts[Id].Extent.isSubsetOf(Want))
+      continue;
+    size_t Card = Concepts[Id].Extent.count();
+    if (Card > BestCard) {
+      Best = Id;
+      BestCard = Card;
+    }
+  }
+  return Best;
 }
 
 ConceptLattice::NodeId ConceptLattice::join(NodeId A, NodeId B) const {
+  // Dual of meet: sigma(X ∪ Y) = sigma(X) ∩ sigma(Y), so the join's intent
+  // is exactly the intent intersection. Same truncation fallback on the
+  // intent side (the top concept's intent is a subset of every intent).
   BitVector Want = Concepts[A].Intent & Concepts[B].Intent;
   std::optional<NodeId> Found = findByIntent(Want);
-  if (!Found)
-    CABLE_UNREACHABLE("join intent not found; lattice is incomplete");
-  return *Found;
+  if (Found)
+    return *Found;
+  NodeId Best = Top;
+  size_t BestCard = Concepts[Top].Intent.count();
+  for (NodeId Id = 0; Id < Concepts.size(); ++Id) {
+    if (!Concepts[Id].Intent.isSubsetOf(Want))
+      continue;
+    size_t Card = Concepts[Id].Intent.count();
+    if (Card > BestCard) {
+      Best = Id;
+      BestCard = Card;
+    }
+  }
+  return Best;
 }
 
 std::vector<ConceptLattice::NodeId> ConceptLattice::topDownOrder() const {

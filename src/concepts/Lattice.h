@@ -83,10 +83,13 @@ public:
   /// Finds the concept with exactly this intent, if any.
   std::optional<NodeId> findByIntent(const BitVector &Intent) const;
 
-  /// Greatest lower bound (meet): extent intersection, closed.
+  /// Greatest lower bound (meet): extent intersection, closed. On a
+  /// lattice truncated by a budget the exact meet may be absent; the
+  /// largest present concept below both arguments is returned instead.
   NodeId meet(NodeId A, NodeId B) const;
 
-  /// Least upper bound (join): intent intersection on the dual side.
+  /// Least upper bound (join): intent intersection on the dual side, with
+  /// the dual best-approximation fallback on truncated lattices.
   NodeId join(NodeId A, NodeId B) const;
 
   /// The longest chain length from top to bottom (lattice height).

@@ -15,7 +15,8 @@ using namespace cable;
 
 std::vector<BitVector>
 LindigBuilder::upperNeighborExtents(const Context &Ctx,
-                                    const BitVector &Extent) {
+                                    const BitVector &Extent,
+                                    const BudgetMeter *Meter) {
   assert(Ctx.closeExtent(Extent) == Extent && "extent must be closed");
   size_t N = Ctx.numObjects();
 
@@ -31,6 +32,8 @@ LindigBuilder::upperNeighborExtents(const Context &Ctx,
   for (size_t G = 0; G < N; ++G) {
     if (Extent.test(G))
       continue;
+    if (Meter && Meter->expired())
+      return Out;
     BitVector Gen = Extent;
     Gen.set(G);
     BitVector Closed = Ctx.closeExtent(Gen);
@@ -93,4 +96,93 @@ ConceptLattice LindigBuilder::buildLattice(const Context &Ctx) {
     }
   }
   return ConceptLattice::fromConceptsAndCovers(std::move(Concepts), Covers);
+}
+
+LatticeBuildResult
+LindigBuilder::buildLatticeBudgeted(const Context &Ctx,
+                                    const BudgetMeter &Meter) {
+  Status Cells = checkContextCells(Ctx, Meter.budget());
+  if (!Cells.isOk()) {
+    LatticeBuildResult R;
+    R.Lattice = finalizeTruncatedConcepts(Ctx, {}, DeadlineKeepCap);
+    R.BuildStatus = std::move(Cells);
+    R.Truncated = true;
+    return R;
+  }
+
+  size_t Max = Meter.budget().MaxConcepts.value_or(SIZE_MAX);
+  std::vector<Concept> Concepts;
+  std::vector<std::pair<ConceptLattice::NodeId, ConceptLattice::NodeId>>
+      Covers;
+  std::unordered_map<BitVector, ConceptLattice::NodeId, BitVectorHash> Ids;
+
+  // As GetId in buildLattice, but refuses to create concept Max + 1: the
+  // nullopt return proves more concepts exist, making Truncated exact.
+  auto GetId = [&](const BitVector &Extent)
+      -> std::optional<std::pair<ConceptLattice::NodeId, bool>> {
+    auto It = Ids.find(Extent);
+    if (It != Ids.end())
+      return std::make_pair(It->second, false);
+    if (Concepts.size() >= Max)
+      return std::nullopt;
+    ConceptLattice::NodeId Id =
+        static_cast<ConceptLattice::NodeId>(Concepts.size());
+    Concept C;
+    C.Extent = Extent;
+    C.Intent = Ctx.sigma(Extent);
+    Concepts.push_back(std::move(C));
+    Ids.emplace(Extent, Id);
+    return std::make_pair(Id, true);
+  };
+
+  BuildStop Stop = BuildStop::Complete;
+  BitVector Bottom = Ctx.closeExtent(BitVector(Ctx.numObjects()));
+  std::deque<ConceptLattice::NodeId> Worklist;
+  if (auto First = GetId(Bottom))
+    Worklist.push_back(First->first);
+  else
+    Stop = BuildStop::ConceptCap; // MaxConcepts == 0.
+
+  while (!Worklist.empty()) {
+    if (Meter.expired()) {
+      Stop = BuildStop::Time;
+      break;
+    }
+    ConceptLattice::NodeId Id = Worklist.front();
+    Worklist.pop_front();
+    BitVector Extent = Concepts[Id].Extent;
+    for (BitVector &Neighbor : upperNeighborExtents(Ctx, Extent, &Meter)) {
+      auto Parent = GetId(Neighbor);
+      if (!Parent) {
+        Stop = BuildStop::ConceptCap;
+        break;
+      }
+      Covers.emplace_back(Parent->first, Id);
+      if (Parent->second)
+        Worklist.push_back(Parent->first);
+    }
+    if (Stop != BuildStop::Complete)
+      break;
+    // upperNeighborExtents may have returned early on expiry, leaving
+    // this node's cover list incomplete; catch that before trusting it.
+    if (Meter.expired()) {
+      Stop = BuildStop::Time;
+      break;
+    }
+  }
+
+  LatticeBuildResult R;
+  R.NumEnumerated = Concepts.size();
+  if (Stop == BuildStop::Complete) {
+    R.Lattice =
+        ConceptLattice::fromConceptsAndCovers(std::move(Concepts), Covers);
+    return R;
+  }
+  R.Truncated = true;
+  R.BuildStatus = truncationStatus(Stop, Meter, "lattice construction");
+  size_t Cap = Stop == BuildStop::Time ? DeadlineKeepCap : SIZE_MAX;
+  // The native cover edges reference dropped neighbors; discard them and
+  // let the truncated epilogue recompute covers over the retained subset.
+  R.Lattice = finalizeTruncatedConcepts(Ctx, std::move(Concepts), Cap);
+  return R;
 }

@@ -20,6 +20,7 @@
 #ifndef CABLE_CONCEPTS_LINDIGBUILDER_H
 #define CABLE_CONCEPTS_LINDIGBUILDER_H
 
+#include "concepts/BuildResult.h"
 #include "concepts/Lattice.h"
 
 namespace cable {
@@ -28,13 +29,24 @@ namespace cable {
 class LindigBuilder {
 public:
   /// Computes the extents of the upper neighbors (immediate covers) of the
-  /// concept whose extent is \p Extent. \p Extent must be closed.
-  static std::vector<BitVector> upperNeighborExtents(const Context &Ctx,
-                                                     const BitVector &Extent);
+  /// concept whose extent is \p Extent. \p Extent must be closed. A
+  /// non-null \p Meter is checked before each generator closure; on
+  /// expiry the (then incomplete) neighbor list found so far is returned
+  /// and the caller is expected to stop.
+  static std::vector<BitVector>
+  upperNeighborExtents(const Context &Ctx, const BitVector &Extent,
+                       const BudgetMeter *Meter = nullptr);
 
   /// Builds the full concept lattice of \p Ctx, with cover edges taken
   /// from the neighbor computation itself (not recomputed afterwards).
   static ConceptLattice buildLattice(const Context &Ctx);
+
+  /// Budgeted construction: the BFS from the bottom concept stops at the
+  /// deadline or as soon as a discovery would exceed Budget::MaxConcepts,
+  /// returning the concepts found so far as a Truncated partial lattice
+  /// (covers recomputed over the retained subset; see BuildResult.h).
+  static LatticeBuildResult buildLatticeBudgeted(const Context &Ctx,
+                                                 const BudgetMeter &Meter);
 };
 
 } // namespace cable

@@ -68,3 +68,105 @@ ConceptLattice NextClosureBuilder::buildLattice(const Context &Ctx) {
   }
   return ConceptLattice::fromConcepts(std::move(Concepts));
 }
+
+std::vector<BitVector>
+NextClosureBuilder::allClosedIntentsBudgeted(const Context &Ctx,
+                                             const BudgetMeter &Meter,
+                                             BuildStop &Stop) {
+  size_t M = Ctx.numAttributes();
+  size_t Max = Meter.budget().MaxConcepts.value_or(SIZE_MAX);
+  std::vector<BitVector> Out;
+  Stop = BuildStop::Complete;
+
+  // The lectic least closed intent is emitted unconditionally so even an
+  // already-expired meter yields a nonempty prefix (the top concept).
+  BitVector A = Ctx.closeIntent(BitVector(M));
+  Out.push_back(A);
+
+  for (;;) {
+    bool Advanced = false;
+    for (size_t IPlus1 = M; IPlus1 > 0; --IPlus1) {
+      size_t I = IPlus1 - 1;
+      if (A.test(I))
+        continue;
+      // One checkpoint per candidate closure; the closure dominates the
+      // cost of the atomic load by orders of magnitude.
+      if (Meter.expired()) {
+        Stop = BuildStop::Time;
+        return Out;
+      }
+      BitVector B(M);
+      for (size_t J : A) {
+        if (J >= I)
+          break;
+        B.set(J);
+      }
+      B.set(I);
+      B = Ctx.closeIntent(B);
+      bool Agrees = true;
+      for (size_t J : B) {
+        if (J >= I)
+          break;
+        if (!A.test(J)) {
+          Agrees = false;
+          break;
+        }
+      }
+      if (Agrees) {
+        if (Out.size() >= Max) {
+          // A successor exists beyond the cap, so the prefix is proper.
+          // Deciding this only *after* finding the successor makes the
+          // Truncated flag exact: a context with exactly Max concepts
+          // builds complete.
+          Stop = BuildStop::ConceptCap;
+          return Out;
+        }
+        A = std::move(B);
+        Out.push_back(A);
+        Advanced = true;
+        break;
+      }
+    }
+    if (!Advanced)
+      break;
+  }
+  return Out;
+}
+
+LatticeBuildResult
+NextClosureBuilder::buildLatticeBudgeted(const Context &Ctx,
+                                         const BudgetMeter &Meter) {
+  Status Cells = checkContextCells(Ctx, Meter.budget());
+  if (!Cells.isOk()) {
+    LatticeBuildResult R;
+    R.Lattice = finalizeTruncatedConcepts(Ctx, {}, DeadlineKeepCap);
+    R.BuildStatus = std::move(Cells);
+    R.Truncated = true;
+    return R;
+  }
+
+  BuildStop Stop;
+  std::vector<BitVector> Intents = allClosedIntentsBudgeted(Ctx, Meter, Stop);
+  // If the deadline hit right as enumeration finished, do not start the
+  // quadratic cover computation over a possibly huge complete set.
+  if (Stop == BuildStop::Complete && Meter.expired())
+    Stop = BuildStop::Time;
+  if (Stop != BuildStop::Complete) {
+    size_t NumEnumerated = Intents.size();
+    return makeTruncatedFromIntents(Ctx, std::move(Intents), Stop, Meter,
+                                    NumEnumerated);
+  }
+
+  LatticeBuildResult R;
+  R.NumEnumerated = Intents.size();
+  std::vector<Concept> Concepts;
+  Concepts.reserve(Intents.size());
+  for (BitVector &Intent : Intents) {
+    Concept C;
+    C.Extent = Ctx.tau(Intent);
+    C.Intent = std::move(Intent);
+    Concepts.push_back(std::move(C));
+  }
+  R.Lattice = ConceptLattice::fromConcepts(std::move(Concepts));
+  return R;
+}

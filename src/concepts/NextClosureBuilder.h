@@ -16,6 +16,7 @@
 #ifndef CABLE_CONCEPTS_NEXTCLOSUREBUILDER_H
 #define CABLE_CONCEPTS_NEXTCLOSUREBUILDER_H
 
+#include "concepts/BuildResult.h"
 #include "concepts/Lattice.h"
 
 namespace cable {
@@ -28,6 +29,19 @@ public:
 
   /// Builds the full concept lattice of \p Ctx.
   static ConceptLattice buildLattice(const Context &Ctx);
+
+  /// As allClosedIntents, but checks \p Meter before every candidate
+  /// closure and stops at Budget::MaxConcepts. The returned vector is
+  /// always a (possibly complete) prefix of the lectic enumeration; \p
+  /// Stop reports whether and why it is proper.
+  static std::vector<BitVector>
+  allClosedIntentsBudgeted(const Context &Ctx, const BudgetMeter &Meter,
+                           BuildStop &Stop);
+
+  /// Budgeted construction: the full lattice when the budget suffices,
+  /// otherwise a partial lattice flagged Truncated (see BuildResult.h).
+  static LatticeBuildResult buildLatticeBudgeted(const Context &Ctx,
+                                                 const BudgetMeter &Meter);
 };
 
 } // namespace cable

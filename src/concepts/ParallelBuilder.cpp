@@ -119,11 +119,14 @@ std::vector<BitVector> ParallelBuilder::allClosedIntents(const Context &Ctx,
   return Out;
 }
 
-ConceptLattice ParallelBuilder::buildLattice(const Context &Ctx,
-                                             ThreadPool &Pool) {
+namespace {
+
+/// Shared tail of the complete-construction paths: extents, then the
+/// cover relation, sharded across \p Pool in the canonical scan order.
+ConceptLattice latticeFromIntents(const Context &Ctx, ThreadPool &Pool,
+                                  std::vector<BitVector> Intents) {
   using NodeId = ConceptLattice::NodeId;
 
-  std::vector<BitVector> Intents = allClosedIntents(Ctx, Pool);
   size_t N = Intents.size();
 
   // Extents shard trivially: every concept is written by exactly one
@@ -164,6 +167,13 @@ ConceptLattice ParallelBuilder::buildLattice(const Context &Ctx,
   return ConceptLattice::fromConceptsAndCovers(std::move(Concepts), Edges);
 }
 
+} // namespace
+
+ConceptLattice ParallelBuilder::buildLattice(const Context &Ctx,
+                                             ThreadPool &Pool) {
+  return latticeFromIntents(Ctx, Pool, allClosedIntents(Ctx, Pool));
+}
+
 ConceptLattice ParallelBuilder::buildLattice(const Context &Ctx,
                                              unsigned NumThreads) {
   unsigned Resolved = ThreadPool::resolveThreadCount(NumThreads);
@@ -171,4 +181,153 @@ ConceptLattice ParallelBuilder::buildLattice(const Context &Ctx,
     return NextClosureBuilder::buildLattice(Ctx); // Exact serial fallback.
   ThreadPool Pool(Resolved);
   return buildLattice(Ctx, Pool);
+}
+
+std::vector<BitVector>
+ParallelBuilder::blockIntentsBudgeted(const Context &Ctx, size_t P,
+                                      const BitVector &TopIntent,
+                                      const BudgetMeter &Meter,
+                                      BuildStop &Stop) {
+  size_t M = Ctx.numAttributes();
+  size_t Max = Meter.budget().MaxConcepts.value_or(SIZE_MAX);
+  std::vector<BitVector> Out;
+  Stop = BuildStop::Complete;
+
+  BitVector Start(M);
+  Start.set(P);
+  BitVector A = Ctx.closeIntent(Start);
+  if (A.findFirst() != P)
+    return Out;
+  if (!(A == TopIntent))
+    Out.push_back(A);
+
+  for (;;) {
+    bool Advanced = false;
+    for (size_t IPlus1 = M; IPlus1 > P + 1; --IPlus1) {
+      size_t I = IPlus1 - 1;
+      if (A.test(I))
+        continue;
+      // This is the cancellation checkpoint the pool workers run on.
+      if (Meter.expired()) {
+        Stop = BuildStop::Time;
+        return Out;
+      }
+      BitVector B(M);
+      for (size_t J : A) {
+        if (J >= I)
+          break;
+        B.set(J);
+      }
+      B.set(I);
+      B = Ctx.closeIntent(B);
+      bool Agrees = true;
+      for (size_t J : B) {
+        if (J >= I)
+          break;
+        if (!A.test(J)) {
+          Agrees = false;
+          break;
+        }
+      }
+      if (Agrees) {
+        if (Out.size() >= Max) {
+          // Same exact successor-exists test as the serial enumerator, so
+          // the merge below can reconstruct precisely where the serial
+          // run would have stopped.
+          Stop = BuildStop::ConceptCap;
+          return Out;
+        }
+        A = std::move(B);
+        Out.push_back(A);
+        Advanced = true;
+        break;
+      }
+    }
+    if (!Advanced)
+      break;
+  }
+  return Out;
+}
+
+std::vector<BitVector>
+ParallelBuilder::allClosedIntentsBudgeted(const Context &Ctx,
+                                          ThreadPool &Pool,
+                                          const BudgetMeter &Meter,
+                                          BuildStop &Stop) {
+  size_t M = Ctx.numAttributes();
+  size_t Max = Meter.budget().MaxConcepts.value_or(SIZE_MAX);
+  BitVector TopIntent = Ctx.closeIntent(BitVector(M));
+
+  std::vector<std::vector<BitVector>> Blocks(M);
+  std::vector<BuildStop> Stops(M, BuildStop::Complete);
+  Pool.parallelFor(M, [&](size_t Begin, size_t End) {
+    for (size_t P = Begin; P < End; ++P)
+      Blocks[P] = blockIntentsBudgeted(Ctx, P, TopIntent, Meter, Stops[P]);
+  });
+
+  // Canonical merge, descending minimum attribute. The concatenation is
+  // cut at the first gap: either the global cap (with intents left over —
+  // the serial enumerator's exact stopping point) or the first block that
+  // was interrupted mid-enumeration. Everything kept is a lectic prefix.
+  std::vector<BitVector> Out;
+  Stop = BuildStop::Complete;
+  Out.push_back(std::move(TopIntent));
+  for (size_t P = M; P > 0; --P) {
+    for (BitVector &Intent : Blocks[P - 1]) {
+      if (Out.size() >= Max) {
+        Stop = BuildStop::ConceptCap;
+        return Out;
+      }
+      Out.push_back(std::move(Intent));
+    }
+    if (Stops[P - 1] != BuildStop::Complete) {
+      Stop = Stops[P - 1];
+      return Out;
+    }
+  }
+  return Out;
+}
+
+LatticeBuildResult
+ParallelBuilder::buildLatticeBudgeted(const Context &Ctx,
+                                      const BudgetMeter &Meter,
+                                      ThreadPool &Pool) {
+  Status Cells = checkContextCells(Ctx, Meter.budget());
+  if (!Cells.isOk()) {
+    LatticeBuildResult R;
+    R.Lattice = finalizeTruncatedConcepts(Ctx, {}, DeadlineKeepCap);
+    R.BuildStatus = std::move(Cells);
+    R.Truncated = true;
+    return R;
+  }
+
+  BuildStop Stop;
+  std::vector<BitVector> Intents =
+      allClosedIntentsBudgeted(Ctx, Pool, Meter, Stop);
+  if (Stop == BuildStop::Complete && Meter.expired())
+    Stop = BuildStop::Time;
+  if (Stop != BuildStop::Complete) {
+    // The truncated epilogue is intentionally the serial one, shared with
+    // NextClosureBuilder, so truncated lattices agree bit-for-bit across
+    // thread counts.
+    size_t NumEnumerated = Intents.size();
+    return makeTruncatedFromIntents(Ctx, std::move(Intents), Stop, Meter,
+                                    NumEnumerated);
+  }
+
+  LatticeBuildResult R;
+  R.NumEnumerated = Intents.size();
+  R.Lattice = latticeFromIntents(Ctx, Pool, std::move(Intents));
+  return R;
+}
+
+LatticeBuildResult
+ParallelBuilder::buildLatticeBudgeted(const Context &Ctx,
+                                      const BudgetMeter &Meter,
+                                      unsigned NumThreads) {
+  unsigned Resolved = ThreadPool::resolveThreadCount(NumThreads);
+  if (Resolved == 1)
+    return NextClosureBuilder::buildLatticeBudgeted(Ctx, Meter);
+  ThreadPool Pool(Resolved);
+  return buildLatticeBudgeted(Ctx, Meter, Pool);
 }

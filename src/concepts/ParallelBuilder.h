@@ -24,6 +24,7 @@
 #ifndef CABLE_CONCEPTS_PARALLELBUILDER_H
 #define CABLE_CONCEPTS_PARALLELBUILDER_H
 
+#include "concepts/BuildResult.h"
 #include "concepts/Lattice.h"
 #include "support/ThreadPool.h"
 
@@ -52,6 +53,40 @@ public:
   /// caller, never by a block.
   static std::vector<BitVector> blockIntents(const Context &Ctx, size_t P,
                                              const BitVector &TopIntent);
+
+  /// Budgeted construction. Truncation lands at a deterministic place:
+  /// each worker caps its block at Budget::MaxConcepts intents (with the
+  /// same exact has-a-successor test the serial enumerator uses), and the
+  /// canonical merge truncates the concatenation to the cap — which is
+  /// provably the first MaxConcepts intents of the full lectic order, so
+  /// a ConceptCap result is bit-for-bit identical to the serial one at
+  /// every thread count. A deadline stop keeps, per block, whatever was
+  /// enumerated before expiry and merges up to the first interrupted
+  /// block, which is again a clean lectic prefix. \p NumThreads as in
+  /// buildLattice (1 = the exact serial NextClosure path).
+  static LatticeBuildResult buildLatticeBudgeted(const Context &Ctx,
+                                                 const BudgetMeter &Meter,
+                                                 unsigned NumThreads = 0);
+
+  /// As above, reusing an existing pool.
+  static LatticeBuildResult buildLatticeBudgeted(const Context &Ctx,
+                                                 const BudgetMeter &Meter,
+                                                 ThreadPool &Pool);
+
+  /// Budgeted blockIntents: checks \p Meter before every candidate
+  /// closure and stops after Budget::MaxConcepts intents *within this
+  /// block*. The result is always a lectic prefix of the block.
+  static std::vector<BitVector>
+  blockIntentsBudgeted(const Context &Ctx, size_t P,
+                       const BitVector &TopIntent, const BudgetMeter &Meter,
+                       BuildStop &Stop);
+
+  /// Budgeted allClosedIntents: always returns a (possibly complete)
+  /// prefix of the full lectic enumeration; \p Stop reports whether and
+  /// why it is proper.
+  static std::vector<BitVector>
+  allClosedIntentsBudgeted(const Context &Ctx, ThreadPool &Pool,
+                           const BudgetMeter &Meter, BuildStop &Stop);
 };
 
 } // namespace cable

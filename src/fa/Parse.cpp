@@ -54,12 +54,13 @@ std::optional<TransitionLabel> parseLabel(std::string_view Text,
   if (!trimString(ArgText).empty()) {
     for (const std::string &Tok : splitString(std::string(ArgText), ',')) {
       std::string_view Arg = trimString(Tok);
+      std::optional<unsigned long> Val;
+      if (Arg.size() >= 2 && Arg[0] == 'v')
+        Val = parseUnsignedLong(Arg.substr(1));
       if (Arg == "*") {
         Args.push_back(ArgPattern::any());
-      } else if (Arg.size() >= 2 && Arg[0] == 'v' &&
-                 isAllDigits(Arg.substr(1))) {
-        Args.push_back(ArgPattern::value(
-            static_cast<ValueId>(std::stoul(std::string(Arg.substr(1))))));
+      } else if (Val) {
+        Args.push_back(ArgPattern::value(static_cast<ValueId>(*Val)));
       } else {
         ErrorMsg = "bad argument pattern '" + std::string(Arg) + "'";
         return std::nullopt;
@@ -69,11 +70,14 @@ std::optional<TransitionLabel> parseLabel(std::string_view Text,
   return TransitionLabel::exact(Table.internName(Name), std::move(Args));
 }
 
-/// Parses `q<digits>`; returns npos on failure.
+/// Parses `q<digits>`; returns npos on failure (including overflow).
 size_t parseStateName(std::string_view Text) {
-  if (Text.size() < 2 || Text[0] != 'q' || !isAllDigits(Text.substr(1)))
+  if (Text.size() < 2 || Text[0] != 'q')
     return static_cast<size_t>(-1);
-  return std::stoul(std::string(Text.substr(1)));
+  std::optional<unsigned long> N = parseUnsignedLong(Text.substr(1));
+  if (!N)
+    return static_cast<size_t>(-1);
+  return *N;
 }
 
 } // namespace
@@ -81,6 +85,17 @@ size_t parseStateName(std::string_view Text) {
 std::optional<Automaton> cable::parseAutomaton(std::string_view Text,
                                                EventTable &Table,
                                                std::string &ErrorMsg) {
+  Diagnostic Diag;
+  std::optional<Automaton> FA = parseAutomaton(Text, Table, Diag);
+  if (!FA)
+    ErrorMsg = "line " + std::to_string(Diag.Pos.Line) + ", col " +
+               std::to_string(Diag.Pos.Col) + ": " + Diag.Message;
+  return FA;
+}
+
+std::optional<Automaton> cable::parseAutomaton(std::string_view Text,
+                                               EventTable &Table,
+                                               Diagnostic &Diag) {
   Automaton FA;
   std::unordered_map<size_t, StateId> StateOf;
   auto GetState = [&](size_t Name) {
@@ -99,23 +114,28 @@ std::optional<Automaton> cable::parseAutomaton(std::string_view Text,
     std::string Body = Line;
     if (size_t Hash = Body.find('#'); Hash != std::string::npos)
       Body.resize(Hash);
-    std::vector<std::string> Tok = splitWhitespace(Body);
+    std::vector<TokenSpan> Tok = splitWhitespaceSpans(Body);
     if (Tok.empty())
       continue;
-    auto Fail = [&](const std::string &Msg) {
-      ErrorMsg = "line " + std::to_string(LineNo) + ": " + Msg;
+    // Columns are 1-based and point at the start of the offending token.
+    auto Fail = [&](size_t TokIdx, const std::string &Msg) {
+      Diag.Level = Severity::Error;
+      Diag.Code = ErrorCode::ParseError;
+      Diag.Pos.Line = static_cast<uint32_t>(LineNo);
+      Diag.Pos.Col = static_cast<uint32_t>(Tok[TokIdx].Offset + 1);
+      Diag.Message = Msg;
       return std::nullopt;
     };
 
-    if (Tok[0] == "start" || Tok[0] == "accept") {
+    if (Tok[0].Text == "start" || Tok[0].Text == "accept") {
       if (Tok.size() < 2)
-        return Fail("expected state names after '" + Tok[0] + "'");
+        return Fail(0, "expected state names after '" + Tok[0].Text + "'");
       for (size_t I = 1; I < Tok.size(); ++I) {
-        size_t Name = parseStateName(Tok[I]);
+        size_t Name = parseStateName(Tok[I].Text);
         if (Name == static_cast<size_t>(-1))
-          return Fail("bad state name '" + Tok[I] + "'");
+          return Fail(I, "bad state name '" + Tok[I].Text + "'");
         StateId S = GetState(Name);
-        if (Tok[0] == "start")
+        if (Tok[0].Text == "start")
           FA.setStart(S);
         else
           FA.setAccepting(S);
@@ -125,16 +145,18 @@ std::optional<Automaton> cable::parseAutomaton(std::string_view Text,
 
     // Transition: `qFrom label qTo`.
     if (Tok.size() != 3)
-      return Fail("expected 'qFrom label qTo'");
-    size_t From = parseStateName(Tok[0]);
-    size_t To = parseStateName(Tok[2]);
-    if (From == static_cast<size_t>(-1) || To == static_cast<size_t>(-1))
-      return Fail("bad state name in transition");
+      return Fail(0, "expected 'qFrom label qTo'");
+    size_t From = parseStateName(Tok[0].Text);
+    if (From == static_cast<size_t>(-1))
+      return Fail(0, "bad state name '" + Tok[0].Text + "' in transition");
+    size_t To = parseStateName(Tok[2].Text);
+    if (To == static_cast<size_t>(-1))
+      return Fail(2, "bad state name '" + Tok[2].Text + "' in transition");
     std::string LabelError;
     std::optional<TransitionLabel> Label =
-        parseLabel(Tok[1], Table, LabelError);
+        parseLabel(Tok[1].Text, Table, LabelError);
     if (!Label)
-      return Fail(LabelError);
+      return Fail(1, LabelError);
     FA.addTransition(GetState(From), GetState(To), std::move(*Label));
   }
   return FA;

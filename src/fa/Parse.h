@@ -26,6 +26,7 @@
 #define CABLE_FA_PARSE_H
 
 #include "fa/Automaton.h"
+#include "support/Diagnostic.h"
 
 #include <optional>
 #include <string>
@@ -33,11 +34,17 @@
 
 namespace cable {
 
-/// Parses the text format; returns std::nullopt and sets \p ErrorMsg on
-/// the first malformed line. Names are interned into \p Table.
+/// Parses the text format; returns std::nullopt and sets \p ErrorMsg
+/// (with a 1-based `line N, col C:` position) on the first malformed
+/// line. Names are interned into \p Table.
 std::optional<Automaton> parseAutomaton(std::string_view Text,
                                         EventTable &Table,
                                         std::string &ErrorMsg);
+
+/// As above with a structured diagnostic; Diag.Pos carries the 1-based
+/// line and the column of the offending token.
+std::optional<Automaton> parseAutomaton(std::string_view Text,
+                                        EventTable &Table, Diagnostic &Diag);
 
 /// Renders \p FA in the parseAutomaton format (modulo state renumbering,
 /// parse(render(FA)) accepts the same language). Epsilon transitions are

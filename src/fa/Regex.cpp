@@ -24,7 +24,8 @@ enum class TokKind { Event, NameAny, Dot, Bar, Star, Plus, Question,
 
 struct Token {
   TokKind Kind;
-  std::string Text; // Event text or NameAny name.
+  std::string Text;  // Event text or NameAny name.
+  size_t Offset = 0; // 0-based start of the token within the pattern.
 };
 
 /// Lexer + recursive-descent parser + Thompson construction.
@@ -41,12 +42,17 @@ public:
       return std::nullopt;
     if (Tokens[Pos].Kind != TokKind::End) {
       ErrorMsg = "unexpected token after end of pattern";
+      ErrOffset = Tokens[Pos].Offset;
       return std::nullopt;
     }
     FA.setStart(F.Start);
     FA.setAccepting(F.Accept);
     return std::move(FA);
   }
+
+  /// 0-based offset of the error within the pattern; valid after parse()
+  /// returned std::nullopt.
+  size_t errorOffset() const { return ErrOffset; }
 
 private:
   /// A Thompson fragment: single entry, single exit.
@@ -68,43 +74,46 @@ private:
       }
       switch (C) {
       case '|':
-        Tokens.push_back({TokKind::Bar, ""});
+        Tokens.push_back({TokKind::Bar, "", I});
         ++I;
         continue;
       case '*':
-        Tokens.push_back({TokKind::Star, ""});
+        Tokens.push_back({TokKind::Star, "", I});
         ++I;
         continue;
       case '+':
-        Tokens.push_back({TokKind::Plus, ""});
+        Tokens.push_back({TokKind::Plus, "", I});
         ++I;
         continue;
       case '?':
-        Tokens.push_back({TokKind::Question, ""});
+        Tokens.push_back({TokKind::Question, "", I});
         ++I;
         continue;
       case '[':
-        Tokens.push_back({TokKind::LBracket, ""});
+        Tokens.push_back({TokKind::LBracket, "", I});
         ++I;
         continue;
       case ']':
-        Tokens.push_back({TokKind::RBracket, ""});
+        Tokens.push_back({TokKind::RBracket, "", I});
         ++I;
         continue;
       case '.':
-        Tokens.push_back({TokKind::Dot, ""});
+        Tokens.push_back({TokKind::Dot, "", I});
         ++I;
         continue;
       case '~': {
+        size_t TildeAt = I;
         size_t Start = ++I;
         while (I < Pattern.size() && IsNameChar(Pattern[I]))
           ++I;
         if (I == Start) {
           ErrorMsg = "expected a name after '~'";
+          ErrOffset = TildeAt;
           return false;
         }
-        Tokens.push_back(
-            {TokKind::NameAny, std::string(Pattern.substr(Start, I - Start))});
+        Tokens.push_back({TokKind::NameAny,
+                          std::string(Pattern.substr(Start, I - Start)),
+                          TildeAt});
         continue;
       }
       default:
@@ -112,6 +121,7 @@ private:
       }
       if (!IsNameChar(C)) {
         ErrorMsg = std::string("unexpected character '") + C + "'";
+        ErrOffset = I;
         return false;
       }
       size_t Start = I;
@@ -122,14 +132,16 @@ private:
         size_t Close = Pattern.find(')', I);
         if (Close == std::string_view::npos) {
           ErrorMsg = "missing ')' in event";
+          ErrOffset = I;
           return false;
         }
         I = Close + 1;
       }
       Tokens.push_back(
-          {TokKind::Event, std::string(Pattern.substr(Start, I - Start))});
+          {TokKind::Event, std::string(Pattern.substr(Start, I - Start)),
+           Start});
     }
-    Tokens.push_back({TokKind::End, ""});
+    Tokens.push_back({TokKind::End, "", Pattern.size()});
     return true;
   }
 
@@ -152,6 +164,7 @@ private:
     if (Ok) {
       Ok = false;
       ErrorMsg = Msg;
+      ErrOffset = Tokens[Pos].Offset;
     }
     return Frag{0, 0};
   }
@@ -170,12 +183,13 @@ private:
     if (!trimString(ArgText).empty()) {
       for (const std::string &Tok : splitString(ArgText, ',')) {
         std::string_view Arg = trimString(Tok);
+        std::optional<unsigned long> Val;
+        if (Arg.size() >= 2 && Arg[0] == 'v')
+          Val = parseUnsignedLong(Arg.substr(1));
         if (Arg == "*") {
           Args.push_back(ArgPattern::any());
-        } else if (Arg.size() >= 2 && Arg[0] == 'v' &&
-                   isAllDigits(Arg.substr(1))) {
-          Args.push_back(ArgPattern::value(
-              static_cast<ValueId>(std::stoul(std::string(Arg.substr(1))))));
+        } else if (Val) {
+          Args.push_back(ArgPattern::value(static_cast<ValueId>(*Val)));
         } else {
           ErrorMsg = "bad argument pattern '" + std::string(Arg) + "'";
           return std::nullopt;
@@ -279,6 +293,7 @@ private:
   EventTable &Table;
   std::vector<Token> Tokens;
   size_t Pos = 0;
+  size_t ErrOffset = 0;
   Automaton FA;
   bool Ok = true;
 };
@@ -290,6 +305,22 @@ std::optional<Automaton> cable::compileRegex(std::string_view Pattern,
                                              std::string &ErrorMsg) {
   RegexParser P(Pattern, Table);
   return P.parse(ErrorMsg);
+}
+
+std::optional<Automaton> cable::compileRegex(std::string_view Pattern,
+                                             EventTable &Table,
+                                             Diagnostic &Diag) {
+  RegexParser P(Pattern, Table);
+  std::string ErrorMsg;
+  std::optional<Automaton> FA = P.parse(ErrorMsg);
+  if (!FA) {
+    Diag.Level = Severity::Error;
+    Diag.Code = ErrorCode::ParseError;
+    Diag.Pos.Line = 1; // Patterns are single-line.
+    Diag.Pos.Col = static_cast<uint32_t>(P.errorOffset() + 1);
+    Diag.Message = std::move(ErrorMsg);
+  }
+  return FA;
 }
 
 Automaton cable::compileRegexOrDie(std::string_view Pattern,

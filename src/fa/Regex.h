@@ -33,6 +33,7 @@
 #define CABLE_FA_REGEX_H
 
 #include "fa/Automaton.h"
+#include "support/Diagnostic.h"
 
 #include <optional>
 #include <string>
@@ -47,8 +48,16 @@ std::optional<Automaton> compileRegex(std::string_view Pattern,
                                       EventTable &Table,
                                       std::string &ErrorMsg);
 
+/// As above with a structured diagnostic: Diag.Pos.Col is the 1-based
+/// offset of the offending character or token within \p Pattern (patterns
+/// are single-line, so Diag.Pos.Line is always 1).
+std::optional<Automaton> compileRegex(std::string_view Pattern,
+                                      EventTable &Table, Diagnostic &Diag);
+
 /// Convenience: compiles \p Pattern and returns the epsilon-free, trimmed
-/// automaton. Aborts on syntax errors — use only with literal patterns.
+/// automaton. Aborts on syntax errors — use only with hardcoded literal
+/// patterns (protocol models, benchmarks); anything user-supplied must go
+/// through compileRegex and surface the diagnostic instead.
 Automaton compileRegexOrDie(std::string_view Pattern, EventTable &Table);
 
 } // namespace cable

@@ -29,3 +29,13 @@ Session Miner::debugSession(TraceSet Scenarios, Automaton ReferenceFA) const {
   return Session(std::move(Scenarios), std::move(ReferenceFA),
                  Options.NumThreads);
 }
+
+StatusOr<Session> Miner::debugSessionBudgeted(TraceSet Scenarios,
+                                              Automaton ReferenceFA) const {
+  SessionOptions SessionOpts;
+  SessionOpts.NumThreads = Options.NumThreads;
+  SessionOpts.ResourceBudget = Options.ResourceBudget;
+  SessionOpts.KeepGoing = Options.KeepGoing;
+  return Session::build(std::move(Scenarios), std::move(ReferenceFA),
+                        SessionOpts);
+}

@@ -42,6 +42,13 @@ struct MinerOptions {
   /// specification is debugged (0 = hardware concurrency, 1 = exact
   /// serial path). The lattice is identical at every setting.
   unsigned NumThreads = 0;
+  /// Resource limits for lattice construction in debugSessionBudgeted
+  /// (default: unlimited).
+  Budget ResourceBudget;
+  /// Passed through to SessionOptions::KeepGoing: degrade to a
+  /// top/bottom-only lattice instead of failing when the context exceeds
+  /// ResourceBudget.MaxContextCells.
+  bool KeepGoing = false;
 };
 
 /// Result of a full mining run.
@@ -74,6 +81,13 @@ public:
   /// \p ReferenceFA (§2.2: debugging a mined specification), building the
   /// lattice with Options.NumThreads workers.
   Session debugSession(TraceSet Scenarios, Automaton ReferenceFA) const;
+
+  /// As debugSession, but honors Options.ResourceBudget / KeepGoing and
+  /// reports recoverable errors (epsilon FA, oversized context) as a
+  /// failed Status. A truncated-but-usable session is a success; check
+  /// Session::truncated().
+  StatusOr<Session> debugSessionBudgeted(TraceSet Scenarios,
+                                         Automaton ReferenceFA) const;
 
   const MinerOptions &options() const { return Options; }
 

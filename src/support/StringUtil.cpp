@@ -8,6 +8,7 @@
 #include "support/StringUtil.h"
 
 #include <cctype>
+#include <charconv>
 
 using namespace cable;
 
@@ -41,6 +42,22 @@ std::vector<std::string> cable::splitWhitespace(std::string_view Text) {
   return Out;
 }
 
+std::vector<TokenSpan> cable::splitWhitespaceSpans(std::string_view Text) {
+  std::vector<TokenSpan> Out;
+  size_t I = 0;
+  while (I < Text.size()) {
+    while (I < Text.size() && std::isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    size_t Start = I;
+    while (I < Text.size() &&
+           !std::isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    if (I > Start)
+      Out.push_back({std::string(Text.substr(Start, I - Start)), Start});
+  }
+  return Out;
+}
+
 std::string_view cable::trimString(std::string_view Text) {
   size_t B = 0, E = Text.size();
   while (B < E && std::isspace(static_cast<unsigned char>(Text[B])))
@@ -68,6 +85,19 @@ bool cable::isAllDigits(std::string_view Text) {
     if (!std::isdigit(static_cast<unsigned char>(C)))
       return false;
   return true;
+}
+
+std::optional<unsigned long>
+cable::parseUnsignedLong(std::string_view Text) {
+  if (!isAllDigits(Text))
+    return std::nullopt;
+  unsigned long Out = 0;
+  const char *First = Text.data();
+  const char *Last = First + Text.size();
+  std::from_chars_result R = std::from_chars(First, Last, Out);
+  if (R.ec != std::errc() || R.ptr != Last)
+    return std::nullopt;
+  return Out;
 }
 
 std::string cable::padString(std::string_view Text, size_t Width) {

@@ -14,6 +14,7 @@
 #ifndef CABLE_SUPPORT_STRINGUTIL_H
 #define CABLE_SUPPORT_STRINGUTIL_H
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,6 +28,16 @@ std::vector<std::string> splitString(std::string_view Text, char Sep);
 /// Splits \p Text on runs of whitespace, dropping empty fields.
 std::vector<std::string> splitWhitespace(std::string_view Text);
 
+/// A whitespace-delimited token together with its byte offset in the
+/// original text, so parsers can report 1-based column positions.
+struct TokenSpan {
+  std::string Text;
+  size_t Offset;
+};
+
+/// Like splitWhitespace, but each token remembers where it started.
+std::vector<TokenSpan> splitWhitespaceSpans(std::string_view Text);
+
 /// Returns \p Text with leading and trailing whitespace removed.
 std::string_view trimString(std::string_view Text);
 
@@ -37,6 +48,12 @@ std::string joinStrings(const std::vector<std::string> &Parts,
 /// Returns true if \p Text consists only of decimal digits (and is
 /// nonempty).
 bool isAllDigits(std::string_view Text);
+
+/// Parses \p Text as a decimal unsigned long. Returns std::nullopt on an
+/// empty string, a non-digit character, or overflow — never throws, so
+/// user-supplied numbers (value tokens, state names, CLI flags) can be
+/// rejected with a diagnostic instead of an abort.
+std::optional<unsigned long> parseUnsignedLong(std::string_view Text);
 
 /// Left-pads or truncates \p Text to exactly \p Width columns.
 std::string padString(std::string_view Text, size_t Width);

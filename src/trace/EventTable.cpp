@@ -77,41 +77,64 @@ std::string EventTable::renderEvent(const Event &E) const {
 
 std::optional<EventId> EventTable::parseEvent(std::string_view Text,
                                               std::string &ErrorMsg) {
+  Diagnostic Diag;
+  std::optional<EventId> Id = parseEvent(Text, Diag);
+  if (!Id)
+    ErrorMsg = "col " + std::to_string(Diag.Pos.Col) + ": " + Diag.Message;
+  return Id;
+}
+
+std::optional<EventId> EventTable::parseEvent(std::string_view Text,
+                                              Diagnostic &Diag) {
+  std::string_view Raw = Text;
   Text = trimString(Text);
-  if (Text.empty()) {
-    ErrorMsg = "empty event";
+  // Columns are 1-based offsets into the *caller's* text, so leading
+  // whitespace stripped by the trim counts toward them.
+  size_t TrimOff =
+      static_cast<size_t>(Text.empty() ? 0 : Text.data() - Raw.data());
+  auto Fail = [&](size_t Off, std::string Msg) {
+    Diag.Level = Severity::Error;
+    Diag.Code = ErrorCode::ParseError;
+    Diag.Pos.Col = static_cast<uint32_t>(Off + 1);
+    Diag.Message = std::move(Msg);
     return std::nullopt;
-  }
+  };
+  if (Text.empty())
+    return Fail(0, "empty event");
   size_t Paren = Text.find('(');
   if (Paren == std::string_view::npos) {
     // Bare name; reject stray close-paren.
-    if (Text.find(')') != std::string_view::npos) {
-      ErrorMsg = "unmatched ')' in event '" + std::string(Text) + "'";
-      return std::nullopt;
-    }
+    size_t Close = Text.find(')');
+    if (Close != std::string_view::npos)
+      return Fail(TrimOff + Close,
+                  "unmatched ')' in event '" + std::string(Text) + "'");
     return internEvent(Text);
   }
-  if (Text.back() != ')') {
-    ErrorMsg = "missing ')' in event '" + std::string(Text) + "'";
-    return std::nullopt;
-  }
+  if (Text.back() != ')')
+    return Fail(TrimOff + Paren,
+                "missing ')' in event '" + std::string(Text) + "'");
   std::string_view Name = trimString(Text.substr(0, Paren));
-  if (Name.empty()) {
-    ErrorMsg = "missing event name in '" + std::string(Text) + "'";
-    return std::nullopt;
-  }
+  if (Name.empty())
+    return Fail(TrimOff + Paren,
+                "missing event name in '" + std::string(Text) + "'");
   std::string_view ArgText = Text.substr(Paren + 1, Text.size() - Paren - 2);
   std::vector<ValueId> Args;
   if (!trimString(ArgText).empty()) {
+    size_t FieldOff = 0; // Offset of the current field within ArgText.
     for (const std::string &Tok : splitString(ArgText, ',')) {
-      std::string_view Arg = trimString(Tok);
-      if (Arg.size() < 2 || Arg[0] != 'v' || !isAllDigits(Arg.substr(1))) {
-        ErrorMsg = "bad value token '" + std::string(Arg) +
-                   "' (expected v<digits>) in '" + std::string(Text) + "'";
-        return std::nullopt;
+      std::string_view Arg = trimString(std::string_view(Tok));
+      std::optional<unsigned long> Val;
+      if (Arg.size() >= 2 && Arg[0] == 'v')
+        Val = parseUnsignedLong(Arg.substr(1));
+      if (!Val) {
+        size_t Lead = static_cast<size_t>(Arg.data() - Tok.data());
+        return Fail(TrimOff + Paren + 1 + FieldOff + Lead,
+                    "bad value token '" + std::string(Arg) +
+                        "' (expected v<digits>) in '" + std::string(Text) +
+                        "'");
       }
-      Args.push_back(
-          static_cast<ValueId>(std::stoul(std::string(Arg.substr(1)))));
+      Args.push_back(static_cast<ValueId>(*Val));
+      FieldOff += Tok.size() + 1;
     }
   }
   return internEvent(Name, Args);

@@ -15,6 +15,7 @@
 #ifndef CABLE_TRACE_EVENTTABLE_H
 #define CABLE_TRACE_EVENTTABLE_H
 
+#include "support/Diagnostic.h"
 #include "trace/Event.h"
 
 #include <optional>
@@ -61,9 +62,14 @@ public:
 
   /// Parses `name` or `name(v0,v1,...)`. Value tokens must be `v<digits>`
   /// (canonical form). Returns std::nullopt and sets \p ErrorMsg on bad
-  /// syntax. Interns the name and event as a side effect.
+  /// syntax (the message carries a 1-based `col N:` position relative to
+  /// the start of \p Text). Interns the name and event as a side effect.
   std::optional<EventId> parseEvent(std::string_view Text,
                                     std::string &ErrorMsg);
+
+  /// As above, but fills a structured diagnostic; Diag.Pos.Col is the
+  /// 1-based offset of the offending character within \p Text.
+  std::optional<EventId> parseEvent(std::string_view Text, Diagnostic &Diag);
 
 private:
   std::vector<std::string> Names;

@@ -63,20 +63,31 @@ std::string TraceSet::render() const {
 
 std::optional<TraceSet> TraceSet::parse(std::string_view Text,
                                         std::string &ErrorMsg) {
+  Diagnostic Diag;
+  std::optional<TraceSet> Out = parse(Text, Diag);
+  if (!Out)
+    ErrorMsg = "line " + std::to_string(Diag.Pos.Line) + ", col " +
+               std::to_string(Diag.Pos.Col) + ": " + Diag.Message;
+  return Out;
+}
+
+std::optional<TraceSet> TraceSet::parse(std::string_view Text,
+                                        Diagnostic &Diag) {
   TraceSet Out;
   size_t LineNo = 0;
   for (const std::string &Line : splitString(Text, '\n')) {
     ++LineNo;
-    std::string_view Body = trimString(Line);
+    std::string_view Body = trimString(std::string_view(Line));
     if (Body.empty() || Body[0] == '#')
       continue;
     Trace T;
-    for (const std::string &Tok : splitWhitespace(Body)) {
-      std::string EventError;
-      std::optional<EventId> Id = Out.Table.parseEvent(Tok, EventError);
+    for (const TokenSpan &Tok : splitWhitespaceSpans(Line)) {
+      std::optional<EventId> Id = Out.Table.parseEvent(Tok.Text, Diag);
       if (!Id) {
-        ErrorMsg =
-            "line " + std::to_string(LineNo) + ": " + EventError;
+        // parseEvent's column is relative to the token; rebase it onto
+        // the raw line (both 1-based).
+        Diag.Pos.Line = static_cast<uint32_t>(LineNo);
+        Diag.Pos.Col += static_cast<uint32_t>(Tok.Offset);
         return std::nullopt;
       }
       T.append(*Id);

@@ -17,6 +17,7 @@
 #ifndef CABLE_TRACE_TRACESET_H
 #define CABLE_TRACE_TRACESET_H
 
+#include "support/Diagnostic.h"
 #include "trace/Trace.h"
 
 #include <optional>
@@ -79,9 +80,15 @@ public:
 
   /// Parses the line-oriented format: each nonempty, non-`#` line is one
   /// trace of whitespace-separated events (`name` or `name(v0,v1)`).
-  /// Returns std::nullopt and sets \p ErrorMsg on the first bad line.
+  /// Returns std::nullopt and sets \p ErrorMsg (with a 1-based
+  /// `line N, col C:` position) on the first bad line.
   static std::optional<TraceSet> parse(std::string_view Text,
                                        std::string &ErrorMsg);
+
+  /// As above with a structured diagnostic: Diag.Pos carries the 1-based
+  /// line and column of the offending character.
+  static std::optional<TraceSet> parse(std::string_view Text,
+                                       Diagnostic &Diag);
 
 private:
   EventTable Table;

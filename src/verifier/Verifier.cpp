@@ -10,18 +10,39 @@
 using namespace cable;
 
 VerificationResult cable::verifyScenarios(const TraceSet &Scenarios,
-                                          const Automaton &Spec) {
+                                          const Automaton &Spec,
+                                          const BudgetMeter &Meter) {
   VerificationResult Out;
   Out.Violations.table() = Scenarios.table();
   Out.Accepted.table() = Scenarios.table();
-  Out.NumScenarios = Scenarios.size();
   for (const Trace &T : Scenarios.traces()) {
+    // One checkpoint per scenario: simulation is linear in the trace, so
+    // overshoot past the deadline is bounded by one trace's work.
+    if (Meter.expired()) {
+      Out.Truncated = true;
+      Out.CheckStatus = Meter.stopStatus("verification");
+      break;
+    }
+    ++Out.NumScenarios;
     if (Spec.accepts(T, Scenarios.table()))
       Out.Accepted.add(T);
     else
       Out.Violations.add(T);
   }
   return Out;
+}
+
+VerificationResult cable::verifyScenarios(const TraceSet &Scenarios,
+                                          const Automaton &Spec) {
+  BudgetMeter Unlimited{Budget{}};
+  return verifyScenarios(Scenarios, Spec, Unlimited);
+}
+
+VerificationResult cable::verifyAgainstRuns(const TraceSet &Runs,
+                                            const Automaton &Spec,
+                                            const ExtractorOptions &Extract,
+                                            const BudgetMeter &Meter) {
+  return verifyScenarios(extractScenarios(Runs, Extract), Spec, Meter);
 }
 
 VerificationResult cable::verifyAgainstRuns(const TraceSet &Runs,

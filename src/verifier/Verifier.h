@@ -24,6 +24,8 @@
 
 #include "fa/Automaton.h"
 #include "miner/ScenarioExtractor.h"
+#include "support/Budget.h"
+#include "support/Status.h"
 
 namespace cable {
 
@@ -33,8 +35,13 @@ struct VerificationResult {
   TraceSet Violations;
   /// Scenarios the specification accepted.
   TraceSet Accepted;
-  /// Total scenarios examined.
+  /// Scenarios examined (< the total when Truncated).
   size_t NumScenarios = 0;
+  /// True when a budget expired or cancel() fired before every scenario
+  /// was checked; Violations/Accepted then cover a prefix only.
+  bool Truncated = false;
+  /// Ok, or the diagnostic explaining the truncation.
+  Status CheckStatus;
 };
 
 /// Tests \p Spec against the program runs in \p Runs (§2.1 "debugging by
@@ -46,6 +53,17 @@ VerificationResult verifyAgainstRuns(const TraceSet &Runs,
 /// Tests \p Spec against already-extracted scenario traces.
 VerificationResult verifyScenarios(const TraceSet &Scenarios,
                                    const Automaton &Spec);
+
+/// Budgeted variants: check \p Meter between scenarios and stop early —
+/// with Truncated set and a prefix of the results — when it expires or is
+/// cancelled.
+VerificationResult verifyAgainstRuns(const TraceSet &Runs,
+                                     const Automaton &Spec,
+                                     const ExtractorOptions &Extract,
+                                     const BudgetMeter &Meter);
+VerificationResult verifyScenarios(const TraceSet &Scenarios,
+                                   const Automaton &Spec,
+                                   const BudgetMeter &Meter);
 
 } // namespace cable
 

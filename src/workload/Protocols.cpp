@@ -516,10 +516,24 @@ const std::vector<ProtocolModel> &cable::allProtocols() {
   return Protocols;
 }
 
-const ProtocolModel &cable::protocolByName(const std::string &Name) {
+const ProtocolModel *cable::findProtocol(const std::string &Name) {
   for (const ProtocolModel &M : allProtocols())
     if (M.Name == Name)
-      return M;
+      return &M;
+  return nullptr;
+}
+
+std::vector<std::string> cable::protocolNames() {
+  std::vector<std::string> Out;
+  Out.reserve(allProtocols().size());
+  for (const ProtocolModel &M : allProtocols())
+    Out.push_back(M.Name);
+  return Out;
+}
+
+const ProtocolModel &cable::protocolByName(const std::string &Name) {
+  if (const ProtocolModel *M = findProtocol(Name))
+    return *M;
   reportFatalError(("unknown protocol: " + Name).c_str());
 }
 

@@ -138,7 +138,16 @@ struct ProtocolModel {
 /// The 17 evaluation protocols, in Table 1 order.
 const std::vector<ProtocolModel> &allProtocols();
 
-/// Looks a protocol up by name; aborts if unknown.
+/// Looks a protocol up by name; returns nullptr if unknown. This is the
+/// entry point for user-supplied names (CLI --protocol flags); callers
+/// should report the valid names from protocolNames() on failure.
+const ProtocolModel *findProtocol(const std::string &Name);
+
+/// All valid protocol names, in Table 1 order.
+std::vector<std::string> protocolNames();
+
+/// Looks a protocol up by name; aborts if unknown. Use only with literal
+/// names (tests, benchmarks); user input must go through findProtocol.
 const ProtocolModel &protocolByName(const std::string &Name);
 
 /// The §2 running example: the stdio fopen/popen protocol.

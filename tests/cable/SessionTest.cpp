@@ -337,3 +337,78 @@ TEST(SessionTest, DescribeConceptMentionsStateAndSim) {
   EXPECT_NE(Desc.find("sim="), std::string::npos);
   EXPECT_NE(Desc.find("unlabeled"), std::string::npos);
 }
+
+TEST(SessionTest, BuildRejectsEpsilonAutomaton) {
+  TraceSet Traces = parseTraces("a(v0)\n");
+  Automaton Eps;
+  StateId S0 = Eps.addState(), S1 = Eps.addState();
+  Eps.setStart(S0);
+  Eps.setAccepting(S1);
+  Eps.addTransition(S0, S1, TransitionLabel::epsilon());
+  StatusOr<Session> Built = Session::build(std::move(Traces), std::move(Eps));
+  ASSERT_FALSE(Built.isOk());
+  EXPECT_EQ(Built.status().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(SessionTest, ConceptCapTruncatesButKeepsBaselineClasses) {
+  TraceSet Traces = parseTraces("popen(v0) fread(v0) pclose(v0)\n"
+                                "popen(v0) fwrite(v0) pclose(v0)\n"
+                                "popen(v0) fread(v0)\n"
+                                "fopen(v0) fread(v0)\n"
+                                "fopen(v0) pclose(v0)\n");
+  Automaton RefFA = makeUnorderedFA(templateAlphabet(Traces.traces()),
+                                    Traces.table());
+  SessionOptions Opts;
+  Opts.ResourceBudget.MaxConcepts = 2;
+  StatusOr<Session> Built =
+      Session::build(std::move(Traces), std::move(RefFA), Opts);
+  ASSERT_TRUE(Built.isOk()) << Built.status().render();
+  EXPECT_TRUE(Built->truncated());
+  EXPECT_EQ(Built->buildStatus().code(), ErrorCode::ResourceExhausted);
+  // The §5 baseline clustering never depends on the lattice budget.
+  EXPECT_EQ(Built->baselineClasses().numClasses(), 5u);
+  // The partial lattice is still a usable bounded structure.
+  EXPECT_GE(Built->lattice().size(), 1u);
+  EXPECT_LE(Built->lattice().size(), 4u);
+}
+
+TEST(SessionTest, ContextCellCapFailsUnlessKeepGoing) {
+  SessionOptions Tight;
+  Tight.ResourceBudget.MaxContextCells = 1;
+  {
+    TraceSet Traces = parseTraces("a(v0) b(v0)\nc(v0)\n");
+    Automaton RefFA = makeUnorderedFA(templateAlphabet(Traces.traces()),
+                                      Traces.table());
+    StatusOr<Session> Built =
+        Session::build(std::move(Traces), std::move(RefFA), Tight);
+    ASSERT_FALSE(Built.isOk());
+    EXPECT_EQ(Built.status().code(), ErrorCode::ResourceExhausted);
+  }
+  {
+    Tight.KeepGoing = true;
+    TraceSet Traces = parseTraces("a(v0) b(v0)\nc(v0)\n");
+    Automaton RefFA = makeUnorderedFA(templateAlphabet(Traces.traces()),
+                                      Traces.table());
+    StatusOr<Session> Built =
+        Session::build(std::move(Traces), std::move(RefFA), Tight);
+    ASSERT_TRUE(Built.isOk()) << Built.status().render();
+    EXPECT_EQ(Built->baselineClasses().numClasses(), 2u);
+  }
+}
+
+TEST(SessionTest, UnlimitedBuildMatchesLegacyConstructor) {
+  Session Legacy = makeStdioSession();
+  TraceSet Traces = parseTraces("popen(v0) fread(v0) pclose(v0)\n"
+                                "popen(v0) fwrite(v0) pclose(v0)\n"
+                                "popen(v0) fread(v0)\n"
+                                "fopen(v0) fread(v0)\n"
+                                "fopen(v0) pclose(v0)\n"
+                                "popen(v0) fread(v0) pclose(v0)\n");
+  Automaton RefFA = makeUnorderedFA(templateAlphabet(Traces.traces()),
+                                    Traces.table());
+  StatusOr<Session> Built = Session::build(std::move(Traces), std::move(RefFA));
+  ASSERT_TRUE(Built.isOk());
+  EXPECT_FALSE(Built->truncated());
+  EXPECT_EQ(Built->lattice().size(), Legacy.lattice().size());
+  EXPECT_EQ(Built->numObjects(), Legacy.numObjects());
+}

@@ -108,3 +108,99 @@ TEST_P(FuzzParsersTest, LabelLoadNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzParsersTest,
                          ::testing::Range<uint64_t>(0, 12));
+
+namespace {
+
+/// Hand-built malformed inputs targeting specific parser weak spots:
+/// truncated lines, bad value tokens, unbalanced brackets/parens, and
+/// pathologically oversized events. Shared across the three front ends —
+/// a corpus entry is allowed to parse (some are valid for one syntax and
+/// not another), but must never crash and must produce a positioned
+/// diagnostic when it fails.
+std::vector<std::string> malformedCorpus() {
+  std::vector<std::string> Out = {
+      // Truncated lines.
+      "fopen(",
+      "fopen(v0",
+      "a(v0) b(",
+      "start",
+      "q0 fopen(v0)",
+      "~",
+      "a(v0) ~",
+      // Bad value tokens.
+      "fopen(x)",
+      "fopen(v)",
+      "fopen(vv1)",
+      "fopen(v0,)",
+      "fopen(,v0)",
+      "fopen(v-1)",
+      "fopen(v99999999999999999999)",
+      "q0 fopen(w1) q1",
+      // Unbalanced brackets and parens.
+      "[a(v0)",
+      "a(v0)]",
+      "[[a(v0)]",
+      "a(v0))",
+      "(a(v0)",
+      "[a(v0) | b(v0)",
+      "q0 ) q1",
+      // Oversized events.
+      std::string(100000, 'a'),
+      std::string(1000, 'a') + "(" + std::string(1000, 'v') + ")",
+      "a(" + std::string(50000, '*') + ")",
+  };
+  // One event with 10k comma-separated arguments.
+  std::string Wide = "big(";
+  for (int I = 0; I < 10000; ++I)
+    Wide += (I ? ",v" : "v") + std::to_string(I);
+  Wide += ')';
+  Out.push_back(Wide);
+  return Out;
+}
+
+} // namespace
+
+TEST(MalformedCorpusTest, TraceSetParseSurvivesAndPositionsErrors) {
+  for (const std::string &Text : malformedCorpus()) {
+    Diagnostic Diag;
+    std::optional<TraceSet> TS = TraceSet::parse(Text, Diag);
+    if (TS) {
+      (void)TS->render();
+      continue;
+    }
+    // Failures carry a 1-based line and column inside the input.
+    EXPECT_FALSE(Diag.Message.empty());
+    EXPECT_GE(Diag.Pos.Line, 1u);
+    EXPECT_GE(Diag.Pos.Col, 1u);
+    EXPECT_FALSE(Diag.render().empty());
+  }
+}
+
+TEST(MalformedCorpusTest, RegexCompileSurvivesAndPositionsErrors) {
+  for (const std::string &Pattern : malformedCorpus()) {
+    EventTable T;
+    Diagnostic Diag;
+    std::optional<Automaton> FA = compileRegex(Pattern, T, Diag);
+    if (FA) {
+      (void)FA->withoutEpsilons();
+      continue;
+    }
+    EXPECT_FALSE(Diag.Message.empty());
+    EXPECT_EQ(Diag.Pos.Line, 1u); // Patterns are single-line.
+    EXPECT_GE(Diag.Pos.Col, 1u);
+    EXPECT_LE(Diag.Pos.Col, Pattern.size() + 1);
+  }
+}
+
+TEST(MalformedCorpusTest, AutomatonParseSurvivesAndPositionsErrors) {
+  for (const std::string &Text : malformedCorpus()) {
+    EventTable T;
+    Diagnostic Diag;
+    std::optional<Automaton> FA = parseAutomaton(Text, T, Diag);
+    if (FA)
+      continue;
+    EXPECT_FALSE(Diag.Message.empty());
+    EXPECT_GE(Diag.Pos.Line, 1u);
+    EXPECT_GE(Diag.Pos.Col, 1u);
+  }
+}

@@ -121,3 +121,32 @@ TEST(ParseTest, RoundTripKeepsLabelKinds) {
   EXPECT_NE(Text.find("~f"), std::string::npos);
   EXPECT_NE(Text.find("f(v0,*)"), std::string::npos);
 }
+
+TEST(ParseTest, DiagnosticCarriesLineAndColumn) {
+  EventTable T;
+  Diagnostic Diag;
+  // Line 2: the bad label token starts at 0-based offset 3 -> column 4.
+  EXPECT_FALSE(
+      parseAutomaton("start q0\nq0 a(vx) q1\n", T, Diag).has_value());
+  EXPECT_EQ(Diag.Code, ErrorCode::ParseError);
+  EXPECT_EQ(Diag.Pos.Line, 2u);
+  EXPECT_EQ(Diag.Pos.Col, 4u);
+
+  // Bad source state: column 1 on line 1.
+  Diagnostic D2;
+  EXPECT_FALSE(parseAutomaton("x0 a q1\n", T, D2).has_value());
+  EXPECT_EQ(D2.Pos.Line, 1u);
+  EXPECT_EQ(D2.Pos.Col, 1u);
+}
+
+TEST(ParseTest, OverflowStateNameIsAnErrorNotACrash) {
+  EventTable T;
+  Diagnostic Diag;
+  // A state number beyond unsigned long is a bad state name, not a crash.
+  EXPECT_FALSE(
+      parseAutomaton("start q0\nq0 a q99999999999999999999\n", T, Diag)
+          .has_value());
+  EXPECT_EQ(Diag.Pos.Line, 2u);
+  EXPECT_EQ(Diag.Pos.Col, 6u);
+  EXPECT_NE(Diag.Message.find("bad state name"), std::string::npos);
+}

@@ -86,3 +86,29 @@ TEST(EventTableTest, ParseErrors) {
   EXPECT_FALSE(T.parseEvent("fv0)", Err).has_value());
   EXPECT_FALSE(Err.empty());
 }
+
+TEST(EventTableTest, DiagnosticColumnsAreOneBased) {
+  EventTable T;
+  Diagnostic Diag;
+  // 'x0' starts at 0-based offset 2 -> column 3.
+  EXPECT_FALSE(T.parseEvent("f(x0)", Diag).has_value());
+  EXPECT_EQ(Diag.Code, ErrorCode::ParseError);
+  EXPECT_EQ(Diag.Pos.Col, 3u);
+
+  // Missing ')': the column points at the opening paren.
+  Diagnostic D2;
+  EXPECT_FALSE(T.parseEvent("f(v0", D2).has_value());
+  EXPECT_EQ(D2.Pos.Col, 2u);
+
+  // Leading whitespace counts toward the column: 'w1' at offset 4 -> 5.
+  Diagnostic D3;
+  EXPECT_FALSE(T.parseEvent("  f(w1)", D3).has_value());
+  EXPECT_EQ(D3.Pos.Col, 5u);
+}
+
+TEST(EventTableTest, OverflowValueTokenFailsCleanly) {
+  EventTable T;
+  std::string Err;
+  EXPECT_FALSE(T.parseEvent("f(v99999999999999999999)", Err).has_value());
+  EXPECT_NE(Err.find("bad value token"), std::string::npos);
+}

@@ -103,3 +103,28 @@ TEST(TraceSetTest, ClassesDistinguishValuePatterns) {
                            "open(v0) close(v1)\n");
   EXPECT_EQ(TS.computeClasses().numClasses(), 2u);
 }
+
+TEST(TraceSetTest, DiagnosticCarriesLineAndColumn) {
+  Diagnostic Diag;
+  // Line 2: the bad token 'vX' starts at 0-based offset 2 -> column 3.
+  EXPECT_FALSE(TraceSet::parse("a(v0)\nb(vX)\n", Diag).has_value());
+  EXPECT_EQ(Diag.Code, ErrorCode::ParseError);
+  EXPECT_EQ(Diag.Pos.Line, 2u);
+  EXPECT_EQ(Diag.Pos.Col, 3u);
+
+  // The column is rebased onto the whole line, not the failing event:
+  // 'zz' inside the second event starts at offset 8 -> column 9.
+  Diagnostic D2;
+  EXPECT_FALSE(TraceSet::parse("a(v0) b(zz)\n", D2).has_value());
+  EXPECT_EQ(D2.Pos.Line, 1u);
+  EXPECT_EQ(D2.Pos.Col, 9u);
+}
+
+TEST(TraceSetTest, OverflowValueTokenIsAnErrorNotACrash) {
+  Diagnostic Diag;
+  EXPECT_FALSE(
+      TraceSet::parse("a(v99999999999999999999)\n", Diag).has_value());
+  EXPECT_EQ(Diag.Pos.Line, 1u);
+  EXPECT_EQ(Diag.Pos.Col, 3u);
+  EXPECT_NE(Diag.Message.find("bad value token"), std::string::npos);
+}

@@ -80,3 +80,35 @@ TEST(VerifierTest, EmptyRunsEmptyResult) {
   EXPECT_TRUE(R.Violations.empty());
   EXPECT_TRUE(R.Accepted.empty());
 }
+
+TEST(VerifierTest, BudgetTruncationChecksOnlyAPrefix) {
+  TraceSet Scenarios = parseTraces("a(v0) b(v0)\n"
+                                   "a(v0) c(v0)\n"
+                                   "b(v0) b(v0)\n"
+                                   "a(v0) b(v0) c(v0)\n");
+  Automaton Spec = compileFA("a(v0) b(v0)", Scenarios.table());
+  Budget B;
+  B.TimeLimit = std::chrono::milliseconds(0); // Already expired.
+  BudgetMeter Meter(B);
+  VerificationResult R = verifyScenarios(Scenarios, Spec, Meter);
+  EXPECT_TRUE(R.Truncated);
+  EXPECT_EQ(R.CheckStatus.code(), ErrorCode::ResourceExhausted);
+  EXPECT_EQ(R.NumScenarios, 0u);
+
+  // An unlimited meter checks everything and reports no truncation.
+  BudgetMeter Unlimited{Budget{}};
+  VerificationResult Full = verifyScenarios(Scenarios, Spec, Unlimited);
+  EXPECT_FALSE(Full.Truncated);
+  EXPECT_TRUE(Full.CheckStatus.isOk());
+  EXPECT_EQ(Full.NumScenarios, 4u);
+}
+
+TEST(VerifierTest, CancelledMeterReportsCancelled) {
+  TraceSet Scenarios = parseTraces("a(v0)\n");
+  Automaton Spec = compileFA("a(v0)", Scenarios.table());
+  BudgetMeter Meter{Budget{}};
+  Meter.cancel();
+  VerificationResult R = verifyScenarios(Scenarios, Spec, Meter);
+  EXPECT_TRUE(R.Truncated);
+  EXPECT_EQ(R.CheckStatus.code(), ErrorCode::Cancelled);
+}

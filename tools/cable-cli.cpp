@@ -68,6 +68,13 @@ void printUsage() {
       "                     concurrency, 1 = serial; same lattice either\n"
       "                     way; default 0)\n"
       "\n"
+      "resource budgets:\n"
+      "  --time-budget MS   wall-clock limit for lattice construction\n"
+      "  --max-concepts N   stop after enumerating N concepts\n"
+      "  --keep-going       on budget exhaustion, continue with the partial\n"
+      "                     lattice and the (always complete) identical-\n"
+      "                     trace baseline clustering instead of exiting\n"
+      "\n"
       "commands (stdin):\n"
       "  ls                  list concepts (state, size, similarity)\n"
       "  fa ID [SEL]         Show FA summary (SEL: all|unlabeled|LABEL)\n"
@@ -86,6 +93,7 @@ void printUsage() {
       "  load FILE           restore labels saved with 'save'\n"
       "  oracle              auto-label with the protocol oracle (demo)\n"
       "  dot FILE            write the lattice as Graphviz DOT\n"
+      "  classes             list identical-trace baseline classes (§5)\n"
       "  status              labeling progress\n"
       "  help / quit\n");
 }
@@ -127,17 +135,17 @@ std::optional<Session::NodeId> parseConcept(const std::string &Text,
   std::string_view Id = Text;
   if (!Id.empty() && Id[0] == 'c')
     Id.remove_prefix(1);
-  if (!isAllDigits(Id)) {
+  std::optional<unsigned long> N = parseUnsignedLong(Id);
+  if (!N) {
     std::printf("error: bad concept id '%s'\n", Text.c_str());
     return std::nullopt;
   }
-  unsigned long N = std::stoul(std::string(Id));
-  if (N >= S.lattice().size()) {
-    std::printf("error: concept %lu out of range (lattice has %zu)\n", N,
+  if (*N >= S.lattice().size()) {
+    std::printf("error: concept %lu out of range (lattice has %zu)\n", *N,
                 S.lattice().size());
     return std::nullopt;
   }
-  return static_cast<Session::NodeId>(N);
+  return static_cast<Session::NodeId>(*N);
 }
 
 void cmdLs(Session &S) {
@@ -180,11 +188,22 @@ void cmdStatus(Session &S) {
 int main(int Argc, char **Argv) {
   std::string TracesFile, RefRegex, RefFile, SeedEvent, ProtocolName;
   bool Recommended = false;
-  unsigned NumThreads = 0;
+  SessionOptions BuildOpts;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> std::string {
       return I + 1 < Argc ? Argv[++I] : std::string();
+    };
+    auto NextNumber = [&](const char *Flag,
+                          std::optional<unsigned long> &Out) {
+      std::string N = Next();
+      Out = parseUnsignedLong(N);
+      if (!Out) {
+        std::fprintf(stderr, "error: %s expects a number, got '%s'\n", Flag,
+                     N.c_str());
+        return false;
+      }
+      return true;
     };
     if (Arg == "--traces")
       TracesFile = Next();
@@ -199,15 +218,23 @@ int main(int Argc, char **Argv) {
     else if (Arg == "--recommended")
       Recommended = true;
     else if (Arg == "--threads") {
-      std::string N = Next();
-      if (!isAllDigits(N)) {
-        std::fprintf(stderr, "error: --threads expects a number, got '%s'\n",
-                     N.c_str());
+      std::optional<unsigned long> N;
+      if (!NextNumber("--threads", N))
         return 1;
-      }
-      NumThreads = static_cast<unsigned>(std::stoul(N));
-    }
-    else if (Arg == "--help" || Arg == "-h") {
+      BuildOpts.NumThreads = static_cast<unsigned>(*N);
+    } else if (Arg == "--time-budget") {
+      std::optional<unsigned long> N;
+      if (!NextNumber("--time-budget", N))
+        return 1;
+      BuildOpts.ResourceBudget.TimeLimit = std::chrono::milliseconds(*N);
+    } else if (Arg == "--max-concepts") {
+      std::optional<unsigned long> N;
+      if (!NextNumber("--max-concepts", N))
+        return 1;
+      BuildOpts.ResourceBudget.MaxConcepts = *N;
+    } else if (Arg == "--keep-going") {
+      BuildOpts.KeepGoing = true;
+    } else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return 0;
     } else {
@@ -221,8 +248,18 @@ int main(int Argc, char **Argv) {
   // Assemble the trace set.
   TraceSet Traces;
   if (!ProtocolName.empty()) {
-    Cli.Protocol = ProtocolName == "stdio" ? stdioProtocol()
-                                           : protocolByName(ProtocolName);
+    if (ProtocolName == "stdio") {
+      Cli.Protocol = stdioProtocol();
+    } else if (const ProtocolModel *M = findProtocol(ProtocolName)) {
+      Cli.Protocol = *M;
+    } else {
+      std::fprintf(stderr, "error: unknown protocol '%s'; valid names:\n",
+                   ProtocolName.c_str());
+      std::fprintf(stderr, "  stdio\n");
+      for (const std::string &Name : protocolNames())
+        std::fprintf(stderr, "  %s\n", Name.c_str());
+      return 1;
+    }
     EventTable Table;
     WorkloadGenerator Gen(*Cli.Protocol, Table);
     RNG Rand(0xC11);
@@ -238,11 +275,11 @@ int main(int Argc, char **Argv) {
     }
     std::stringstream Buf;
     Buf << In.rdbuf();
-    std::string Err;
-    std::optional<TraceSet> Parsed = TraceSet::parse(Buf.str(), Err);
+    Diagnostic Diag;
+    std::optional<TraceSet> Parsed = TraceSet::parse(Buf.str(), Diag);
     if (!Parsed) {
-      std::fprintf(stderr, "error: %s: %s\n", TracesFile.c_str(),
-                   Err.c_str());
+      Diag.File = TracesFile;
+      std::fprintf(stderr, "%s\n", Diag.render().c_str());
       return 1;
     }
     Traces = std::move(*Parsed);
@@ -260,10 +297,11 @@ int main(int Argc, char **Argv) {
   // Build the reference FA.
   Automaton Ref;
   if (!RefRegex.empty()) {
-    std::string Err;
-    std::optional<Automaton> FA = compileRegex(RefRegex, Traces.table(), Err);
+    Diagnostic Diag;
+    std::optional<Automaton> FA = compileRegex(RefRegex, Traces.table(), Diag);
     if (!FA) {
-      std::fprintf(stderr, "error: bad --ref regex: %s\n", Err.c_str());
+      Diag.File = "--ref";
+      std::fprintf(stderr, "%s\n", Diag.render().c_str());
       return 1;
     }
     Ref = FA->withoutEpsilons();
@@ -275,11 +313,12 @@ int main(int Argc, char **Argv) {
     }
     std::stringstream Buf;
     Buf << In.rdbuf();
-    std::string Err;
+    Diagnostic Diag;
     std::optional<Automaton> FA =
-        parseAutomaton(Buf.str(), Traces.table(), Err);
+        parseAutomaton(Buf.str(), Traces.table(), Diag);
     if (!FA) {
-      std::fprintf(stderr, "error: %s: %s\n", RefFile.c_str(), Err.c_str());
+      Diag.File = RefFile;
+      std::fprintf(stderr, "%s\n", Diag.render().c_str());
       return 1;
     }
     Ref = std::move(*FA);
@@ -299,8 +338,32 @@ int main(int Argc, char **Argv) {
     Ref = makeUnorderedFA(templateAlphabet(Traces.traces()), Traces.table());
   }
 
-  Cli.Base =
-      std::make_unique<Session>(std::move(Traces), std::move(Ref), NumThreads);
+  StatusOr<Session> Built =
+      Session::build(std::move(Traces), std::move(Ref), BuildOpts);
+  if (!Built) {
+    std::fprintf(stderr, "%s\n", Built.status().diagnostic().render().c_str());
+    return 1;
+  }
+  Cli.Base = std::make_unique<Session>(std::move(*Built));
+  if (Cli.Base->truncated()) {
+    const Diagnostic &D = Cli.Base->buildStatus().diagnostic();
+    if (!BuildOpts.KeepGoing) {
+      std::fprintf(stderr, "%s\n", D.render().c_str());
+      std::fprintf(stderr,
+                   "error: lattice construction was truncated; rerun with "
+                   "--keep-going to continue with the partial lattice and "
+                   "the baseline trace classes\n");
+      return 1;
+    }
+    Diagnostic Warn = D;
+    Warn.Level = Severity::Warning;
+    std::printf("%s\n", Warn.render().c_str());
+    std::printf("continuing with a partial lattice (%zu concepts); the "
+                "baseline identical-trace clustering (%zu classes) is "
+                "complete — see 'classes'\n",
+                Cli.Base->lattice().size(),
+                Cli.Base->baselineClasses().numClasses());
+  }
   std::printf("session: %zu unique traces, %zu FA transitions, %zu "
               "concepts\n",
               Cli.Base->numObjects(),
@@ -329,6 +392,13 @@ int main(int Argc, char **Argv) {
     }
     if (Cmd == "status") {
       cmdStatus(S);
+      continue;
+    }
+    if (Cmd == "classes") {
+      const TraceClasses &Classes = S.baselineClasses();
+      for (size_t C = 0; C < Classes.numClasses(); ++C)
+        std::printf("  class %-3zu x%-4u %s\n", C, Classes.Multiplicity[C],
+                    Classes.Representatives[C].render(S.table()).c_str());
       continue;
     }
     if (Cmd == "fa" && Args.size() >= 2) {

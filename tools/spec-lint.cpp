@@ -18,7 +18,9 @@
 //   spec-lint --spec FILE --runs FILE --seeds a,b  (slice runs first)
 //   spec-lint --spec-regex 'REGEX' ...
 //
-// Exit code: 0 = no violations, 1 = violations reported, 2 = usage error.
+// Exit code: 0 = no violations, 1 = violations reported or an error
+// (bad flags, unreadable files, malformed input — diagnosed on stderr
+// with file:line:col positions, never an abort).
 //
 //===----------------------------------------------------------------------===//
 
@@ -49,12 +51,10 @@ std::optional<std::string> readFile(const std::string &Path) {
 }
 
 bool parseCount(const std::string &Text, unsigned long &Out) {
-  if (Text.empty())
+  std::optional<unsigned long> N = parseUnsignedLong(Text);
+  if (!N)
     return false;
-  for (char Ch : Text)
-    if (Ch < '0' || Ch > '9')
-      return false;
-  Out = std::stoul(Text);
+  Out = *N;
   return true;
 }
 
@@ -70,7 +70,13 @@ void printUsage() {
       "  --seeds a,b,c      seed event names for --runs slicing\n"
       "  --max-samples N    sample traces shown per cluster (default 3)\n"
       "  --threads N        lattice-construction workers (0 = hardware\n"
-      "                     concurrency, 1 = serial; default 0)\n");
+      "                     concurrency, 1 = serial; default 0)\n"
+      "  --time-budget MS   wall-clock limit per pipeline phase (scenario\n"
+      "                     checking, violation clustering)\n"
+      "  --max-concepts N   stop clustering after enumerating N concepts\n"
+      "  --keep-going       on budget exhaustion, report what was computed\n"
+      "                     (prefix of scenarios, partial clusters) instead\n"
+      "                     of exiting with an error\n");
 }
 
 } // namespace
@@ -78,7 +84,7 @@ void printUsage() {
 int main(int Argc, char **Argv) {
   std::string SpecFile, SpecRegex, TracesFile, RunsFile, SeedsArg;
   size_t MaxSamples = 3;
-  unsigned NumThreads = 0;
+  SessionOptions BuildOpts;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> std::string {
@@ -94,31 +100,37 @@ int main(int Argc, char **Argv) {
       RunsFile = Next();
     else if (Arg == "--seeds")
       SeedsArg = Next();
-    else if (Arg == "--max-samples" || Arg == "--threads") {
+    else if (Arg == "--max-samples" || Arg == "--threads" ||
+             Arg == "--time-budget" || Arg == "--max-concepts") {
       std::string Value = Next();
       unsigned long N;
       if (!parseCount(Value, N)) {
         std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
                      Arg.c_str(), Value.c_str());
-        return 2;
+        return 1;
       }
       if (Arg == "--max-samples")
         MaxSamples = N;
+      else if (Arg == "--threads")
+        BuildOpts.NumThreads = static_cast<unsigned>(N);
+      else if (Arg == "--time-budget")
+        BuildOpts.ResourceBudget.TimeLimit = std::chrono::milliseconds(N);
       else
-        NumThreads = static_cast<unsigned>(N);
-    }
-    else if (Arg == "--help" || Arg == "-h") {
+        BuildOpts.ResourceBudget.MaxConcepts = N;
+    } else if (Arg == "--keep-going") {
+      BuildOpts.KeepGoing = true;
+    } else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return 0;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
-      return 2;
+      return 1;
     }
   }
   if ((SpecFile.empty() == SpecRegex.empty()) ||
       (TracesFile.empty() == RunsFile.empty())) {
     printUsage();
-    return 2;
+    return 1;
   }
 
   // Load traces or runs.
@@ -126,13 +138,14 @@ int main(int Argc, char **Argv) {
   std::optional<std::string> InputText = readFile(InputPath);
   if (!InputText) {
     std::fprintf(stderr, "error: cannot open '%s'\n", InputPath.c_str());
-    return 2;
+    return 1;
   }
-  std::string Err;
-  std::optional<TraceSet> Input = TraceSet::parse(*InputText, Err);
+  Diagnostic Diag;
+  std::optional<TraceSet> Input = TraceSet::parse(*InputText, Diag);
   if (!Input) {
-    std::fprintf(stderr, "error: %s: %s\n", InputPath.c_str(), Err.c_str());
-    return 2;
+    Diag.File = InputPath;
+    std::fprintf(stderr, "%s\n", Diag.render().c_str());
+    return 1;
   }
 
   // Load the specification.
@@ -141,26 +154,28 @@ int main(int Argc, char **Argv) {
     std::optional<std::string> SpecText = readFile(SpecFile);
     if (!SpecText) {
       std::fprintf(stderr, "error: cannot open '%s'\n", SpecFile.c_str());
-      return 2;
+      return 1;
     }
     std::optional<Automaton> FA =
-        parseAutomaton(*SpecText, Input->table(), Err);
+        parseAutomaton(*SpecText, Input->table(), Diag);
     if (!FA) {
-      std::fprintf(stderr, "error: %s: %s\n", SpecFile.c_str(), Err.c_str());
-      return 2;
+      Diag.File = SpecFile;
+      std::fprintf(stderr, "%s\n", Diag.render().c_str());
+      return 1;
     }
     Spec = std::move(*FA);
   } else {
-    std::optional<Automaton> FA =
-        compileRegex(SpecRegex, Input->table(), Err);
+    std::optional<Automaton> FA = compileRegex(SpecRegex, Input->table(), Diag);
     if (!FA) {
-      std::fprintf(stderr, "error: bad --spec-regex: %s\n", Err.c_str());
-      return 2;
+      Diag.File = "--spec-regex";
+      std::fprintf(stderr, "%s\n", Diag.render().c_str());
+      return 1;
     }
     Spec = FA->withoutEpsilons();
   }
 
-  // Verify.
+  // Verify (budgeted: one checkpoint per scenario).
+  BudgetMeter VerifyMeter(BuildOpts.ResourceBudget);
   VerificationResult R;
   if (!RunsFile.empty()) {
     ExtractorOptions Extract;
@@ -169,12 +184,27 @@ int main(int Argc, char **Argv) {
         Extract.SeedNames.push_back(Seed);
     if (Extract.SeedNames.empty()) {
       std::fprintf(stderr, "error: --runs requires --seeds\n");
-      return 2;
+      return 1;
     }
     Extract.TransitiveValues = true;
-    R = verifyAgainstRuns(*Input, Spec, Extract);
+    R = verifyAgainstRuns(*Input, Spec, Extract, VerifyMeter);
   } else {
-    R = verifyScenarios(*Input, Spec);
+    R = verifyScenarios(*Input, Spec, VerifyMeter);
+  }
+  if (R.Truncated) {
+    if (!BuildOpts.KeepGoing) {
+      std::fprintf(stderr, "%s\n",
+                   R.CheckStatus.diagnostic().render().c_str());
+      std::fprintf(stderr,
+                   "error: scenario checking was truncated; rerun with "
+                   "--keep-going to report the checked prefix\n");
+      return 1;
+    }
+    Diagnostic Warn = R.CheckStatus.diagnostic();
+    Warn.Level = Severity::Warning;
+    std::printf("%s\n", Warn.render().c_str());
+    std::printf("warning: only the first %zu scenario(s) were checked\n",
+                R.NumScenarios);
   }
 
   std::printf("spec-lint: %zu scenario(s) checked, %zu violation(s), "
@@ -187,7 +217,30 @@ int main(int Argc, char **Argv) {
   // concept's children), each with the three §4.1 summaries.
   Automaton Ref = makeUnorderedFA(templateAlphabet(R.Violations.traces()),
                                   R.Violations.table());
-  Session S(std::move(R.Violations), std::move(Ref), NumThreads);
+  StatusOr<Session> Built =
+      Session::build(std::move(R.Violations), std::move(Ref), BuildOpts);
+  if (!Built) {
+    std::fprintf(stderr, "%s\n", Built.status().diagnostic().render().c_str());
+    return 1;
+  }
+  Session &S = *Built;
+  if (S.truncated()) {
+    const Diagnostic &D = S.buildStatus().diagnostic();
+    if (!BuildOpts.KeepGoing) {
+      std::fprintf(stderr, "%s\n", D.render().c_str());
+      std::fprintf(stderr,
+                   "error: violation clustering was truncated; rerun with "
+                   "--keep-going to report the partial clusters\n");
+      return 1;
+    }
+    Diagnostic Warn = D;
+    Warn.Level = Severity::Warning;
+    std::printf("%s\n", Warn.render().c_str());
+    std::printf("warning: clusters below are from a partial lattice; the "
+                "baseline identical-trace clustering still has all %zu "
+                "class(es)\n",
+                S.baselineClasses().numClasses());
+  }
   const ConceptLattice &L = S.lattice();
 
   std::printf("\n%zu unique violation trace(s) in %zu concept(s); maximal "
