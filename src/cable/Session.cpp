@@ -305,6 +305,137 @@ bool Session::loadLabels(std::string_view Text, std::string &ErrorMsg,
   return true;
 }
 
+std::string Session::serializeSnapshot() const {
+  std::string Out = "objects " + std::to_string(numObjects()) + "\n";
+  if (!LabelNames.empty()) {
+    Out += "labels";
+    for (const std::string &Name : LabelNames)
+      Out += ' ' + Name;
+    Out += '\n';
+  }
+  for (size_t Obj = 0; Obj < Labels.size(); ++Obj)
+    if (Labels[Obj])
+      Out += "obj " + std::to_string(Obj) + ' ' + LabelNames[*Labels[Obj]] +
+             '\n';
+  Out += "undo " + std::to_string(UndoStack.size()) + "\n";
+  for (const UndoRecord &Record : UndoStack) {
+    Out += "record " + std::to_string(Record.size());
+    // Prior labels are written as `=<name>` and "no prior label" as `-`,
+    // so a label literally named "-" stays unambiguous.
+    for (const auto &[Obj, Prior] : Record) {
+      Out += ' ' + std::to_string(Obj) + ' ';
+      Out += Prior ? '=' + LabelNames[*Prior] : std::string("-");
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+Status Session::loadSnapshot(std::string_view Body) {
+  auto Error = [](size_t LineNo, const std::string &Message) {
+    Diagnostic D;
+    D.Level = Severity::Error;
+    D.Code = ErrorCode::ParseError;
+    D.Pos.Line = static_cast<uint32_t>(LineNo);
+    D.Message = Message;
+    return Status::error(std::move(D));
+  };
+
+  // Parse into fresh state; the session is only touched once everything
+  // checked out.
+  std::vector<std::string> NewNames;
+  std::vector<std::optional<LabelId>> NewLabels(Classes.numClasses(),
+                                                std::nullopt);
+  std::vector<UndoRecord> NewUndo;
+  auto InternInto = [&NewNames](std::string_view Name) {
+    for (LabelId Id = 0; Id < NewNames.size(); ++Id)
+      if (NewNames[Id] == Name)
+        return Id;
+    NewNames.emplace_back(Name);
+    return static_cast<LabelId>(NewNames.size() - 1);
+  };
+
+  bool SawObjects = false;
+  size_t ExpectedUndo = 0;
+  bool SawUndo = false;
+  size_t LineNo = 0;
+  for (const std::string &Line : splitString(Body, '\n')) {
+    ++LineNo;
+    std::vector<std::string> Fields = splitWhitespace(Line);
+    if (Fields.empty() || Fields[0][0] == '#')
+      continue;
+    const std::string &Kind = Fields[0];
+    if (Kind == "objects") {
+      std::optional<unsigned long> N =
+          Fields.size() == 2 ? parseUnsignedLong(Fields[1]) : std::nullopt;
+      if (!N)
+        return Error(LineNo, "malformed 'objects' line");
+      if (*N != numObjects())
+        return Status::error(
+            ErrorCode::InvalidArgument,
+            "snapshot was taken over " + std::to_string(*N) +
+                " object(s) but this session has " +
+                std::to_string(numObjects()) +
+                " — the journal directory belongs to a different trace "
+                "set or reference FA");
+      SawObjects = true;
+    } else if (Kind == "labels") {
+      for (size_t I = 1; I < Fields.size(); ++I)
+        InternInto(Fields[I]);
+    } else if (Kind == "obj") {
+      std::optional<unsigned long> Obj =
+          Fields.size() == 3 ? parseUnsignedLong(Fields[1]) : std::nullopt;
+      if (!Obj || *Obj >= NewLabels.size())
+        return Error(LineNo, "malformed 'obj' line");
+      NewLabels[*Obj] = InternInto(Fields[2]);
+    } else if (Kind == "undo") {
+      std::optional<unsigned long> N =
+          Fields.size() == 2 ? parseUnsignedLong(Fields[1]) : std::nullopt;
+      if (!N)
+        return Error(LineNo, "malformed 'undo' line");
+      ExpectedUndo = *N;
+      SawUndo = true;
+    } else if (Kind == "record") {
+      std::optional<unsigned long> N =
+          Fields.size() >= 2 ? parseUnsignedLong(Fields[1]) : std::nullopt;
+      if (!N || Fields.size() != 2 + 2 * *N)
+        return Error(LineNo, "malformed 'record' line");
+      UndoRecord Record;
+      for (size_t I = 0; I < *N; ++I) {
+        std::optional<unsigned long> Obj =
+            parseUnsignedLong(Fields[2 + 2 * I]);
+        const std::string &Prior = Fields[3 + 2 * I];
+        if (!Obj || *Obj >= NewLabels.size())
+          return Error(LineNo, "bad object index in 'record' line");
+        if (Prior == "-")
+          Record.emplace_back(*Obj, std::nullopt);
+        else if (Prior.size() > 1 && Prior[0] == '=')
+          Record.emplace_back(*Obj,
+                              InternInto(std::string_view(Prior).substr(1)));
+        else
+          return Error(LineNo, "bad prior label '" + Prior +
+                                   "' in 'record' line (expected =<name> "
+                                   "or -)");
+      }
+      NewUndo.push_back(std::move(Record));
+    } else {
+      return Error(LineNo, "unknown snapshot line kind '" + Kind + "'");
+    }
+  }
+  if (!SawObjects)
+    return Error(LineNo, "snapshot has no 'objects' line");
+  if (SawUndo && NewUndo.size() != ExpectedUndo)
+    return Error(LineNo, "snapshot promises " + std::to_string(ExpectedUndo) +
+                             " undo record(s) but carries " +
+                             std::to_string(NewUndo.size()) +
+                             " — truncated snapshot");
+
+  LabelNames = std::move(NewNames);
+  Labels = std::move(NewLabels);
+  UndoStack = std::move(NewUndo);
+  return Status::ok();
+}
+
 std::string Session::describeConcept(NodeId Id) const {
   const Concept &C = Lattice.node(Id);
   std::string State;

@@ -237,6 +237,21 @@ public:
   bool loadLabels(std::string_view Text, std::string &ErrorMsg,
                   size_t *NumUnmatched = nullptr);
 
+  /// Serializes the complete mutable session state for the journal's
+  /// compacted snapshots: the label intern order, every per-object label
+  /// (by object index — snapshots are tied to this exact clustering,
+  /// unlike the content-matched serializeLabels format), and the full
+  /// undo history, so a restored session undoes exactly like the
+  /// original. Line-oriented text; see docs/FORMATS.md.
+  std::string serializeSnapshot() const;
+
+  /// Restores serializeSnapshot state, replacing labels and undo history.
+  /// Fails with a positioned parse-error Diagnostic on malformed input,
+  /// and with invalid-argument when the snapshot's object count does not
+  /// match this session (journal directory reused with different traces
+  /// or reference FA). The session is unchanged on failure.
+  Status loadSnapshot(std::string_view Body);
+
   // -- Rendering -----------------------------------------------------------
 
   /// DOT rendering of the lattice; nodes colored by state (green / yellow

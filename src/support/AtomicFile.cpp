@@ -1,0 +1,283 @@
+//===- support/AtomicFile.cpp - Crash-safe file output ---------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AtomicFile.h"
+
+#include "support/Failpoint.h"
+#include "support/StringUtil.h"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace cable;
+
+namespace {
+
+Failpoint::Registrar RegOpen("atomicfile-open");
+Failpoint::Registrar RegWrite("atomicfile-write");
+Failpoint::Registrar RegFsync("atomicfile-fsync");
+Failpoint::Registrar RegRename("atomicfile-rename");
+Failpoint::Registrar RegRead("file-read");
+
+/// CRC-32 (IEEE), reflected polynomial, table generated on first use.
+const uint32_t *crcTable() {
+  static const auto Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  return Table.data();
+}
+
+Status ioError(const std::string &Path, const std::string &What) {
+  Diagnostic D;
+  D.Level = Severity::Error;
+  D.Code = ErrorCode::IoError;
+  D.File = Path;
+  D.Message = What + ": " + std::strerror(errno);
+  return Status::error(std::move(D));
+}
+
+/// fsyncs the directory containing \p Path so a just-renamed entry is
+/// durable. Best effort: some filesystems reject directory fsync.
+void fsyncParentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return;
+  ::fsync(Fd);
+  ::close(Fd);
+}
+
+/// Little-endian u32 encode/decode for the frame header.
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+uint32_t getU32(std::string_view Data, size_t At) {
+  uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | static_cast<uint8_t>(Data[At + static_cast<size_t>(I)]);
+  return V;
+}
+
+} // namespace
+
+uint32_t cable::crc32(std::string_view Data, uint32_t Seed) {
+  const uint32_t *T = crcTable();
+  uint32_t C = Seed ^ 0xFFFFFFFFu;
+  for (unsigned char Ch : Data)
+    C = T[(C ^ Ch) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+Status AtomicFile::write(const std::string &Path, std::string_view Contents) {
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  if (Status S = Failpoint::hit("atomicfile-open"); !S.isOk())
+    return S;
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return ioError(Tmp, "cannot create temporary");
+
+  auto Fail = [&](const std::string &What) {
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return ioError(Tmp, What);
+  };
+  auto FailInjected = [&](Status S) {
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return S;
+  };
+
+  if (Status S = Failpoint::hit("atomicfile-write"); !S.isOk())
+    return FailInjected(std::move(S));
+  size_t Written = 0;
+  while (Written < Contents.size()) {
+    ssize_t N = ::write(Fd, Contents.data() + Written,
+                        Contents.size() - Written);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Fail("write failed");
+    }
+    Written += static_cast<size_t>(N);
+  }
+  if (Status S = Failpoint::hit("atomicfile-fsync"); !S.isOk())
+    return FailInjected(std::move(S));
+  if (::fsync(Fd) != 0)
+    return Fail("fsync failed");
+  if (::close(Fd) != 0) {
+    ::unlink(Tmp.c_str());
+    return ioError(Tmp, "close failed");
+  }
+  if (Status S = Failpoint::hit("atomicfile-rename"); !S.isOk()) {
+    ::unlink(Tmp.c_str());
+    return S;
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    return ioError(Path, "rename failed");
+  }
+  fsyncParentDir(Path);
+  return Status::ok();
+}
+
+StatusOr<std::string> cable::readFileToString(const std::string &Path) {
+  if (Status S = Failpoint::hit("file-read"); !S.isOk())
+    return S;
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return ioError(Path, "cannot open");
+  std::string Out;
+  char Buf[1 << 16];
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Status S = ioError(Path, "read failed");
+      ::close(Fd);
+      return S;
+    }
+    if (N == 0)
+      break;
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  return Out;
+}
+
+std::string cable::encodeFramedRecord(std::string_view Payload) {
+  std::string Out;
+  Out.reserve(Payload.size() + 8);
+  putU32(Out, static_cast<uint32_t>(Payload.size()));
+  putU32(Out, crc32(Payload));
+  Out.append(Payload);
+  return Out;
+}
+
+FramedScan cable::scanFramedRecords(std::string_view Data) {
+  FramedScan Scan;
+  size_t At = 0;
+  auto Torn = [&](const std::string &Why) {
+    Scan.Torn = true;
+    Scan.TornOffset = At;
+    Diagnostic D;
+    D.Level = Severity::Warning;
+    D.Code = ErrorCode::ParseError;
+    // Records are not lines; reuse the line slot for the 1-based record
+    // number so the rendering stays positioned.
+    D.Pos.Line = static_cast<uint32_t>(Scan.Records.size() + 1);
+    D.Message = "torn record at byte offset " + std::to_string(At) + ": " +
+                Why + " (skipping " + std::to_string(Data.size() - At) +
+                " trailing byte(s))";
+    Scan.TornStatus = Status::error(std::move(D));
+  };
+  while (At < Data.size()) {
+    if (Data.size() - At < 8) {
+      Torn("truncated frame header");
+      break;
+    }
+    uint32_t Len = getU32(Data, At);
+    uint32_t Crc = getU32(Data, At + 4);
+    if (Data.size() - At - 8 < Len) {
+      Torn("frame length " + std::to_string(Len) + " overruns the file");
+      break;
+    }
+    std::string_view Payload = Data.substr(At + 8, Len);
+    if (crc32(Payload) != Crc) {
+      Torn("checksum mismatch");
+      break;
+    }
+    Scan.Records.push_back({std::string(Payload), At});
+    At += 8 + Len;
+  }
+  return Scan;
+}
+
+std::string cable::withChecksumHeader(std::string_view Magic, unsigned Version,
+                                      std::string_view Body) {
+  char Crc[16];
+  std::snprintf(Crc, sizeof(Crc), "%08x", crc32(Body));
+  std::string Out = "#%";
+  Out += Magic;
+  Out += " v" + std::to_string(Version) + " crc=" + Crc + "\n";
+  Out += Body;
+  return Out;
+}
+
+StatusOr<CheckedText> cable::readChecksumHeader(std::string_view Magic,
+                                                std::string_view Text,
+                                                const std::string &File,
+                                                bool AllowLegacy) {
+  auto Error = [&](const std::string &Message) {
+    Diagnostic D;
+    D.Level = Severity::Error;
+    D.Code = ErrorCode::ParseError;
+    D.File = File;
+    D.Pos.Line = 1;
+    D.Message = Message;
+    return Status::error(std::move(D));
+  };
+
+  if (Text.substr(0, 2) != "#%") {
+    if (AllowLegacy)
+      return CheckedText{std::string(Text), 0, true};
+    return Error("missing '#%" + std::string(Magic) + "' checksum header");
+  }
+  size_t Eol = Text.find('\n');
+  std::string_view Header =
+      Text.substr(2, (Eol == std::string_view::npos ? Text.size() : Eol) - 2);
+  std::vector<std::string> Fields = splitWhitespace(Header);
+  if (Fields.size() != 3 || Fields[0] != Magic)
+    return Error("malformed checksum header (expected '#%" +
+                 std::string(Magic) + " v<N> crc=<8 hex>')");
+  std::optional<unsigned long> Version;
+  if (Fields[1].size() > 1 && Fields[1][0] == 'v')
+    Version = parseUnsignedLong(std::string_view(Fields[1]).substr(1));
+  if (!Version)
+    return Error("malformed version '" + Fields[1] + "' in checksum header");
+  if (Fields[2].rfind("crc=", 0) != 0 || Fields[2].size() != 4 + 8)
+    return Error("malformed checksum field '" + Fields[2] + "'");
+  uint32_t Expected = 0;
+  for (char Ch : Fields[2].substr(4)) {
+    uint32_t Digit;
+    if (Ch >= '0' && Ch <= '9')
+      Digit = static_cast<uint32_t>(Ch - '0');
+    else if (Ch >= 'a' && Ch <= 'f')
+      Digit = static_cast<uint32_t>(Ch - 'a' + 10);
+    else
+      return Error("malformed checksum field '" + Fields[2] + "'");
+    Expected = (Expected << 4) | Digit;
+  }
+  std::string Body(Eol == std::string_view::npos ? std::string_view()
+                                                 : Text.substr(Eol + 1));
+  uint32_t Actual = crc32(Body);
+  if (Actual != Expected) {
+    char Got[16];
+    std::snprintf(Got, sizeof(Got), "%08x", Actual);
+    return Error("checksum mismatch: header says crc=" + Fields[2].substr(4) +
+                 " but the body hashes to crc=" + Got +
+                 " — the file is corrupt or truncated");
+  }
+  return CheckedText{std::move(Body), static_cast<unsigned>(*Version), false};
+}

@@ -1,0 +1,116 @@
+//===- support/AtomicFile.h - Crash-safe file output ------------*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-safe file primitives shared by the session journal and every tool
+/// output path:
+///
+///  - AtomicFile::write: write-temp + fsync + rename + directory fsync, so
+///    readers see either the old contents or the new contents, never a
+///    partial file — the standard POSIX atomic-replace recipe.
+///  - crc32: the CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used
+///    to checksum both framed journal records and headered text files.
+///  - Framed records: `[u32 length][u32 crc32(payload)][payload]`, both
+///    fields little-endian. scanFramedRecords stops at the first frame
+///    whose length or checksum does not hold — the torn tail a crash during
+///    append leaves behind — and reports it with a positioned Diagnostic
+///    instead of failing the whole scan.
+///  - Checksum-headered text: `#%<magic> v<version> crc=<8 hex>` as the
+///    first line, protecting label saves and snapshots against truncation
+///    and bit rot while staying hand-readable.
+///
+/// Every I/O step is failpoint-instrumented (support/Failpoint.h) so the
+/// crash-recovery suite can kill or fail the process at each syscall
+/// boundary: `atomicfile-open`, `atomicfile-write`, `atomicfile-fsync`,
+/// `atomicfile-rename`, `file-read`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_SUPPORT_ATOMICFILE_H
+#define CABLE_SUPPORT_ATOMICFILE_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cable {
+
+/// CRC-32 (IEEE) of \p Data. \p Seed chains incremental computations:
+/// crc32(a+b) == crc32(b, crc32(a)).
+uint32_t crc32(std::string_view Data, uint32_t Seed = 0);
+
+/// Atomic whole-file replacement.
+class AtomicFile {
+public:
+  /// Replaces \p Path with \p Contents atomically: writes
+  /// `<Path>.tmp.<pid>`, fsyncs it, renames it over \p Path, and fsyncs
+  /// the containing directory so the rename itself is durable. On any
+  /// failure the temporary is unlinked and \p Path is untouched.
+  static Status write(const std::string &Path, std::string_view Contents);
+};
+
+/// Reads all of \p Path. Fails with an io-error Status (file in the
+/// diagnostic) on open/read failure; failpoint `file-read` injects here.
+StatusOr<std::string> readFileToString(const std::string &Path);
+
+// -- Framed records --------------------------------------------------------
+
+/// Encodes one `[len][crc][payload]` frame.
+std::string encodeFramedRecord(std::string_view Payload);
+
+/// One decoded frame and where it started in the input.
+struct FramedRecord {
+  std::string Payload;
+  size_t Offset;
+};
+
+/// Result of scanning a stream of frames.
+struct FramedScan {
+  std::vector<FramedRecord> Records;
+  /// True when trailing bytes did not form a whole, checksummed frame —
+  /// the expected residue of a crash mid-append. The bytes are skipped.
+  bool Torn = false;
+  /// Byte offset of the torn frame, and a Warning-severity diagnostic
+  /// describing it (positioned by 1-based record number).
+  size_t TornOffset = 0;
+  Status TornStatus;
+};
+
+/// Decodes frames from \p Data until the end or the first frame whose
+/// length or CRC does not hold.
+FramedScan scanFramedRecords(std::string_view Data);
+
+// -- Checksum-headered text ------------------------------------------------
+
+/// Prepends `#%<Magic> v<Version> crc=<8 lowercase hex of Body>\n`.
+std::string withChecksumHeader(std::string_view Magic, unsigned Version,
+                               std::string_view Body);
+
+/// A verified checksummed text file.
+struct CheckedText {
+  std::string Body;
+  unsigned Version = 0;
+  /// True when \p Text had no header and was accepted as-is (legacy).
+  bool Legacy = false;
+};
+
+/// Verifies and strips a checksum header. A malformed header, an
+/// unsupported version, or a CRC mismatch produce a positioned Diagnostic
+/// (line 1, \p File) — corruption is reported, never silently half-loaded.
+/// Headerless input is accepted as legacy when \p AllowLegacy is set, and
+/// rejected otherwise.
+StatusOr<CheckedText> readChecksumHeader(std::string_view Magic,
+                                         std::string_view Text,
+                                         const std::string &File,
+                                         bool AllowLegacy);
+
+} // namespace cable
+
+#endif // CABLE_SUPPORT_ATOMICFILE_H

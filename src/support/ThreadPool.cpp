@@ -7,7 +7,21 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Failpoint.h"
+
+#include <stdexcept>
+
 using namespace cable;
+
+namespace {
+
+// Injected at every task dispatch. Error mode throws into the task's
+// future (parallelFor rethrows it deterministically); crash mode kills
+// the process mid-build — the crash-recovery suite's way of dying inside
+// lattice construction.
+Failpoint::Registrar RegDispatch("threadpool-dispatch");
+
+} // namespace
 
 unsigned ThreadPool::resolveThreadCount(unsigned Requested) {
   if (Requested != 0)
@@ -58,7 +72,12 @@ void ThreadPool::workerLoop(Worker &W) {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> Task) {
-  std::packaged_task<void()> Packaged(std::move(Task));
+  std::packaged_task<void()> Packaged(
+      [Task = std::move(Task)] {
+        if (Status S = Failpoint::hit("threadpool-dispatch"); !S.isOk())
+          throw std::runtime_error(S.message());
+        Task();
+      });
   std::future<void> Result = Packaged.get_future();
   if (NumWorkers == 1) {
     Packaged(); // Serial fallback: run on the caller, eagerly.

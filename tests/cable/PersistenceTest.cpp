@@ -100,3 +100,67 @@ TEST(PersistenceTest, ConceptStatesReflectLoadedLabels) {
   EXPECT_TRUE(A.allLabeled());
   EXPECT_EQ(A.stateOf(A.lattice().top()), ConceptState::FullyLabeled);
 }
+
+// -- Session snapshots (journal compaction state) ---------------------------
+
+TEST(PersistenceTest, SnapshotRoundTripsLabelsInternOrderAndUndo) {
+  Session A = makeSession("x(v0) y(v0)\nx(v0)\ny(v0)\n");
+  // Intern a label that never gets used: the order must still survive,
+  // or replayed label-id allocation would diverge.
+  A.internLabel("zebra");
+  LabelId Good = A.internLabel("good");
+  A.setLabel(0, Good);
+  A.labelTraces(A.lattice().top(), TraceSelect::Unlabeled,
+                A.internLabel("bad"));
+  ASSERT_TRUE(A.undo());
+  A.setLabel(1, Good);
+
+  Session B = makeSession("x(v0) y(v0)\nx(v0)\ny(v0)\n");
+  ASSERT_TRUE(B.loadSnapshot(A.serializeSnapshot()).isOk());
+  EXPECT_EQ(B.serializeSnapshot(), A.serializeSnapshot());
+  EXPECT_EQ(B.numLabels(), A.numLabels());
+  EXPECT_EQ(B.labelName(0), "zebra");
+  EXPECT_EQ(B.labelName(*B.labelOf(0)), "good");
+  EXPECT_EQ(B.labelName(*B.labelOf(1)), "good");
+  EXPECT_EQ(B.undoDepth(), A.undoDepth());
+
+  // The undo history replays identically: both sessions step back to the
+  // same states.
+  while (A.undoDepth() > 0) {
+    ASSERT_TRUE(A.undo());
+    ASSERT_TRUE(B.undo());
+    EXPECT_EQ(B.serializeSnapshot(), A.serializeSnapshot());
+  }
+  EXPECT_FALSE(B.undo());
+}
+
+TEST(PersistenceTest, SnapshotRejectsObjectCountMismatch) {
+  Session A = makeSession("x(v0)\ny(v0)\n");
+  A.setLabel(0, A.internLabel("good"));
+  std::string Snap = A.serializeSnapshot();
+
+  Session B = makeSession("x(v0)\n");
+  Status St = B.loadSnapshot(Snap);
+  ASSERT_FALSE(St.isOk());
+  EXPECT_EQ(St.diagnostic().Code, ErrorCode::InvalidArgument);
+  // The failed load left B untouched.
+  EXPECT_EQ(B.numLabels(), 0u);
+  EXPECT_FALSE(B.labelOf(0).has_value());
+}
+
+TEST(PersistenceTest, SnapshotRejectsGarbageWithAPositionedError) {
+  Session A = makeSession("x(v0)\n");
+  Status St = A.loadSnapshot("objects 1\nwat 7 barf\n");
+  ASSERT_FALSE(St.isOk());
+  EXPECT_EQ(St.diagnostic().Code, ErrorCode::ParseError);
+  EXPECT_EQ(St.diagnostic().Pos.Line, 2u);
+  EXPECT_EQ(A.numLabels(), 0u);
+}
+
+TEST(PersistenceTest, SnapshotOfEmptySessionIsLoadable) {
+  Session A = makeSession("x(v0)\n");
+  Session B = makeSession("x(v0)\n");
+  ASSERT_TRUE(B.loadSnapshot(A.serializeSnapshot()).isOk());
+  EXPECT_EQ(B.numLabels(), 0u);
+  EXPECT_EQ(B.undoDepth(), 0u);
+}

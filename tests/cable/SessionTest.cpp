@@ -412,3 +412,79 @@ TEST(SessionTest, UnlimitedBuildMatchesLegacyConstructor) {
   EXPECT_EQ(Built->lattice().size(), Legacy.lattice().size());
   EXPECT_EQ(Built->numObjects(), Legacy.numObjects());
 }
+
+// -- Undo inside Focus sub-sessions -----------------------------------------
+//
+// A Focus sub-session is a full Session with its own undo history; undoing
+// inside it must neither leak into the parent's history nor survive the
+// merge-back incorrectly.
+
+TEST(SessionTest, UndoInsideFocusOnlyAffectsTheSubSession) {
+  Session S = makeStdioSession();
+  S.setLabel(3, S.internLabel("outer"));
+  size_t ParentDepth = S.undoDepth();
+
+  FocusSession F = S.focus(
+      S.lattice().top(),
+      makeUnorderedFA(templateAlphabet(S.allTraces().traces()), S.table()));
+  LabelId Good = F.Sub.internLabel("good");
+  LabelId Bad = F.Sub.internLabel("bad");
+  F.Sub.setLabel(0, Bad);
+  F.Sub.setLabel(1, Good);
+  EXPECT_EQ(F.Sub.undoDepth(), 2u);
+
+  // Undo the mislabel inside the focus, then relabel.
+  ASSERT_TRUE(F.Sub.undo());
+  ASSERT_TRUE(F.Sub.undo());
+  EXPECT_FALSE(F.Sub.labelOf(0).has_value());
+  F.Sub.setLabel(0, Good);
+
+  // The parent's history never moved.
+  EXPECT_EQ(S.undoDepth(), ParentDepth);
+
+  S.mergeBack(F);
+  EXPECT_EQ(S.labelName(*S.labelOf(F.ParentObjects[0])), "good");
+  EXPECT_FALSE(S.labelOf(F.ParentObjects[1]).has_value())
+      << "undone sub-session label leaked through merge-back";
+  EXPECT_EQ(S.labelName(*S.labelOf(3)), "outer");
+}
+
+TEST(SessionTest, MergeBackAfterSubSessionUndoIsOneParentUndoStep) {
+  Session S = makeStdioSession();
+  FocusSession F = S.focus(
+      S.lattice().top(),
+      makeUnorderedFA(templateAlphabet(S.allTraces().traces()), S.table()));
+  F.Sub.setLabel(0, F.Sub.internLabel("bad"));
+  ASSERT_TRUE(F.Sub.undo());
+  F.Sub.setLabel(0, F.Sub.internLabel("good"));
+  F.Sub.setLabel(2, F.Sub.internLabel("good"));
+
+  size_t Before = S.undoDepth();
+  S.mergeBack(F);
+  EXPECT_EQ(S.undoDepth(), Before + 1);
+
+  // One undo reverts the entire merge, including labels whose sub-session
+  // history was rewritten by undo.
+  ASSERT_TRUE(S.undo());
+  EXPECT_FALSE(S.labelOf(F.ParentObjects[0]).has_value());
+  EXPECT_FALSE(S.labelOf(F.ParentObjects[2]).has_value());
+}
+
+TEST(SessionTest, UndoInsideFocusThenMergeBackRoundTripsThroughSnapshot) {
+  // The journal snapshots only base-level state, so the exact labels that
+  // exist after an undo-inside-focus merge must survive serializeSnapshot.
+  Session S = makeStdioSession();
+  FocusSession F = S.focus(
+      S.lattice().top(),
+      makeUnorderedFA(templateAlphabet(S.allTraces().traces()), S.table()));
+  F.Sub.setLabel(0, F.Sub.internLabel("bad"));
+  ASSERT_TRUE(F.Sub.undo());
+  F.Sub.setLabel(0, F.Sub.internLabel("good"));
+  S.mergeBack(F);
+
+  Session R = makeStdioSession();
+  ASSERT_TRUE(R.loadSnapshot(S.serializeSnapshot()).isOk());
+  EXPECT_EQ(R.serializeSnapshot(), S.serializeSnapshot());
+  ASSERT_TRUE(R.undo());
+  EXPECT_FALSE(R.labelOf(F.ParentObjects[0]).has_value());
+}

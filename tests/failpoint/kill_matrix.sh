@@ -1,0 +1,183 @@
+#!/usr/bin/env bash
+#===- tests/failpoint/kill_matrix.sh - Crash-recovery kill matrix ----------===#
+#
+# Part of the Cable reproduction of "Debugging Temporal Specifications with
+# Concept Analysis" (PLDI 2003). MIT license.
+#
+#===------------------------------------------------------------------------===#
+#
+# Drives a scripted ~50-op labeling session into every registered failpoint,
+# in both `crash` (std::_Exit mid-syscall, simulating power loss) and `error`
+# (injected I/O failure) mode, at a spread of trigger indices. After each
+# fault the session is restarted with the same --journal directory until it
+# completes, then the journal's final snapshot — the full label + undo
+# state — must be bit-identical to the uninterrupted golden run's. At most
+# the single in-flight command may be lost, and the script resume replays
+# exactly that command, so even "lost" work reappears.
+#
+# Usage: kill_matrix.sh <cable-cli> <workdir>
+#   KILL_MATRIX_INDICES  override the trigger indices (default spread)
+#   KILL_MATRIX_POINTS   override the failpoint list (default: all)
+#
+#===------------------------------------------------------------------------===#
+
+set -u
+
+CLI=${1:?usage: kill_matrix.sh <cable-cli> <workdir>}
+WORK=${2:?usage: kill_matrix.sh <cable-cli> <workdir>}
+INDICES=${KILL_MATRIX_INDICES:-"1 2 3 4 5 8 13 21 34 50"}
+# Every run gets 2 workers so threadpool dispatch is a real crosspoint even
+# on single-core machines (the lattice is bit-identical at any count), and
+# fsync-per-command sync so the journal-fsync point triggers at every
+# append, not only at snapshot/shutdown flushes (scripted runs default to
+# --journal-sync batch; the batched path is covered by the resume test and
+# the Journal unit tests).
+FLAGS="--protocol stdio --recommended --threads 2 --snapshot-every 10 --journal-sync always"
+MAX_RESTARTS=60
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK" || exit 1
+
+# A ~50-op session exercising every durable-state path: labeling across
+# selections, undo, focus/unfocus (including undo inside the focus), a
+# mid-session save/load cycle, and read-only commands interleaved.
+cat > script.txt <<'EOF'
+status
+ls
+label c1 good
+label c2 bad all
+status
+undo
+label c2 bad all
+classes
+fa c1
+label c3 ugly unlabeled
+transitions c1
+undo
+label c3 ugly unlabeled
+traces c2
+meet c1 c2
+join c1 c2
+focus c0 popen(v0).*
+ls
+label c1 inner
+undo
+label c1 inner
+status
+unfocus
+status
+check good
+suggest c0
+label c4 good from bad
+undo
+diff good bad
+save mid.labels
+label c5 extra
+undo
+load mid.labels
+label c0 sweep unlabeled
+status
+undo
+label c0 sweep unlabeled
+fa c2 bad
+focus c0 pclose(v0).*
+label c0 deep all
+unfocus
+status
+label c6 good all
+undo
+check bad
+label c6 tail
+ls
+undo
+label c6 tail
+status
+save final.labels
+EOF
+
+say() { printf '%s\n' "$*"; }
+
+# Replays any journal tail and compacts it into the snapshot, so the
+# snapshot alone is the full recoverable state. (A fault injected into the
+# final compaction leaves a valid stale-snapshot + tail journal; the state
+# is intact but must be drained before byte comparison.)
+drain() {
+  "$CLI" $FLAGS --script /dev/null --journal "$1" > drain.out 2>&1
+}
+
+# Golden, uninterrupted run (also journaled: its final snapshot is the
+# reference state).
+rm -rf JG
+if ! "$CLI" $FLAGS --script script.txt --journal JG > golden.out 2>&1; then
+  say "FATAL: golden run failed:"
+  cat golden.out
+  exit 1
+fi
+drain JG
+if [ ! -f JG/snapshot.cable ]; then
+  say "FATAL: golden run produced no snapshot"
+  exit 1
+fi
+
+points=$(${KILL_MATRIX_POINTS:+echo "$KILL_MATRIX_POINTS"} )
+[ -n "$points" ] || points=$("$CLI" --list-failpoints)
+if [ -z "$points" ]; then
+  say "FATAL: --list-failpoints reported nothing"
+  exit 1
+fi
+
+fail=0
+cases=0
+faulted=0
+for p in $points; do
+  for mode in crash error; do
+    for n in $INDICES; do
+      cases=$((cases + 1))
+      rm -rf J final.labels mid.labels
+      CABLE_FAILPOINTS="$p=$mode@$n" \
+        "$CLI" $FLAGS --script script.txt --journal J > run.out 2>&1
+      rc=$?
+      [ $rc -ne 0 ] && faulted=$((faulted + 1))
+      restarts=0
+      while [ $rc -ne 0 ]; do
+        restarts=$((restarts + 1))
+        if [ $restarts -gt $MAX_RESTARTS ]; then
+          say "FAIL $p=$mode@$n: did not recover after $MAX_RESTARTS restarts (last rc=$rc)"
+          cat run.out
+          fail=1
+          break
+        fi
+        "$CLI" $FLAGS --script script.txt --journal J > run.out 2>&1
+        rc=$?
+      done
+      [ $rc -ne 0 ] && continue
+      if ! drain J; then
+        say "FAIL $p=$mode@$n: journal drain failed"
+        cat drain.out
+        fail=1
+        continue
+      fi
+      if [ ! -f J/snapshot.cable ]; then
+        say "FAIL $p=$mode@$n: no snapshot after recovery"
+        fail=1
+        continue
+      fi
+      if ! cmp -s JG/snapshot.cable J/snapshot.cable; then
+        say "FAIL $p=$mode@$n: recovered state differs from golden"
+        diff <(cat JG/snapshot.cable) <(cat J/snapshot.cable) | head -10
+        fail=1
+      fi
+      if [ -f J/ACTIVE ]; then
+        say "FAIL $p=$mode@$n: ACTIVE marker left after clean exit"
+        fail=1
+      fi
+    done
+  done
+done
+
+say "kill matrix: $cases case(s), $faulted faulted at least once, $((cases - faulted)) never triggered"
+if [ $fail -eq 0 ]; then
+  say "kill matrix: PASS"
+fi
+exit $fail

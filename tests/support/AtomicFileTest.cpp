@@ -1,0 +1,198 @@
+//===- tests/support/AtomicFileTest.cpp ------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AtomicFile.h"
+
+#include "support/Failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+using namespace cable;
+
+namespace {
+
+class AtomicFileTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = ::testing::TempDir() + "cable_atomicfile_" +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ::mkdir(Dir.c_str(), 0755);
+  }
+  void TearDown() override { Failpoint::reset(); }
+
+  std::string path(const char *Name) const { return Dir + "/" + Name; }
+
+  std::vector<std::string> entries() const {
+    std::vector<std::string> Names;
+    DIR *D = ::opendir(Dir.c_str());
+    if (!D)
+      return Names;
+    while (struct dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        Names.push_back(Name);
+    }
+    ::closedir(D);
+    return Names;
+  }
+
+  std::string Dir;
+};
+
+TEST_F(AtomicFileTest, Crc32MatchesTheIEEECheckValue) {
+  // The standard CRC-32 check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  // Seeding chains incremental computation.
+  EXPECT_EQ(crc32("456789", crc32("123")), crc32("123456789"));
+}
+
+TEST_F(AtomicFileTest, WriteCreatesAndReplaces) {
+  std::string P = path("out.txt");
+  ASSERT_TRUE(AtomicFile::write(P, "first\n").isOk());
+  StatusOr<std::string> Back = readFileToString(P);
+  ASSERT_TRUE(Back.isOk());
+  EXPECT_EQ(*Back, "first\n");
+
+  ASSERT_TRUE(AtomicFile::write(P, "second\n").isOk());
+  Back = readFileToString(P);
+  ASSERT_TRUE(Back.isOk());
+  EXPECT_EQ(*Back, "second\n");
+  // No temporary residue.
+  EXPECT_EQ(entries().size(), 1u);
+}
+
+TEST_F(AtomicFileTest, FailedWriteLeavesTheOldFileAndNoTemporary) {
+  std::string P = path("out.txt");
+  ASSERT_TRUE(AtomicFile::write(P, "precious\n").isOk());
+  ASSERT_TRUE(Failpoint::configure("atomicfile-rename=error").isOk());
+  Status St = AtomicFile::write(P, "doomed\n");
+  ASSERT_FALSE(St.isOk());
+  EXPECT_EQ(St.diagnostic().Code, ErrorCode::IoError);
+  StatusOr<std::string> Back = readFileToString(P);
+  ASSERT_TRUE(Back.isOk());
+  EXPECT_EQ(*Back, "precious\n");
+  EXPECT_EQ(entries().size(), 1u) << "temporary not cleaned up";
+}
+
+TEST_F(AtomicFileTest, EveryWriteStepIsFaultable) {
+  for (const char *Point : {"atomicfile-open", "atomicfile-write",
+                            "atomicfile-fsync", "atomicfile-rename"}) {
+    ASSERT_TRUE(
+        Failpoint::configure(std::string(Point) + "=error").isOk());
+    EXPECT_FALSE(AtomicFile::write(path("f.txt"), "x").isOk()) << Point;
+    Failpoint::reset();
+  }
+}
+
+TEST_F(AtomicFileTest, ReadMissingFileIsAPositionedIoError) {
+  StatusOr<std::string> R = readFileToString(path("absent.txt"));
+  ASSERT_FALSE(R.isOk());
+  EXPECT_EQ(R.status().diagnostic().Code, ErrorCode::IoError);
+  EXPECT_EQ(R.status().diagnostic().File, path("absent.txt"));
+}
+
+TEST_F(AtomicFileTest, ReadFaultable) {
+  ASSERT_TRUE(AtomicFile::write(path("f.txt"), "x").isOk());
+  ASSERT_TRUE(Failpoint::configure("file-read=error").isOk());
+  EXPECT_FALSE(readFileToString(path("f.txt")).isOk());
+  EXPECT_TRUE(readFileToString(path("f.txt")).isOk()); // one-shot
+}
+
+TEST_F(AtomicFileTest, FramedRoundTrip) {
+  std::string Stream = encodeFramedRecord("alpha") +
+                       encodeFramedRecord("") +
+                       encodeFramedRecord(std::string(1000, 'z'));
+  FramedScan Scan = scanFramedRecords(Stream);
+  EXPECT_FALSE(Scan.Torn);
+  ASSERT_EQ(Scan.Records.size(), 3u);
+  EXPECT_EQ(Scan.Records[0].Payload, "alpha");
+  EXPECT_EQ(Scan.Records[0].Offset, 0u);
+  EXPECT_EQ(Scan.Records[1].Payload, "");
+  EXPECT_EQ(Scan.Records[2].Payload, std::string(1000, 'z'));
+}
+
+TEST_F(AtomicFileTest, TruncatedFinalFrameIsTornNotFatal) {
+  std::string Stream =
+      encodeFramedRecord("whole") + encodeFramedRecord("torn");
+  Stream.resize(Stream.size() - 2); // Chop the tail mid-payload.
+  FramedScan Scan = scanFramedRecords(Stream);
+  ASSERT_EQ(Scan.Records.size(), 1u);
+  EXPECT_EQ(Scan.Records[0].Payload, "whole");
+  EXPECT_TRUE(Scan.Torn);
+  EXPECT_EQ(Scan.TornOffset, encodeFramedRecord("whole").size());
+  ASSERT_FALSE(Scan.TornStatus.isOk());
+  const Diagnostic &D = Scan.TornStatus.diagnostic();
+  EXPECT_EQ(D.Level, Severity::Warning);
+  EXPECT_EQ(D.Pos.Line, 2u) << "positioned by 1-based record number";
+}
+
+TEST_F(AtomicFileTest, CorruptedPayloadFailsTheChecksum) {
+  std::string Stream = encodeFramedRecord("aaaa") + encodeFramedRecord("bbbb");
+  Stream[Stream.size() - 1] ^= 0x40; // Flip a bit in the last payload.
+  FramedScan Scan = scanFramedRecords(Stream);
+  ASSERT_EQ(Scan.Records.size(), 1u);
+  EXPECT_TRUE(Scan.Torn);
+  EXPECT_NE(Scan.TornStatus.message().find("checksum"), std::string::npos)
+      << Scan.TornStatus.message();
+}
+
+TEST_F(AtomicFileTest, ChecksumHeaderRoundTrip) {
+  std::string Text = withChecksumHeader("cable-labels", 2, "a b\nc d\n");
+  EXPECT_EQ(Text.compare(0, 15, "#%cable-labels "), 0) << Text;
+  StatusOr<CheckedText> R =
+      readChecksumHeader("cable-labels", Text, "f", /*AllowLegacy=*/false);
+  ASSERT_TRUE(R.isOk()) << R.status().render();
+  EXPECT_EQ(R->Body, "a b\nc d\n");
+  EXPECT_EQ(R->Version, 2u);
+  EXPECT_FALSE(R->Legacy);
+}
+
+TEST_F(AtomicFileTest, CorruptBodyIsAPositionedChecksumMismatch) {
+  std::string Text = withChecksumHeader("cable-labels", 2, "a b\n");
+  Text[Text.size() - 2] = 'X';
+  StatusOr<CheckedText> R =
+      readChecksumHeader("cable-labels", Text, "lbl.txt", false);
+  ASSERT_FALSE(R.isOk());
+  const Diagnostic &D = R.status().diagnostic();
+  EXPECT_EQ(D.Code, ErrorCode::ParseError);
+  EXPECT_EQ(D.File, "lbl.txt");
+  EXPECT_EQ(D.Pos.Line, 1u);
+  EXPECT_NE(D.Message.find("checksum mismatch"), std::string::npos);
+}
+
+TEST_F(AtomicFileTest, TruncatedBodyDetected) {
+  std::string Text = withChecksumHeader("cable-labels", 2, "a b\nc d\n");
+  Text.resize(Text.size() - 4);
+  EXPECT_FALSE(
+      readChecksumHeader("cable-labels", Text, "f", false).isOk());
+}
+
+TEST_F(AtomicFileTest, WrongMagicRejected) {
+  std::string Text = withChecksumHeader("cable-snapshot", 1, "x\n");
+  StatusOr<CheckedText> R =
+      readChecksumHeader("cable-labels", Text, "f", /*AllowLegacy=*/true);
+  EXPECT_FALSE(R.isOk());
+}
+
+TEST_F(AtomicFileTest, LegacyHeaderlessText) {
+  StatusOr<CheckedText> R =
+      readChecksumHeader("cable-labels", "good x(v0)\n", "f",
+                         /*AllowLegacy=*/true);
+  ASSERT_TRUE(R.isOk());
+  EXPECT_TRUE(R->Legacy);
+  EXPECT_EQ(R->Body, "good x(v0)\n");
+  EXPECT_FALSE(
+      readChecksumHeader("cable-labels", "good x(v0)\n", "f",
+                         /*AllowLegacy=*/false)
+          .isOk());
+}
+
+} // namespace

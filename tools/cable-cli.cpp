@@ -10,8 +10,15 @@
 // them against a reference FA, and offers the paper's commands: concept
 // listing with the green/yellow/red states, the three summary views, the
 // `Label traces` command with its selection semantics, Focus sub-sessions
-// with label merge-back, and DOT export. Reads commands from stdin, so it
-// works both interactively and scripted.
+// with label merge-back, and DOT export. Reads commands from stdin (or a
+// --script file), so it works both interactively and scripted.
+//
+// With --journal DIR every command is write-ahead logged before it is
+// applied and the session state is snapshotted periodically, so a crash,
+// Ctrl-C, or I/O failure never loses labeling work: restarting with the
+// same --journal DIR (and the same input flags) replays the snapshot plus
+// the journal tail through the same command dispatcher and resumes exactly
+// where the session died.
 //
 // Usage:
 //   cable-cli --traces FILE [--ref REGEX | --unordered | --seed EVENT]
@@ -21,6 +28,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cable/Advisor.h"
+#include "cable/Journal.h"
 #include "cable/Session.h"
 #include "cable/Strategies.h"
 #include "cable/WellFormed.h"
@@ -28,21 +36,25 @@
 #include "fa/Parse.h"
 #include "fa/Regex.h"
 #include "fa/Templates.h"
+#include "support/AtomicFile.h"
+#include "support/Failpoint.h"
 #include "support/RNG.h"
 #include "support/StringUtil.h"
 #include "workload/Generator.h"
 #include "workload/Oracle.h"
 #include "workload/ReferenceFA.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 using namespace cable;
 
@@ -75,6 +87,25 @@ void printUsage() {
       "                     lattice and the (always complete) identical-\n"
       "                     trace baseline clustering instead of exiting\n"
       "\n"
+      "durability:\n"
+      "  --journal DIR      write-ahead log + snapshots in DIR; restarting\n"
+      "                     with the same DIR (and input flags) recovers\n"
+      "                     and resumes the session after a crash\n"
+      "  --snapshot-every N compact the journal every N commands\n"
+      "                     (default 25; 0 = after every command)\n"
+      "  --journal-sync M   when appends reach disk: 'always' fsyncs each\n"
+      "                     command before applying it (interactive\n"
+      "                     default; at most the in-flight command is\n"
+      "                     lost, even to power failure), 'batch' defers\n"
+      "                     the fsync to snapshots and shutdown (--script\n"
+      "                     default; a process crash still loses nothing,\n"
+      "                     and the script re-seeds anything a power cut\n"
+      "                     could drop)\n"
+      "  --script FILE      read commands from FILE instead of stdin; with\n"
+      "                     --journal, resumes at the first line the\n"
+      "                     journal has not yet made durable\n"
+      "  --list-failpoints  list fault-injection point names and exit\n"
+      "\n"
       "commands (stdin):\n"
       "  ls                  list concepts (state, size, similarity)\n"
       "  fa ID [SEL]         Show FA summary (SEL: all|unlabeled|LABEL)\n"
@@ -89,10 +120,10 @@ void printUsage() {
       "  meet ID ID          greatest lower bound of two concepts\n"
       "  join ID ID          least upper bound of two concepts\n"
       "  undo                revert the last labeling operation\n"
-      "  save FILE           save the current labels\n"
+      "  save FILE           save the current labels (atomic, checksummed)\n"
       "  load FILE           restore labels saved with 'save'\n"
       "  oracle              auto-label with the protocol oracle (demo)\n"
-      "  dot FILE            write the lattice as Graphviz DOT\n"
+      "  dot FILE            write the lattice as Graphviz DOT (atomic)\n"
       "  classes             list identical-trace baseline classes (§5)\n"
       "  status              labeling progress\n"
       "  help / quit\n");
@@ -103,6 +134,11 @@ struct CliState {
   // Focus stack: sessions above Base; labels merge down on unfocus.
   std::vector<std::unique_ptr<FocusSession>> Stack;
   std::optional<ProtocolModel> Protocol;
+
+  // Durability (idle unless --journal was given).
+  Journal Wal;
+  unsigned long SnapshotEvery = 25;
+  uint64_t SinceSnapshot = 0;
 
   Session &current() {
     return Stack.empty() ? *Base : Stack.back()->Sub;
@@ -183,12 +219,343 @@ void cmdStatus(Session &S) {
                 S.rejectedObjects().size());
 }
 
-} // namespace
+/// Executes one already-split command. The dispatcher is shared between
+/// live input and journal replay, which is what makes recovery exact: a
+/// replayed command goes through byte-for-byte the same code path as the
+/// original keystrokes. Returns false when the command failed (bad
+/// arguments, I/O error); interactive sessions print and continue, but
+/// scripted runs fail-stop so an error never silently corrupts a batch.
+bool executeCommand(CliState &Cli, const std::vector<std::string> &Args) {
+  Session &S = Cli.current();
+  const std::string &Cmd = Args[0];
 
-int main(int Argc, char **Argv) {
+  if (Cmd == "help") {
+    printUsage();
+    return true;
+  }
+  if (Cmd == "ls") {
+    cmdLs(S);
+    return true;
+  }
+  if (Cmd == "status") {
+    cmdStatus(S);
+    return true;
+  }
+  if (Cmd == "classes") {
+    const TraceClasses &Classes = S.baselineClasses();
+    for (size_t C = 0; C < Classes.numClasses(); ++C)
+      std::printf("  class %-3zu x%-4u %s\n", C, Classes.Multiplicity[C],
+                  Classes.Representatives[C].render(S.table()).c_str());
+    return true;
+  }
+  if (Cmd == "fa" && Args.size() >= 2) {
+    std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
+    if (!Id)
+      return false;
+    std::optional<LabelId> From;
+    std::optional<TraceSelect> Sel = parseSelect(Args, 2, S, From);
+    if (!Sel)
+      return false;
+    Automaton FA = S.showFA(*Id, *Sel, From);
+    std::printf("%s", FA.renderText(S.table()).c_str());
+    return true;
+  }
+  if (Cmd == "transitions" && Args.size() >= 2) {
+    std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
+    if (!Id)
+      return false;
+    for (TransitionId TI : S.showTransitions(*Id)) {
+      const Transition &T = S.referenceFA().transition(TI);
+      std::printf("  t%-3u q%u --%s--> q%u\n", TI, T.From,
+                  T.Label.render(S.table()).c_str(), T.To);
+    }
+    return true;
+  }
+  if (Cmd == "traces" && Args.size() >= 2) {
+    std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
+    if (!Id)
+      return false;
+    std::optional<LabelId> From;
+    std::optional<TraceSelect> Sel = parseSelect(Args, 2, S, From);
+    if (!Sel)
+      return false;
+    for (size_t Obj : S.showTraces(*Id, *Sel, From)) {
+      std::string Label = S.labelOf(Obj)
+                              ? S.labelName(*S.labelOf(Obj))
+                              : std::string("-");
+      std::printf("  [%s] %s\n", Label.c_str(),
+                  S.object(Obj).render(S.table()).c_str());
+    }
+    return true;
+  }
+  if (Cmd == "label" && Args.size() >= 3) {
+    std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
+    if (!Id)
+      return false;
+    LabelId NewLabel = S.internLabel(Args[2]);
+    std::optional<LabelId> From;
+    std::optional<TraceSelect> Sel = parseSelect(Args, 3, S, From);
+    if (!Sel)
+      return false;
+    if (Args.size() == 3)
+      Sel = TraceSelect::Unlabeled; // Default: label the unlabeled.
+    size_t N = S.labelTraces(*Id, *Sel, NewLabel, From);
+    std::printf("labeled %zu trace(s) as '%s'\n", N, Args[2].c_str());
+    return true;
+  }
+  if (Cmd == "focus" && Args.size() >= 3) {
+    std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
+    if (!Id)
+      return false;
+    std::string Pattern;
+    for (size_t I = 2; I < Args.size(); ++I) {
+      if (I != 2)
+        Pattern += ' ';
+      Pattern += Args[I];
+    }
+    std::string Err;
+    std::optional<Automaton> FA = compileRegex(Pattern, S.table(), Err);
+    if (!FA) {
+      std::printf("error: bad focus regex: %s\n", Err.c_str());
+      return false;
+    }
+    Cli.Stack.push_back(std::make_unique<FocusSession>(
+        S.focus(*Id, FA->withoutEpsilons())));
+    Session &Sub = Cli.current();
+    std::printf("focused: %zu traces, %zu concepts",
+                Sub.numObjects(), Sub.lattice().size());
+    if (!Sub.rejectedObjects().empty())
+      std::printf(" (%zu rejected by the focus FA)",
+                  Sub.rejectedObjects().size());
+    std::printf("\n");
+    return true;
+  }
+  if (Cmd == "unfocus") {
+    if (Cli.Stack.empty()) {
+      std::printf("not in a focus session\n");
+      return false;
+    }
+    Session &Parent = Cli.parentOfTop();
+    Parent.mergeBack(*Cli.Stack.back());
+    Cli.Stack.pop_back();
+    std::printf("labels merged back\n");
+    return true;
+  }
+  if (Cmd == "check" && Args.size() >= 2) {
+    LabelId L = S.internLabel(Args[1]);
+    Automaton FA = S.showFA(S.lattice().top(), TraceSelect::WithLabel, L);
+    std::printf("FA over all traces labeled '%s':\n%s", Args[1].c_str(),
+                FA.renderText(S.table()).c_str());
+    return true;
+  }
+  if (Cmd == "oracle") {
+    if (!Cli.Protocol) {
+      std::printf("oracle requires --protocol\n");
+      return false;
+    }
+    Oracle Truth(*Cli.Protocol, S.table());
+    ReferenceLabeling Target = Truth.referenceLabeling(S);
+    ExpertSimStrategy Expert;
+    StrategyCost Cost = Expert.run(S, Target);
+    std::printf("expert simulation: %zu inspections + %zu label ops "
+                "(%s)\n",
+                Cost.Inspections, Cost.LabelOps,
+                Cost.Finished ? "finished" : "DID NOT FINISH");
+    return true;
+  }
+  if ((Cmd == "meet" || Cmd == "join") && Args.size() >= 3) {
+    std::optional<Session::NodeId> A = parseConcept(Args[1], S);
+    std::optional<Session::NodeId> B = parseConcept(Args[2], S);
+    if (!A || !B)
+      return false;
+    Session::NodeId R = Cmd == "meet" ? S.lattice().meet(*A, *B)
+                                      : S.lattice().join(*A, *B);
+    std::printf("%s(c%u, c%u) = %s\n", Cmd.c_str(), *A, *B,
+                S.describeConcept(R).c_str());
+    return true;
+  }
+  if (Cmd == "undo") {
+    std::printf(S.undo() ? "undone\n" : "nothing to undo\n");
+    return true;
+  }
+  if (Cmd == "diff" && Args.size() >= 3) {
+    LabelId L1 = S.internLabel(Args[1]);
+    LabelId L2 = S.internLabel(Args[2]);
+    Automaton A = S.showFA(S.lattice().top(), TraceSelect::WithLabel, L1);
+    Automaton B = S.showFA(S.lattice().top(), TraceSelect::WithLabel, L2);
+    std::vector<Trace> Reps;
+    for (size_t Obj = 0; Obj < S.numObjects(); ++Obj)
+      Reps.push_back(S.object(Obj));
+    std::vector<EventId> Alphabet = collectAlphabet(Reps);
+    Dfa DA = Dfa::determinize(A, Alphabet, S.table());
+    Dfa DB = Dfa::determinize(B, Alphabet, S.table());
+    if (std::optional<Trace> W = Dfa::shortestDifference(DA, DB)) {
+      std::printf("shortest separating trace: %s\n  accepted by the "
+                  "'%s' FA: %s; by the '%s' FA: %s\n",
+                  W->render(S.table()).c_str(), Args[1].c_str(),
+                  DA.accepts(*W) ? "yes" : "no", Args[2].c_str(),
+                  DB.accepts(*W) ? "yes" : "no");
+    } else {
+      std::printf("the two labels' FAs are language-equivalent over the "
+                  "session alphabet\n");
+    }
+    return true;
+  }
+  if (Cmd == "suggest" && Args.size() >= 2) {
+    std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
+    if (!Id)
+      return false;
+    std::vector<SeedSuggestion> Suggestions = suggestFocusSeeds(S, *Id);
+    std::vector<ProjectionSuggestion> Projections =
+        suggestNameProjections(S, *Id);
+    if (Suggestions.empty() && Projections.empty()) {
+      std::printf("no seed-order or name-projection template splits "
+                  "this concept\n");
+      return false;
+    }
+    for (const SeedSuggestion &Sg : Suggestions)
+      std::printf("  seed order on %-24s -> %zu groups "
+                  "(%zu traces carry the seed)\n",
+                  S.table().renderEvent(Sg.Seed).c_str(), Sg.NumGroups,
+                  Sg.NumAccepted);
+    for (const ProjectionSuggestion &Pg : Projections)
+      std::printf("  name projection on v%-13u -> %zu groups\n", Pg.Value,
+                  Pg.NumGroups);
+    return true;
+  }
+  if (Cmd == "save" && Args.size() >= 2) {
+    // Atomic + checksummed: a crash mid-save leaves the previous file,
+    // and a corrupted file is detected on load instead of half-applied.
+    Status St = AtomicFile::write(
+        Args[1], withChecksumHeader("cable-labels", 2, S.serializeLabels()));
+    if (!St.isOk()) {
+      std::printf("error: %s\n", St.diagnostic().render().c_str());
+      return false;
+    }
+    std::printf("wrote labels to %s\n", Args[1].c_str());
+    return true;
+  }
+  if (Cmd == "load" && Args.size() >= 2) {
+    StatusOr<std::string> Text = readFileToString(Args[1]);
+    if (!Text) {
+      std::printf("error: %s\n", Text.status().diagnostic().render().c_str());
+      return false;
+    }
+    // v2 files are checksum-verified; headerless v1 files still load.
+    StatusOr<CheckedText> Checked =
+        readChecksumHeader("cable-labels", *Text, Args[1],
+                           /*AllowLegacy=*/true);
+    if (!Checked) {
+      std::printf("error: %s\n",
+                  Checked.status().diagnostic().render().c_str());
+      return false;
+    }
+    std::string Err;
+    size_t Unmatched = 0;
+    if (!S.loadLabels(Checked->Body, Err, &Unmatched)) {
+      Diagnostic D;
+      D.Code = ErrorCode::ParseError;
+      D.File = Args[1];
+      D.Message = Err;
+      std::printf("error: %s\n", D.render().c_str());
+      return false;
+    }
+    std::printf("labels loaded (%zu line(s) matched no trace here)\n",
+                Unmatched);
+    return true;
+  }
+  if (Cmd == "dot" && Args.size() >= 2) {
+    Status St = AtomicFile::write(Args[1], S.renderDot("cable_lattice"));
+    if (!St.isOk()) {
+      std::printf("error: %s\n", St.diagnostic().render().c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", Args[1].c_str());
+    return true;
+  }
+  std::printf("unknown command '%s' (try 'help')\n", Cmd.c_str());
+  return false;
+}
+
+/// Temporarily routes stdout to /dev/null (journal replay re-executes
+/// commands whose output the user already saw in the previous life).
+class StdoutSilencer {
+public:
+  StdoutSilencer() {
+    std::fflush(stdout);
+    Saved = ::dup(1);
+    int Null = ::open("/dev/null", O_WRONLY);
+    if (Null >= 0) {
+      ::dup2(Null, 1);
+      ::close(Null);
+    }
+  }
+  ~StdoutSilencer() {
+    if (Saved >= 0) {
+      std::fflush(stdout);
+      ::dup2(Saved, 1);
+      ::close(Saved);
+    }
+  }
+
+private:
+  int Saved = -1;
+};
+
+/// Journal log fd for the signal handler; -1 when no journal is open.
+volatile sig_atomic_t GJournalFd = -1;
+
+/// SIGINT/SIGTERM: make the journal durable and die. Every applied
+/// command was already fsynced before it ran (write-ahead), so this is
+/// belt and braces; fsync and _exit are both async-signal-safe. Ctrl-C
+/// therefore never loses labels.
+extern "C" void onTerminateSignal(int Sig) {
+  int Fd = GJournalFd;
+  if (Fd >= 0)
+    ::fsync(Fd);
+  ::_exit(128 + Sig);
+}
+
+void installSignalHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onTerminateSignal;
+  ::sigaction(SIGINT, &SA, nullptr);
+  ::sigaction(SIGTERM, &SA, nullptr);
+}
+
+/// Snapshot + compact when due. Only base-level state is snapshotted, so
+/// while a Focus sub-session is open compaction waits (the journal tail
+/// still holds the focus commands and replays them on recovery).
+void maybeSnapshot(CliState &Cli, bool Force) {
+  bool Due = Force ? Cli.SinceSnapshot > 0
+                   : Cli.SinceSnapshot >= std::max(Cli.SnapshotEvery, 1ul);
+  if (Cli.Wal.isOpen() && Cli.Stack.empty() && Due) {
+    Status St = Cli.Wal.snapshot(Cli.Base->serializeSnapshot());
+    if (St.isOk()) {
+      Cli.SinceSnapshot = 0;
+    } else {
+      // Not fatal: the log still has everything; recovery just replays
+      // more.
+      Diagnostic D = St.diagnostic();
+      D.Level = Severity::Warning;
+      std::fprintf(stderr, "%s\n", D.render().c_str());
+    }
+  }
+}
+
+int runCli(int Argc, char **Argv) {
+  if (Status St = Failpoint::configureFromEnv(); !St.isOk()) {
+    std::fprintf(stderr, "error: CABLE_FAILPOINTS: %s\n",
+                 St.message().c_str());
+    return 1;
+  }
+
   std::string TracesFile, RefRegex, RefFile, SeedEvent, ProtocolName;
+  std::string JournalDir, ScriptFile, JournalSync;
   bool Recommended = false;
   SessionOptions BuildOpts;
+  unsigned long SnapshotEvery = 25;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> std::string {
@@ -217,7 +584,29 @@ int main(int Argc, char **Argv) {
       ProtocolName = Next();
     else if (Arg == "--recommended")
       Recommended = true;
-    else if (Arg == "--threads") {
+    else if (Arg == "--journal")
+      JournalDir = Next();
+    else if (Arg == "--script")
+      ScriptFile = Next();
+    else if (Arg == "--snapshot-every") {
+      std::optional<unsigned long> N;
+      if (!NextNumber("--snapshot-every", N))
+        return 1;
+      SnapshotEvery = *N;
+    } else if (Arg == "--journal-sync") {
+      JournalSync = Next();
+      if (JournalSync != "always" && JournalSync != "batch") {
+        std::fprintf(stderr,
+                     "error: --journal-sync expects 'always' or 'batch', "
+                     "got '%s'\n",
+                     JournalSync.c_str());
+        return 1;
+      }
+    } else if (Arg == "--list-failpoints") {
+      for (const std::string &Name : Failpoint::registeredNames())
+        std::printf("%s\n", Name.c_str());
+      return 0;
+    } else if (Arg == "--threads") {
       std::optional<unsigned long> N;
       if (!NextNumber("--threads", N))
         return 1;
@@ -244,6 +633,7 @@ int main(int Argc, char **Argv) {
   }
 
   CliState Cli;
+  Cli.SnapshotEvery = SnapshotEvery;
 
   // Assemble the trace set.
   TraceSet Traces;
@@ -268,15 +658,14 @@ int main(int Argc, char **Argv) {
     std::printf("generated %zu scenario traces for protocol %s\n",
                 Traces.size(), Cli.Protocol->Name.c_str());
   } else if (!TracesFile.empty()) {
-    std::ifstream In(TracesFile);
-    if (!In) {
-      std::fprintf(stderr, "error: cannot open '%s'\n", TracesFile.c_str());
+    StatusOr<std::string> Text = readFileToString(TracesFile);
+    if (!Text) {
+      std::fprintf(stderr, "%s\n",
+                   Text.status().diagnostic().render().c_str());
       return 1;
     }
-    std::stringstream Buf;
-    Buf << In.rdbuf();
     Diagnostic Diag;
-    std::optional<TraceSet> Parsed = TraceSet::parse(Buf.str(), Diag);
+    std::optional<TraceSet> Parsed = TraceSet::parse(*Text, Diag);
     if (!Parsed) {
       Diag.File = TracesFile;
       std::fprintf(stderr, "%s\n", Diag.render().c_str());
@@ -306,16 +695,14 @@ int main(int Argc, char **Argv) {
     }
     Ref = FA->withoutEpsilons();
   } else if (!RefFile.empty()) {
-    std::ifstream In(RefFile);
-    if (!In) {
-      std::fprintf(stderr, "error: cannot open '%s'\n", RefFile.c_str());
+    StatusOr<std::string> Text = readFileToString(RefFile);
+    if (!Text) {
+      std::fprintf(stderr, "%s\n",
+                   Text.status().diagnostic().render().c_str());
       return 1;
     }
-    std::stringstream Buf;
-    Buf << In.rdbuf();
     Diagnostic Diag;
-    std::optional<Automaton> FA =
-        parseAutomaton(Buf.str(), Traces.table(), Diag);
+    std::optional<Automaton> FA = parseAutomaton(*Text, Traces.table(), Diag);
     if (!FA) {
       Diag.File = RefFile;
       std::fprintf(stderr, "%s\n", Diag.render().c_str());
@@ -369,254 +756,165 @@ int main(int Argc, char **Argv) {
               Cli.Base->numObjects(),
               Cli.Base->referenceFA().numTransitions(),
               Cli.Base->lattice().size());
+
+  // Open the journal, recover, and replay. Recovery is write-ahead
+  // replay: the snapshot restores labels and undo history, then the log
+  // tail re-executes through executeCommand — the same dispatcher as
+  // live input — with stdout silenced.
+  uint64_t ScriptSkip = 0;
+  if (!JournalDir.empty()) {
+    Journal::Recovery Rec;
+    StatusOr<Journal> J = Journal::open(JournalDir, Rec);
+    if (!J) {
+      std::fprintf(stderr, "%s\n", J.status().diagnostic().render().c_str());
+      return 1;
+    }
+    Cli.Wal = std::move(*J);
+    // Scripted runs group-commit by default: the script file already
+    // re-seeds any tail a power cut could drop, so per-command fsyncs
+    // buy nothing there. Interactive sessions keep fsync-per-command.
+    bool Batch = JournalSync.empty() ? !ScriptFile.empty()
+                                     : JournalSync == "batch";
+    Cli.Wal.setSyncPolicy(Batch ? Journal::SyncPolicy::Batched
+                                : Journal::SyncPolicy::EveryRecord);
+    GJournalFd = Cli.Wal.fd();
+    installSignalHandlers();
+    if (!Rec.TornTail.isOk())
+      std::fprintf(stderr, "%s\n", Rec.TornTail.diagnostic().render().c_str());
+    if (Rec.HasSnapshot) {
+      if (Status St = Cli.Base->loadSnapshot(Rec.SnapshotBody); !St.isOk()) {
+        std::fprintf(stderr, "%s\n", St.diagnostic().render().c_str());
+        std::fprintf(stderr,
+                     "error: cannot restore the journal snapshot; was "
+                     "%s created with different --traces/--protocol/--ref "
+                     "flags?\n",
+                     JournalDir.c_str());
+        return 1;
+      }
+    }
+    if (!Rec.Commands.empty()) {
+      StdoutSilencer Quiet;
+      for (const std::string &Cmd : Rec.Commands) {
+        std::vector<std::string> Args = splitWhitespace(Cmd);
+        if (!Args.empty())
+          executeCommand(Cli, Args);
+      }
+    }
+    ScriptSkip = Cli.Wal.lastSeq();
+    if (Rec.UncleanShutdown)
+      std::printf("journal: unclean shutdown detected; recovered the "
+                  "session (snapshot seq %llu + %zu replayed command(s))\n",
+                  static_cast<unsigned long long>(Rec.SnapshotSeq),
+                  Rec.Commands.size());
+    else if (Rec.HasSnapshot || !Rec.Commands.empty())
+      std::printf("journal: resumed previous session (snapshot seq %llu + "
+                  "%zu replayed command(s))\n",
+                  static_cast<unsigned long long>(Rec.SnapshotSeq),
+                  Rec.Commands.size());
+    // Compact a long replayed tail right away so the next recovery is
+    // cheap (no-op when the tail was empty or a focus is open).
+    Cli.SinceSnapshot = Rec.Commands.size();
+    maybeSnapshot(Cli, /*Force=*/!Rec.Commands.empty());
+  }
   std::printf("type 'help' for commands\n");
 
-  std::string Line;
-  while (std::printf("cable> "), std::fflush(stdout),
-         std::getline(std::cin, Line)) {
-    std::vector<std::string> Args = splitWhitespace(Line);
-    if (Args.empty())
-      continue;
-    Session &S = Cli.current();
-    const std::string &Cmd = Args[0];
+  // Command source: stdin, or --script FILE (a journal-backed script run
+  // resumes at the first command the journal has not made durable; blank
+  // and comment lines are never journaled and never counted).
+  std::vector<std::string> Script;
+  size_t ScriptAt = 0;
+  bool FromScript = !ScriptFile.empty();
+  if (FromScript) {
+    StatusOr<std::string> Text = readFileToString(ScriptFile);
+    if (!Text) {
+      std::fprintf(stderr, "%s\n",
+                   Text.status().diagnostic().render().c_str());
+      return 1;
+    }
+    Script = splitString(*Text, '\n');
+  }
+  auto NextLine = [&](std::string &Line) -> bool {
+    for (;;) {
+      if (FromScript) {
+        if (ScriptAt >= Script.size())
+          return false;
+        Line = Script[ScriptAt++];
+      } else {
+        std::printf("cable> ");
+        std::fflush(stdout);
+        if (!std::getline(std::cin, Line))
+          return false;
+      }
+      std::string_view Body = trimString(Line);
+      if (Body.empty() || Body[0] == '#')
+        continue;
+      if (FromScript && ScriptSkip > 0) {
+        --ScriptSkip; // Already durable and replayed; do not re-run.
+        continue;
+      }
+      return true;
+    }
+  };
 
+  std::string Line;
+  while (NextLine(Line)) {
+    std::vector<std::string> Args = splitWhitespace(Line);
+    const std::string &Cmd = Args[0];
     if (Cmd == "quit" || Cmd == "exit")
       break;
-    if (Cmd == "help") {
-      printUsage();
-      continue;
-    }
-    if (Cmd == "ls") {
-      cmdLs(S);
-      continue;
-    }
-    if (Cmd == "status") {
-      cmdStatus(S);
-      continue;
-    }
-    if (Cmd == "classes") {
-      const TraceClasses &Classes = S.baselineClasses();
-      for (size_t C = 0; C < Classes.numClasses(); ++C)
-        std::printf("  class %-3zu x%-4u %s\n", C, Classes.Multiplicity[C],
-                    Classes.Representatives[C].render(S.table()).c_str());
-      continue;
-    }
-    if (Cmd == "fa" && Args.size() >= 2) {
-      std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
-      if (!Id)
-        continue;
-      std::optional<LabelId> From;
-      std::optional<TraceSelect> Sel = parseSelect(Args, 2, S, From);
-      if (!Sel)
-        continue;
-      Automaton FA = S.showFA(*Id, *Sel, From);
-      std::printf("%s", FA.renderText(S.table()).c_str());
-      continue;
-    }
-    if (Cmd == "transitions" && Args.size() >= 2) {
-      std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
-      if (!Id)
-        continue;
-      for (TransitionId TI : S.showTransitions(*Id)) {
-        const Transition &T = S.referenceFA().transition(TI);
-        std::printf("  t%-3u q%u --%s--> q%u\n", TI, T.From,
-                    T.Label.render(S.table()).c_str(), T.To);
+    if (Cli.Wal.isOpen()) {
+      // Write-ahead: the command must be durable before it can have any
+      // effect. If the log cannot take it, applying it would silently
+      // break the crash guarantee — refuse and die loudly instead.
+      if (Status St = Cli.Wal.append(trimString(Line)); !St.isOk()) {
+        std::fprintf(stderr, "%s\n", St.diagnostic().render().c_str());
+        std::fprintf(stderr,
+                     "error: journal append failed; exiting to preserve "
+                     "durability (everything up to the previous command "
+                     "is recoverable with --journal %s)\n",
+                     JournalDir.c_str());
+        return 3;
       }
-      continue;
+      ++Cli.SinceSnapshot;
     }
-    if (Cmd == "traces" && Args.size() >= 2) {
-      std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
-      if (!Id)
-        continue;
-      std::optional<LabelId> From;
-      std::optional<TraceSelect> Sel = parseSelect(Args, 2, S, From);
-      if (!Sel)
-        continue;
-      for (size_t Obj : S.showTraces(*Id, *Sel, From)) {
-        std::string Label = S.labelOf(Obj)
-                                ? S.labelName(*S.labelOf(Obj))
-                                : std::string("-");
-        std::printf("  [%s] %s\n", Label.c_str(),
-                    S.object(Obj).render(S.table()).c_str());
-      }
-      continue;
+    bool Ok = executeCommand(Cli, Args);
+    if (!Ok && FromScript) {
+      // Fail-stop before the post-command snapshot: the failed command is
+      // already journaled but not covered by any snapshot, so a re-run
+      // with the same --journal replays it (and a transient failure heals).
+      std::fprintf(stderr,
+                   "error: command '%s' failed; a scripted session stops "
+                   "at the first error%s\n",
+                   Line.c_str(),
+                   Cli.Wal.isOpen()
+                       ? " (re-run with the same --journal to retry it)"
+                       : "");
+      return 5;
     }
-    if (Cmd == "label" && Args.size() >= 3) {
-      std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
-      if (!Id)
-        continue;
-      LabelId NewLabel = S.internLabel(Args[2]);
-      std::optional<LabelId> From;
-      std::optional<TraceSelect> Sel = parseSelect(Args, 3, S, From);
-      if (!Sel)
-        continue;
-      if (Args.size() == 3)
-        Sel = TraceSelect::Unlabeled; // Default: label the unlabeled.
-      size_t N = S.labelTraces(*Id, *Sel, NewLabel, From);
-      std::printf("labeled %zu trace(s) as '%s'\n", N, Args[2].c_str());
-      continue;
-    }
-    if (Cmd == "focus" && Args.size() >= 3) {
-      std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
-      if (!Id)
-        continue;
-      std::string Pattern;
-      for (size_t I = 2; I < Args.size(); ++I) {
-        if (I != 2)
-          Pattern += ' ';
-        Pattern += Args[I];
-      }
-      std::string Err;
-      std::optional<Automaton> FA =
-          compileRegex(Pattern, S.table(), Err);
-      if (!FA) {
-        std::printf("error: bad focus regex: %s\n", Err.c_str());
-        continue;
-      }
-      Cli.Stack.push_back(std::make_unique<FocusSession>(
-          S.focus(*Id, FA->withoutEpsilons())));
-      Session &Sub = Cli.current();
-      std::printf("focused: %zu traces, %zu concepts",
-                  Sub.numObjects(), Sub.lattice().size());
-      if (!Sub.rejectedObjects().empty())
-        std::printf(" (%zu rejected by the focus FA)",
-                    Sub.rejectedObjects().size());
-      std::printf("\n");
-      continue;
-    }
-    if (Cmd == "unfocus") {
-      if (Cli.Stack.empty()) {
-        std::printf("not in a focus session\n");
-        continue;
-      }
-      Session &Parent = Cli.parentOfTop();
-      Parent.mergeBack(*Cli.Stack.back());
-      Cli.Stack.pop_back();
-      std::printf("labels merged back\n");
-      continue;
-    }
-    if (Cmd == "check" && Args.size() >= 2) {
-      LabelId L = S.internLabel(Args[1]);
-      Automaton FA =
-          S.showFA(S.lattice().top(), TraceSelect::WithLabel, L);
-      std::printf("FA over all traces labeled '%s':\n%s", Args[1].c_str(),
-                  FA.renderText(S.table()).c_str());
-      continue;
-    }
-    if (Cmd == "oracle") {
-      if (!Cli.Protocol) {
-        std::printf("oracle requires --protocol\n");
-        continue;
-      }
-      Oracle Truth(*Cli.Protocol, S.table());
-      ReferenceLabeling Target = Truth.referenceLabeling(S);
-      ExpertSimStrategy Expert;
-      StrategyCost Cost = Expert.run(S, Target);
-      std::printf("expert simulation: %zu inspections + %zu label ops "
-                  "(%s)\n",
-                  Cost.Inspections, Cost.LabelOps,
-                  Cost.Finished ? "finished" : "DID NOT FINISH");
-      continue;
-    }
-    if ((Cmd == "meet" || Cmd == "join") && Args.size() >= 3) {
-      std::optional<Session::NodeId> A = parseConcept(Args[1], S);
-      std::optional<Session::NodeId> B = parseConcept(Args[2], S);
-      if (!A || !B)
-        continue;
-      Session::NodeId R = Cmd == "meet" ? S.lattice().meet(*A, *B)
-                                        : S.lattice().join(*A, *B);
-      std::printf("%s(c%u, c%u) = %s\n", Cmd.c_str(), *A, *B,
-                  S.describeConcept(R).c_str());
-      continue;
-    }
-    if (Cmd == "undo") {
-      std::printf(S.undo() ? "undone\n" : "nothing to undo\n");
-      continue;
-    }
-    if (Cmd == "diff" && Args.size() >= 3) {
-      LabelId L1 = S.internLabel(Args[1]);
-      LabelId L2 = S.internLabel(Args[2]);
-      Automaton A = S.showFA(S.lattice().top(), TraceSelect::WithLabel, L1);
-      Automaton B = S.showFA(S.lattice().top(), TraceSelect::WithLabel, L2);
-      std::vector<Trace> Reps;
-      for (size_t Obj = 0; Obj < S.numObjects(); ++Obj)
-        Reps.push_back(S.object(Obj));
-      std::vector<EventId> Alphabet = collectAlphabet(Reps);
-      Dfa DA = Dfa::determinize(A, Alphabet, S.table());
-      Dfa DB = Dfa::determinize(B, Alphabet, S.table());
-      if (std::optional<Trace> W = Dfa::shortestDifference(DA, DB)) {
-        std::printf("shortest separating trace: %s\n  accepted by the "
-                    "'%s' FA: %s; by the '%s' FA: %s\n",
-                    W->render(S.table()).c_str(), Args[1].c_str(),
-                    DA.accepts(*W) ? "yes" : "no", Args[2].c_str(),
-                    DB.accepts(*W) ? "yes" : "no");
-      } else {
-        std::printf("the two labels' FAs are language-equivalent over the "
-                    "session alphabet\n");
-      }
-      continue;
-    }
-    if (Cmd == "suggest" && Args.size() >= 2) {
-      std::optional<Session::NodeId> Id = parseConcept(Args[1], S);
-      if (!Id)
-        continue;
-      std::vector<SeedSuggestion> Suggestions = suggestFocusSeeds(S, *Id);
-      std::vector<ProjectionSuggestion> Projections =
-          suggestNameProjections(S, *Id);
-      if (Suggestions.empty() && Projections.empty()) {
-        std::printf("no seed-order or name-projection template splits "
-                    "this concept\n");
-        continue;
-      }
-      for (const SeedSuggestion &Sg : Suggestions)
-        std::printf("  seed order on %-24s -> %zu groups "
-                    "(%zu traces carry the seed)\n",
-                    S.table().renderEvent(Sg.Seed).c_str(), Sg.NumGroups,
-                    Sg.NumAccepted);
-      for (const ProjectionSuggestion &Pg : Projections)
-        std::printf("  name projection on v%-13u -> %zu groups\n", Pg.Value,
-                    Pg.NumGroups);
-      continue;
-    }
-    if (Cmd == "save" && Args.size() >= 2) {
-      std::ofstream Out(Args[1]);
-      if (!Out) {
-        std::printf("error: cannot write '%s'\n", Args[1].c_str());
-        continue;
-      }
-      Out << S.serializeLabels();
-      std::printf("wrote labels to %s\n", Args[1].c_str());
-      continue;
-    }
-    if (Cmd == "load" && Args.size() >= 2) {
-      std::ifstream In(Args[1]);
-      if (!In) {
-        std::printf("error: cannot open '%s'\n", Args[1].c_str());
-        continue;
-      }
-      std::stringstream Buf;
-      Buf << In.rdbuf();
-      std::string Err;
-      size_t Unmatched = 0;
-      if (!S.loadLabels(Buf.str(), Err, &Unmatched)) {
-        std::printf("error: %s\n", Err.c_str());
-        continue;
-      }
-      std::printf("labels loaded (%zu line(s) matched no trace here)\n",
-                  Unmatched);
-      continue;
-    }
-    if (Cmd == "dot" && Args.size() >= 2) {
-      std::ofstream Out(Args[1]);
-      if (!Out) {
-        std::printf("error: cannot write '%s'\n", Args[1].c_str());
-        continue;
-      }
-      Out << S.renderDot("cable_lattice");
-      std::printf("wrote %s\n", Args[1].c_str());
-      continue;
-    }
-    std::printf("unknown command '%s' (try 'help')\n", Cmd.c_str());
+    maybeSnapshot(Cli, /*Force=*/false);
+  }
+
+  // Clean shutdown: snapshot whatever is pending (unless a focus is still
+  // open — then the log tail carries it) and drop the ACTIVE marker.
+  if (Cli.Wal.isOpen()) {
+    maybeSnapshot(Cli, /*Force=*/true);
+    GJournalFd = -1;
+    if (Status St = Cli.Wal.closeClean(); !St.isOk())
+      std::fprintf(stderr, "%s\n", St.diagnostic().render().c_str());
   }
   return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // A worker-thread exception (a real bad_alloc, or an injected
+  // threadpool-dispatch fault) surfaces here instead of aborting; the
+  // journal on disk stays valid either way.
+  try {
+    return runCli(Argc, Argv);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: unhandled exception: %s\n", E.what());
+    return 4;
+  }
 }

@@ -28,26 +28,45 @@
 #include "fa/Parse.h"
 #include "fa/Regex.h"
 #include "fa/Templates.h"
+#include "support/AtomicFile.h"
+#include "support/Failpoint.h"
 #include "support/StringUtil.h"
 #include "verifier/Verifier.h"
 
+#include <cstdarg>
 #include <cstdio>
-#include <fstream>
 #include <optional>
-#include <sstream>
 #include <string>
 
 using namespace cable;
 
 namespace {
 
-std::optional<std::string> readFile(const std::string &Path) {
-  std::ifstream In(Path);
-  if (!In)
-    return std::nullopt;
-  std::stringstream Buf;
-  Buf << In.rdbuf();
-  return Buf.str();
+/// The cluster report accumulates here so it can go to stdout and (with
+/// --report FILE) to an atomically-replaced file in one rendering pass.
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void appendf(std::string &Out, const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  char Stack[512];
+  va_list Copy;
+  va_copy(Copy, Ap);
+  int N = std::vsnprintf(Stack, sizeof(Stack), Fmt, Ap);
+  va_end(Ap);
+  if (N < 0) {
+    va_end(Copy);
+    return;
+  }
+  if (static_cast<size_t>(N) < sizeof(Stack)) {
+    Out.append(Stack, static_cast<size_t>(N));
+  } else {
+    std::string Big(static_cast<size_t>(N) + 1, '\0');
+    std::vsnprintf(Big.data(), Big.size(), Fmt, Copy);
+    Big.resize(static_cast<size_t>(N));
+    Out += Big;
+  }
+  va_end(Copy);
 }
 
 bool parseCount(const std::string &Text, unsigned long &Out) {
@@ -69,6 +88,9 @@ void printUsage() {
       "  --runs FILE        full program runs; sliced into scenarios\n"
       "  --seeds a,b,c      seed event names for --runs slicing\n"
       "  --max-samples N    sample traces shown per cluster (default 3)\n"
+      "  --report FILE      also write the cluster report to FILE\n"
+      "                     (atomic replace: readers never see a torn file)\n"
+      "  --dot FILE         write the violation lattice as Graphviz DOT\n"
       "  --threads N        lattice-construction workers (0 = hardware\n"
       "                     concurrency, 1 = serial; default 0)\n"
       "  --time-budget MS   wall-clock limit per pipeline phase (scenario\n"
@@ -82,7 +104,13 @@ void printUsage() {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Status St = Failpoint::configureFromEnv(); !St.isOk()) {
+    std::fprintf(stderr, "error: CABLE_FAILPOINTS: %s\n",
+                 St.message().c_str());
+    return 1;
+  }
   std::string SpecFile, SpecRegex, TracesFile, RunsFile, SeedsArg;
+  std::string ReportFile, DotFile;
   size_t MaxSamples = 3;
   SessionOptions BuildOpts;
   for (int I = 1; I < Argc; ++I) {
@@ -100,6 +128,10 @@ int main(int Argc, char **Argv) {
       RunsFile = Next();
     else if (Arg == "--seeds")
       SeedsArg = Next();
+    else if (Arg == "--report")
+      ReportFile = Next();
+    else if (Arg == "--dot")
+      DotFile = Next();
     else if (Arg == "--max-samples" || Arg == "--threads" ||
              Arg == "--time-budget" || Arg == "--max-concepts") {
       std::string Value = Next();
@@ -135,9 +167,10 @@ int main(int Argc, char **Argv) {
 
   // Load traces or runs.
   std::string InputPath = TracesFile.empty() ? RunsFile : TracesFile;
-  std::optional<std::string> InputText = readFile(InputPath);
+  StatusOr<std::string> InputText = readFileToString(InputPath);
   if (!InputText) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", InputPath.c_str());
+    std::fprintf(stderr, "%s\n",
+                 InputText.status().diagnostic().render().c_str());
     return 1;
   }
   Diagnostic Diag;
@@ -151,9 +184,10 @@ int main(int Argc, char **Argv) {
   // Load the specification.
   Automaton Spec;
   if (!SpecFile.empty()) {
-    std::optional<std::string> SpecText = readFile(SpecFile);
+    StatusOr<std::string> SpecText = readFileToString(SpecFile);
     if (!SpecText) {
-      std::fprintf(stderr, "error: cannot open '%s'\n", SpecFile.c_str());
+      std::fprintf(stderr, "%s\n",
+                   SpecText.status().diagnostic().render().c_str());
       return 1;
     }
     std::optional<Automaton> FA =
@@ -207,11 +241,26 @@ int main(int Argc, char **Argv) {
                 R.NumScenarios);
   }
 
-  std::printf("spec-lint: %zu scenario(s) checked, %zu violation(s), "
-              "%zu accepted\n",
-              R.NumScenarios, R.Violations.size(), R.Accepted.size());
-  if (R.Violations.empty())
-    return 0;
+  std::string Report;
+  appendf(Report,
+          "spec-lint: %zu scenario(s) checked, %zu violation(s), "
+          "%zu accepted\n",
+          R.NumScenarios, R.Violations.size(), R.Accepted.size());
+  auto Finish = [&](int Code) {
+    std::printf("%s", Report.c_str());
+    if (!ReportFile.empty()) {
+      if (Status St = AtomicFile::write(ReportFile, Report); !St.isOk()) {
+        std::fprintf(stderr, "%s\n", St.diagnostic().render().c_str());
+        return 1;
+      }
+    }
+    return Code;
+  };
+  if (R.Violations.empty()) {
+    if (!DotFile.empty())
+      appendf(Report, "no violations; %s not written\n", DotFile.c_str());
+    return Finish(0);
+  }
 
   // Cluster the violations and report the maximal clusters (the top
   // concept's children), each with the three §4.1 summaries.
@@ -243,9 +292,10 @@ int main(int Argc, char **Argv) {
   }
   const ConceptLattice &L = S.lattice();
 
-  std::printf("\n%zu unique violation trace(s) in %zu concept(s); maximal "
-              "clusters:\n",
-              S.numObjects(), L.size());
+  appendf(Report,
+          "\n%zu unique violation trace(s) in %zu concept(s); maximal "
+          "clusters:\n",
+          S.numObjects(), L.size());
   std::vector<Session::NodeId> Clusters = L.children(L.top());
   if (Clusters.empty())
     Clusters.push_back(L.top());
@@ -253,14 +303,14 @@ int main(int Argc, char **Argv) {
     const Concept &C = L.node(Id);
     if (C.Extent.none())
       continue;
-    std::printf("\n== cluster c%u: %zu trace(s), %zu shared transition(s)\n",
-                Id, C.Extent.count(), C.Intent.count());
-    std::printf("   transitions:");
+    appendf(Report,
+            "\n== cluster c%u: %zu trace(s), %zu shared transition(s)\n", Id,
+            C.Extent.count(), C.Intent.count());
+    appendf(Report, "   transitions:");
     for (TransitionId TI : S.showTransitions(Id))
-      std::printf(" %s",
-                  S.referenceFA().transition(TI).Label.render(S.table())
-                      .c_str());
-    std::printf("\n   summary FA:\n");
+      appendf(Report, " %s",
+              S.referenceFA().transition(TI).Label.render(S.table()).c_str());
+    appendf(Report, "\n   summary FA:\n");
     Automaton FA = S.showFA(Id, TraceSelect::All);
     std::string Text = FA.renderText(S.table());
     // Indent the FA listing.
@@ -270,15 +320,22 @@ int main(int Argc, char **Argv) {
       if (Ch == '\n')
         Indented += "     ";
     }
-    std::printf("%s\n", Indented.c_str());
+    appendf(Report, "%s\n", Indented.c_str());
     size_t Shown = 0;
     for (size_t Obj : S.showTraces(Id, TraceSelect::All)) {
       if (++Shown > MaxSamples) {
-        std::printf("   ...\n");
+        appendf(Report, "   ...\n");
         break;
       }
-      std::printf("   %s\n", S.object(Obj).render(S.table()).c_str());
+      appendf(Report, "   %s\n", S.object(Obj).render(S.table()).c_str());
     }
   }
-  return 1;
+  if (!DotFile.empty()) {
+    if (Status St = AtomicFile::write(DotFile, S.renderDot("spec_lint"));
+        !St.isOk()) {
+      std::fprintf(stderr, "%s\n", St.diagnostic().render().c_str());
+      return 1;
+    }
+  }
+  return Finish(1);
 }
