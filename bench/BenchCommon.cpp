@@ -8,13 +8,142 @@
 #include "BenchCommon.h"
 
 #include "fa/Regex.h"
+#include "support/AtomicFile.h"
+#include "support/BuildInfo.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
 #include "support/StringUtil.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 
 using namespace cable;
 using namespace cable::bench;
+
+namespace {
+
+BenchReport *CurrentReport = nullptr;
+
+/// Nearest-rank percentile over a sorted copy of the samples.
+double percentile(std::vector<double> Samples, double P) {
+  if (Samples.empty())
+    return 0;
+  std::sort(Samples.begin(), Samples.end());
+  size_t Rank = static_cast<size_t>(P * (Samples.size() - 1) + 0.5);
+  return Samples[std::min(Rank, Samples.size() - 1)];
+}
+
+} // namespace
+
+BenchReport::BenchReport(std::string Name)
+    : Name(std::move(Name)), Start(std::chrono::steady_clock::now()) {
+  // Arm metrics so the snapshot section is populated; bench binaries are
+  // measuring the armed path anyway (the disarmed path has its own
+  // dedicated guard in instrument_overhead).
+  Metrics::setEnabled(true);
+  CurrentReport = this;
+}
+
+BenchReport::~BenchReport() {
+  if (CurrentReport == this)
+    CurrentReport = nullptr;
+}
+
+bool BenchReport::quick() {
+  const char *Env = std::getenv("CABLE_BENCH_QUICK");
+  return Env && *Env && std::string(Env) != "0";
+}
+
+BenchReport *BenchReport::current() { return CurrentReport; }
+
+void BenchReport::sample(const std::string &Section, double Ms) {
+  for (auto &[Existing, Samples] : Sections) {
+    if (Existing == Section) {
+      Samples.push_back(Ms);
+      return;
+    }
+  }
+  Sections.push_back({Section, {Ms}});
+}
+
+void BenchReport::counter(const std::string &Name, double Value) {
+  for (auto &[Existing, V] : Counters) {
+    if (Existing == Name) {
+      V = Value;
+      return;
+    }
+  }
+  Counters.push_back({Name, Value});
+}
+
+double BenchReport::timeSample(const std::string &Section,
+                               const std::function<void()> &Fn) {
+  auto Start = std::chrono::steady_clock::now();
+  Fn();
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+  sample(Section, Ms);
+  return Ms;
+}
+
+std::string BenchReport::renderJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.member("schema", "cable-bench/1");
+  W.member("name", Name);
+  W.member("version", buildinfo::kVersion);
+  W.member("git_sha", buildinfo::kGitSha);
+  W.member("build_type", buildinfo::kBuildType);
+  W.member("sanitize", buildinfo::kSanitize);
+  W.member("instrumented", buildinfo::kInstrumented);
+  W.member("quick", quick());
+  auto All = Sections;
+  All.push_back({"total",
+                 {std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count()}});
+  W.key("sections");
+  W.beginArray();
+  for (const auto &[Section, Samples] : All) {
+    W.beginObject();
+    W.member("name", Section);
+    W.key("samples_ms");
+    W.beginArray();
+    for (double Ms : Samples)
+      W.value(Ms);
+    W.endArray();
+    W.member("median_ms", percentile(Samples, 0.5));
+    W.member("p90_ms", percentile(Samples, 0.9));
+    W.endObject();
+  }
+  W.endArray();
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[CounterName, Value] : Counters)
+    W.member(CounterName, Value);
+  W.endObject();
+  W.key("metrics");
+  W.rawValue(Metrics::snapshotJson());
+  W.endObject();
+  return W.take();
+}
+
+bool BenchReport::write() const {
+  std::string Dir = ".";
+  if (const char *Env = std::getenv("CABLE_BENCH_OUT"); Env && *Env)
+    Dir = Env;
+  std::string Path = Dir + "/BENCH_" + Name + ".json";
+  if (Status St = AtomicFile::write(Path, renderJson() + "\n"); !St.isOk()) {
+    std::fprintf(stderr, "warning: cannot write %s: %s\n", Path.c_str(),
+                 St.diagnostic().render().c_str());
+    return false;
+  }
+  return true;
+}
 
 TablePrinter::TablePrinter(
     std::vector<std::pair<std::string, size_t>> Columns)
@@ -49,6 +178,12 @@ std::string cable::bench::cell1(double D) {
 }
 
 SpecEvaluation cable::bench::evaluateProtocol(const ProtocolModel &Model) {
+  // Contribute one pipeline-front-half sample per protocol to the live
+  // bench report, so every table/figure binary gets a real timing
+  // distribution (17 protocols -> 17 samples) for free.
+  std::optional<BenchTimer> Timer;
+  if (BenchReport *Report = BenchReport::current())
+    Timer.emplace(*Report, "evaluate-protocol");
   SpecEvaluation Out;
   Out.Model = Model;
 

@@ -26,11 +26,85 @@
 #include "workload/Oracle.h"
 #include "workload/ReferenceFA.h"
 
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace cable::bench {
+
+/// Machine-readable companion to a bench binary's text output: collects
+/// named timing sections and counters, then writes a schema-versioned
+/// `BENCH_<name>.json` (schema "cable-bench/1") with per-section
+/// median/p90 wall times, the build stamp, and a metrics snapshot.
+///
+/// Construction arms the Metrics registry so the snapshot is populated;
+/// the constructor also registers itself as `current()` so shared
+/// helpers (evaluateProtocol) can contribute samples without plumbing.
+///
+/// Output directory: $CABLE_BENCH_OUT if set, else the working
+/// directory. Set CABLE_BENCH_QUICK=1 to make `quick()` return true;
+/// binaries shrink their sweeps accordingly (CI smoke mode).
+class BenchReport {
+public:
+  explicit BenchReport(std::string Name);
+  ~BenchReport();
+
+  BenchReport(const BenchReport &) = delete;
+  BenchReport &operator=(const BenchReport &) = delete;
+
+  /// True when CABLE_BENCH_QUICK is set to anything but "0".
+  static bool quick();
+
+  /// The live report for this process, or null outside a bench main.
+  static BenchReport *current();
+
+  /// Appends one wall-time sample (milliseconds) to \p Section.
+  void sample(const std::string &Section, double Ms);
+
+  /// Sets a named scalar result (sizes, speedups, rates).
+  void counter(const std::string &Name, double Value);
+
+  /// Times Fn once and records the sample; returns the milliseconds.
+  double timeSample(const std::string &Section, const std::function<void()> &Fn);
+
+  /// Renders the cable-bench/1 JSON document.
+  std::string renderJson() const;
+
+  /// Writes BENCH_<name>.json; warns on stderr and returns false on
+  /// failure (bench output is best-effort, never fatal).
+  bool write() const;
+
+private:
+  std::string Name;
+  /// Insertion-ordered section names -> samples in ms.
+  std::vector<std::pair<std::string, std::vector<double>>> Sections;
+  std::vector<std::pair<std::string, double>> Counters;
+  /// Construction time: renderJson() appends a single-sample "total"
+  /// section from it, so even a binary that records nothing else has a
+  /// wall-time trajectory.
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// RAII one-sample timer: records into \p Report on destruction.
+class BenchTimer {
+public:
+  BenchTimer(BenchReport &Report, std::string Section)
+      : Report(Report), Section(std::move(Section)),
+        Start(std::chrono::steady_clock::now()) {}
+  ~BenchTimer() {
+    Report.sample(Section,
+                  std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count());
+  }
+
+private:
+  BenchReport &Report;
+  std::string Section;
+  std::chrono::steady_clock::time_point Start;
+};
 
 /// Prints fixed-width ASCII tables with a header row and a rule.
 class TablePrinter {

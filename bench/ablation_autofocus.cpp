@@ -34,6 +34,7 @@ using namespace cable;
 using namespace cable::bench;
 
 int main() {
+  cable::bench::BenchReport Report("ablation_autofocus");
   std::printf("Ablation: auto-focus (the §6 interactive fine-tuning, made "
               "concrete)\n\n");
 
@@ -80,5 +81,6 @@ int main() {
   std::printf("\nauto-focus repaired %zu ill-formed lattices; %zu remained "
               "stuck.\n",
               Repaired, Stalled);
+  Report.write();
   return 0;
 }

@@ -67,6 +67,7 @@ std::string cell2(double D) {
 } // namespace
 
 int main() {
+  cable::bench::BenchReport Report("ablation_coring");
   std::printf("Ablation: coring (frequency threshold) vs Cable debugging\n");
   std::printf("cells are good-acceptance / bad-rejection over scenario "
               "classes\n\n");
@@ -128,5 +129,6 @@ int main() {
   std::printf("\nCable strictly dominates every coring threshold on %zu/%zu "
               "specifications.\n",
               CableWins, Rows);
+  Report.write();
   return 0;
 }

@@ -45,6 +45,7 @@ std::string cell2(double D) {
 } // namespace
 
 int main() {
+  cable::bench::BenchReport Report("ablation_learners");
   std::printf("Ablation: FA learners as the Strauss back end\n");
   std::printf("cells: fresh-good-acceptance / corpus-bad-rejection / "
               "states\n\n");
@@ -122,5 +123,6 @@ int main() {
               "(higher fresh-good acceptance) at some risk of accepting\n"
               "erroneous traces; conservative settings are exact on the\n"
               "corpus but reject unseen correct interleavings.\n");
+  Report.write();
   return 0;
 }

@@ -48,6 +48,7 @@ std::string measure(const SpecEvaluation &E, Automaton Ref) {
 } // namespace
 
 int main() {
+  cable::bench::BenchReport Report("ablation_reference_fa");
   std::printf("Ablation: reference-FA choice "
               "(cells: well-formed? / concepts / expert cost)\n\n");
 
@@ -85,5 +86,6 @@ int main() {
               "well-formed but barely beats Baseline (lattice too\nfine); "
               "the mined FA usually works (§2.2: \"usually a good starting "
               "point\").\n");
+  Report.write();
   return 0;
 }

@@ -23,6 +23,8 @@
 #include "support/Budget.h"
 #include "support/RNG.h"
 
+#include "BenchCommon.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace cable;
@@ -150,4 +152,45 @@ BENCHMARK(BM_DeadlineStopsContranominal)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): always emit the BENCH JSON
+// (a fixed paired probe of the unbudgeted vs. unlimited-meter paths),
+// and run the full google-benchmark sweeps only outside quick mode.
+int main(int Argc, char **Argv) {
+  cable::bench::BenchReport Report("budget_overhead");
+  {
+    Context Ctx = randomContext(64, 6, 24, 42);
+    int Samples = cable::bench::BenchReport::quick() ? 3 : 11;
+    for (int I = 0; I < Samples; ++I) {
+      Report.timeSample("next-closure-unbudgeted", [&] {
+        ConceptLattice L = NextClosureBuilder::buildLattice(Ctx);
+        benchmark::DoNotOptimize(L);
+      });
+      Report.timeSample("next-closure-unlimited-meter", [&] {
+        BudgetMeter Meter{Budget{}};
+        LatticeBuildResult R =
+            NextClosureBuilder::buildLatticeBudgeted(Ctx, Meter);
+        benchmark::DoNotOptimize(R);
+      });
+      Report.timeSample("parallel4-unlimited-meter", [&] {
+        BudgetMeter Meter{Budget{}};
+        LatticeBuildResult R =
+            ParallelBuilder::buildLatticeBudgeted(Ctx, Meter, 4u);
+        benchmark::DoNotOptimize(R);
+      });
+    }
+    Budget B;
+    B.TimeLimit = std::chrono::milliseconds(10);
+    BudgetMeter Meter(B);
+    LatticeBuildResult R =
+        ParallelBuilder::buildLatticeBudgeted(contranominal(22), Meter, 4u);
+    Report.counter("deadline_kept_concepts",
+                   static_cast<double>(R.Lattice.size()));
+  }
+  if (!cable::bench::BenchReport::quick()) {
+    benchmark::Initialize(&Argc, Argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  Report.write();
+  return 0;
+}

@@ -34,6 +34,7 @@ using namespace cable;
 using namespace cable::bench;
 
 int main() {
+  cable::bench::BenchReport Report("corpus_pipeline");
   std::printf("Program-corpus pipeline (buggy sites recur in every run)\n\n");
 
   TablePrinter T({{"Specification", 14},
@@ -98,5 +99,6 @@ int main() {
   std::printf("\nTotals: Expert %.0f vs Baseline %.0f (ratio %.2f) on "
               "program corpora.\n",
               ExpertTotal, BaselineTotal, ExpertTotal / BaselineTotal);
+  Report.write();
   return 0;
 }

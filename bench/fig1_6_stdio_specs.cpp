@@ -13,6 +13,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "fa/Regex.h"
 #include "trace/TraceSet.h"
 #include "workload/Protocols.h"
@@ -22,6 +24,7 @@
 using namespace cable;
 
 int main() {
+  cable::bench::BenchReport Report("fig1_6_stdio_specs");
   EventTable Table;
 
   std::printf("Figure 1: buggy stdio specification\n");
@@ -65,5 +68,6 @@ int main() {
               Buggy.renderDot(Table, "fig1_buggy").c_str());
   std::printf("\nDOT (Figure 6):\n%s",
               Fixed.renderDot(Table, "fig6_fixed").c_str());
+  Report.write();
   return 0;
 }

@@ -13,6 +13,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "fa/Regex.h"
 #include "support/RNG.h"
 #include "verifier/Verifier.h"
@@ -24,6 +26,7 @@
 using namespace cable;
 
 int main() {
+  cable::bench::BenchReport Report("fig2_violation_traces");
   ProtocolModel Model = stdioProtocol();
   EventTable Table;
   WorkloadGenerator Gen(Model, Table);
@@ -60,5 +63,6 @@ int main() {
   std::printf("\nof %zu violations: %zu expose the specification bug, %zu "
               "are real program errors\n",
               R.Violations.size(), SpecBugs, ProgramBugs);
+  Report.write();
   return 0;
 }

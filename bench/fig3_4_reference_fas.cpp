@@ -12,6 +12,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "fa/Regex.h"
 #include "fa/Templates.h"
 #include "learner/SkStrings.h"
@@ -24,6 +26,7 @@
 using namespace cable;
 
 int main() {
+  cable::bench::BenchReport Report("fig3_4_reference_fas");
   ProtocolModel Model = stdioProtocol();
   EventTable Table;
   WorkloadGenerator Gen(Model, Table);
@@ -64,5 +67,6 @@ int main() {
               Fig3.renderDot(R.Violations.table(), "fig3").c_str());
   std::printf("\nDOT (Figure 4):\n%s",
               Fig4.renderDot(R.Violations.table(), "fig4").c_str());
+  Report.write();
   return 0;
 }

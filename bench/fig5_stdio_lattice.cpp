@@ -14,6 +14,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "cable/Session.h"
 #include "fa/Regex.h"
 #include "fa/Templates.h"
@@ -26,6 +28,7 @@
 using namespace cable;
 
 int main() {
+  cable::bench::BenchReport Report("fig5_stdio_lattice");
   ProtocolModel Model = stdioProtocol();
   EventTable Table;
   WorkloadGenerator Gen(Model, Table);
@@ -69,5 +72,6 @@ int main() {
   }
 
   std::printf("\nDOT:\n%s", S.renderDot("fig5_lattice").c_str());
+  Report.write();
   return 0;
 }

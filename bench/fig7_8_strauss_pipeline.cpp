@@ -13,6 +13,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "miner/Miner.h"
 #include "support/RNG.h"
 #include "workload/Generator.h"
@@ -23,6 +25,7 @@
 using namespace cable;
 
 int main() {
+  cable::bench::BenchReport Report("fig7_8_strauss_pipeline");
   ProtocolModel Model = stdioProtocol();
   EventTable Table;
   WorkloadGenerator Gen(Model, Table);
@@ -78,5 +81,6 @@ int main() {
                 Result.Spec.FA.accepts(T, Result.Scenarios.table()) ? "yes"
                                                                      : "no");
   }
+  Report.write();
   return 0;
 }

@@ -13,6 +13,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "concepts/GodinBuilder.h"
 #include "concepts/NextClosureBuilder.h"
 
@@ -23,6 +25,7 @@
 using namespace cable;
 
 int main() {
+  cable::bench::BenchReport Report("fig9_10_animals");
   std::vector<std::string> Animals{"cat", "gerbil", "dog", "dolphin",
                                    "whale"};
   std::vector<std::string> Adjectives{"four-legged", "hair-covered", "small",
@@ -86,5 +89,6 @@ int main() {
   }
 
   std::printf("\nDOT:\n%s", L.renderDot("fig10_animals", Label).c_str());
+  Report.write();
   return 0;
 }

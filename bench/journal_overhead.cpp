@@ -175,4 +175,46 @@ BENCHMARK(BM_FailpointLoopBaseline);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): always emit the BENCH JSON
+// (plain vs. journaled scripted-session probes under both sync
+// policies), and run the google-benchmark sweeps only outside quick
+// mode. The metrics snapshot picks up journal.append-us / fsync-us
+// histograms from the probes for free.
+int main(int Argc, char **Argv) {
+  cable::bench::BenchReport Report("journal_overhead");
+  {
+    Session &S = stdioSession();
+    int Samples = cable::bench::BenchReport::quick() ? 3 : 11;
+    for (int I = 0; I < Samples; ++I)
+      Report.timeSample("scripted-session-plain",
+                        [&] { runScriptedSession(S, nullptr); });
+    for (Journal::SyncPolicy Policy :
+         {Journal::SyncPolicy::Batched, Journal::SyncPolicy::EveryRecord}) {
+      std::string Dir = "/tmp/cable_bench_journal_json";
+      removeJournalDir(Dir);
+      Journal::Recovery Rec;
+      StatusOr<Journal> J = Journal::open(Dir, Rec);
+      if (!J.isOk()) {
+        std::fprintf(stderr, "warning: %s\n", J.status().message().c_str());
+        continue;
+      }
+      J->setSyncPolicy(Policy);
+      const char *Section = Policy == Journal::SyncPolicy::Batched
+                                ? "scripted-session-journal-batch"
+                                : "scripted-session-journal-fsync";
+      for (int I = 0; I < Samples; ++I) {
+        Report.timeSample(Section, [&] { runScriptedSession(S, &*J); });
+        benchmark::DoNotOptimize(J->snapshot(S.serializeSnapshot()));
+      }
+      benchmark::DoNotOptimize(J->closeClean());
+      removeJournalDir(Dir);
+    }
+  }
+  if (!cable::bench::BenchReport::quick()) {
+    benchmark::Initialize(&Argc, Argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  Report.write();
+  return 0;
+}

@@ -27,6 +27,8 @@
 #include "workload/Generator.h"
 #include "workload/ReferenceFA.h"
 
+#include "BenchCommon.h"
+
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -271,4 +273,41 @@ BENCHMARK(BM_ParallelVsThreads)
     ->MinTime(0.05);
 BENCHMARK(BM_ExecutedTransitions)->MinTime(0.05);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): always emit the BENCH JSON
+// (fixed Godin / parallel-builder probes on the 512-object sweep
+// context), and run the full google-benchmark sweeps only outside quick
+// mode. This binary is also the subject of the disarmed-instrumentation
+// overhead guard (tests/bench/overhead_guard.sh), which compares its
+// probe medians across a CABLE_NO_INSTRUMENT build.
+int main(int Argc, char **Argv) {
+  cable::bench::BenchReport Report("scaling_lattice");
+  {
+    Context Ctx = randomContext(/*NumObjects=*/512, /*K=*/6, /*PoolSize=*/24,
+                                42);
+    int Samples = cable::bench::BenchReport::quick() ? 3 : 11;
+    size_t Concepts = 0;
+    for (int I = 0; I < Samples; ++I) {
+      Report.timeSample("godin-512", [&] {
+        ConceptLattice L = GodinBuilder::buildLattice(Ctx);
+        Concepts = L.size();
+        benchmark::DoNotOptimize(L);
+      });
+      Report.timeSample("next-closure-512", [&] {
+        ConceptLattice L = NextClosureBuilder::buildLattice(Ctx);
+        benchmark::DoNotOptimize(L);
+      });
+      Report.timeSample("parallel4-512", [&] {
+        ConceptLattice L = ParallelBuilder::buildLattice(Ctx, 4u);
+        benchmark::DoNotOptimize(L);
+      });
+    }
+    Report.counter("concepts", static_cast<double>(Concepts));
+  }
+  if (!cable::bench::BenchReport::quick()) {
+    benchmark::Initialize(&Argc, Argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  Report.write();
+  return 0;
+}

@@ -26,6 +26,7 @@ using namespace cable;
 using namespace cable::bench;
 
 int main() {
+  cable::bench::BenchReport Report("table1_specifications");
   std::printf("Table 1: debugged specifications "
               "(states/transitions of the FA after debugging)\n\n");
 
@@ -90,5 +91,6 @@ int main() {
       "Counts are minimal trimmed DFAs over each corpus alphabet; the\n"
       "paper's specs are likewise small loop-free FAs with short "
       "scenarios.\n");
+  Report.write();
   return 0;
 }

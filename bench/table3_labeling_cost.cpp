@@ -34,6 +34,7 @@ using namespace cable;
 using namespace cable::bench;
 
 int main() {
+  cable::bench::BenchReport Report("table3_labeling_cost");
   std::printf("Table 3: cost of labeling, by method "
               "(Random = mean of 1024 trials)\n\n");
 
@@ -95,5 +96,6 @@ int main() {
               "'-' = did not finish (Optimal state cap, like the paper's "
               "four largest specs).\n",
               ExpertTotal, BaselineTotal, ExpertTotal / BaselineTotal);
+  Report.write();
   return 0;
 }

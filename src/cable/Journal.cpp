@@ -9,7 +9,9 @@
 
 #include "support/AtomicFile.h"
 #include "support/Failpoint.h"
+#include "support/Metrics.h"
 #include "support/StringUtil.h"
+#include "support/TraceEvent.h"
 
 #include <cerrno>
 #include <cstring>
@@ -25,6 +27,17 @@ namespace {
 Failpoint::Registrar RegAppend("journal-append");
 Failpoint::Registrar RegFsync("journal-fsync");
 Failpoint::Registrar RegSnapshot("journal-snapshot");
+
+Metrics::Counter &NumAppends = Metrics::counter("journal.appends");
+Metrics::Counter &BytesWritten = Metrics::counter("journal.bytes-written");
+Metrics::Counter &NumRecoveries = Metrics::counter("journal.recoveries");
+Metrics::Counter &NumUncleanRecoveries =
+    Metrics::counter("journal.unclean-recoveries");
+Metrics::Counter &NumTornTails = Metrics::counter("journal.torn-tails");
+Metrics::Counter &NumReplayed = Metrics::counter("journal.replayed-commands");
+Metrics::Histogram &AppendUs = Metrics::histogram("journal.append-us");
+Metrics::Histogram &FsyncUs = Metrics::histogram("journal.fsync-us");
+Metrics::Histogram &SnapshotUs = Metrics::histogram("journal.snapshot-us");
 
 constexpr char kMagic[4] = {'C', 'B', 'L', 'J'};
 constexpr size_t kHeaderSize = 8;
@@ -244,22 +257,34 @@ StatusOr<Journal> Journal::open(const std::string &DirPath, Recovery &Out) {
   ::fsync(MarkerFd);
   ::close(MarkerFd);
 
+  NumRecoveries.add();
+  if (Out.UncleanShutdown)
+    NumUncleanRecoveries.add();
+  if (!Out.TornTail.isOk())
+    NumTornTails.add();
+  NumReplayed.add(Out.Commands.size());
+
   return J;
 }
 
 Status Journal::append(std::string_view Command) {
+  MetricTimer Timer(AppendUs);
   if (Status S = Failpoint::hit("journal-append"); !S.isOk())
     return S;
   std::string Payload;
   Payload.reserve(Command.size() + 8);
   encodeSeq(Payload, Seq + 1);
   Payload.append(Command);
-  if (Status S = writeAll(Fd, logPath(Dir), encodeFramedRecord(Payload));
-      !S.isOk())
+  std::string Framed = encodeFramedRecord(Payload);
+  if (Status S = writeAll(Fd, logPath(Dir), Framed); !S.isOk())
     return S;
+  NumAppends.add();
+  BytesWritten.add(Framed.size());
   if (Policy == SyncPolicy::EveryRecord) {
     if (Status S = Failpoint::hit("journal-fsync"); !S.isOk())
       return S;
+    TraceSpan Span("journal-fsync");
+    MetricTimer FsyncTimer(FsyncUs);
     if (::fsync(Fd) != 0)
       return ioError(logPath(Dir), "fsync failed");
   } else {
@@ -274,6 +299,8 @@ Status Journal::flush() {
     return Status::ok();
   if (Status S = Failpoint::hit("journal-fsync"); !S.isOk())
     return S;
+  TraceSpan Span("journal-fsync");
+  MetricTimer FsyncTimer(FsyncUs);
   if (::fsync(Fd) != 0)
     return ioError(logPath(Dir), "fsync failed");
   Dirty = false;
@@ -281,6 +308,8 @@ Status Journal::flush() {
 }
 
 Status Journal::snapshot(std::string_view SessionBody) {
+  TraceSpan Span("journal-snapshot");
+  MetricTimer Timer(SnapshotUs);
   if (Status S = Failpoint::hit("journal-snapshot"); !S.isOk())
     return S;
   std::string Body = "seq " + std::to_string(Seq) + "\n";

@@ -10,7 +10,9 @@
 #include "concepts/BuildResult.h"
 #include "concepts/ParallelBuilder.h"
 #include "support/Dot.h"
+#include "support/Metrics.h"
 #include "support/StringUtil.h"
+#include "support/TraceEvent.h"
 
 #include <unordered_map>
 
@@ -49,6 +51,7 @@ StatusOr<Session> Session::build(TraceSet Traces, Automaton ReferenceFA,
 }
 
 Status Session::init(const SessionOptions &Options) {
+  TraceSpan Span("session-init");
   NumThreads = Options.NumThreads;
   Classes = Traces.computeClasses();
 
@@ -75,8 +78,21 @@ Status Session::init(const SessionOptions &Options) {
   // path; its lattice is bit-for-bit identical at every thread count, as
   // is the truncation point when the budget runs out.
   BudgetMeter Meter(Options.ResourceBudget);
-  LatticeBuildResult R =
-      ParallelBuilder::buildLatticeBudgeted(Ctx, Meter, NumThreads);
+  LatticeBuildResult R;
+  {
+    TraceSpan BuildSpan("lattice-build",
+                        static_cast<int64_t>(Ctx.numObjects()));
+    R = ParallelBuilder::buildLatticeBudgeted(Ctx, Meter, NumThreads);
+  }
+  Metrics::counter("session.builds").add();
+  if (R.Truncated)
+    Metrics::counter("session.truncated-builds").add();
+  if (Options.ResourceBudget.TimeLimit) {
+    int64_t Headroom = static_cast<int64_t>(
+                           Options.ResourceBudget.TimeLimit->count()) -
+                       static_cast<int64_t>(Meter.elapsed().count());
+    Metrics::gauge("budget.headroom-ms").set(Headroom > 0 ? Headroom : 0);
+  }
   Lattice = std::move(R.Lattice);
   Truncated = R.Truncated;
   BuildSt = std::move(R.BuildStatus);

@@ -7,12 +7,22 @@
 
 #include "concepts/GodinBuilder.h"
 
+#include "support/Metrics.h"
+#include "support/TraceEvent.h"
+
 #include <algorithm>
 #include <cassert>
 #include <numeric>
 #include <unordered_map>
 
 using namespace cable;
+
+namespace {
+
+Metrics::Counter &ObjectsAdded = Metrics::counter("godin.objects-added");
+Metrics::Counter &ConceptsCreated = Metrics::counter("godin.concepts-created");
+
+} // namespace
 
 GodinBuilder::GodinBuilder(size_t NumAttributes)
     : NumAttributes(NumAttributes) {
@@ -71,6 +81,8 @@ void GodinBuilder::addObject(const BitVector &Attrs) {
   }
   for (Concept &N : Created)
     Concepts.push_back(std::move(N));
+  ObjectsAdded.add();
+  ConceptsCreated.add(Created.size());
 }
 
 bool GodinBuilder::addObjectBudgeted(const BitVector &Attrs,
@@ -128,6 +140,8 @@ bool GodinBuilder::addObjectBudgeted(const BitVector &Attrs,
     N.Extent.set(X);
     Concepts.push_back(std::move(N));
   }
+  ObjectsAdded.add();
+  ConceptsCreated.add(Created.size());
   return true;
 }
 
@@ -150,6 +164,7 @@ GodinBuilder::snapshotConcepts(size_t ExtentUniverse) const {
 }
 
 ConceptLattice GodinBuilder::buildLattice(const Context &Ctx) {
+  TraceSpan Span("godin-build", static_cast<int64_t>(Ctx.numObjects()));
   GodinBuilder B(Ctx.numAttributes());
   for (size_t O = 0; O < Ctx.numObjects(); ++O)
     B.addObject(Ctx.objectRow(O));
@@ -168,6 +183,7 @@ GodinBuilder::buildLatticeBudgeted(const Context &Ctx,
     return R;
   }
 
+  TraceSpan Span("godin-build", static_cast<int64_t>(Ctx.numObjects()));
   GodinBuilder B(Ctx.numAttributes());
   size_t Max = Meter.budget().MaxConcepts.value_or(SIZE_MAX);
   bool Stopped = false;

@@ -7,11 +7,21 @@
 
 #include "concepts/LindigBuilder.h"
 
+#include "support/Metrics.h"
+#include "support/TraceEvent.h"
+
 #include <cassert>
 #include <deque>
 #include <unordered_map>
 
 using namespace cable;
+
+namespace {
+
+Metrics::Counter &NumClosures = Metrics::counter("lattice.closures");
+Metrics::Counter &NumConcepts = Metrics::counter("lattice.concepts");
+
+} // namespace
 
 std::vector<BitVector>
 LindigBuilder::upperNeighborExtents(const Context &Ctx,
@@ -29,14 +39,18 @@ LindigBuilder::upperNeighborExtents(const Context &Ctx,
       Min.set(G);
 
   std::vector<BitVector> Out;
+  uint64_t LocalClosures = 0;
   for (size_t G = 0; G < N; ++G) {
     if (Extent.test(G))
       continue;
-    if (Meter && Meter->expired())
+    if (Meter && Meter->expired()) {
+      NumClosures.add(LocalClosures);
       return Out;
+    }
     BitVector Gen = Extent;
     Gen.set(G);
     BitVector Closed = Ctx.closeExtent(Gen);
+    ++LocalClosures;
     // Extra = Closed \ Extent \ {g}.
     BitVector Extra = Closed;
     Extra.andNot(Extent);
@@ -55,10 +69,12 @@ LindigBuilder::upperNeighborExtents(const Context &Ctx,
       Min.reset(G);
     }
   }
+  NumClosures.add(LocalClosures);
   return Out;
 }
 
 ConceptLattice LindigBuilder::buildLattice(const Context &Ctx) {
+  TraceSpan Span("lindig-build");
   std::vector<Concept> Concepts;
   std::vector<std::pair<ConceptLattice::NodeId, ConceptLattice::NodeId>>
       Covers;
@@ -95,6 +111,7 @@ ConceptLattice LindigBuilder::buildLattice(const Context &Ctx) {
         Worklist.push_back(ParentId);
     }
   }
+  NumConcepts.add(Concepts.size());
   return ConceptLattice::fromConceptsAndCovers(std::move(Concepts), Covers);
 }
 
@@ -110,6 +127,7 @@ LindigBuilder::buildLatticeBudgeted(const Context &Ctx,
     return R;
   }
 
+  TraceSpan Span("lindig-build");
   size_t Max = Meter.budget().MaxConcepts.value_or(SIZE_MAX);
   std::vector<Concept> Concepts;
   std::vector<std::pair<ConceptLattice::NodeId, ConceptLattice::NodeId>>
@@ -173,6 +191,7 @@ LindigBuilder::buildLatticeBudgeted(const Context &Ctx,
 
   LatticeBuildResult R;
   R.NumEnumerated = Concepts.size();
+  NumConcepts.add(Concepts.size());
   if (Stop == BuildStop::Complete) {
     R.Lattice =
         ConceptLattice::fromConceptsAndCovers(std::move(Concepts), Covers);

@@ -7,11 +7,27 @@
 
 #include "concepts/NextClosureBuilder.h"
 
+#include "support/Metrics.h"
+#include "support/TraceEvent.h"
+
 using namespace cable;
+
+namespace {
+
+// Shared with ParallelBuilder (same registry entries): total closure
+// computations and concepts emitted across every builder in the process.
+// Enumeration loops accumulate locally and flush once per call, so the
+// hot loop never touches an atomic.
+Metrics::Counter &NumClosures = Metrics::counter("lattice.closures");
+Metrics::Counter &NumConcepts = Metrics::counter("lattice.concepts");
+
+} // namespace
 
 std::vector<BitVector>
 NextClosureBuilder::allClosedIntents(const Context &Ctx) {
+  TraceSpan Span("next-closure-enumerate");
   size_t M = Ctx.numAttributes();
+  uint64_t LocalClosures = 1;
   std::vector<BitVector> Out;
 
   BitVector A = Ctx.closeIntent(BitVector(M));
@@ -35,6 +51,7 @@ NextClosureBuilder::allClosedIntents(const Context &Ctx) {
       }
       B.set(I);
       B = Ctx.closeIntent(B);
+      ++LocalClosures;
       // Accept iff B agrees with A below I (B +_i A in Ganter's notation).
       bool Agrees = true;
       for (size_t J : B) {
@@ -55,6 +72,8 @@ NextClosureBuilder::allClosedIntents(const Context &Ctx) {
     if (!Advanced)
       break;
   }
+  NumClosures.add(LocalClosures);
+  NumConcepts.add(Out.size());
   return Out;
 }
 
@@ -73,8 +92,10 @@ std::vector<BitVector>
 NextClosureBuilder::allClosedIntentsBudgeted(const Context &Ctx,
                                              const BudgetMeter &Meter,
                                              BuildStop &Stop) {
+  TraceSpan Span("next-closure-enumerate");
   size_t M = Ctx.numAttributes();
   size_t Max = Meter.budget().MaxConcepts.value_or(SIZE_MAX);
+  uint64_t LocalClosures = 1;
   std::vector<BitVector> Out;
   Stop = BuildStop::Complete;
 
@@ -93,6 +114,8 @@ NextClosureBuilder::allClosedIntentsBudgeted(const Context &Ctx,
       // cost of the atomic load by orders of magnitude.
       if (Meter.expired()) {
         Stop = BuildStop::Time;
+        NumClosures.add(LocalClosures);
+        NumConcepts.add(Out.size());
         return Out;
       }
       BitVector B(M);
@@ -103,6 +126,7 @@ NextClosureBuilder::allClosedIntentsBudgeted(const Context &Ctx,
       }
       B.set(I);
       B = Ctx.closeIntent(B);
+      ++LocalClosures;
       bool Agrees = true;
       for (size_t J : B) {
         if (J >= I)
@@ -119,6 +143,8 @@ NextClosureBuilder::allClosedIntentsBudgeted(const Context &Ctx,
           // Truncated flag exact: a context with exactly Max concepts
           // builds complete.
           Stop = BuildStop::ConceptCap;
+          NumClosures.add(LocalClosures);
+          NumConcepts.add(Out.size());
           return Out;
         }
         A = std::move(B);
@@ -130,6 +156,8 @@ NextClosureBuilder::allClosedIntentsBudgeted(const Context &Ctx,
     if (!Advanced)
       break;
   }
+  NumClosures.add(LocalClosures);
+  NumConcepts.add(Out.size());
   return Out;
 }
 

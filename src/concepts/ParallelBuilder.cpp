@@ -33,15 +33,31 @@
 #include "concepts/ParallelBuilder.h"
 
 #include "concepts/NextClosureBuilder.h"
+#include "support/Metrics.h"
+#include "support/TraceEvent.h"
 
 #include <cassert>
 
 using namespace cable;
 
+namespace {
+
+// Same registry entries NextClosureBuilder flushes into; per-block loops
+// accumulate locally and flush once per block.
+Metrics::Counter &NumClosures = Metrics::counter("lattice.closures");
+Metrics::Counter &NumConcepts = Metrics::counter("lattice.concepts");
+Metrics::Histogram &PartitionSize =
+    Metrics::histogram("lattice.partition-size");
+
+} // namespace
+
 std::vector<BitVector> ParallelBuilder::blockIntents(const Context &Ctx,
                                                      size_t P,
                                                      const BitVector &TopIntent) {
+  // args.n is the partition's minimum attribute — the block id.
+  TraceSpan Span("lattice-block", static_cast<int64_t>(P));
   size_t M = Ctx.numAttributes();
+  uint64_t LocalClosures = 1;
   std::vector<BitVector> Out;
 
   BitVector Start(M);
@@ -50,8 +66,11 @@ std::vector<BitVector> ParallelBuilder::blockIntents(const Context &Ctx,
   // closure({p}) is contained in every closed set whose minimum is p, so
   // it is the block's lectic least — unless it pulls in an attribute
   // below p, in which case no closed set has minimum p at all.
-  if (A.findFirst() != P)
+  if (A.findFirst() != P) {
+    NumClosures.add(LocalClosures);
+    PartitionSize.record(0);
     return Out;
+  }
   // closure(∅) can coincide with closure({p}); the caller emits it.
   if (!(A == TopIntent))
     Out.push_back(A);
@@ -72,6 +91,7 @@ std::vector<BitVector> ParallelBuilder::blockIntents(const Context &Ctx,
       }
       B.set(I);
       B = Ctx.closeIntent(B);
+      ++LocalClosures;
       bool Agrees = true;
       for (size_t J : B) {
         if (J >= I)
@@ -91,11 +111,14 @@ std::vector<BitVector> ParallelBuilder::blockIntents(const Context &Ctx,
     if (!Advanced)
       break;
   }
+  NumClosures.add(LocalClosures);
+  PartitionSize.record(Out.size());
   return Out;
 }
 
 std::vector<BitVector> ParallelBuilder::allClosedIntents(const Context &Ctx,
                                                          ThreadPool &Pool) {
+  TraceSpan Span("lattice-enumerate");
   size_t M = Ctx.numAttributes();
   BitVector TopIntent = Ctx.closeIntent(BitVector(M));
 
@@ -116,6 +139,8 @@ std::vector<BitVector> ParallelBuilder::allClosedIntents(const Context &Ctx,
   for (size_t P = M; P > 0; --P)
     for (BitVector &Intent : Blocks[P - 1])
       Out.push_back(std::move(Intent));
+  NumClosures.add(1); // TopIntent's closure.
+  NumConcepts.add(Out.size());
   return Out;
 }
 
@@ -127,6 +152,8 @@ ConceptLattice latticeFromIntents(const Context &Ctx, ThreadPool &Pool,
                                   std::vector<BitVector> Intents) {
   using NodeId = ConceptLattice::NodeId;
 
+  TraceSpan Span("lattice-covers",
+                 static_cast<int64_t>(Intents.size()));
   size_t N = Intents.size();
 
   // Extents shard trivially: every concept is written by exactly one
@@ -188,16 +215,21 @@ ParallelBuilder::blockIntentsBudgeted(const Context &Ctx, size_t P,
                                       const BitVector &TopIntent,
                                       const BudgetMeter &Meter,
                                       BuildStop &Stop) {
+  TraceSpan Span("lattice-block", static_cast<int64_t>(P));
   size_t M = Ctx.numAttributes();
   size_t Max = Meter.budget().MaxConcepts.value_or(SIZE_MAX);
+  uint64_t LocalClosures = 1;
   std::vector<BitVector> Out;
   Stop = BuildStop::Complete;
 
   BitVector Start(M);
   Start.set(P);
   BitVector A = Ctx.closeIntent(Start);
-  if (A.findFirst() != P)
+  if (A.findFirst() != P) {
+    NumClosures.add(LocalClosures);
+    PartitionSize.record(0);
     return Out;
+  }
   if (!(A == TopIntent))
     Out.push_back(A);
 
@@ -210,6 +242,8 @@ ParallelBuilder::blockIntentsBudgeted(const Context &Ctx, size_t P,
       // This is the cancellation checkpoint the pool workers run on.
       if (Meter.expired()) {
         Stop = BuildStop::Time;
+        NumClosures.add(LocalClosures);
+        PartitionSize.record(Out.size());
         return Out;
       }
       BitVector B(M);
@@ -220,6 +254,7 @@ ParallelBuilder::blockIntentsBudgeted(const Context &Ctx, size_t P,
       }
       B.set(I);
       B = Ctx.closeIntent(B);
+      ++LocalClosures;
       bool Agrees = true;
       for (size_t J : B) {
         if (J >= I)
@@ -235,6 +270,8 @@ ParallelBuilder::blockIntentsBudgeted(const Context &Ctx, size_t P,
           // the merge below can reconstruct precisely where the serial
           // run would have stopped.
           Stop = BuildStop::ConceptCap;
+          NumClosures.add(LocalClosures);
+          PartitionSize.record(Out.size());
           return Out;
         }
         A = std::move(B);
@@ -246,6 +283,8 @@ ParallelBuilder::blockIntentsBudgeted(const Context &Ctx, size_t P,
     if (!Advanced)
       break;
   }
+  NumClosures.add(LocalClosures);
+  PartitionSize.record(Out.size());
   return Out;
 }
 
@@ -254,6 +293,7 @@ ParallelBuilder::allClosedIntentsBudgeted(const Context &Ctx,
                                           ThreadPool &Pool,
                                           const BudgetMeter &Meter,
                                           BuildStop &Stop) {
+  TraceSpan Span("lattice-enumerate");
   size_t M = Ctx.numAttributes();
   size_t Max = Meter.budget().MaxConcepts.value_or(SIZE_MAX);
   BitVector TopIntent = Ctx.closeIntent(BitVector(M));
@@ -272,19 +312,23 @@ ParallelBuilder::allClosedIntentsBudgeted(const Context &Ctx,
   std::vector<BitVector> Out;
   Stop = BuildStop::Complete;
   Out.push_back(std::move(TopIntent));
+  NumClosures.add(1); // TopIntent's closure.
   for (size_t P = M; P > 0; --P) {
     for (BitVector &Intent : Blocks[P - 1]) {
       if (Out.size() >= Max) {
         Stop = BuildStop::ConceptCap;
+        NumConcepts.add(Out.size());
         return Out;
       }
       Out.push_back(std::move(Intent));
     }
     if (Stops[P - 1] != BuildStop::Complete) {
       Stop = Stops[P - 1];
+      NumConcepts.add(Out.size());
       return Out;
     }
   }
+  NumConcepts.add(Out.size());
   return Out;
 }
 

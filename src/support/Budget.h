@@ -22,6 +22,7 @@
 #ifndef CABLE_SUPPORT_BUDGET_H
 #define CABLE_SUPPORT_BUDGET_H
 
+#include "support/Metrics.h"
 #include "support/Status.h"
 
 #include <atomic>
@@ -69,7 +70,10 @@ public:
     if (Stopped.load(std::memory_order_relaxed))
       return true;
     if (Deadline && std::chrono::steady_clock::now() >= *Deadline) {
-      Stopped.store(true, std::memory_order_relaxed);
+      // Latching, not per-check: counts operations that tripped their
+      // deadline, and only the first observer reaches this line.
+      if (!Stopped.exchange(true, std::memory_order_relaxed))
+        Metrics::counter("budget.deadline-trips").add();
       return true;
     }
     return false;
@@ -78,7 +82,8 @@ public:
   /// Requests cooperative cancellation from outside the operation.
   void cancel() {
     Cancelled.store(true, std::memory_order_relaxed);
-    Stopped.store(true, std::memory_order_relaxed);
+    if (!Stopped.exchange(true, std::memory_order_relaxed))
+      Metrics::counter("budget.cancels").add();
   }
 
   bool wasCancelled() const {

@@ -7,6 +7,7 @@
 
 #include "support/Failpoint.h"
 
+#include "support/Metrics.h"
 #include "support/StringUtil.h"
 
 #include <algorithm>
@@ -132,6 +133,7 @@ Status Failpoint::hitSlow(const char *Name) {
     return Status::ok();
   ArmedPoint &P = It->second;
   ++P.Hits;
+  Metrics::counter("failpoint.hits").add();
   if (P.Hits != P.TriggerAt || P.Fired)
     return Status::ok();
   if (P.Mode == FailMode::Crash) {

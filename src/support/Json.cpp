@@ -1,0 +1,325 @@
+//===- support/Json.cpp - Minimal JSON emission and validation -------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace cable;
+
+std::string JsonWriter::quote(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out.push_back('"');
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+  Out.push_back('"');
+  return Out;
+}
+
+void JsonWriter::comma() {
+  if (PendingKey) {
+    PendingKey = false;
+    return; // The key already placed the comma.
+  }
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Out.push_back(',');
+    NeedComma.back() = true;
+  }
+}
+
+void JsonWriter::beginObject() {
+  comma();
+  Out.push_back('{');
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endObject() {
+  NeedComma.pop_back();
+  Out.push_back('}');
+}
+
+void JsonWriter::beginArray() {
+  comma();
+  Out.push_back('[');
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endArray() {
+  NeedComma.pop_back();
+  Out.push_back(']');
+}
+
+void JsonWriter::key(std::string_view K) {
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Out.push_back(',');
+    NeedComma.back() = true;
+  }
+  Out += quote(K);
+  Out += ": ";
+  PendingKey = true;
+}
+
+void JsonWriter::value(std::string_view S) {
+  comma();
+  Out += quote(S);
+}
+
+void JsonWriter::value(double D) {
+  comma();
+  if (!std::isfinite(D)) {
+    Out += "null"; // JSON has no Inf/NaN.
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", D);
+  Out += Buf;
+}
+
+void JsonWriter::value(uint64_t N) {
+  comma();
+  Out += std::to_string(N);
+}
+
+void JsonWriter::value(int64_t N) {
+  comma();
+  Out += std::to_string(N);
+}
+
+void JsonWriter::value(bool B) {
+  comma();
+  Out += B ? "true" : "false";
+}
+
+void JsonWriter::valueNull() {
+  comma();
+  Out += "null";
+}
+
+void JsonWriter::rawValue(std::string_view Json) {
+  comma();
+  Out += Json;
+}
+
+// -- Validation -------------------------------------------------------------
+
+namespace {
+
+class Validator {
+public:
+  Validator(std::string_view Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool run() {
+    skipWs();
+    if (!parseValue())
+      return false;
+    skipWs();
+    if (At != Text.size())
+      return fail("trailing garbage after the top-level value");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &What) {
+    Error = "byte " + std::to_string(At) + ": " + What;
+    return false;
+  }
+
+  void skipWs() {
+    while (At < Text.size() &&
+           (Text[At] == ' ' || Text[At] == '\t' || Text[At] == '\n' ||
+            Text[At] == '\r'))
+      ++At;
+  }
+
+  bool eat(char C) {
+    if (At < Text.size() && Text[At] == C) {
+      ++At;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseValue() {
+    if (At >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[At]) {
+    case '{':
+      return parseObject();
+    case '[':
+      return parseArray();
+    case '"':
+      return parseString();
+    case 't':
+      return parseLiteral("true");
+    case 'f':
+      return parseLiteral("false");
+    case 'n':
+      return parseLiteral("null");
+    default:
+      return parseNumber();
+    }
+  }
+
+  bool parseLiteral(std::string_view Lit) {
+    if (Text.substr(At, Lit.size()) != Lit)
+      return fail("bad literal");
+    At += Lit.size();
+    return true;
+  }
+
+  bool parseString() {
+    ++At; // opening quote
+    while (At < Text.size()) {
+      unsigned char C = static_cast<unsigned char>(Text[At]);
+      if (C == '"') {
+        ++At;
+        return true;
+      }
+      if (C == '\\') {
+        ++At;
+        if (At >= Text.size())
+          return fail("truncated escape");
+        char E = Text[At];
+        if (E == 'u') {
+          for (int I = 1; I <= 4; ++I)
+            if (At + I >= Text.size() ||
+                !std::isxdigit(static_cast<unsigned char>(Text[At + I])))
+              return fail("bad \\u escape");
+          At += 4;
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return fail("bad escape character");
+        }
+        ++At;
+        continue;
+      }
+      if (C < 0x20)
+        return fail("raw control character in string");
+      ++At;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber() {
+    size_t Start = At;
+    if (eat('-')) {
+    }
+    if (At >= Text.size() || !std::isdigit(static_cast<unsigned char>(Text[At])))
+      return fail("bad number");
+    if (Text[At] == '0')
+      ++At;
+    else
+      while (At < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[At])))
+        ++At;
+    if (eat('.')) {
+      if (At >= Text.size() ||
+          !std::isdigit(static_cast<unsigned char>(Text[At])))
+        return fail("bad fraction");
+      while (At < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[At])))
+        ++At;
+    }
+    if (At < Text.size() && (Text[At] == 'e' || Text[At] == 'E')) {
+      ++At;
+      if (At < Text.size() && (Text[At] == '+' || Text[At] == '-'))
+        ++At;
+      if (At >= Text.size() ||
+          !std::isdigit(static_cast<unsigned char>(Text[At])))
+        return fail("bad exponent");
+      while (At < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[At])))
+        ++At;
+    }
+    return At > Start;
+  }
+
+  bool parseObject() {
+    ++At; // '{'
+    skipWs();
+    if (eat('}'))
+      return true;
+    for (;;) {
+      skipWs();
+      if (At >= Text.size() || Text[At] != '"')
+        return fail("expected object key");
+      if (!parseString())
+        return false;
+      skipWs();
+      if (!eat(':'))
+        return fail("expected ':' after key");
+      skipWs();
+      if (!parseValue())
+        return false;
+      skipWs();
+      if (eat(','))
+        continue;
+      if (eat('}'))
+        return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray() {
+    ++At; // '['
+    skipWs();
+    if (eat(']'))
+      return true;
+    for (;;) {
+      skipWs();
+      if (!parseValue())
+        return false;
+      skipWs();
+      if (eat(','))
+        continue;
+      if (eat(']'))
+        return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string_view Text;
+  std::string &Error;
+  size_t At = 0;
+};
+
+} // namespace
+
+bool cable::validateJson(std::string_view Text, std::string &Error) {
+  return Validator(Text, Error).run();
+}

@@ -1,0 +1,91 @@
+//===- support/Json.h - Minimal JSON emission and validation ----*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The smallest JSON surface the observability layer needs, with no
+/// external dependency:
+///
+///  - JsonWriter: a push-style emitter (objects, arrays, scalars) that
+///    handles escaping and comma placement, used by the metrics snapshot,
+///    the trace-event exporter, run reports, and the bench JSON files.
+///    Output is deterministic: keys are emitted in the order the caller
+///    pushes them, numbers via printf with a fixed format.
+///  - validateJson: a strict recursive-descent syntax checker used by the
+///    test suite and the bench harness's self-check, so "every bench
+///    binary emits valid JSON" can be asserted without python.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_SUPPORT_JSON_H
+#define CABLE_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cable {
+
+/// Push-style JSON emitter. Usage:
+///
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("schema"); W.value("cable-metrics/1");
+///   W.key("counts"); W.beginArray(); W.value(1); W.value(2); W.endArray();
+///   W.endObject();
+///   std::string Doc = W.take();
+class JsonWriter {
+public:
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits an object key (must be inside an object).
+  void key(std::string_view K);
+
+  void value(std::string_view S);
+  void value(const char *S) { value(std::string_view(S)); }
+  void value(double D);
+  void value(uint64_t N);
+  void value(int64_t N);
+  void value(bool B);
+  void valueNull();
+
+  /// Splices an already-serialized JSON value (e.g. a nested snapshot).
+  void rawValue(std::string_view Json);
+
+  /// key() + value() in one call.
+  template <typename T> void member(std::string_view K, T V) {
+    key(K);
+    value(V);
+  }
+
+  /// The finished document; the writer is left empty.
+  std::string take() { return std::move(Out); }
+  const std::string &text() const { return Out; }
+
+  /// Escapes \p S as a JSON string literal, quotes included.
+  static std::string quote(std::string_view S);
+
+private:
+  void comma();
+
+  std::string Out;
+  /// Per nesting level: whether a value was already emitted (comma needed).
+  std::vector<bool> NeedComma;
+  bool PendingKey = false;
+};
+
+/// Strict JSON syntax check. Returns true when \p Text is exactly one
+/// valid JSON value (surrounded by optional whitespace); on failure fills
+/// \p Error with a byte-offset-positioned message.
+bool validateJson(std::string_view Text, std::string &Error);
+
+} // namespace cable
+
+#endif // CABLE_SUPPORT_JSON_H

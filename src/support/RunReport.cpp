@@ -1,0 +1,69 @@
+//===- support/RunReport.cpp - Self-describing run artifacts ---------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RunReport.h"
+
+#include "support/AtomicFile.h"
+#include "support/BuildInfo.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+
+using namespace cable;
+
+namespace {
+
+void emitBuildStamp(JsonWriter &W) {
+  W.member("version", std::string_view(buildinfo::kVersion));
+  W.member("git_sha", std::string_view(buildinfo::kGitSha));
+  W.member("build_type", std::string_view(buildinfo::kBuildType));
+  W.member("sanitize", std::string_view(buildinfo::kSanitize));
+  W.member("instrumented", buildinfo::kInstrumented);
+}
+
+} // namespace
+
+std::string cable::renderMetricsJson(std::string_view Tool) {
+  JsonWriter W;
+  W.beginObject();
+  W.member("schema", std::string_view("cable-metrics/1"));
+  W.member("tool", Tool);
+  emitBuildStamp(W);
+  W.key("metrics");
+  W.rawValue(Metrics::snapshotJson());
+  W.endObject();
+  return W.take();
+}
+
+Status cable::writeMetricsJson(const std::string &Path,
+                               std::string_view Tool) {
+  return AtomicFile::write(Path, renderMetricsJson(Tool));
+}
+
+std::string cable::renderRunReport(const RunReportInfo &Info) {
+  JsonWriter W;
+  W.beginObject();
+  W.member("schema", std::string_view("cable-run-report/1"));
+  W.member("tool", std::string_view(Info.Tool));
+  emitBuildStamp(W);
+  W.key("args");
+  W.beginArray();
+  for (const std::string &A : Info.Args)
+    W.value(std::string_view(A));
+  W.endArray();
+  W.member("truncated", Info.Truncated);
+  W.member("clean_exit", Info.CleanExit);
+  W.member("exit_code", static_cast<int64_t>(Info.ExitCode));
+  W.key("metrics");
+  W.rawValue(Metrics::snapshotJson());
+  W.endObject();
+  return W.take();
+}
+
+Status cable::writeRunReport(const std::string &Path,
+                             const RunReportInfo &Info) {
+  return AtomicFile::write(Path, renderRunReport(Info));
+}

@@ -8,8 +8,11 @@
 #include "support/ThreadPool.h"
 
 #include "support/Failpoint.h"
+#include "support/Metrics.h"
+#include "support/TraceEvent.h"
 
 #include <stdexcept>
+#include <string>
 
 using namespace cable;
 
@@ -20,6 +23,10 @@ namespace {
 // the process mid-build — the crash-recovery suite's way of dying inside
 // lattice construction.
 Failpoint::Registrar RegDispatch("threadpool-dispatch");
+
+Metrics::Counter &NumDispatches = Metrics::counter("threadpool.dispatches");
+Metrics::Gauge &QueueDepth = Metrics::gauge("threadpool.queue-depth");
+Metrics::Histogram &TaskUs = Metrics::histogram("threadpool.task-us");
 
 } // namespace
 
@@ -38,7 +45,7 @@ ThreadPool::ThreadPool(unsigned NumThreads)
   for (unsigned I = 0; I < NumWorkers; ++I) {
     Workers.push_back(std::make_unique<Worker>());
     Worker &W = *Workers.back();
-    W.Thread = std::thread([this, &W] { workerLoop(W); });
+    W.Thread = std::thread([this, &W, I] { workerLoop(W, I); });
   }
 }
 
@@ -54,7 +61,8 @@ ThreadPool::~ThreadPool() {
     W->Thread.join();
 }
 
-void ThreadPool::workerLoop(Worker &W) {
+void ThreadPool::workerLoop(Worker &W, unsigned Index) {
+  TraceLog::setThreadName("pool-worker-" + std::to_string(Index));
   for (;;) {
     std::packaged_task<void()> Task;
     {
@@ -67,7 +75,11 @@ void ThreadPool::workerLoop(Worker &W) {
       Task = std::move(W.Queue.front());
       W.Queue.pop_front();
     }
-    Task(); // Exceptions land in the task's future.
+    QueueDepth.add(-1);
+    {
+      MetricTimer Timer(TaskUs);
+      Task(); // Exceptions land in the task's future.
+    }
   }
 }
 
@@ -79,7 +91,9 @@ std::future<void> ThreadPool::submit(std::function<void()> Task) {
         Task();
       });
   std::future<void> Result = Packaged.get_future();
+  NumDispatches.add();
   if (NumWorkers == 1) {
+    MetricTimer Timer(TaskUs);
     Packaged(); // Serial fallback: run on the caller, eagerly.
     return Result;
   }
@@ -93,6 +107,7 @@ std::future<void> ThreadPool::submit(std::function<void()> Task) {
     std::lock_guard<std::mutex> Lock(W->Mutex);
     W->Queue.push_back(std::move(Packaged));
   }
+  QueueDepth.addHighWater(1);
   W->WorkAvailable.notify_one();
   return Result;
 }

@@ -77,7 +77,7 @@ private:
     bool ShuttingDown = false;
   };
 
-  void workerLoop(Worker &W);
+  void workerLoop(Worker &W, unsigned Index);
 
   unsigned NumWorkers = 1;
   std::vector<std::unique_ptr<Worker>> Workers;

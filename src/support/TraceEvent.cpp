@@ -1,0 +1,235 @@
+//===- support/TraceEvent.cpp - Scoped tracing spans -----------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TraceEvent.h"
+
+#include "support/AtomicFile.h"
+#include "support/BuildInfo.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace cable;
+
+std::atomic<bool> TraceLog::Armed{false};
+
+namespace {
+
+struct Event {
+  std::string Name;
+  uint64_t StartUs = 0;
+  uint64_t DurUs = 0;
+  int64_t Arg = 0;
+  bool HasArg = false;
+};
+
+/// One thread's span ring. Appends come only from the owning thread; the
+/// mutex exists to serialize appends against the exporter (spans are
+/// coarse — per command, per partition, per fsync — so the uncontended
+/// lock is noise).
+struct ThreadRing {
+  std::mutex Mutex;
+  int Tid = 0;
+  std::string Name;
+  std::vector<Event> Ring;
+  size_t Capacity = 0;
+  size_t Next = 0;     ///< Ring insertion cursor.
+  uint64_t Total = 0;  ///< Spans ever recorded here.
+  uint64_t Dropped = 0;
+};
+
+struct Global {
+  std::mutex Mutex;
+  std::vector<std::shared_ptr<ThreadRing>> Rings;
+  int NextTid = 1;
+  size_t RingCapacity = 65536;
+  std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+};
+
+/// Intentionally leaked (spans can be recorded during static teardown).
+Global &global() {
+  static Global *G = new Global;
+  return *G;
+}
+
+ThreadRing &myRing() {
+  thread_local std::shared_ptr<ThreadRing> Mine = [] {
+    Global &G = global();
+    auto R = std::make_shared<ThreadRing>();
+    std::lock_guard<std::mutex> Lock(G.Mutex);
+    R->Tid = G.NextTid++;
+    R->Capacity = std::max<size_t>(G.RingCapacity, 4);
+    G.Rings.push_back(R);
+    return R;
+  }();
+  return *Mine;
+}
+
+} // namespace
+
+void TraceLog::setEnabled(bool On) {
+  global(); // Pin the epoch before the first span.
+  Armed.store(On, std::memory_order_relaxed);
+}
+
+uint64_t TraceLog::nowUs() {
+  Global &G = global();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - G.Epoch)
+          .count());
+}
+
+void TraceLog::setThreadName(std::string Name) {
+  ThreadRing &R = myRing();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Name = std::move(Name);
+}
+
+void TraceLog::record(std::string Name, uint64_t StartUs, uint64_t DurUs,
+                      int64_t Arg, bool HasArg) {
+  ThreadRing &R = myRing();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  Event E;
+  E.Name = std::move(Name);
+  E.StartUs = StartUs;
+  E.DurUs = DurUs;
+  E.Arg = Arg;
+  E.HasArg = HasArg;
+  if (R.Ring.size() < R.Capacity) {
+    R.Ring.push_back(std::move(E));
+  } else {
+    // Wraparound: overwrite the oldest slot.
+    R.Ring[R.Next] = std::move(E);
+    ++R.Dropped;
+  }
+  R.Next = (R.Next + 1) % R.Capacity;
+  ++R.Total;
+}
+
+uint64_t TraceLog::spanCount() {
+  Global &G = global();
+  std::lock_guard<std::mutex> Lock(G.Mutex);
+  uint64_t N = 0;
+  for (const auto &R : G.Rings) {
+    std::lock_guard<std::mutex> RLock(R->Mutex);
+    N += R->Total;
+  }
+  return N;
+}
+
+uint64_t TraceLog::droppedCount() {
+  Global &G = global();
+  std::lock_guard<std::mutex> Lock(G.Mutex);
+  uint64_t N = 0;
+  for (const auto &R : G.Rings) {
+    std::lock_guard<std::mutex> RLock(R->Mutex);
+    N += R->Dropped;
+  }
+  return N;
+}
+
+void TraceLog::reset() {
+  Global &G = global();
+  std::lock_guard<std::mutex> Lock(G.Mutex);
+  for (const auto &R : G.Rings) {
+    std::lock_guard<std::mutex> RLock(R->Mutex);
+    R->Ring.clear();
+    R->Next = 0;
+    R->Total = 0;
+    R->Dropped = 0;
+    R->Capacity = std::max<size_t>(G.RingCapacity, 4);
+  }
+}
+
+void TraceLog::setRingCapacity(size_t Events) {
+  Global &G = global();
+  std::lock_guard<std::mutex> Lock(G.Mutex);
+  G.RingCapacity = std::max<size_t>(Events, 4);
+}
+
+std::string TraceLog::exportJson(std::string_view ToolName) {
+  Global &G = global();
+  int64_t Pid = static_cast<int64_t>(::getpid());
+
+  // Snapshot the ring list, then drain each ring under its own lock.
+  std::vector<std::shared_ptr<ThreadRing>> Rings;
+  {
+    std::lock_guard<std::mutex> Lock(G.Mutex);
+    Rings = G.Rings;
+  }
+
+  JsonWriter W;
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+  uint64_t TotalDropped = 0;
+  for (const auto &RP : Rings) {
+    std::lock_guard<std::mutex> Lock(RP->Mutex);
+    ThreadRing &R = *RP;
+    TotalDropped += R.Dropped;
+    if (!R.Name.empty()) {
+      W.beginObject();
+      W.member("name", std::string_view("thread_name"));
+      W.member("ph", std::string_view("M"));
+      W.member("pid", Pid);
+      W.member("tid", static_cast<int64_t>(R.Tid));
+      W.key("args");
+      W.beginObject();
+      W.member("name", std::string_view(R.Name));
+      W.endObject();
+      W.endObject();
+    }
+    // Oldest-first: after wraparound the oldest surviving event sits at
+    // the insertion cursor.
+    size_t N = R.Ring.size();
+    size_t First = N < R.Capacity ? 0 : R.Next;
+    for (size_t I = 0; I < N; ++I) {
+      const Event &E = R.Ring[(First + I) % N];
+      W.beginObject();
+      W.member("name", std::string_view(E.Name));
+      W.member("cat", std::string_view("cable"));
+      W.member("ph", std::string_view("X"));
+      W.member("ts", E.StartUs);
+      W.member("dur", E.DurUs);
+      W.member("pid", Pid);
+      W.member("tid", static_cast<int64_t>(R.Tid));
+      if (E.HasArg) {
+        W.key("args");
+        W.beginObject();
+        W.member("n", E.Arg);
+        W.endObject();
+      }
+      W.endObject();
+    }
+  }
+  W.endArray();
+  W.key("otherData");
+  W.beginObject();
+  W.member("tool", ToolName);
+  W.member("version", std::string_view(buildinfo::kVersion));
+  W.member("git_sha", std::string_view(buildinfo::kGitSha));
+  W.member("build_type", std::string_view(buildinfo::kBuildType));
+  W.member("sanitize", std::string_view(buildinfo::kSanitize));
+  W.member("dropped_events", TotalDropped);
+  W.endObject();
+  W.member("displayTimeUnit", std::string_view("ms"));
+  W.endObject();
+  return W.take();
+}
+
+Status TraceLog::writeJson(const std::string &Path,
+                           std::string_view ToolName) {
+  return AtomicFile::write(Path, exportJson(ToolName));
+}

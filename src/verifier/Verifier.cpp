@@ -7,11 +7,16 @@
 
 #include "verifier/Verifier.h"
 
+#include "support/Metrics.h"
+#include "support/TraceEvent.h"
+
 using namespace cable;
 
 VerificationResult cable::verifyScenarios(const TraceSet &Scenarios,
                                           const Automaton &Spec,
                                           const BudgetMeter &Meter) {
+  TraceSpan Span("verify-scenarios",
+                 static_cast<int64_t>(Scenarios.traces().size()));
   VerificationResult Out;
   Out.Violations.table() = Scenarios.table();
   Out.Accepted.table() = Scenarios.table();
@@ -29,6 +34,9 @@ VerificationResult cable::verifyScenarios(const TraceSet &Scenarios,
     else
       Out.Violations.add(T);
   }
+  Metrics::counter("verifier.scenarios-checked").add(Out.NumScenarios);
+  Metrics::counter("verifier.violations")
+      .add(Out.Violations.traces().size());
   return Out;
 }
 

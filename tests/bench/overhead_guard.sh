@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+#===- tests/bench/overhead_guard.sh - Disarmed-instrumentation guard -------===#
+#
+# Part of the Cable reproduction of "Debugging Temporal Specifications with
+# Concept Analysis" (PLDI 2003). MIT license.
+#
+#===------------------------------------------------------------------------===#
+#
+# The observability layer promises that leaving instrumentation compiled
+# in (but disarmed) is free: every site is one relaxed atomic load. This
+# guard makes that a regression test. It builds the instrument_overhead
+# bench twice — from the enclosing build tree (instrumented, disarmed at
+# runtime) and from a nested -DCABLE_NO_INSTRUMENT=ON tree (the calls
+# compiled out entirely) — runs both interleaved, and requires the
+# instrumented binary's min-of-N NextClosure wall time to be at most 2%
+# slower than the stripped one (faster is trivially a pass).
+#
+# Exit codes: 0 pass, 1 regression, 77 skip (nested build unavailable or
+# the machine is too noisy to produce a stable baseline).
+#
+# Usage: overhead_guard.sh <source-dir> <build-dir>
+#
+#===------------------------------------------------------------------------===#
+
+set -u
+
+SRC=${1:?usage: overhead_guard.sh <source-dir> <build-dir>}
+BUILD=${2:?usage: overhead_guard.sh <source-dir> <build-dir>}
+NESTED="$BUILD/no_instrument"
+THRESHOLD_PCT=${CABLE_OVERHEAD_THRESHOLD_PCT:-2.0}
+ATTEMPTS=3
+
+say() { printf '%s\n' "$*"; }
+
+# Match the enclosing build's configuration so only CABLE_NO_INSTRUMENT
+# differs between the two binaries.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")
+sanitize=$(sed -n 's/^CABLE_SANITIZE:[^=]*=//p' "$BUILD/CMakeCache.txt")
+
+instrumented="$BUILD/bench/instrument_overhead"
+if [ ! -x "$instrumented" ]; then
+  cmake --build "$BUILD" --target instrument_overhead -j "$(nproc)" \
+    > /dev/null 2>&1
+fi
+if [ ! -x "$instrumented" ]; then
+  say "SKIP: instrumented bench binary missing"
+  exit 77
+fi
+
+# Nested build (cached across ctest runs: reconfigure is a no-op and the
+# build is incremental).
+if ! cmake -S "$SRC" -B "$NESTED" -DCABLE_NO_INSTRUMENT=ON \
+      ${build_type:+-DCMAKE_BUILD_TYPE="$build_type"} \
+      ${sanitize:+-DCABLE_SANITIZE="$sanitize"} > "$NESTED.configure.log" 2>&1
+then
+  say "SKIP: nested CABLE_NO_INSTRUMENT configure failed"
+  tail -5 "$NESTED.configure.log"
+  exit 77
+fi
+if ! cmake --build "$NESTED" --target instrument_overhead -j "$(nproc)" \
+      > "$NESTED.build.log" 2>&1; then
+  say "SKIP: nested CABLE_NO_INSTRUMENT build failed"
+  tail -5 "$NESTED.build.log"
+  exit 77
+fi
+stripped="$NESTED/bench/instrument_overhead"
+
+# The stripped binary must really be compiled out: its --stats-free run
+# reports armed == disarmed because arming is impossible.
+"$stripped" > /dev/null 2>&1 || { say "SKIP: stripped binary does not run"; exit 77; }
+
+min_ms() { # min_ms <binary> -> disarmed_min_ms
+  CABLE_BENCH_QUICK=1 CABLE_BENCH_OUT="${TMPDIR:-/tmp}" "$1" 2>/dev/null \
+    | sed -n 's/^disarmed_min_ms //p'
+}
+
+best_delta=""
+for attempt in $(seq 1 $ATTEMPTS); do
+  # Interleave the runs so slow drift (thermal, noisy neighbors) hits
+  # both binaries equally; keep the per-binary minimum.
+  a1=$(min_ms "$instrumented"); b1=$(min_ms "$stripped")
+  a2=$(min_ms "$instrumented"); b2=$(min_ms "$stripped")
+  # One-sided: only instrumented-slower-than-stripped counts as overhead.
+  # A faster instrumented binary (codegen/alignment luck) is a pass.
+  result=$(awk -v a1="$a1" -v a2="$a2" -v b1="$b1" -v b2="$b2" \
+               -v thr="$THRESHOLD_PCT" 'BEGIN {
+    a = (a1 < a2) ? a1 : a2
+    b = (b1 < b2) ? b1 : b2
+    if (a <= 0 || b <= 0) { print "bad"; exit }
+    d = (a - b) / b * 100
+    printf "%.2f %.4f %.4f %s\n", d, a, b, (d <= thr ? "pass" : "over")
+  }')
+  set -- $result
+  [ "${1:-bad}" = bad ] && { say "SKIP: could not parse bench output"; exit 77; }
+  delta=$1; a=$2; b=$3; verdict=$4
+  say "attempt $attempt: instrumented-disarmed ${a}ms vs no-instrument ${b}ms (overhead ${delta}%)"
+  [ -z "$best_delta" ] && best_delta=$delta
+  best_delta=$(awk -v x="$best_delta" -v y="$delta" 'BEGIN{print (y<x)?y:x}')
+  [ "$verdict" = pass ] && { say "overhead guard: PASS (overhead ${delta}% <= ${THRESHOLD_PCT}%)"; exit 0; }
+done
+
+say "overhead guard: FAIL (best overhead ${best_delta}% > ${THRESHOLD_PCT}% after $ATTEMPTS attempts)"
+exit 1

@@ -35,6 +35,11 @@ INDICES=${KILL_MATRIX_INDICES:-"1 2 3 4 5 8 13 21 34 50"}
 FLAGS="--protocol stdio --recommended --threads 2 --snapshot-every 10 --journal-sync always"
 MAX_RESTARTS=60
 
+# Metrics snapshots let the matrix assert on structured counters
+# ("journal.unclean-recoveries": 1) instead of grepping stderr prose;
+# snapshotJson() guarantees the exact `"name": value` spacing below.
+metric_ge1() { grep -q "\"$2\": [1-9]" "$1"; }
+
 rm -rf "$WORK"
 mkdir -p "$WORK"
 cd "$WORK" || exit 1
@@ -134,10 +139,18 @@ for p in $points; do
   for mode in crash error; do
     for n in $INDICES; do
       cases=$((cases + 1))
-      rm -rf J final.labels mid.labels
+      rm -rf J final.labels mid.labels fault.mjson recover.mjson
       CABLE_FAILPOINTS="$p=$mode@$n" \
-        "$CLI" $FLAGS --script script.txt --journal J > run.out 2>&1
+        "$CLI" $FLAGS --metrics-out fault.mjson --script script.txt \
+        --journal J > run.out 2>&1
       rc=$?
+      first_rc=$rc
+      # Whether the fault landed while the journal was open: only then
+      # does the restart owe us an unclean-recovery count. A crash before
+      # Journal::open (e.g. threadpool-dispatch during the initial session
+      # build) or after closeClean leaves nothing unclean to detect.
+      had_active=0
+      [ -f J/ACTIVE ] && had_active=1
       [ $rc -ne 0 ] && faulted=$((faulted + 1))
       restarts=0
       while [ $rc -ne 0 ]; do
@@ -148,10 +161,34 @@ for p in $points; do
           fail=1
           break
         fi
-        "$CLI" $FLAGS --script script.txt --journal J > run.out 2>&1
+        "$CLI" $FLAGS --metrics-out recover.mjson --script script.txt \
+          --journal J > run.out 2>&1
         rc=$?
       done
       [ $rc -ne 0 ] && continue
+      if [ "$first_rc" -ne 0 ]; then
+        if [ "$mode" = crash ]; then
+          # The crashed run _Exit()s before writing metrics; the restart
+          # that found the ACTIVE marker must have counted the unclean
+          # recovery (and any torn tail is a counter too, not prose).
+          if [ "$had_active" = 1 ] &&
+             ! metric_ge1 recover.mjson journal.unclean-recoveries; then
+            say "FAIL $p=$mode@$n: restart metrics show no unclean recovery"
+            cat recover.mjson 2>/dev/null
+            fail=1
+            continue
+          fi
+        else
+          # Injected-error runs exit through the normal path, so the
+          # faulted process itself reports the failpoint hit.
+          if ! metric_ge1 fault.mjson failpoint.hits; then
+            say "FAIL $p=$mode@$n: faulted-run metrics show no failpoint hit"
+            cat fault.mjson 2>/dev/null
+            fail=1
+            continue
+          fi
+        fi
+      fi
       if ! drain J; then
         say "FAIL $p=$mode@$n: journal drain failed"
         cat drain.out

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Validates the three run artifacts a journaled cable-cli script run
+must produce: a Chrome trace-event JSON (Perfetto-loadable shape), a
+cable-metrics/1 snapshot, and a cable-run-report/1 document.
+
+Usage: check_observability.py TRACE METRICS REPORT
+Exits non-zero with a message on the first violated invariant.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print("check_observability: FAIL:", msg)
+    sys.exit(1)
+
+
+def main():
+    trace_path, metrics_path, report_path = sys.argv[1:4]
+    trace = json.load(open(trace_path))
+    metrics = json.load(open(metrics_path))
+    report = json.load(open(report_path))
+
+    # --- trace: the object form Perfetto/chrome://tracing accept.
+    events = trace["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+    for ev in events:
+        if ev["ph"] not in ("X", "M"):
+            fail("unexpected event phase %r" % ev["ph"])
+        if ev["ph"] == "X" and (ev["ts"] < 0 or ev["dur"] < 0):
+            fail("negative ts/dur in %r" % ev)
+    names = {ev.get("name") for ev in events}
+    for want in ("session-init", "lattice-build", "journal-fsync",
+                 "cmd status", "cmd label"):
+        if want not in names:
+            fail("missing span %r (have %s)" % (want, sorted(names)))
+    threads = {ev["args"]["name"] for ev in events
+               if ev.get("name") == "thread_name"}
+    if "main" not in threads:
+        fail("main thread not named")
+    if not any(t.startswith("pool-worker-") for t in threads):
+        fail("no pool-worker thread in trace (ran with --threads 2)")
+    if "otherData" not in trace or "git_sha" not in trace["otherData"]:
+        fail("otherData build stamp missing")
+
+    # --- metrics snapshot.
+    if metrics["schema"] != "cable-metrics/1":
+        fail("bad metrics schema %r" % metrics["schema"])
+    counters = metrics["metrics"]["counters"]
+    if counters.get("lattice.closures", 0) <= 0:
+        fail("lattice.closures not counted")
+    if counters.get("journal.appends", 0) <= 0:
+        fail("journal.appends not counted")
+    hist = metrics["metrics"]["histograms"]
+    if hist.get("journal.fsync-us", {}).get("count", 0) <= 0:
+        fail("journal.fsync-us histogram empty under --journal-sync always")
+
+    # --- run report.
+    if report["schema"] != "cable-run-report/1":
+        fail("bad report schema %r" % report["schema"])
+    if report["tool"] != "cable-cli":
+        fail("bad tool %r" % report["tool"])
+    if report["exit_code"] != 0 or not report["clean_exit"]:
+        fail("run report says the run failed: %r" % report)
+    if "--journal" not in report["args"]:
+        fail("args not recorded")
+    for key in ("version", "git_sha", "build_type"):
+        if key not in report:
+            fail("report missing %r" % key)
+
+    print("check_observability: OK (%d trace events, %d counters)"
+          % (len(events), len(counters)))
+
+
+if __name__ == "__main__":
+    main()

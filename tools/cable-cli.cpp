@@ -37,9 +37,13 @@
 #include "fa/Regex.h"
 #include "fa/Templates.h"
 #include "support/AtomicFile.h"
+#include "support/BuildInfo.h"
 #include "support/Failpoint.h"
+#include "support/Metrics.h"
 #include "support/RNG.h"
+#include "support/RunReport.h"
 #include "support/StringUtil.h"
+#include "support/TraceEvent.h"
 #include "workload/Generator.h"
 #include "workload/Oracle.h"
 #include "workload/ReferenceFA.h"
@@ -106,6 +110,16 @@ void printUsage() {
       "                     journal has not yet made durable\n"
       "  --list-failpoints  list fault-injection point names and exit\n"
       "\n"
+      "observability (see docs/OBSERVABILITY.md):\n"
+      "  --version          print version, git SHA, and build type; exit\n"
+      "  --stats            print the metrics table when the session ends\n"
+      "  --metrics-out FILE write a cable-metrics/1 JSON snapshot at exit\n"
+      "  --trace-out FILE   record tracing spans and write Chrome\n"
+      "                     trace-event JSON at exit (open in Perfetto or\n"
+      "                     chrome://tracing)\n"
+      "  --run-report FILE  write a cable-run-report/1 JSON document (tool,\n"
+      "                     argv, build stamp, metrics, truncation) at exit\n"
+      "\n"
       "commands (stdin):\n"
       "  ls                  list concepts (state, size, similarity)\n"
       "  fa ID [SEL]         Show FA summary (SEL: all|unlabeled|LABEL)\n"
@@ -126,6 +140,8 @@ void printUsage() {
       "  dot FILE            write the lattice as Graphviz DOT (atomic)\n"
       "  classes             list identical-trace baseline classes (§5)\n"
       "  status              labeling progress\n"
+      "  stats               metrics recorded so far (arm with --stats,\n"
+      "                      --metrics-out, or --run-report)\n"
       "  help / quit\n");
 }
 
@@ -229,6 +245,18 @@ bool executeCommand(CliState &Cli, const std::vector<std::string> &Args) {
   Session &S = Cli.current();
   const std::string &Cmd = Args[0];
 
+  // One span per session command; the name is only materialized when
+  // tracing is armed.
+  std::string SpanName;
+  if (TraceLog::enabled())
+    SpanName = "cmd " + Cmd;
+  TraceSpan Span(SpanName);
+  Metrics::counter("cli.commands").add();
+
+  if (Cmd == "stats") {
+    std::fputs(Metrics::renderTable().c_str(), stdout);
+    return true;
+  }
   if (Cmd == "help") {
     printUsage();
     return true;
@@ -502,6 +530,46 @@ private:
   int Saved = -1;
 };
 
+/// Observability outputs requested on the command line. Written by
+/// emitObservability after runCli returns (every exit path except an
+/// injected crash's _Exit), so partial runs still leave artifacts.
+struct ObservabilityOptions {
+  std::string TraceOut;
+  std::string MetricsOut;
+  std::string RunReportOut;
+  bool PrintStats = false;
+  std::vector<std::string> Args; ///< argv[1..] as invoked.
+  bool Truncated = false;        ///< The lattice build was truncated.
+} GObs;
+
+void emitObservability(int ExitCode) {
+  if (GObs.PrintStats)
+    std::printf("\n-- run statistics --\n%s", Metrics::renderTable().c_str());
+  if (!GObs.TraceOut.empty()) {
+    if (Status St = TraceLog::writeJson(GObs.TraceOut, "cable-cli");
+        !St.isOk())
+      std::fprintf(stderr, "warning: cannot write trace: %s\n",
+                   St.diagnostic().render().c_str());
+  }
+  if (!GObs.MetricsOut.empty()) {
+    if (Status St = writeMetricsJson(GObs.MetricsOut, "cable-cli");
+        !St.isOk())
+      std::fprintf(stderr, "warning: cannot write metrics: %s\n",
+                   St.diagnostic().render().c_str());
+  }
+  if (!GObs.RunReportOut.empty()) {
+    RunReportInfo Info;
+    Info.Tool = "cable-cli";
+    Info.Args = GObs.Args;
+    Info.Truncated = GObs.Truncated;
+    Info.CleanExit = ExitCode == 0;
+    Info.ExitCode = ExitCode;
+    if (Status St = writeRunReport(GObs.RunReportOut, Info); !St.isOk())
+      std::fprintf(stderr, "warning: cannot write run report: %s\n",
+                   St.diagnostic().render().c_str());
+  }
+}
+
 /// Journal log fd for the signal handler; -1 when no journal is open.
 volatile sig_atomic_t GJournalFd = -1;
 
@@ -545,6 +613,8 @@ void maybeSnapshot(CliState &Cli, bool Force) {
 }
 
 int runCli(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    GObs.Args.emplace_back(Argv[I]);
   if (Status St = Failpoint::configureFromEnv(); !St.isOk()) {
     std::fprintf(stderr, "error: CABLE_FAILPOINTS: %s\n",
                  St.message().c_str());
@@ -606,6 +676,24 @@ int runCli(int Argc, char **Argv) {
       for (const std::string &Name : Failpoint::registeredNames())
         std::printf("%s\n", Name.c_str());
       return 0;
+    } else if (Arg == "--version") {
+      std::printf("%s\n", buildinfo::versionLine("cable-cli").c_str());
+      return 0;
+    } else if (Arg == "--stats") {
+      GObs.PrintStats = true;
+      Metrics::setEnabled(true);
+    } else if (Arg == "--metrics-out") {
+      // Armed at parse time, before the journal opens, so recovery
+      // counters (torn tails, replayed commands) are captured.
+      GObs.MetricsOut = Next();
+      Metrics::setEnabled(true);
+    } else if (Arg == "--run-report") {
+      GObs.RunReportOut = Next();
+      Metrics::setEnabled(true);
+    } else if (Arg == "--trace-out") {
+      GObs.TraceOut = Next();
+      TraceLog::setEnabled(true);
+      TraceLog::setThreadName("main");
     } else if (Arg == "--threads") {
       std::optional<unsigned long> N;
       if (!NextNumber("--threads", N))
@@ -732,6 +820,7 @@ int runCli(int Argc, char **Argv) {
     return 1;
   }
   Cli.Base = std::make_unique<Session>(std::move(*Built));
+  GObs.Truncated = Cli.Base->truncated();
   if (Cli.Base->truncated()) {
     const Diagnostic &D = Cli.Base->buildStatus().diagnostic();
     if (!BuildOpts.KeepGoing) {
@@ -911,10 +1000,15 @@ int main(int Argc, char **Argv) {
   // A worker-thread exception (a real bad_alloc, or an injected
   // threadpool-dispatch fault) surfaces here instead of aborting; the
   // journal on disk stays valid either way.
+  int Code;
   try {
-    return runCli(Argc, Argv);
+    Code = runCli(Argc, Argv);
   } catch (const std::exception &E) {
     std::fprintf(stderr, "error: unhandled exception: %s\n", E.what());
-    return 4;
+    Code = 4;
   }
+  // Trace/metrics/run-report files are written even when the run failed:
+  // a report of a failed run is exactly when you want the evidence.
+  emitObservability(Code);
+  return Code;
 }

@@ -29,8 +29,12 @@
 #include "fa/Regex.h"
 #include "fa/Templates.h"
 #include "support/AtomicFile.h"
+#include "support/BuildInfo.h"
 #include "support/Failpoint.h"
+#include "support/Metrics.h"
+#include "support/RunReport.h"
 #include "support/StringUtil.h"
+#include "support/TraceEvent.h"
 #include "verifier/Verifier.h"
 
 #include <cstdarg>
@@ -98,12 +102,63 @@ void printUsage() {
       "  --max-concepts N   stop clustering after enumerating N concepts\n"
       "  --keep-going       on budget exhaustion, report what was computed\n"
       "                     (prefix of scenarios, partial clusters) instead\n"
-      "                     of exiting with an error\n");
+      "                     of exiting with an error\n"
+      "\n"
+      "observability (see docs/OBSERVABILITY.md):\n"
+      "  --version          print version, git SHA, and build type; exit\n"
+      "  --stats            print the metrics table before exiting\n"
+      "  --metrics-out FILE write a cable-metrics/1 JSON snapshot at exit\n"
+      "  --trace-out FILE   record tracing spans, write Chrome trace-event\n"
+      "                     JSON at exit (Perfetto / chrome://tracing)\n"
+      "  --run-report FILE  write a cable-run-report/1 JSON document\n");
 }
 
-} // namespace
+/// Observability outputs, written on every exit path of main.
+struct ObservabilityOptions {
+  std::string TraceOut;
+  std::string MetricsOut;
+  std::string RunReportOut;
+  bool PrintStats = false;
+  std::vector<std::string> Args;
+  bool Truncated = false;
+  /// The pipeline ran to a report. Distinguishes exit 1 = "violations
+  /// found" (clean) from exit 1 = "bad flags / unreadable input".
+  bool Completed = false;
+} GObs;
 
-int main(int Argc, char **Argv) {
+void emitObservability(int ExitCode) {
+  if (GObs.PrintStats)
+    std::printf("\n-- run statistics --\n%s", Metrics::renderTable().c_str());
+  if (!GObs.TraceOut.empty()) {
+    if (Status St = TraceLog::writeJson(GObs.TraceOut, "spec-lint");
+        !St.isOk())
+      std::fprintf(stderr, "warning: cannot write trace: %s\n",
+                   St.diagnostic().render().c_str());
+  }
+  if (!GObs.MetricsOut.empty()) {
+    if (Status St = writeMetricsJson(GObs.MetricsOut, "spec-lint");
+        !St.isOk())
+      std::fprintf(stderr, "warning: cannot write metrics: %s\n",
+                   St.diagnostic().render().c_str());
+  }
+  if (!GObs.RunReportOut.empty()) {
+    RunReportInfo Info;
+    Info.Tool = "spec-lint";
+    Info.Args = GObs.Args;
+    Info.Truncated = GObs.Truncated;
+    // Exit code 1 also covers "violations found", which is a clean run;
+    // CleanExit means "the pipeline produced its report".
+    Info.CleanExit = GObs.Completed;
+    Info.ExitCode = ExitCode;
+    if (Status St = writeRunReport(GObs.RunReportOut, Info); !St.isOk())
+      std::fprintf(stderr, "warning: cannot write run report: %s\n",
+                   St.diagnostic().render().c_str());
+  }
+}
+
+int runLint(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    GObs.Args.emplace_back(Argv[I]);
   if (Status St = Failpoint::configureFromEnv(); !St.isOk()) {
     std::fprintf(stderr, "error: CABLE_FAILPOINTS: %s\n",
                  St.message().c_str());
@@ -151,6 +206,22 @@ int main(int Argc, char **Argv) {
         BuildOpts.ResourceBudget.MaxConcepts = N;
     } else if (Arg == "--keep-going") {
       BuildOpts.KeepGoing = true;
+    } else if (Arg == "--version") {
+      std::printf("%s\n", buildinfo::versionLine("spec-lint").c_str());
+      return 0;
+    } else if (Arg == "--stats") {
+      GObs.PrintStats = true;
+      Metrics::setEnabled(true);
+    } else if (Arg == "--metrics-out") {
+      GObs.MetricsOut = Next();
+      Metrics::setEnabled(true);
+    } else if (Arg == "--run-report") {
+      GObs.RunReportOut = Next();
+      Metrics::setEnabled(true);
+    } else if (Arg == "--trace-out") {
+      GObs.TraceOut = Next();
+      TraceLog::setEnabled(true);
+      TraceLog::setThreadName("main");
     } else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return 0;
@@ -211,6 +282,7 @@ int main(int Argc, char **Argv) {
   // Verify (budgeted: one checkpoint per scenario).
   BudgetMeter VerifyMeter(BuildOpts.ResourceBudget);
   VerificationResult R;
+  TraceSpan LintSpan("spec-lint", static_cast<int64_t>(Input->size()));
   if (!RunsFile.empty()) {
     ExtractorOptions Extract;
     for (const std::string &Seed : splitString(SeedsArg, ','))
@@ -226,6 +298,7 @@ int main(int Argc, char **Argv) {
     R = verifyScenarios(*Input, Spec, VerifyMeter);
   }
   if (R.Truncated) {
+    GObs.Truncated = true;
     if (!BuildOpts.KeepGoing) {
       std::fprintf(stderr, "%s\n",
                    R.CheckStatus.diagnostic().render().c_str());
@@ -254,6 +327,7 @@ int main(int Argc, char **Argv) {
         return 1;
       }
     }
+    GObs.Completed = true;
     return Code;
   };
   if (R.Violations.empty()) {
@@ -274,6 +348,7 @@ int main(int Argc, char **Argv) {
   }
   Session &S = *Built;
   if (S.truncated()) {
+    GObs.Truncated = true;
     const Diagnostic &D = S.buildStatus().diagnostic();
     if (!BuildOpts.KeepGoing) {
       std::fprintf(stderr, "%s\n", D.render().c_str());
@@ -338,4 +413,12 @@ int main(int Argc, char **Argv) {
     }
   }
   return Finish(1);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Code = runLint(Argc, Argv);
+  emitObservability(Code);
+  return Code;
 }
