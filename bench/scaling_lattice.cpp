@@ -27,11 +27,16 @@
 #include "workload/Generator.h"
 #include "workload/ReferenceFA.h"
 
+#include "support/simd/Kernels.h"
+
 #include "BenchCommon.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <string>
+#include <vector>
 
 using namespace cable;
 
@@ -229,6 +234,139 @@ void BM_ExecutedTransitions(benchmark::State &State) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Kernel & closure throughput probes (always emitted into the BENCH JSON;
+// tests/bench/kernel_guard.sh gates on these sections and counters).
+//===----------------------------------------------------------------------===//
+
+double median(std::vector<double> Xs) {
+  if (Xs.empty())
+    return 0;
+  std::sort(Xs.begin(), Xs.end());
+  return Xs[Xs.size() / 2];
+}
+
+/// Contranominal scale N: the 2^N worst case; N=24 is the issue's closure
+/// throughput workload (closures over random subsets, never a full
+/// enumeration).
+Context contranominal(size_t N) {
+  Context Ctx(N, N);
+  for (size_t O = 0; O < N; ++O)
+    for (size_t A = 0; A < N; ++A)
+      if (O != A)
+        Ctx.relate(O, A);
+  return Ctx;
+}
+
+/// The §5.2 trace-workload context at the evaluation scale: XtFree-style
+/// traces against an unordered reference FA (~200 objects, FA-transition
+/// attributes) — the realistic shape behind the paper's figures.
+Context xtFreeScaleContext() {
+  ProtocolModel M = protocolByName("XtFree");
+  std::vector<ProtoEvent> Uses;
+  for (size_t I = 0; I < 10; ++I)
+    Uses.push_back(ProtoEvent{"Use" + std::to_string(I), {0}});
+  M.Shapes[0].second.Steps[1] = ShapeStep::optional(Uses, 0.5);
+  EventTable Table;
+  WorkloadGenerator Gen(M, Table);
+  RNG Rand(44);
+  TraceSet Unique = Gen.generateScenarios(Rand, 200).dedup();
+  Automaton Ref =
+      makeUnorderedFA(templateAlphabet(Unique.traces()), Unique.table());
+  Context Ctx(Unique.size(), Ref.numTransitions());
+  for (size_t Obj = 0; Obj < Unique.size(); ++Obj)
+    for (size_t A : Ref.executedTransitions(Unique[Obj], Unique.table()))
+      Ctx.relate(Obj, A);
+  return Ctx;
+}
+
+/// Times closeIntent over a fixed battery of random attribute subsets on
+/// the fused path and the legacy reference path, records both sections,
+/// and returns median(reference) / median(fused) — the speedup the guard
+/// and the acceptance criterion key on.
+double closureThroughputProbe(cable::bench::BenchReport &Report,
+                              const std::string &Tag, const Context &Ctx,
+                              int Samples, int Closures) {
+  RNG Rand(0x5EED + Ctx.numAttributes());
+  std::vector<BitVector> Subsets;
+  for (int I = 0; I < 64; ++I) {
+    BitVector S(Ctx.numAttributes());
+    for (size_t A = 0; A < Ctx.numAttributes(); ++A)
+      if (Rand.nextBool(0.35))
+        S.set(A);
+    Subsets.push_back(std::move(S));
+  }
+  BitVector ObjScratch(Ctx.numObjects()), Out(Ctx.numAttributes());
+  std::vector<double> FusedMs, RefMs;
+  for (int S = 0; S < Samples; ++S) {
+    FusedMs.push_back(Report.timeSample("closure-" + Tag, [&] {
+      for (int I = 0; I < Closures; ++I) {
+        Ctx.closeIntentInto(Subsets[I % Subsets.size()], ObjScratch, Out);
+        benchmark::DoNotOptimize(Out);
+      }
+    }));
+    RefMs.push_back(Report.timeSample("closure-" + Tag + "-ref", [&] {
+      for (int I = 0; I < Closures; ++I) {
+        BitVector C =
+            Ctx.closeIntentReference(Subsets[I % Subsets.size()]);
+        benchmark::DoNotOptimize(C);
+      }
+    }));
+  }
+  double FusedMed = median(FusedMs), RefMed = median(RefMs);
+  Report.counter("closures_per_s_" + Tag,
+                 FusedMed > 0 ? 1e3 * Closures / FusedMed : 0);
+  double Speedup = FusedMed > 0 ? RefMed / FusedMed : 0;
+  Report.counter("closure_speedup_" + Tag, Speedup);
+  return Speedup;
+}
+
+/// Per-kernel throughput sections at one dispatch level, pinned with
+/// ForcedLevelGuard: kernel-{and,subset,popcount,andmany}-<level>.
+void kernelThroughputProbe(cable::bench::BenchReport &Report, simd::Level L,
+                           int Samples, int Reps) {
+  simd::ForcedLevelGuard Guard(L);
+  const simd::KernelOps &O = simd::ops();
+  std::string Suffix = std::string("-") + simd::levelName(L);
+  constexpr size_t W = 64; // 4096-bit operands: the XtFree row scale.
+  std::vector<uint64_t> A(W), B(W), Dst(W);
+  RNG Rand(7);
+  for (size_t I = 0; I < W; ++I) {
+    A[I] = Rand.next();
+    B[I] = Rand.next();
+  }
+  const uint64_t *Rows[8] = {A.data(), B.data(), A.data(), B.data(),
+                             A.data(), B.data(), A.data(), B.data()};
+  for (int S = 0; S < Samples; ++S) {
+    Report.timeSample("kernel-and" + Suffix, [&] {
+      Dst = A;
+      for (int I = 0; I < Reps; ++I) {
+        O.AndInto(Dst.data(), B.data(), W);
+        benchmark::DoNotOptimize(Dst.data());
+      }
+    });
+    Report.timeSample("kernel-subset" + Suffix, [&] {
+      bool R = false;
+      for (int I = 0; I < Reps; ++I)
+        R ^= O.IsSubsetOf(A.data(), B.data(), W, ~uint64_t(0));
+      benchmark::DoNotOptimize(R);
+    });
+    Report.timeSample("kernel-popcount" + Suffix, [&] {
+      size_t N = 0;
+      for (int I = 0; I < Reps; ++I)
+        N += O.Popcount(A.data(), W, ~uint64_t(0));
+      benchmark::DoNotOptimize(N);
+    });
+    Report.timeSample("kernel-andmany" + Suffix, [&] {
+      Dst = A;
+      for (int I = 0; I < Reps; ++I) {
+        O.AndManyInto(Dst.data(), Rows, 8, W);
+        benchmark::DoNotOptimize(Dst.data());
+      }
+    });
+  }
+}
+
 } // namespace
 
 BENCHMARK(BM_GodinVsObjects)
@@ -303,6 +441,32 @@ int main(int Argc, char **Argv) {
     }
     Report.counter("concepts", static_cast<double>(Concepts));
   }
+
+  // Kernel + closure throughput probes for the kernel regression guard
+  // and the SIMD acceptance numbers. Sections exist in quick mode too —
+  // smaller, but the guard's one-sided comparisons still hold.
+  {
+    bool Quick = cable::bench::BenchReport::quick();
+    int Samples = Quick ? 5 : 11;
+    int Reps = Quick ? 2000 : 20000;
+    std::vector<simd::Level> Levels = {simd::Level::Scalar,
+                                       simd::Level::Unrolled};
+    if (simd::maxSupportedLevel() == simd::Level::Vector)
+      Levels.push_back(simd::Level::Vector);
+    for (simd::Level L : Levels)
+      kernelThroughputProbe(Report, L, Samples, Reps);
+    Report.counter("kernel_active_level",
+                   static_cast<double>(simd::activeLevel()));
+    Report.counter("kernel_max_level",
+                   static_cast<double>(simd::maxSupportedLevel()));
+
+    int Closures = Quick ? 4000 : 40000;
+    closureThroughputProbe(Report, "contranominal24", contranominal(24),
+                           Samples, Closures);
+    closureThroughputProbe(Report, "xtfree", xtFreeScaleContext(), Samples,
+                           Quick ? 400 : 4000);
+  }
+
   if (!cable::bench::BenchReport::quick()) {
     benchmark::Initialize(&Argc, Argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -59,6 +59,9 @@ void GodinBuilder::addObject(const BitVector &Attrs) {
 
   size_t NumOld = Concepts.size();
   std::vector<Concept> Created;
+  // Candidate-intent scratch reused across the visit: a duplicate intent
+  // (the common case on dense lattices) costs no allocation.
+  BitVector Int(NumAttributes);
   for (size_t I = 0; I < NumOld; ++I) {
     Concept &C = Concepts[Order[I]];
     if (C.Intent.isSubsetOf(Attrs)) {
@@ -67,8 +70,9 @@ void GodinBuilder::addObject(const BitVector &Attrs) {
       Present.emplace(C.Intent, Order[I]);
       continue;
     }
-    BitVector Int = C.Intent & Attrs;
-    if (Present.count(Int))
+    Int = C.Intent;
+    Int &= Attrs;
+    if (Present.find(Int) != Present.end())
       continue;
     // C is the generator with maximal extent for this intent (it is visited
     // first because its intent is the smallest producing Int).
@@ -109,6 +113,7 @@ bool GodinBuilder::addObjectBudgeted(const BitVector &Attrs,
   std::vector<size_t> Modified;
   std::vector<Concept> Created;
   size_t NumOld = Concepts.size();
+  BitVector Int(NumAttributes);
   for (size_t I = 0; I < NumOld; ++I) {
     if (Meter.expired())
       return false;
@@ -118,8 +123,9 @@ bool GodinBuilder::addObjectBudgeted(const BitVector &Attrs,
       Present.emplace(C.Intent, Order[I]);
       continue;
     }
-    BitVector Int = C.Intent & Attrs;
-    if (Present.count(Int))
+    Int = C.Intent;
+    Int &= Attrs;
+    if (Present.find(Int) != Present.end())
       continue;
     Concept N;
     N.Extent = C.Extent;

@@ -40,6 +40,9 @@ LindigBuilder::upperNeighborExtents(const Context &Ctx,
 
   std::vector<BitVector> Out;
   uint64_t LocalClosures = 0;
+  // Candidate scratch reused across generators: a disqualified generator
+  // (the common case) performs no allocation.
+  BitVector Gen(N), Closed(N), Extra(N), AttrScratch(Ctx.numAttributes());
   for (size_t G = 0; G < N; ++G) {
     if (Extent.test(G))
       continue;
@@ -47,12 +50,12 @@ LindigBuilder::upperNeighborExtents(const Context &Ctx,
       NumClosures.add(LocalClosures);
       return Out;
     }
-    BitVector Gen = Extent;
+    Gen = Extent;
     Gen.set(G);
-    BitVector Closed = Ctx.closeExtent(Gen);
+    Ctx.closeExtentInto(Gen, AttrScratch, Closed);
     ++LocalClosures;
     // Extra = Closed \ Extent \ {g}.
-    BitVector Extra = Closed;
+    Extra = Closed;
     Extra.andNot(Extent);
     Extra.reset(G);
     if (!Extra.intersects(Min)) {
@@ -64,7 +67,8 @@ LindigBuilder::upperNeighborExtents(const Context &Ctx,
           break;
         }
       if (!Seen)
-        Out.push_back(std::move(Closed));
+        // Copy, not move: Closed stays live as next iteration's scratch.
+        Out.push_back(Closed);
     } else {
       Min.reset(G);
     }

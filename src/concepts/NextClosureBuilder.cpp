@@ -10,6 +10,8 @@
 #include "support/Metrics.h"
 #include "support/TraceEvent.h"
 
+#include <utility>
+
 using namespace cable;
 
 namespace {
@@ -30,7 +32,11 @@ NextClosureBuilder::allClosedIntents(const Context &Ctx) {
   uint64_t LocalClosures = 1;
   std::vector<BitVector> Out;
 
-  BitVector A = Ctx.closeIntent(BitVector(M));
+  // All candidate/closure buffers live outside the enumeration loop: a
+  // rejected candidate (the common case) costs zero allocations, only an
+  // accepted concept pays one copy into Out.
+  BitVector A(M), B(M), Closed(M), ObjScratch(Ctx.numObjects());
+  Ctx.closeIntentInto(BitVector(M), ObjScratch, A);
   Out.push_back(A);
 
   // The lectically largest closed set is the closure of the full set, which
@@ -43,18 +49,19 @@ NextClosureBuilder::allClosedIntents(const Context &Ctx) {
       if (A.test(I))
         continue;
       // Candidate: closure((A ∩ {0..I-1}) ∪ {I}).
-      BitVector B(M);
+      B.resetAll();
       for (size_t J : A) {
         if (J >= I)
           break;
         B.set(J);
       }
       B.set(I);
-      B = Ctx.closeIntent(B);
+      Ctx.closeIntentInto(B, ObjScratch, Closed);
       ++LocalClosures;
-      // Accept iff B agrees with A below I (B +_i A in Ganter's notation).
+      // Accept iff the closure agrees with A below I (B +_i A in Ganter's
+      // notation).
       bool Agrees = true;
-      for (size_t J : B) {
+      for (size_t J : Closed) {
         if (J >= I)
           break;
         if (!A.test(J)) {
@@ -63,8 +70,8 @@ NextClosureBuilder::allClosedIntents(const Context &Ctx) {
         }
       }
       if (Agrees) {
-        A = std::move(B);
-        Out.push_back(A);
+        Out.push_back(Closed);
+        std::swap(A, Closed);
         Advanced = true;
         break;
       }
@@ -101,7 +108,8 @@ NextClosureBuilder::allClosedIntentsBudgeted(const Context &Ctx,
 
   // The lectic least closed intent is emitted unconditionally so even an
   // already-expired meter yields a nonempty prefix (the top concept).
-  BitVector A = Ctx.closeIntent(BitVector(M));
+  BitVector A(M), B(M), Closed(M), ObjScratch(Ctx.numObjects());
+  Ctx.closeIntentInto(BitVector(M), ObjScratch, A);
   Out.push_back(A);
 
   for (;;) {
@@ -118,17 +126,17 @@ NextClosureBuilder::allClosedIntentsBudgeted(const Context &Ctx,
         NumConcepts.add(Out.size());
         return Out;
       }
-      BitVector B(M);
+      B.resetAll();
       for (size_t J : A) {
         if (J >= I)
           break;
         B.set(J);
       }
       B.set(I);
-      B = Ctx.closeIntent(B);
+      Ctx.closeIntentInto(B, ObjScratch, Closed);
       ++LocalClosures;
       bool Agrees = true;
-      for (size_t J : B) {
+      for (size_t J : Closed) {
         if (J >= I)
           break;
         if (!A.test(J)) {
@@ -147,8 +155,8 @@ NextClosureBuilder::allClosedIntentsBudgeted(const Context &Ctx,
           NumConcepts.add(Out.size());
           return Out;
         }
-        A = std::move(B);
-        Out.push_back(A);
+        Out.push_back(Closed);
+        std::swap(A, Closed);
         Advanced = true;
         break;
       }

@@ -37,6 +37,7 @@
 #include "support/TraceEvent.h"
 
 #include <cassert>
+#include <utility>
 
 using namespace cable;
 
@@ -60,9 +61,11 @@ std::vector<BitVector> ParallelBuilder::blockIntents(const Context &Ctx,
   uint64_t LocalClosures = 1;
   std::vector<BitVector> Out;
 
-  BitVector Start(M);
-  Start.set(P);
-  BitVector A = Ctx.closeIntent(Start);
+  // Per-block scratch set, reused across every candidate in the block so
+  // only accepted concepts allocate (one copy into Out).
+  BitVector A(M), B(M), Closed(M), ObjScratch(Ctx.numObjects());
+  B.set(P);
+  Ctx.closeIntentInto(B, ObjScratch, A);
   // closure({p}) is contained in every closed set whose minimum is p, so
   // it is the block's lectic least — unless it pulls in an attribute
   // below p, in which case no closed set has minimum p at all.
@@ -83,17 +86,17 @@ std::vector<BitVector> ParallelBuilder::blockIntents(const Context &Ctx,
       size_t I = IPlus1 - 1;
       if (A.test(I))
         continue;
-      BitVector B(M);
+      B.resetAll();
       for (size_t J : A) {
         if (J >= I)
           break;
         B.set(J);
       }
       B.set(I);
-      B = Ctx.closeIntent(B);
+      Ctx.closeIntentInto(B, ObjScratch, Closed);
       ++LocalClosures;
       bool Agrees = true;
-      for (size_t J : B) {
+      for (size_t J : Closed) {
         if (J >= I)
           break;
         if (!A.test(J)) {
@@ -102,8 +105,8 @@ std::vector<BitVector> ParallelBuilder::blockIntents(const Context &Ctx,
         }
       }
       if (Agrees) {
-        A = std::move(B);
-        Out.push_back(A);
+        Out.push_back(Closed);
+        std::swap(A, Closed);
         Advanced = true;
         break;
       }
@@ -222,9 +225,9 @@ ParallelBuilder::blockIntentsBudgeted(const Context &Ctx, size_t P,
   std::vector<BitVector> Out;
   Stop = BuildStop::Complete;
 
-  BitVector Start(M);
-  Start.set(P);
-  BitVector A = Ctx.closeIntent(Start);
+  BitVector A(M), B(M), Closed(M), ObjScratch(Ctx.numObjects());
+  B.set(P);
+  Ctx.closeIntentInto(B, ObjScratch, A);
   if (A.findFirst() != P) {
     NumClosures.add(LocalClosures);
     PartitionSize.record(0);
@@ -246,17 +249,17 @@ ParallelBuilder::blockIntentsBudgeted(const Context &Ctx, size_t P,
         PartitionSize.record(Out.size());
         return Out;
       }
-      BitVector B(M);
+      B.resetAll();
       for (size_t J : A) {
         if (J >= I)
           break;
         B.set(J);
       }
       B.set(I);
-      B = Ctx.closeIntent(B);
+      Ctx.closeIntentInto(B, ObjScratch, Closed);
       ++LocalClosures;
       bool Agrees = true;
-      for (size_t J : B) {
+      for (size_t J : Closed) {
         if (J >= I)
           break;
         if (!A.test(J)) {
@@ -274,8 +277,8 @@ ParallelBuilder::blockIntentsBudgeted(const Context &Ctx, size_t P,
           PartitionSize.record(Out.size());
           return Out;
         }
-        A = std::move(B);
-        Out.push_back(A);
+        Out.push_back(Closed);
+        std::swap(A, Closed);
         Advanced = true;
         break;
       }

@@ -7,6 +7,8 @@
 
 #include "support/BitVector.h"
 
+#include "support/simd/Kernels.h"
+
 #include <bit>
 
 using namespace cable;
@@ -30,44 +32,61 @@ void BitVector::setAll() {
 }
 
 size_t BitVector::count() const {
-  size_t N = 0;
-  for (uint64_t W : Words)
-    N += static_cast<size_t>(std::popcount(W));
-  return N;
+  if (Words.size() == 1)
+    return static_cast<size_t>(std::popcount(Words[0] & tailMask()));
+  return simd::ops().Popcount(Words.data(), Words.size(), tailMask());
 }
 
 bool BitVector::none() const {
-  for (uint64_t W : Words)
-    if (W != 0)
-      return false;
-  return true;
+  // A & A intersects iff any bit is set; the kernel masks the tail so a
+  // dirty tail can never make an empty set look populated.
+  if (Words.size() == 1)
+    return (Words[0] & tailMask()) == 0;
+  return !simd::ops().Intersects(Words.data(), Words.data(), Words.size(),
+                                 tailMask());
 }
 
 BitVector &BitVector::operator&=(const BitVector &RHS) {
   assert(NumBits == RHS.NumBits && "universe size mismatch");
-  for (size_t I = 0; I < Words.size(); ++I)
-    Words[I] &= RHS.Words[I];
+  if (Words.size() == 1)
+    Words[0] &= RHS.Words[0];
+  else
+    simd::ops().AndInto(Words.data(), RHS.Words.data(), Words.size());
+  clearUnusedBits();
+  assert(tailIsClean());
   return *this;
 }
 
 BitVector &BitVector::operator|=(const BitVector &RHS) {
   assert(NumBits == RHS.NumBits && "universe size mismatch");
-  for (size_t I = 0; I < Words.size(); ++I)
-    Words[I] |= RHS.Words[I];
+  if (Words.size() == 1)
+    Words[0] |= RHS.Words[0];
+  else
+    simd::ops().OrInto(Words.data(), RHS.Words.data(), Words.size());
+  clearUnusedBits();
+  assert(tailIsClean());
   return *this;
 }
 
 BitVector &BitVector::operator^=(const BitVector &RHS) {
   assert(NumBits == RHS.NumBits && "universe size mismatch");
-  for (size_t I = 0; I < Words.size(); ++I)
-    Words[I] ^= RHS.Words[I];
+  if (Words.size() == 1)
+    Words[0] ^= RHS.Words[0];
+  else
+    simd::ops().XorInto(Words.data(), RHS.Words.data(), Words.size());
+  clearUnusedBits();
+  assert(tailIsClean());
   return *this;
 }
 
 BitVector &BitVector::andNot(const BitVector &RHS) {
   assert(NumBits == RHS.NumBits && "universe size mismatch");
-  for (size_t I = 0; I < Words.size(); ++I)
-    Words[I] &= ~RHS.Words[I];
+  if (Words.size() == 1)
+    Words[0] &= ~RHS.Words[0];
+  else
+    simd::ops().AndNotInto(Words.data(), RHS.Words.data(), Words.size());
+  clearUnusedBits();
+  assert(tailIsClean());
   return *this;
 }
 
@@ -79,18 +98,18 @@ void BitVector::flipAll() {
 
 bool BitVector::isSubsetOf(const BitVector &RHS) const {
   assert(NumBits == RHS.NumBits && "universe size mismatch");
-  for (size_t I = 0; I < Words.size(); ++I)
-    if ((Words[I] & ~RHS.Words[I]) != 0)
-      return false;
-  return true;
+  if (Words.size() == 1)
+    return ((Words[0] & ~RHS.Words[0]) & tailMask()) == 0;
+  return simd::ops().IsSubsetOf(Words.data(), RHS.Words.data(), Words.size(),
+                                tailMask());
 }
 
 bool BitVector::intersects(const BitVector &RHS) const {
   assert(NumBits == RHS.NumBits && "universe size mismatch");
-  for (size_t I = 0; I < Words.size(); ++I)
-    if ((Words[I] & RHS.Words[I]) != 0)
-      return true;
-  return false;
+  if (Words.size() == 1)
+    return ((Words[0] & RHS.Words[0]) & tailMask()) != 0;
+  return simd::ops().Intersects(Words.data(), RHS.Words.data(), Words.size(),
+                                tailMask());
 }
 
 size_t BitVector::findFirst() const {

@@ -11,6 +11,17 @@
 /// over set bits. Concept extents and intents are BitVectors, so these
 /// operations dominate lattice construction time.
 ///
+/// The word-level work is delegated to the runtime-dispatched kernels in
+/// support/simd/Kernels.h (scalar / unrolled / AVX2 / NEON), with a
+/// single-word fast path inline here because most intents in the paper's
+/// workloads fit one word. Two invariants the kernels rely on:
+///
+///  - Tail invariant: bits at positions >= size() in the last word are
+///    always zero after every mutating operation (each one re-masks the
+///    tail, and read paths additionally apply a tail mask so a dirty tail
+///    could never leak into popcount or subset verdicts).
+///  - Words.size() == ceil(size() / 64) at all times.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CABLE_SUPPORT_BITVECTOR_H
@@ -135,11 +146,37 @@ public:
   /// Hashes the bit pattern (for unordered containers keyed on extents).
   size_t hashValue() const;
 
+  /// Raw word access for the kernel layer (Context packs these into its
+  /// arenas; simd::andSelectInto reads selectors through this).
+  const uint64_t *words() const { return Words.data(); }
+  uint64_t *words() { return Words.data(); }
+
+  /// Number of 64-bit words backing the universe: ceil(size() / 64).
+  size_t numWords() const { return Words.size(); }
+
+  /// Mask of the valid bits in the final word (all-ones when the universe
+  /// is word-aligned; meaningless when numWords() == 0).
+  uint64_t tailMask() const {
+    size_t Tail = NumBits % 64;
+    return Tail == 0 ? ~uint64_t(0) : (uint64_t(1) << Tail) - 1;
+  }
+
+  /// True when no bit past size() is set — the tail invariant every
+  /// mutating operation re-establishes. Exposed for the audit tests.
+  bool tailIsClean() const {
+    return Words.empty() || (Words.back() & ~tailMask()) == 0;
+  }
+
 private:
   void clearUnusedBits();
 
   size_t NumBits = 0;
   std::vector<uint64_t> Words;
+
+  /// Test-only backdoor (tests/support/BitVectorTest.cpp) used to plant
+  /// dirty tail bits and prove they cannot leak through read operations
+  /// or survive a mutating one.
+  friend struct BitVectorTestPeer;
 };
 
 /// Returns the intersection of \p A and \p B.

@@ -1,0 +1,188 @@
+//===- support/simd/KernelsAVX2.cpp - AVX2 bit-set kernels ----------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The 256-bit lane implementations. This TU is the only one compiled with
+// -mavx2 (see src/support/CMakeLists.txt), so nothing here may be called
+// unless dispatch confirmed AVX2 via __builtin_cpu_supports — the rest of
+// the binary stays runnable on any x86-64.
+//
+// All loads/stores are unaligned (vmovdqu): BitVector words live in
+// std::vector storage with no alignment promise, and on every AVX2-era
+// core an unaligned load of actually-aligned data costs the same as an
+// aligned one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/simd/Kernels.h"
+
+#ifdef CABLE_KERNELS_HAVE_AVX2
+
+#include <bit>
+#include <immintrin.h>
+
+using namespace cable;
+using namespace cable::simd;
+
+namespace {
+
+inline __m256i loadu(const uint64_t *P) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(P));
+}
+
+inline void storeu(uint64_t *P, __m256i V) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(P), V);
+}
+
+void avx2AndInto(uint64_t *Dst, const uint64_t *Src, size_t N) {
+  size_t I = 0;
+  for (; I + 16 <= N; I += 16) {
+    storeu(Dst + I + 0, _mm256_and_si256(loadu(Dst + I + 0), loadu(Src + I + 0)));
+    storeu(Dst + I + 4, _mm256_and_si256(loadu(Dst + I + 4), loadu(Src + I + 4)));
+    storeu(Dst + I + 8, _mm256_and_si256(loadu(Dst + I + 8), loadu(Src + I + 8)));
+    storeu(Dst + I + 12,
+           _mm256_and_si256(loadu(Dst + I + 12), loadu(Src + I + 12)));
+  }
+  for (; I + 4 <= N; I += 4)
+    storeu(Dst + I, _mm256_and_si256(loadu(Dst + I), loadu(Src + I)));
+  for (; I < N; ++I)
+    Dst[I] &= Src[I];
+}
+
+void avx2OrInto(uint64_t *Dst, const uint64_t *Src, size_t N) {
+  size_t I = 0;
+  for (; I + 16 <= N; I += 16) {
+    storeu(Dst + I + 0, _mm256_or_si256(loadu(Dst + I + 0), loadu(Src + I + 0)));
+    storeu(Dst + I + 4, _mm256_or_si256(loadu(Dst + I + 4), loadu(Src + I + 4)));
+    storeu(Dst + I + 8, _mm256_or_si256(loadu(Dst + I + 8), loadu(Src + I + 8)));
+    storeu(Dst + I + 12,
+           _mm256_or_si256(loadu(Dst + I + 12), loadu(Src + I + 12)));
+  }
+  for (; I + 4 <= N; I += 4)
+    storeu(Dst + I, _mm256_or_si256(loadu(Dst + I), loadu(Src + I)));
+  for (; I < N; ++I)
+    Dst[I] |= Src[I];
+}
+
+void avx2XorInto(uint64_t *Dst, const uint64_t *Src, size_t N) {
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4)
+    storeu(Dst + I, _mm256_xor_si256(loadu(Dst + I), loadu(Src + I)));
+  for (; I < N; ++I)
+    Dst[I] ^= Src[I];
+}
+
+void avx2AndNotInto(uint64_t *Dst, const uint64_t *Src, size_t N) {
+  size_t I = 0;
+  // andnot computes ~first & second, so Src goes first.
+  for (; I + 4 <= N; I += 4)
+    storeu(Dst + I, _mm256_andnot_si256(loadu(Src + I), loadu(Dst + I)));
+  for (; I < N; ++I)
+    Dst[I] &= ~Src[I];
+}
+
+bool avx2IsSubsetOf(const uint64_t *A, const uint64_t *B, size_t N,
+                    uint64_t TailMask) {
+  if (N == 0)
+    return true;
+  size_t Full = N - 1;
+  size_t I = 0;
+  for (; I + 4 <= Full; I += 4) {
+    // A & ~B == andnot(B, A); testz sets ZF iff the whole lane is zero.
+    __m256i Bad = _mm256_andnot_si256(loadu(B + I), loadu(A + I));
+    if (!_mm256_testz_si256(Bad, Bad))
+      return false;
+  }
+  for (; I < Full; ++I)
+    if ((A[I] & ~B[I]) != 0)
+      return false;
+  return ((A[Full] & ~B[Full]) & TailMask) == 0;
+}
+
+bool avx2Intersects(const uint64_t *A, const uint64_t *B, size_t N,
+                    uint64_t TailMask) {
+  if (N == 0)
+    return false;
+  size_t Full = N - 1;
+  size_t I = 0;
+  for (; I + 4 <= Full; I += 4) {
+    if (!_mm256_testz_si256(loadu(A + I), loadu(B + I)))
+      return true;
+  }
+  for (; I < Full; ++I)
+    if ((A[I] & B[I]) != 0)
+      return true;
+  return ((A[Full] & B[Full]) & TailMask) != 0;
+}
+
+size_t avx2Popcount(const uint64_t *A, size_t N, uint64_t TailMask) {
+  // AVX2 has no vector popcount; four parallel POPCNT chains beat a
+  // Harley-Seal reduction at the word counts contexts reach (tens).
+  if (N == 0)
+    return 0;
+  size_t Full = N - 1;
+  size_t C0 = 0, C1 = 0, C2 = 0, C3 = 0;
+  size_t I = 0;
+  for (; I + 4 <= Full; I += 4) {
+    C0 += static_cast<size_t>(std::popcount(A[I + 0]));
+    C1 += static_cast<size_t>(std::popcount(A[I + 1]));
+    C2 += static_cast<size_t>(std::popcount(A[I + 2]));
+    C3 += static_cast<size_t>(std::popcount(A[I + 3]));
+  }
+  for (; I < Full; ++I)
+    C0 += static_cast<size_t>(std::popcount(A[I]));
+  return C0 + C1 + C2 + C3 +
+         static_cast<size_t>(std::popcount(A[Full] & TailMask));
+}
+
+void avx2AndManyInto(uint64_t *Dst, const uint64_t *const *Srcs, size_t K,
+                     size_t N) {
+  size_t I = 0;
+  // 16-word (128-byte) blocks: four ymm accumulators stay resident while
+  // every selected row streams through — the fused closure inner loop.
+  for (; I + 16 <= N; I += 16) {
+    __m256i W0 = loadu(Dst + I + 0);
+    __m256i W1 = loadu(Dst + I + 4);
+    __m256i W2 = loadu(Dst + I + 8);
+    __m256i W3 = loadu(Dst + I + 12);
+    for (size_t S = 0; S < K; ++S) {
+      const uint64_t *Row = Srcs[S] + I;
+      W0 = _mm256_and_si256(W0, loadu(Row + 0));
+      W1 = _mm256_and_si256(W1, loadu(Row + 4));
+      W2 = _mm256_and_si256(W2, loadu(Row + 8));
+      W3 = _mm256_and_si256(W3, loadu(Row + 12));
+    }
+    storeu(Dst + I + 0, W0);
+    storeu(Dst + I + 4, W1);
+    storeu(Dst + I + 8, W2);
+    storeu(Dst + I + 12, W3);
+  }
+  for (; I + 4 <= N; I += 4) {
+    __m256i W = loadu(Dst + I);
+    for (size_t S = 0; S < K; ++S)
+      W = _mm256_and_si256(W, loadu(Srcs[S] + I));
+    storeu(Dst + I, W);
+  }
+  for (; I < N; ++I) {
+    uint64_t W = Dst[I];
+    for (size_t S = 0; S < K; ++S)
+      W &= Srcs[S][I];
+    Dst[I] = W;
+  }
+}
+
+} // namespace
+
+const KernelOps &detail::avx2Ops() {
+  static const KernelOps Ops = {
+      "avx2",         avx2AndInto,   avx2OrInto,   avx2XorInto,
+      avx2AndNotInto, avx2IsSubsetOf, avx2Intersects, avx2Popcount,
+      avx2AndManyInto,
+  };
+  return Ops;
+}
+
+#endif // CABLE_KERNELS_HAVE_AVX2

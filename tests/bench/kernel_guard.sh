@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+#===- tests/bench/kernel_guard.sh - SIMD kernel regression guard -----------===#
+#
+# Part of the Cable reproduction of "Debugging Temporal Specifications with
+# Concept Analysis" (PLDI 2003). MIT license.
+#
+#===------------------------------------------------------------------------===#
+#
+# Gates the vectorized kernel layer on three promises:
+#
+#   1. BENCH_scaling_lattice.json is schema-valid (cable-bench/1) and
+#      carries the per-kernel throughput sections and closure counters.
+#   2. One-sided: the dispatched kernel level is never slower than the
+#      scalar reference on any kernel section (within a noise margin —
+#      slower-than-scalar dispatch would mean the runtime selection is
+#      actively harmful on this machine).
+#   3. The fused closure path did not regress against the retained legacy
+#      baseline: closure_speedup_* >= 1.0 (the ≥4x acceptance number is
+#      recorded in the JSON; the guard enforces the never-slower floor so
+#      it stays meaningful on noisy shared runners).
+#
+# Exit codes: 0 pass, 1 regression, 77 skip (bench unavailable or the
+# machine is too noisy to produce a stable verdict).
+#
+# Usage: kernel_guard.sh <source-dir> <build-dir>
+#
+#===------------------------------------------------------------------------===#
+
+set -u
+
+SRC=${1:?usage: kernel_guard.sh <source-dir> <build-dir>}
+BUILD=${2:?usage: kernel_guard.sh <source-dir> <build-dir>}
+MARGIN_PCT=${CABLE_KERNEL_GUARD_MARGIN_PCT:-25.0}
+ATTEMPTS=3
+
+say() { printf '%s\n' "$*"; }
+
+bench="$BUILD/bench/scaling_lattice"
+if [ ! -x "$bench" ]; then
+  cmake --build "$BUILD" --target scaling_lattice -j "$(nproc)" \
+    > /dev/null 2>&1
+fi
+if [ ! -x "$bench" ]; then
+  say "SKIP: scaling_lattice bench binary missing"
+  exit 77
+fi
+command -v python3 > /dev/null 2>&1 || { say "SKIP: python3 missing"; exit 77; }
+
+workdir="$BUILD/kernel_guard"
+mkdir -p "$workdir"
+json="$workdir/BENCH_scaling_lattice.json"
+
+run_bench() {
+  rm -f "$json"
+  CABLE_BENCH_QUICK=1 CABLE_BENCH_OUT="$workdir" "$bench" > /dev/null 2>&1
+  [ -s "$json" ]
+}
+
+# Schema + structural validation happens once; the timing comparison gets
+# interleaved attempts because quick-mode medians are noisy.
+verdict_of() { # verdict_of <json> <margin-pct> -> pass/over/bad + details
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+path, margin = sys.argv[1], float(sys.argv[2])
+try:
+    doc = json.load(open(path))
+except Exception as e:
+    print("bad", f"unreadable JSON: {e}")
+    sys.exit(0)
+
+if doc.get("schema") != "cable-bench/1":
+    print("bad", f"schema={doc.get('schema')!r}")
+    sys.exit(0)
+sections = {s["name"]: s for s in doc.get("sections", [])}
+counters = doc.get("counters", {})
+
+required_counters = [
+    "kernel_active_level", "kernel_max_level",
+    "closure_speedup_contranominal24", "closure_speedup_xtfree",
+    "closures_per_s_contranominal24", "closures_per_s_xtfree",
+]
+missing = [c for c in required_counters if c not in counters]
+kernels = ["and", "subset", "popcount", "andmany"]
+for k in kernels:
+    if f"kernel-{k}-scalar" not in sections:
+        missing.append(f"kernel-{k}-scalar")
+for tag in ["contranominal24", "xtfree"]:
+    for sec in (f"closure-{tag}", f"closure-{tag}-ref"):
+        if sec not in sections:
+            missing.append(sec)
+if missing:
+    print("bad", "missing " + ",".join(missing))
+    sys.exit(0)
+
+level_names = {0: "scalar", 1: "unrolled", 2: None}
+active = int(counters["kernel_active_level"])
+# Resolve the vector level's section suffix by probing what was emitted.
+active_name = level_names.get(active)
+if active_name is None:
+    for cand in ("avx2", "neon"):
+        if f"kernel-and-{cand}" in sections:
+            active_name = cand
+            break
+    else:
+        active_name = "unrolled"
+
+failures = []
+# One-sided: dispatched level must not be slower than scalar beyond the
+# noise margin. Faster is trivially fine.
+for k in kernels:
+    scalar = sections[f"kernel-{k}-scalar"]["median_ms"]
+    act_sec = sections.get(f"kernel-{k}-{active_name}")
+    if act_sec is None or scalar <= 0:
+        continue
+    slowdown = (act_sec["median_ms"] - scalar) / scalar * 100
+    if slowdown > margin:
+        failures.append(f"kernel-{k}-{active_name} {slowdown:.1f}% slower than scalar")
+
+for tag in ["contranominal24", "xtfree"]:
+    speedup = counters[f"closure_speedup_{tag}"]
+    if speedup < 1.0:
+        failures.append(f"closure_speedup_{tag}={speedup:.2f} < 1.0")
+
+if failures:
+    print("over", "; ".join(failures))
+else:
+    print("pass",
+          f"active={active_name}"
+          f" speedup_contranominal24={counters['closure_speedup_contranominal24']:.2f}"
+          f" speedup_xtfree={counters['closure_speedup_xtfree']:.2f}")
+EOF
+}
+
+last_detail=""
+for attempt in $(seq 1 $ATTEMPTS); do
+  if ! run_bench; then
+    say "SKIP: bench run produced no JSON"
+    exit 77
+  fi
+  result=$(verdict_of "$json" "$MARGIN_PCT")
+  verdict=${result%% *}
+  detail=${result#* }
+  say "attempt $attempt: $verdict ($detail)"
+  case "$verdict" in
+    pass) say "kernel guard: PASS"; exit 0 ;;
+    bad)  say "SKIP: $detail"; exit 77 ;;
+    *)    last_detail=$detail ;;
+  esac
+done
+
+say "kernel guard: FAIL ($last_detail after $ATTEMPTS attempts)"
+exit 1

@@ -209,3 +209,114 @@ TEST_P(BitVectorPropertyTest, RandomSetAlgebraLaws) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorPropertyTest,
                          ::testing::Range<uint64_t>(0, 24));
+
+//===----------------------------------------------------------------------===//
+// Tail-bit invariant audit.
+//===----------------------------------------------------------------------===//
+
+namespace cable {
+
+/// Friend backdoor that plants garbage past size() — a state no public
+/// operation can produce — to prove dirty tails neither leak through the
+/// kernel-backed reads nor survive any mutating operation.
+struct BitVectorTestPeer {
+  static void dirtyTail(BitVector &BV) {
+    if (!BV.Words.empty())
+      BV.Words.back() |= ~BV.tailMask();
+  }
+};
+
+} // namespace cable
+
+namespace {
+
+BitVector patternedVector(size_t Bits, uint64_t Seed) {
+  RNG Rand(Seed);
+  BitVector BV(Bits);
+  for (size_t I = 0; I < Bits; ++I)
+    if (Rand.nextBool(0.4))
+      BV.set(I);
+  return BV;
+}
+
+} // namespace
+
+TEST(BitVectorTailInvariantTest, PublicOperationsKeepTheTailClean) {
+  for (size_t Bits : {size_t(1), size_t(63), size_t(65), size_t(100),
+                      size_t(128), size_t(130)}) {
+    BitVector A = patternedVector(Bits, Bits);
+    BitVector B = patternedVector(Bits, Bits + 1);
+    EXPECT_TRUE(A.tailIsClean());
+    A.setAll();
+    EXPECT_TRUE(A.tailIsClean());
+    A.flipAll();
+    EXPECT_TRUE(A.tailIsClean());
+    A = patternedVector(Bits, Bits);
+    A &= B;
+    EXPECT_TRUE(A.tailIsClean());
+    A |= B;
+    EXPECT_TRUE(A.tailIsClean());
+    A ^= B;
+    EXPECT_TRUE(A.tailIsClean());
+    A.andNot(B);
+    EXPECT_TRUE(A.tailIsClean());
+    A.resize(Bits + 7);
+    EXPECT_TRUE(A.tailIsClean());
+    A.resize(Bits > 3 ? Bits - 3 : 0);
+    EXPECT_TRUE(A.tailIsClean());
+  }
+}
+
+TEST(BitVectorTailInvariantTest, DirtyTailCannotLeakIntoKernelReads) {
+  for (size_t Bits : {size_t(1), size_t(5), size_t(63), size_t(65),
+                      size_t(127), size_t(130), size_t(257)}) {
+    BitVector A = patternedVector(Bits, Bits * 31);
+    BitVector B = patternedVector(Bits, Bits * 31 + 1);
+    BitVector DirtyA = A, DirtyB = B;
+    BitVectorTestPeer::dirtyTail(DirtyA);
+    BitVectorTestPeer::dirtyTail(DirtyB);
+    // The masked read paths must see the clean values through the dirt.
+    EXPECT_EQ(DirtyA.count(), A.count()) << Bits;
+    EXPECT_EQ(DirtyA.none(), A.none()) << Bits;
+    EXPECT_EQ(DirtyA.any(), A.any()) << Bits;
+    EXPECT_EQ(DirtyA.isSubsetOf(B), A.isSubsetOf(B)) << Bits;
+    EXPECT_EQ(DirtyA.isSubsetOf(DirtyB), A.isSubsetOf(B)) << Bits;
+    EXPECT_EQ(A.isSubsetOf(DirtyB), A.isSubsetOf(B)) << Bits;
+    EXPECT_EQ(DirtyA.intersects(DirtyB), A.intersects(B)) << Bits;
+    EXPECT_EQ(DirtyA.intersects(B), A.intersects(B)) << Bits;
+  }
+}
+
+TEST(BitVectorTailInvariantTest, EveryMutatingOpScrubsAPlantedDirtyTail) {
+  // A dirty tail must not survive the next mutation, even though no public
+  // operation can create one: mutating ops re-mask defensively.
+  for (size_t Bits : {size_t(5), size_t(65), size_t(130)}) {
+    BitVector B = patternedVector(Bits, Bits);
+    auto Dirty = [&] {
+      BitVector V = patternedVector(Bits, Bits + 9);
+      BitVectorTestPeer::dirtyTail(V);
+      return V;
+    };
+    BitVector V = Dirty();
+    V &= B;
+    EXPECT_TRUE(V.tailIsClean()) << Bits;
+    V = Dirty();
+    V |= B;
+    EXPECT_TRUE(V.tailIsClean()) << Bits;
+    V = Dirty();
+    V ^= B;
+    EXPECT_TRUE(V.tailIsClean()) << Bits;
+    V = Dirty();
+    V.andNot(B);
+    EXPECT_TRUE(V.tailIsClean()) << Bits;
+    V = Dirty();
+    V.flipAll();
+    EXPECT_TRUE(V.tailIsClean()) << Bits;
+    V = Dirty();
+    V.setAll();
+    EXPECT_TRUE(V.tailIsClean()) << Bits;
+    V = Dirty();
+    V.resize(Bits);
+    EXPECT_TRUE(V.tailIsClean()) << Bits;
+  }
+}
