@@ -14,8 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 
-#if defined(__aarch64__) && defined(__ARM_NEON)
-#define CABLE_KERNELS_COMPILE_NEON 1
+#ifdef CABLE_KERNELS_HAVE_NEON
 #include <arm_neon.h>
 #endif
 
@@ -219,7 +218,7 @@ void unrolledAndManyInto(uint64_t *Dst, const uint64_t *const *Srcs, size_t K,
   }
 }
 
-#ifdef CABLE_KERNELS_COMPILE_NEON
+#ifdef CABLE_KERNELS_HAVE_NEON
 
 //===----------------------------------------------------------------------===//
 // NEON level (aarch64) — 128-bit lanes, two per iteration.
@@ -291,7 +290,7 @@ void neonAndManyInto(uint64_t *Dst, const uint64_t *const *Srcs, size_t K,
   }
 }
 
-#endif // CABLE_KERNELS_COMPILE_NEON
+#endif // CABLE_KERNELS_HAVE_NEON
 
 } // namespace
 
@@ -313,7 +312,7 @@ const KernelOps &detail::unrolledOps() {
   return Ops;
 }
 
-#ifdef CABLE_KERNELS_COMPILE_NEON
+#ifdef CABLE_KERNELS_HAVE_NEON
 const KernelOps &detail::neonOps() {
   // Subset / intersects / popcount reuse the unrolled forms: on aarch64
   // the win is in the streaming AND family, and the scalar CNT paths are
@@ -346,7 +345,7 @@ const KernelOps *tableFor(Level L) {
   case Level::Vector:
 #if defined(CABLE_KERNELS_HAVE_AVX2)
     return &detail::avx2Ops();
-#elif defined(CABLE_KERNELS_COMPILE_NEON)
+#elif defined(CABLE_KERNELS_HAVE_NEON)
     return &detail::neonOps();
 #else
     return &detail::unrolledOps();
@@ -358,7 +357,7 @@ const KernelOps *tableFor(Level L) {
 Level hardwareMaxLevel() {
 #if defined(CABLE_KERNELS_HAVE_AVX2)
   return __builtin_cpu_supports("avx2") ? Level::Vector : Level::Unrolled;
-#elif defined(CABLE_KERNELS_COMPILE_NEON)
+#elif defined(CABLE_KERNELS_HAVE_NEON)
   return Level::Vector; // NEON is baseline on aarch64.
 #else
   return Level::Unrolled;
@@ -428,10 +427,12 @@ std::optional<Level> cable::simd::parseLevel(std::string_view Name) {
 }
 
 void cable::simd::forceLevel(Level L) {
+  // Same publish order as initialize(): level before table, so a reader
+  // that sees the new table never sees a stale level.
   Level Clamped = clampToSupported(L);
-  ActiveOps.store(tableFor(Clamped), std::memory_order_release);
   ActiveLevelValue.store(static_cast<int>(Clamped), std::memory_order_release);
   DispatchLevel.set(static_cast<int64_t>(Clamped));
+  ActiveOps.store(tableFor(Clamped), std::memory_order_release);
 }
 
 void cable::simd::resetLevel() { forceLevel(resolveStartupLevel()); }

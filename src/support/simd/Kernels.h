@@ -48,6 +48,15 @@
 #include <optional>
 #include <string_view>
 
+// AVX2 availability is a build-system decision (a separate -mavx2 TU), so
+// CABLE_KERNELS_HAVE_AVX2 is propagated PUBLIC from CMake. NEON is baseline
+// on aarch64, so its macro is derived here from compiler predicates and is
+// visible to every includer (the differential tests key their NEON arm on
+// it).
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#define CABLE_KERNELS_HAVE_NEON 1
+#endif
+
 namespace cable::simd {
 
 /// Dispatch levels, ordered by preference. Vector means the best SIMD ISA

@@ -19,8 +19,10 @@
 #      recorded in the JSON; the guard enforces the never-slower floor so
 #      it stays meaningful on noisy shared runners).
 #
-# Exit codes: 0 pass, 1 regression, 77 skip (bench unavailable or the
-# machine is too noisy to produce a stable verdict).
+# Exit codes: 0 pass, 1 failure (timing regression, or schema/structural
+# breakage in the emitted JSON — that outcome is deterministic, not noise),
+# 77 skip (genuinely environmental: bench binary or python3 missing, or no
+# JSON produced).
 #
 # Usage: kernel_guard.sh <source-dir> <build-dir>
 #
@@ -144,7 +146,9 @@ for attempt in $(seq 1 $ATTEMPTS); do
   say "attempt $attempt: $verdict ($detail)"
   case "$verdict" in
     pass) say "kernel guard: PASS"; exit 0 ;;
-    bad)  say "SKIP: $detail"; exit 77 ;;
+    # Schema/structural breakage is deterministic — a bench that stops
+    # emitting the required sections or counters must fail, not skip.
+    bad)  say "kernel guard: FAIL ($detail)"; exit 1 ;;
     *)    last_detail=$detail ;;
   esac
 done
