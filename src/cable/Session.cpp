@@ -9,6 +9,7 @@
 
 #include "concepts/BuildResult.h"
 #include "concepts/ParallelBuilder.h"
+#include "concepts/ShardedBuilder.h"
 #include "support/Dot.h"
 #include "support/Metrics.h"
 #include "support/StringUtil.h"
@@ -82,7 +83,19 @@ Status Session::init(const SessionOptions &Options) {
   {
     TraceSpan BuildSpan("lattice-build",
                         static_cast<int64_t>(Ctx.numObjects()));
-    R = ParallelBuilder::buildLatticeBudgeted(Ctx, Meter, NumThreads);
+    if (Options.ShardWorkers > 0) {
+      // Multi-process path: crash-isolated shard workers under a
+      // supervisor; identical lattice, with clean degradation back to the
+      // in-process builder on fork failure or retry exhaustion.
+      ShardOptions SOpts;
+      SOpts.NumWorkers = Options.ShardWorkers;
+      SOpts.ShardTimeout = Options.ShardTimeout;
+      SOpts.MaxRetries = Options.ShardRetries;
+      SOpts.NumThreads = NumThreads;
+      R = ShardedBuilder::buildLatticeBudgeted(Ctx, Meter, SOpts);
+    } else {
+      R = ParallelBuilder::buildLatticeBudgeted(Ctx, Meter, NumThreads);
+    }
   }
   Metrics::counter("session.builds").add();
   if (R.Truncated)

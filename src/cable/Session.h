@@ -36,6 +36,7 @@
 #include "support/Status.h"
 #include "trace/TraceSet.h"
 
+#include <chrono>
 #include <optional>
 #include <string>
 #include <vector>
@@ -79,6 +80,22 @@ struct SessionOptions {
   /// a degenerate (top/bottom only) truncated lattice so baseline
   /// clustering remains usable; false makes build() fail outright.
   bool KeepGoing = false;
+
+  /// Shard-worker processes for lattice construction (0 = in-process).
+  /// When set, construction runs under ShardedBuilder's crash-containing
+  /// supervisor; the lattice is bit-for-bit identical either way, and the
+  /// build degrades in-process if forking is unavailable or the retry
+  /// budget is exhausted. Focus sub-sessions always build in-process
+  /// (their contexts are small by construction).
+  unsigned ShardWorkers = 0;
+
+  /// Per-shard deadline before a worker is declared wedged and its block
+  /// reassigned (ShardedBuilder's ShardOptions::ShardTimeout).
+  std::chrono::milliseconds ShardTimeout{30000};
+
+  /// Retries per block beyond the first attempt before it is computed
+  /// inline in the supervisor.
+  unsigned ShardRetries = 3;
 };
 
 /// One Cable debugging session.

@@ -70,6 +70,11 @@ Status cable::truncationStatus(BuildStop Stop, const BudgetMeter &Meter,
                                const char *What) {
   if (Stop == BuildStop::Time)
     return Meter.stopStatus(What);
+  if (Stop == BuildStop::Memory)
+    return Status::error(ErrorCode::ResourceExhausted,
+                         std::string(What) +
+                             " ran out of memory (allocation failure "
+                             "contained; a partial prefix was kept)");
   size_t Max = Meter.budget().MaxConcepts.value_or(0);
   return Status::error(ErrorCode::ResourceExhausted,
                        std::string(What) + " exceeded the concept budget (" +
@@ -100,7 +105,12 @@ cable::makeTruncatedFromIntents(const Context &Ctx,
   R.Truncated = true;
   R.NumEnumerated = NumEnumerated;
   R.BuildStatus = truncationStatus(Stop, Meter, "lattice construction");
-  size_t Cap = Stop == BuildStop::Time ? DeadlineKeepCap : SIZE_MAX;
+  // Memory cuts are capped like deadline cuts: the enumerated prefix can
+  // be the very allocation pressure that triggered containment, and the
+  // quadratic cover computation must not re-trip it.
+  size_t Cap = Stop == BuildStop::Time || Stop == BuildStop::Memory
+                   ? DeadlineKeepCap
+                   : SIZE_MAX;
   // Drop past the cap before deriving extents: the lectic prefix starts at
   // the top concept, so the front is already the most general slice.
   if (Intents.size() > Cap)

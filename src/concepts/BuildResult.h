@@ -33,6 +33,7 @@ enum class BuildStop : uint8_t {
   Complete,   ///< Ran to the end; the lattice is the full one.
   ConceptCap, ///< Budget::MaxConcepts was hit with concepts remaining.
   Time,       ///< The deadline passed or the meter was cancelled.
+  Memory,     ///< std::bad_alloc was contained; the prefix survived.
 };
 
 /// What a budgeted builder hands back: a lattice (complete, or a partial

@@ -7,9 +7,11 @@
 
 #include "concepts/NextClosureBuilder.h"
 
+#include "support/Failpoint.h"
 #include "support/Metrics.h"
 #include "support/TraceEvent.h"
 
+#include <new>
 #include <utility>
 
 using namespace cable;
@@ -22,6 +24,11 @@ namespace {
 // hot loop never touches an atomic.
 Metrics::Counter &NumClosures = Metrics::counter("lattice.closures");
 Metrics::Counter &NumConcepts = Metrics::counter("lattice.concepts");
+Metrics::Counter &OomContained = Metrics::counter("lattice.oom-contained");
+
+// Deterministic OOM for the containment tests: an `error` here is
+// translated into a real std::bad_alloc at the enumeration checkpoint.
+Failpoint::Registrar RegLatticeOom("lattice-oom");
 
 } // namespace
 
@@ -112,6 +119,7 @@ NextClosureBuilder::allClosedIntentsBudgeted(const Context &Ctx,
   Ctx.closeIntentInto(BitVector(M), ObjScratch, A);
   Out.push_back(A);
 
+  try {
   for (;;) {
     bool Advanced = false;
     for (size_t IPlus1 = M; IPlus1 > 0; --IPlus1) {
@@ -126,6 +134,8 @@ NextClosureBuilder::allClosedIntentsBudgeted(const Context &Ctx,
         NumConcepts.add(Out.size());
         return Out;
       }
+      if (!Failpoint::hit("lattice-oom").isOk())
+        throw std::bad_alloc();
       B.resetAll();
       for (size_t J : A) {
         if (J >= I)
@@ -164,6 +174,13 @@ NextClosureBuilder::allClosedIntentsBudgeted(const Context &Ctx,
     if (!Advanced)
       break;
   }
+  } catch (const std::bad_alloc &) {
+    // Containment: an allocation failure becomes a Memory stop keeping the
+    // lectic prefix enumerated so far, so an OOMing build (or shard
+    // worker) reports a truncated result instead of terminating.
+    Stop = BuildStop::Memory;
+    OomContained.add();
+  }
   NumClosures.add(LocalClosures);
   NumConcepts.add(Out.size());
   return Out;
@@ -181,28 +198,42 @@ NextClosureBuilder::buildLatticeBudgeted(const Context &Ctx,
     return R;
   }
 
-  BuildStop Stop;
-  std::vector<BitVector> Intents = allClosedIntentsBudgeted(Ctx, Meter, Stop);
-  // If the deadline hit right as enumeration finished, do not start the
-  // quadratic cover computation over a possibly huge complete set.
-  if (Stop == BuildStop::Complete && Meter.expired())
-    Stop = BuildStop::Time;
-  if (Stop != BuildStop::Complete) {
-    size_t NumEnumerated = Intents.size();
-    return makeTruncatedFromIntents(Ctx, std::move(Intents), Stop, Meter,
-                                    NumEnumerated);
-  }
+  try {
+    BuildStop Stop;
+    std::vector<BitVector> Intents =
+        allClosedIntentsBudgeted(Ctx, Meter, Stop);
+    // If the deadline hit right as enumeration finished, do not start the
+    // quadratic cover computation over a possibly huge complete set.
+    if (Stop == BuildStop::Complete && Meter.expired())
+      Stop = BuildStop::Time;
+    if (Stop != BuildStop::Complete) {
+      size_t NumEnumerated = Intents.size();
+      return makeTruncatedFromIntents(Ctx, std::move(Intents), Stop, Meter,
+                                      NumEnumerated);
+    }
 
-  LatticeBuildResult R;
-  R.NumEnumerated = Intents.size();
-  std::vector<Concept> Concepts;
-  Concepts.reserve(Intents.size());
-  for (BitVector &Intent : Intents) {
-    Concept C;
-    C.Extent = Ctx.tau(Intent);
-    C.Intent = std::move(Intent);
-    Concepts.push_back(std::move(C));
+    LatticeBuildResult R;
+    R.NumEnumerated = Intents.size();
+    std::vector<Concept> Concepts;
+    Concepts.reserve(Intents.size());
+    for (BitVector &Intent : Intents) {
+      Concept C;
+      C.Extent = Ctx.tau(Intent);
+      C.Intent = std::move(Intent);
+      Concepts.push_back(std::move(C));
+    }
+    R.Lattice = ConceptLattice::fromConcepts(std::move(Concepts));
+    return R;
+  } catch (const std::bad_alloc &) {
+    // Last-resort boundary: extent or cover computation ran out of memory
+    // after a (possibly complete) enumeration. The intents are gone, but
+    // the process — and a shard worker's ability to report — survives.
+    OomContained.add();
+    LatticeBuildResult R;
+    R.Truncated = true;
+    R.BuildStatus =
+        truncationStatus(BuildStop::Memory, Meter, "lattice construction");
+    R.Lattice = finalizeTruncatedConcepts(Ctx, {}, DeadlineKeepCap);
+    return R;
   }
-  R.Lattice = ConceptLattice::fromConcepts(std::move(Concepts));
-  return R;
 }

@@ -33,10 +33,12 @@
 #include "concepts/ParallelBuilder.h"
 
 #include "concepts/NextClosureBuilder.h"
+#include "support/Failpoint.h"
 #include "support/Metrics.h"
 #include "support/TraceEvent.h"
 
 #include <cassert>
+#include <new>
 #include <utility>
 
 using namespace cable;
@@ -49,6 +51,7 @@ Metrics::Counter &NumClosures = Metrics::counter("lattice.closures");
 Metrics::Counter &NumConcepts = Metrics::counter("lattice.concepts");
 Metrics::Histogram &PartitionSize =
     Metrics::histogram("lattice.partition-size");
+Metrics::Counter &OomContained = Metrics::counter("lattice.oom-contained");
 
 } // namespace
 
@@ -147,12 +150,9 @@ std::vector<BitVector> ParallelBuilder::allClosedIntents(const Context &Ctx,
   return Out;
 }
 
-namespace {
-
-/// Shared tail of the complete-construction paths: extents, then the
-/// cover relation, sharded across \p Pool in the canonical scan order.
-ConceptLattice latticeFromIntents(const Context &Ctx, ThreadPool &Pool,
-                                  std::vector<BitVector> Intents) {
+ConceptLattice ParallelBuilder::assembleLattice(const Context &Ctx,
+                                                ThreadPool &Pool,
+                                                std::vector<BitVector> Intents) {
   using NodeId = ConceptLattice::NodeId;
 
   TraceSpan Span("lattice-covers",
@@ -197,11 +197,9 @@ ConceptLattice latticeFromIntents(const Context &Ctx, ThreadPool &Pool,
   return ConceptLattice::fromConceptsAndCovers(std::move(Concepts), Edges);
 }
 
-} // namespace
-
 ConceptLattice ParallelBuilder::buildLattice(const Context &Ctx,
                                              ThreadPool &Pool) {
-  return latticeFromIntents(Ctx, Pool, allClosedIntents(Ctx, Pool));
+  return assembleLattice(Ctx, Pool, allClosedIntents(Ctx, Pool));
 }
 
 ConceptLattice ParallelBuilder::buildLattice(const Context &Ctx,
@@ -236,6 +234,7 @@ ParallelBuilder::blockIntentsBudgeted(const Context &Ctx, size_t P,
   if (!(A == TopIntent))
     Out.push_back(A);
 
+  try {
   for (;;) {
     bool Advanced = false;
     for (size_t IPlus1 = M; IPlus1 > P + 1; --IPlus1) {
@@ -249,6 +248,8 @@ ParallelBuilder::blockIntentsBudgeted(const Context &Ctx, size_t P,
         PartitionSize.record(Out.size());
         return Out;
       }
+      if (!Failpoint::hit("lattice-oom").isOk())
+        throw std::bad_alloc();
       B.resetAll();
       for (size_t J : A) {
         if (J >= I)
@@ -285,6 +286,13 @@ ParallelBuilder::blockIntentsBudgeted(const Context &Ctx, size_t P,
     }
     if (!Advanced)
       break;
+  }
+  } catch (const std::bad_alloc &) {
+    // Containment as in the serial enumerator: the block keeps its lectic
+    // prefix and reports a Memory stop; the canonical merge cuts at this
+    // block like any other interrupted one.
+    Stop = BuildStop::Memory;
+    OomContained.add();
   }
   NumClosures.add(LocalClosures);
   PartitionSize.record(Out.size());
@@ -348,24 +356,35 @@ ParallelBuilder::buildLatticeBudgeted(const Context &Ctx,
     return R;
   }
 
-  BuildStop Stop;
-  std::vector<BitVector> Intents =
-      allClosedIntentsBudgeted(Ctx, Pool, Meter, Stop);
-  if (Stop == BuildStop::Complete && Meter.expired())
-    Stop = BuildStop::Time;
-  if (Stop != BuildStop::Complete) {
-    // The truncated epilogue is intentionally the serial one, shared with
-    // NextClosureBuilder, so truncated lattices agree bit-for-bit across
-    // thread counts.
-    size_t NumEnumerated = Intents.size();
-    return makeTruncatedFromIntents(Ctx, std::move(Intents), Stop, Meter,
-                                    NumEnumerated);
-  }
+  try {
+    BuildStop Stop;
+    std::vector<BitVector> Intents =
+        allClosedIntentsBudgeted(Ctx, Pool, Meter, Stop);
+    if (Stop == BuildStop::Complete && Meter.expired())
+      Stop = BuildStop::Time;
+    if (Stop != BuildStop::Complete) {
+      // The truncated epilogue is intentionally the serial one, shared
+      // with NextClosureBuilder, so truncated lattices agree bit-for-bit
+      // across thread counts.
+      size_t NumEnumerated = Intents.size();
+      return makeTruncatedFromIntents(Ctx, std::move(Intents), Stop, Meter,
+                                      NumEnumerated);
+    }
 
-  LatticeBuildResult R;
-  R.NumEnumerated = Intents.size();
-  R.Lattice = latticeFromIntents(Ctx, Pool, std::move(Intents));
-  return R;
+    LatticeBuildResult R;
+    R.NumEnumerated = Intents.size();
+    R.Lattice = assembleLattice(Ctx, Pool, std::move(Intents));
+    return R;
+  } catch (const std::bad_alloc &) {
+    // Boundary containment, as in NextClosureBuilder::buildLatticeBudgeted.
+    OomContained.add();
+    LatticeBuildResult R;
+    R.Truncated = true;
+    R.BuildStatus =
+        truncationStatus(BuildStop::Memory, Meter, "lattice construction");
+    R.Lattice = finalizeTruncatedConcepts(Ctx, {}, DeadlineKeepCap);
+    return R;
+  }
 }
 
 LatticeBuildResult

@@ -87,6 +87,15 @@ public:
   static std::vector<BitVector>
   allClosedIntentsBudgeted(const Context &Ctx, ThreadPool &Pool,
                            const BudgetMeter &Meter, BuildStop &Stop);
+
+  /// Shared tail of every complete-construction path: computes extents and
+  /// the cover relation for \p Intents (which must be a complete lectic
+  /// enumeration of \p Ctx's closed intents) sharded across \p Pool in the
+  /// canonical scan order. Exposed so out-of-process construction
+  /// (ShardedBuilder) can assemble the identical lattice from merged
+  /// worker shards.
+  static ConceptLattice assembleLattice(const Context &Ctx, ThreadPool &Pool,
+                                        std::vector<BitVector> Intents);
 };
 
 } // namespace cable

@@ -1,0 +1,744 @@
+//===- concepts/ShardedBuilder.cpp - Multi-process construction ------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Wire protocol (payloads ride inside Subprocess frames; see FORMATS.md):
+//
+//   request  'B' : u8 'B', u32 block, u64 maxConcepts (0 = none),
+//                  u32 deadlineMs (0 = none)
+//   request  'Q' : u8 'Q'                    -> worker _exit(0)
+//   reply    'K' : u8 'K', u32 block, u8 stop, u64 numIntents, u64 numBits,
+//                  numIntents * ceil(numBits/64) LE u64 words
+//   reply    'E' : u8 'E', u32 block, u8 errorCode, message bytes
+//
+// All integers little-endian. A reply whose length does not match its own
+// counts, whose stop/tag/block is out of range, or whose frame fails the
+// CRC is rejected and handled exactly like a worker crash: the block is
+// reassigned, never trusted.
+//
+// Failure handling is a ladder, every rung preserving determinism:
+//
+//   worker error reply ('E')     -> retry the block (worker stays up)
+//   worker crash / torn frame /
+//   timeout / protocol violation -> SIGKILL + respawn with backoff,
+//                                   block reassigned
+//   block out of retries         -> computed inline in the supervisor
+//   restart budget exhausted or
+//   fork unavailable             -> in-process ParallelBuilder fallback
+//
+//===----------------------------------------------------------------------===//
+
+#include "concepts/ShardedBuilder.h"
+
+#include "concepts/NextClosureBuilder.h"
+#include "concepts/ParallelBuilder.h"
+#include "support/AtomicFile.h"
+#include "support/Failpoint.h"
+#include "support/Metrics.h"
+#include "support/Subprocess.h"
+#include "support/ThreadPool.h"
+#include "support/TraceEvent.h"
+
+#include <algorithm>
+#include <limits>
+#include <new>
+#include <thread>
+#include <utility>
+
+#include <poll.h>
+
+using namespace cable;
+
+namespace {
+
+// Worker-lifecycle failpoints. All four fire in the worker process only
+// (shard-pre-fork in the freshly forked child, the rest while serving a
+// block), so a `crash` kills the worker and exercises the supervisor's
+// recovery path rather than the build.
+Failpoint::Registrar RegPostCompute("shard-post-compute");
+Failpoint::Registrar RegPreReply("shard-pre-reply");
+Failpoint::Registrar RegMidFrame("shard-mid-frame");
+
+Metrics::Counter &ShardBuilds = Metrics::counter("shard.builds");
+Metrics::Counter &BlocksDispatched =
+    Metrics::counter("shard.blocks-dispatched");
+Metrics::Counter &ShardRetries = Metrics::counter("shard.retries");
+Metrics::Counter &ShardReassigned = Metrics::counter("shard.reassigned");
+Metrics::Counter &ShardTimedOut = Metrics::counter("shard.timed-out");
+Metrics::Counter &WorkerRestarts = Metrics::counter("shard.worker-restarts");
+Metrics::Counter &WorkerCrashes = Metrics::counter("shard.worker-crashes");
+Metrics::Counter &FramesRejected = Metrics::counter("shard.frames-rejected");
+Metrics::Counter &ErrorReplies = Metrics::counter("shard.error-replies");
+Metrics::Counter &DegradedBlocks = Metrics::counter("shard.degraded-blocks");
+Metrics::Counter &DegradedBuilds = Metrics::counter("shard.degraded-builds");
+
+// -- Payload encoding ------------------------------------------------------
+
+void putU8(std::string &S, uint8_t V) { S.push_back(static_cast<char>(V)); }
+
+void putU32(std::string &S, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    S.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &S, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    S.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+bool getU8(std::string_view &S, uint8_t &V) {
+  if (S.size() < 1)
+    return false;
+  V = static_cast<uint8_t>(S[0]);
+  S.remove_prefix(1);
+  return true;
+}
+
+bool getU32(std::string_view &S, uint32_t &V) {
+  if (S.size() < 4)
+    return false;
+  V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | static_cast<uint8_t>(S[I]);
+  S.remove_prefix(4);
+  return true;
+}
+
+bool getU64(std::string_view &S, uint64_t &V) {
+  if (S.size() < 8)
+    return false;
+  V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | static_cast<uint8_t>(S[I]);
+  S.remove_prefix(8);
+  return true;
+}
+
+std::string encodeBlockRequest(uint32_t Block, uint64_t MaxConcepts,
+                               uint32_t DeadlineMs) {
+  std::string S;
+  putU8(S, 'B');
+  putU32(S, Block);
+  putU64(S, MaxConcepts);
+  putU32(S, DeadlineMs);
+  return S;
+}
+
+std::string encodeBlockReply(uint32_t Block, BuildStop Stop, uint64_t NumBits,
+                             const std::vector<BitVector> &Intents) {
+  std::string S;
+  S.reserve(1 + 4 + 1 + 8 + 8 + Intents.size() * ((NumBits + 63) / 64) * 8);
+  putU8(S, 'K');
+  putU32(S, Block);
+  putU8(S, static_cast<uint8_t>(Stop));
+  putU64(S, Intents.size());
+  putU64(S, NumBits);
+  for (const BitVector &V : Intents)
+    for (size_t W = 0; W < V.numWords(); ++W)
+      putU64(S, V.words()[W]);
+  return S;
+}
+
+std::string encodeErrorReply(uint32_t Block, const Status &S) {
+  std::string Out;
+  putU8(Out, 'E');
+  putU32(Out, Block);
+  putU8(Out, static_cast<uint8_t>(S.code()));
+  Out.append(S.message());
+  return Out;
+}
+
+/// A decoded worker reply. Exactly one of Intents / Err is meaningful,
+/// keyed on Tag.
+struct ShardReply {
+  uint8_t Tag = 0; ///< 'K' or 'E'.
+  uint32_t Block = 0;
+  BuildStop Stop = BuildStop::Complete;
+  std::vector<BitVector> Intents;
+  Status Err;
+};
+
+/// Strict reply decode: every count is cross-checked against the payload
+/// length and the context's attribute universe, so a corrupted-but-CRC-
+/// valid frame (a buggy worker) is rejected, not trusted.
+StatusOr<ShardReply> decodeReply(std::string_view S, size_t NumAttributes) {
+  ShardReply R;
+  if (!getU8(S, R.Tag) || !getU32(S, R.Block))
+    return Status::error(ErrorCode::IoError, "shard reply too short");
+  if (R.Tag == 'E') {
+    uint8_t Code = 0;
+    if (!getU8(S, Code) || Code > static_cast<uint8_t>(ErrorCode::Internal) ||
+        Code == 0)
+      return Status::error(ErrorCode::IoError,
+                           "shard error reply with a bad error code");
+    R.Err = Status::error(static_cast<ErrorCode>(Code), std::string(S));
+    return R;
+  }
+  if (R.Tag != 'K')
+    return Status::error(ErrorCode::IoError, "unknown shard reply tag");
+  uint8_t StopByte = 0;
+  uint64_t NumIntents = 0, NumBits = 0;
+  if (!getU8(S, StopByte) || !getU64(S, NumIntents) || !getU64(S, NumBits))
+    return Status::error(ErrorCode::IoError, "shard reply header too short");
+  if (StopByte > static_cast<uint8_t>(BuildStop::Memory))
+    return Status::error(ErrorCode::IoError,
+                         "shard reply with a bad stop reason");
+  R.Stop = static_cast<BuildStop>(StopByte);
+  if (NumBits != NumAttributes)
+    return Status::error(ErrorCode::IoError,
+                         "shard reply universe mismatch: " +
+                             std::to_string(NumBits) + " bits, expected " +
+                             std::to_string(NumAttributes));
+  size_t WordsPer = (NumAttributes + 63) / 64;
+  if (WordsPer == 0 ||
+      NumIntents > static_cast<uint64_t>(MaxFrameBytes) / (WordsPer * 8) ||
+      S.size() != NumIntents * WordsPer * 8)
+    return Status::error(ErrorCode::IoError,
+                         "shard reply length does not match its counts");
+  R.Intents.reserve(NumIntents);
+  for (uint64_t I = 0; I < NumIntents; ++I) {
+    BitVector V(NumAttributes);
+    for (size_t W = 0; W < WordsPer; ++W) {
+      uint64_t Word = 0;
+      getU64(S, Word);
+      if (W + 1 == WordsPer)
+        Word &= V.tailMask(); // Re-establish the tail invariant defensively.
+      V.words()[W] = Word;
+    }
+    R.Intents.push_back(std::move(V));
+  }
+  return R;
+}
+
+// -- Worker ----------------------------------------------------------------
+
+/// Sends one reply frame in two halves with the `shard-mid-frame`
+/// failpoint between them: a `crash` there leaves a genuinely torn frame
+/// on the wire, an `error` abandons the stream mid-frame (the worker bails
+/// like a failed write), a `hang` wedges with half a frame sent — each a
+/// distinct supervisor-recovery path.
+bool sendReplySplit(int Fd, std::string_view Payload) {
+  std::string Frame = encodeFramedRecord(Payload);
+  size_t Half = Frame.size() / 2;
+  if (!sendBytes(Fd, Frame.data(), Half).isOk())
+    return false;
+  if (!Failpoint::hit("shard-mid-frame").isOk())
+    return false;
+  return sendBytes(Fd, Frame.data() + Half, Frame.size() - Half).isOk();
+}
+
+/// The shard worker loop: serve block requests until 'Q' or a broken
+/// parent socket. Runs in the forked child, which inherits the read-only
+/// \p Ctx and \p TopIntent — only indices and intents cross the wire.
+/// Exit codes: 0 clean, 3 parent socket broken, 4 protocol violation,
+/// 9 reply write failed (includes an injected mid-frame fault).
+int shardWorkerMain(const Context &Ctx, const BitVector &TopIntent, int Fd) {
+  size_t M = Ctx.numAttributes();
+  for (;;) {
+    StatusOr<std::string> FrameOr = recvFrame(Fd);
+    if (!FrameOr)
+      return 3;
+    std::string_view In = *FrameOr;
+    uint8_t Tag = 0;
+    if (!getU8(In, Tag))
+      return 4;
+    if (Tag == 'Q')
+      return 0;
+    uint32_t Block = 0, DeadlineMs = 0;
+    uint64_t MaxConcepts = 0;
+    if (Tag != 'B' || !getU32(In, Block) || !getU64(In, MaxConcepts) ||
+        !getU32(In, DeadlineMs) || Block >= M)
+      return 4;
+
+    std::string Reply;
+    try {
+      Budget B;
+      if (MaxConcepts)
+        B.MaxConcepts = MaxConcepts;
+      if (DeadlineMs)
+        B.TimeLimit = std::chrono::milliseconds(DeadlineMs);
+      BudgetMeter WorkerMeter(B);
+      BuildStop Stop = BuildStop::Complete;
+      std::vector<BitVector> Intents = ParallelBuilder::blockIntentsBudgeted(
+          Ctx, Block, TopIntent, WorkerMeter, Stop);
+      if (Status S = Failpoint::hit("shard-post-compute"); !S.isOk())
+        Reply = encodeErrorReply(Block, S);
+      else {
+        Reply = encodeBlockReply(Block, Stop, M, Intents);
+        if (Status S2 = Failpoint::hit("shard-pre-reply"); !S2.isOk())
+          Reply = encodeErrorReply(Block, S2);
+      }
+    } catch (const std::bad_alloc &) {
+      // blockIntentsBudgeted contains its own OOM (Memory stop); this
+      // covers allocation failure while serializing the reply. The worker
+      // reports instead of vanishing.
+      Reply = encodeErrorReply(
+          Block, Status::error(ErrorCode::ResourceExhausted,
+                               "shard worker out of memory on block " +
+                                   std::to_string(Block)));
+    }
+    if (!sendReplySplit(Fd, Reply))
+      return 9;
+  }
+}
+
+// -- Supervisor ------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+struct WorkerSlot {
+  Subprocess Proc;
+  int Block = -1; ///< Block in flight, -1 when idle.
+  Clock::time_point Deadline{};
+  Clock::time_point RespawnAt{};
+  unsigned ConsecutiveFailures = 0;
+  bool Alive = false;
+  bool Retired = false; ///< Out of restart budget; never respawned.
+};
+
+/// Remaining whole milliseconds of the meter's deadline, clamped to
+/// [1, u32max]; 0 = no deadline configured.
+uint32_t remainingBudgetMs(const BudgetMeter &Meter) {
+  const auto &Limit = Meter.budget().TimeLimit;
+  if (!Limit)
+    return 0;
+  int64_t Left = Limit->count() - Meter.elapsed().count();
+  if (Left <= 0)
+    return 1; // Expired: workers see an already-dead deadline.
+  return static_cast<uint32_t>(
+      std::min<int64_t>(Left, std::numeric_limits<uint32_t>::max()));
+}
+
+class Supervisor {
+public:
+  Supervisor(const Context &Ctx, const BudgetMeter &Meter,
+             const ShardOptions &Opts, const BitVector &TopIntent)
+      : Ctx(Ctx), Meter(Meter), Opts(Opts), TopIntent(TopIntent),
+        M(Ctx.numAttributes()), Blocks(M), Stops(M, BuildStop::Complete),
+        State(M, BlockState::Pending), Attempts(M, 0) {
+    unsigned Workers = std::min<size_t>(Opts.NumWorkers, M ? M : 1);
+    Slots.resize(std::max(1u, Workers));
+    RestartBudget = static_cast<unsigned>(Slots.size()) *
+                        (Opts.MaxRetries + 1) +
+                    8;
+  }
+
+  /// Runs the supervision loop to completion. On return every block is
+  /// Done (computed by a worker or inline) and all workers are shut down.
+  void run() {
+    TraceSpan Span("shard-supervise", static_cast<int64_t>(Slots.size()));
+    for (size_t I = 0; I < Slots.size(); ++I)
+      trySpawn(Slots[I], /*IsRestart=*/false);
+    while (NumDone < M) {
+      if (Meter.expired()) {
+        // Deadline or cancel: take the worker group down and let the
+        // inline path stamp Time stops on whatever remains (each inline
+        // call sees the expired meter and returns immediately).
+        shutdownWorkers();
+        degradeRemaining();
+        break;
+      }
+      respawnDueSlots();
+      assignPending();
+      if (!anyInFlight()) {
+        if (!anyUsableSlot()) {
+          // Every slot dead with no budget left: finish in-process.
+          degradeRemaining();
+          break;
+        }
+        if (NumDone < M && !anyAssignable()) {
+          // Workers exist but all are backing off; wait out the nearest
+          // respawn time rather than spinning.
+          sleepUntilNextEvent();
+        }
+        continue;
+      }
+      pollInFlight();
+      expireDeadlines();
+    }
+    shutdownWorkers();
+  }
+
+  std::vector<std::vector<BitVector>> takeBlocks() {
+    return std::move(Blocks);
+  }
+  const std::vector<BuildStop> &stops() const { return Stops; }
+
+private:
+  enum class BlockState : uint8_t { Pending, InFlight, Done };
+
+  const Context &Ctx;
+  const BudgetMeter &Meter;
+  const ShardOptions &Opts;
+  const BitVector &TopIntent;
+  size_t M;
+  std::vector<std::vector<BitVector>> Blocks;
+  std::vector<BuildStop> Stops;
+  std::vector<BlockState> State;
+  std::vector<unsigned> Attempts;
+  std::vector<WorkerSlot> Slots;
+  unsigned RestartBudget = 0;
+  size_t NumDone = 0;
+
+  /// Next block to hand out: highest pending minimum attribute, matching
+  /// the canonical merge order so the merge's prefix completes earliest.
+  int nextPending() const {
+    for (size_t P = M; P > 0; --P)
+      if (State[P - 1] == BlockState::Pending)
+        return static_cast<int>(P - 1);
+    return -1;
+  }
+
+  bool anyInFlight() const {
+    for (const WorkerSlot &S : Slots)
+      if (S.Alive && S.Block >= 0)
+        return true;
+    return false;
+  }
+
+  bool anyUsableSlot() const {
+    for (const WorkerSlot &S : Slots)
+      if (S.Alive || !S.Retired)
+        return true;
+    return false;
+  }
+
+  bool anyAssignable() const {
+    for (const WorkerSlot &S : Slots)
+      if (S.Alive && S.Block < 0)
+        return true;
+    return false;
+  }
+
+  std::vector<int> siblingFds(const WorkerSlot &Except) const {
+    std::vector<int> Fds;
+    for (const WorkerSlot &S : Slots)
+      if (&S != &Except && S.Alive && S.Proc.fd() >= 0)
+        Fds.push_back(S.Proc.fd());
+    return Fds;
+  }
+
+  void trySpawn(WorkerSlot &Slot, bool IsRestart) {
+    if (Slot.Retired)
+      return;
+    if (IsRestart) {
+      if (RestartBudget == 0) {
+        Slot.Retired = true;
+        return;
+      }
+      --RestartBudget;
+    }
+    StatusOr<Subprocess> P = Subprocess::spawn(
+        [this](int Fd) { return shardWorkerMain(Ctx, TopIntent, Fd); },
+        siblingFds(Slot));
+    if (!P) {
+      // fork/socketpair failure: retire the slot; if every slot retires
+      // the run loop degrades in-process.
+      Slot.Retired = true;
+      return;
+    }
+    Slot.Proc = std::move(*P);
+    Slot.Alive = true;
+    Slot.Block = -1;
+    if (IsRestart)
+      WorkerRestarts.add();
+  }
+
+  void respawnDueSlots() {
+    Clock::time_point Now = Clock::now();
+    for (WorkerSlot &S : Slots)
+      if (!S.Alive && !S.Retired && Now >= S.RespawnAt)
+        trySpawn(S, /*IsRestart=*/true);
+  }
+
+  void assignPending() {
+    for (WorkerSlot &S : Slots) {
+      if (!S.Alive || S.Block >= 0)
+        continue;
+      int P = nextPending();
+      if (P < 0)
+        return;
+      ++Attempts[P];
+      std::string Req = encodeBlockRequest(
+          static_cast<uint32_t>(P),
+          Meter.budget().MaxConcepts.value_or(0), remainingBudgetMs(Meter));
+      if (!sendFrame(S.Proc.fd(), Req).isOk()) {
+        // The worker died while idle; its socket is a dead letter box.
+        --Attempts[P]; // The attempt never started.
+        slotFailed(S, /*TimedOut=*/false);
+        continue;
+      }
+      State[P] = BlockState::InFlight;
+      S.Block = P;
+      S.Deadline = Clock::now() + Opts.ShardTimeout;
+      BlocksDispatched.add();
+    }
+  }
+
+  /// Computes a block in the supervisor with the build's own meter — the
+  /// per-block degradation rung, used when a block runs out of retries.
+  void computeInline(size_t P) {
+    DegradedBlocks.add();
+    Blocks[P] = ParallelBuilder::blockIntentsBudgeted(Ctx, P, TopIntent,
+                                                      Meter, Stops[P]);
+    State[P] = BlockState::Done;
+    ++NumDone;
+  }
+
+  void degradeRemaining() {
+    for (size_t P = M; P > 0; --P)
+      if (State[P - 1] != BlockState::Done)
+        computeInline(P - 1);
+  }
+
+  /// A block attempt failed (crash, timeout, torn frame, error reply).
+  /// Requeues it, or computes it inline once its retries are spent.
+  void blockAttemptFailed(size_t P) {
+    if (Attempts[P] >= Opts.MaxRetries + 1)
+      computeInline(P);
+    else
+      State[P] = BlockState::Pending;
+  }
+
+  /// Kills and reaps a failed worker, reassigns its block, and schedules a
+  /// backed-off respawn.
+  void slotFailed(WorkerSlot &S, bool TimedOut) {
+    if (TimedOut)
+      ShardTimedOut.add();
+    if (S.Block >= 0) {
+      ShardReassigned.add();
+      size_t P = static_cast<size_t>(S.Block);
+      S.Block = -1;
+      blockAttemptFailed(P);
+    }
+    S.Proc.kill();
+    Subprocess::ExitStatus Exit = S.Proc.wait();
+    if (Exit.Signaled || Exit.Code != 0)
+      WorkerCrashes.add();
+    S.Proc.closeFd();
+    S.Alive = false;
+    unsigned Shift = std::min(S.ConsecutiveFailures, 6u);
+    ++S.ConsecutiveFailures;
+    S.RespawnAt = Clock::now() + Opts.RetryBackoff * (1u << Shift);
+    if (RestartBudget == 0)
+      S.Retired = true;
+  }
+
+  /// One worker produced a complete, CRC-valid frame; act on it.
+  void handleReply(WorkerSlot &S, std::string_view Payload) {
+    StatusOr<ShardReply> ReplyOr = decodeReply(Payload, M);
+    if (!ReplyOr ||
+        ReplyOr->Block != static_cast<uint32_t>(S.Block)) {
+      // Structurally bad or misaddressed reply: treat the worker as
+      // compromised — same path as a crash.
+      FramesRejected.add();
+      slotFailed(S, /*TimedOut=*/false);
+      return;
+    }
+    size_t P = static_cast<size_t>(S.Block);
+    S.Block = -1;
+    S.ConsecutiveFailures = 0;
+    if (ReplyOr->Tag == 'E') {
+      // The worker reported a failure but is itself healthy: retry
+      // without a respawn.
+      ErrorReplies.add();
+      ShardRetries.add();
+      blockAttemptFailed(P);
+      return;
+    }
+    Blocks[P] = std::move(ReplyOr->Intents);
+    Stops[P] = ReplyOr->Stop;
+    State[P] = BlockState::Done;
+    ++NumDone;
+  }
+
+  void pollInFlight() {
+    std::vector<struct pollfd> Fds;
+    std::vector<WorkerSlot *> FdSlots;
+    Clock::time_point Now = Clock::now();
+    Clock::time_point Nearest = Now + std::chrono::milliseconds(50);
+    for (WorkerSlot &S : Slots) {
+      if (S.Alive && S.Block >= 0) {
+        Fds.push_back({S.Proc.fd(), POLLIN, 0});
+        FdSlots.push_back(&S);
+        Nearest = std::min(Nearest, S.Deadline);
+      }
+      if (!S.Alive && !S.Retired)
+        Nearest = std::min(Nearest, S.RespawnAt);
+    }
+    if (Fds.empty())
+      return;
+    auto WaitMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Nearest - Now);
+    int Timeout = static_cast<int>(std::max<int64_t>(0, WaitMs.count()));
+    int Rc = ::poll(Fds.data(), Fds.size(), Timeout);
+    if (Rc <= 0)
+      return; // Timeout or EINTR; deadlines are handled by the caller.
+    for (size_t I = 0; I < Fds.size(); ++I) {
+      if (!(Fds[I].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      WorkerSlot &S = *FdSlots[I];
+      if (!S.Alive || S.Block < 0)
+        continue; // A previous iteration already failed this slot.
+      // Data (or EOF) is ready; bound the frame read by the shard
+      // deadline so a worker that wedges mid-frame cannot stall the
+      // supervisor past it.
+      int FrameMs = static_cast<int>(std::max<int64_t>(
+          1, std::chrono::duration_cast<std::chrono::milliseconds>(
+                 S.Deadline - Clock::now())
+                 .count()));
+      StatusOr<std::string> FrameOr = recvFrame(S.Proc.fd(), FrameMs);
+      if (!FrameOr) {
+        // EOF, torn frame, corrupt frame, or a mid-frame wedge: all are
+        // worker failures, distinguished only in metrics.
+        bool TimedOut = FrameOr.status().code() == ErrorCode::ResourceExhausted;
+        if (!TimedOut)
+          FramesRejected.add();
+        slotFailed(S, TimedOut);
+        continue;
+      }
+      handleReply(S, *FrameOr);
+    }
+  }
+
+  void expireDeadlines() {
+    Clock::time_point Now = Clock::now();
+    for (WorkerSlot &S : Slots)
+      if (S.Alive && S.Block >= 0 && Now >= S.Deadline)
+        slotFailed(S, /*TimedOut=*/true);
+  }
+
+  void sleepUntilNextEvent() {
+    Clock::time_point Now = Clock::now();
+    Clock::time_point Nearest = Now + std::chrono::milliseconds(50);
+    for (const WorkerSlot &S : Slots)
+      if (!S.Alive && !S.Retired)
+        Nearest = std::min(Nearest, S.RespawnAt);
+    if (Nearest > Now)
+      std::this_thread::sleep_for(Nearest - Now);
+  }
+
+  void shutdownWorkers() {
+    // Best-effort graceful quit so clean exits show up as such; a worker
+    // that does not exit promptly is killed. Idle workers are blocked in
+    // recvFrame, so 'Q' turns around fast.
+    for (WorkerSlot &S : Slots) {
+      if (!S.Alive)
+        continue;
+      bool Sent = sendFrame(S.Proc.fd(), std::string(1, 'Q')).isOk();
+      if (!Sent)
+        S.Proc.kill();
+      if (Sent) {
+        // Give it a beat, then force.
+        for (int I = 0; I < 100 && S.Proc.running(); ++I) {
+          if (S.Proc.tryWait())
+            break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        if (S.Proc.running())
+          S.Proc.kill();
+      }
+      S.Proc.wait();
+      S.Proc.closeFd();
+      S.Alive = false;
+    }
+  }
+};
+
+} // namespace
+
+LatticeBuildResult
+ShardedBuilder::buildLatticeBudgeted(const Context &Ctx,
+                                     const BudgetMeter &Meter,
+                                     const ShardOptions &Opts) {
+  if (Opts.NumWorkers == 0 || !Subprocess::forkSupported()) {
+    // Sharding unavailable or not requested: the whole-build rung of the
+    // degradation ladder.
+    if (Opts.NumWorkers != 0)
+      DegradedBuilds.add();
+    return ParallelBuilder::buildLatticeBudgeted(Ctx, Meter, Opts.NumThreads);
+  }
+
+  Status Cells = checkContextCells(Ctx, Meter.budget());
+  if (!Cells.isOk()) {
+    LatticeBuildResult R;
+    R.Lattice = finalizeTruncatedConcepts(Ctx, {}, DeadlineKeepCap);
+    R.BuildStatus = std::move(Cells);
+    R.Truncated = true;
+    return R;
+  }
+
+  ShardBuilds.add();
+  size_t M = Ctx.numAttributes();
+  size_t Max = Meter.budget().MaxConcepts.value_or(SIZE_MAX);
+  BitVector TopIntent = Ctx.closeIntent(BitVector(M));
+
+  // Workers are forked while this process is still single-threaded (the
+  // cover-computation pool below is created only after every worker has
+  // exited), so children never inherit a held malloc or pool lock.
+  std::vector<std::vector<BitVector>> BlockIntents;
+  std::vector<BuildStop> BlockStops;
+  if (M > 0) {
+    Supervisor Sup(Ctx, Meter, Opts, TopIntent);
+    Sup.run();
+    BlockIntents = Sup.takeBlocks();
+    BlockStops = Sup.stops();
+  }
+
+  try {
+    // Canonical merge, identical to ParallelBuilder::allClosedIntentsBudgeted:
+    // descending minimum attribute, cut at the global cap or the first
+    // incomplete block. Everything kept is a lectic prefix.
+    BuildStop Stop = BuildStop::Complete;
+    std::vector<BitVector> Out;
+    size_t Total = 1;
+    for (const std::vector<BitVector> &B : BlockIntents)
+      Total += B.size();
+    Out.reserve(std::min(Total, Max));
+    Out.push_back(std::move(TopIntent));
+    for (size_t P = M; P > 0 && Stop == BuildStop::Complete; --P) {
+      for (BitVector &Intent : BlockIntents[P - 1]) {
+        if (Out.size() >= Max) {
+          Stop = BuildStop::ConceptCap;
+          break;
+        }
+        Out.push_back(std::move(Intent));
+      }
+      if (Stop == BuildStop::Complete &&
+          BlockStops[P - 1] != BuildStop::Complete)
+        Stop = BlockStops[P - 1];
+    }
+
+    if (Stop == BuildStop::Complete && Meter.expired())
+      Stop = BuildStop::Time;
+    if (Stop != BuildStop::Complete) {
+      size_t NumEnumerated = Out.size();
+      return makeTruncatedFromIntents(Ctx, std::move(Out), Stop, Meter,
+                                      NumEnumerated);
+    }
+
+    LatticeBuildResult R;
+    R.NumEnumerated = Out.size();
+    ThreadPool Pool(ThreadPool::resolveThreadCount(Opts.NumThreads));
+    R.Lattice = ParallelBuilder::assembleLattice(Ctx, Pool, std::move(Out));
+    return R;
+  } catch (const std::bad_alloc &) {
+    // Same boundary containment as the in-process builders.
+    Metrics::counter("lattice.oom-contained").add();
+    LatticeBuildResult R;
+    R.Truncated = true;
+    R.BuildStatus =
+        truncationStatus(BuildStop::Memory, Meter, "lattice construction");
+    R.Lattice = finalizeTruncatedConcepts(Ctx, {}, DeadlineKeepCap);
+    return R;
+  }
+}
+
+ConceptLattice ShardedBuilder::buildLattice(const Context &Ctx,
+                                            const ShardOptions &Opts) {
+  BudgetMeter Meter{Budget{}};
+  return buildLatticeBudgeted(Ctx, Meter, Opts).Lattice;
+}

@@ -11,9 +11,11 @@
 #include "support/StringUtil.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <thread>
 
 using namespace cable;
 
@@ -21,7 +23,7 @@ std::atomic<uint32_t> Failpoint::NumArmed{0};
 
 namespace {
 
-enum class FailMode { Error, Crash };
+enum class FailMode { Error, Crash, Hang };
 
 struct ArmedPoint {
   FailMode Mode = FailMode::Error;
@@ -84,7 +86,7 @@ Status Failpoint::configure(std::string_view Spec) {
     if (Eq == std::string_view::npos || Eq == 0)
       return Status::error(ErrorCode::InvalidArgument,
                            "bad failpoint clause '" + std::string(Text) +
-                               "' (expected name=error|crash[@N])");
+                               "' (expected name=error|crash|hang[@N])");
     std::string Name(Text.substr(0, Eq));
     std::string_view ModeText = Text.substr(Eq + 1);
     ArmedPoint P;
@@ -102,11 +104,13 @@ Status Failpoint::configure(std::string_view Spec) {
       P.Mode = FailMode::Error;
     else if (ModeText == "crash")
       P.Mode = FailMode::Crash;
+    else if (ModeText == "hang")
+      P.Mode = FailMode::Hang;
     else
       return Status::error(ErrorCode::InvalidArgument,
                            "bad failpoint mode '" + std::string(ModeText) +
                                "' in '" + std::string(Text) +
-                               "' (expected error or crash)");
+                               "' (expected error, crash, or hang)");
     Armed.insert_or_assign(std::move(Name), P);
   }
 
@@ -127,7 +131,7 @@ Status Failpoint::configureFromEnv() {
 
 Status Failpoint::hitSlow(const char *Name) {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::unique_lock<std::mutex> Lock(R.Mutex);
   auto It = R.Armed.find(std::string_view(Name));
   if (It == R.Armed.end())
     return Status::ok();
@@ -140,6 +144,14 @@ Status Failpoint::hitSlow(const char *Name) {
     // Simulate abrupt process death: no stdio flush, no destructors, no
     // atexit — buffered-but-unsynced state must not survive.
     std::_Exit(kCrashExitCode);
+  }
+  if (P.Mode == FailMode::Hang) {
+    // Simulate a wedged process. The registry lock is released first so
+    // other threads (and other failpoints) stay functional while this
+    // thread sleeps; only a supervisor's deadline ends the hang (SIGKILL).
+    Lock.unlock();
+    for (;;)
+      std::this_thread::sleep_for(std::chrono::seconds(3600));
   }
   P.Fired = true;
   return Status::error(ErrorCode::IoError,

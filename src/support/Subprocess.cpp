@@ -1,0 +1,316 @@
+//===- support/Subprocess.cpp - Crash-isolated worker processes ------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include "support/AtomicFile.h"
+#include "support/Failpoint.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace cable;
+
+namespace {
+
+Failpoint::Registrar RegPreFork("shard-pre-fork");
+
+/// Async-signal-safe table of live child pids. Slots are claimed with a
+/// CAS on spawn and cleared on reap; a terminate-signal handler walks it
+/// with plain loads and kill(2), both signal-safe.
+constexpr size_t MaxTrackedChildren = 256;
+std::atomic<pid_t> ActiveChildren[MaxTrackedChildren];
+
+void trackChild(pid_t Pid) {
+  for (size_t I = 0; I < MaxTrackedChildren; ++I) {
+    pid_t Expected = 0;
+    if (ActiveChildren[I].compare_exchange_strong(Expected, Pid,
+                                                  std::memory_order_relaxed))
+      return;
+  }
+  // Table full: the child is still reaped normally, it just cannot be
+  // killed from a signal handler. 256 slots is far beyond any worker
+  // count the supervisor spawns.
+}
+
+void untrackChild(pid_t Pid) {
+  for (size_t I = 0; I < MaxTrackedChildren; ++I) {
+    pid_t Expected = Pid;
+    if (ActiveChildren[I].compare_exchange_strong(Expected, 0,
+                                                  std::memory_order_relaxed))
+      return;
+  }
+}
+
+Status ioError(const char *What) {
+  return Status::error(ErrorCode::IoError,
+                       std::string(What) + ": " + std::strerror(errno));
+}
+
+/// Milliseconds left before \p Deadline, clamped to >= 0; -1 = unbounded.
+int remainingMs(const std::optional<std::chrono::steady_clock::time_point>
+                    &Deadline) {
+  if (!Deadline)
+    return -1;
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      *Deadline - std::chrono::steady_clock::now());
+  return Left.count() > 0 ? static_cast<int>(Left.count()) : 0;
+}
+
+/// Reads exactly \p Len bytes into \p Buf within \p Deadline. Returns the
+/// number of bytes read on clean EOF-before-first-byte (0) or full success
+/// (Len); any other outcome is an error Status.
+StatusOr<size_t>
+readFull(int Fd, char *Buf, size_t Len,
+         const std::optional<std::chrono::steady_clock::time_point>
+             &Deadline) {
+  size_t Got = 0;
+  while (Got < Len) {
+    struct pollfd P;
+    P.fd = Fd;
+    P.events = POLLIN;
+    P.revents = 0;
+    int Rc = ::poll(&P, 1, remainingMs(Deadline));
+    if (Rc < 0) {
+      if (errno == EINTR)
+        continue;
+      return ioError("poll on worker socket");
+    }
+    if (Rc == 0)
+      return Status::error(ErrorCode::ResourceExhausted,
+                           "timed out waiting for a frame");
+    ssize_t N = ::read(Fd, Buf + Got, Len - Got);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return ioError("read on worker socket");
+    }
+    if (N == 0)
+      return Got; // EOF: 0 = peer closed cleanly, mid-count = torn.
+    Got += static_cast<size_t>(N);
+  }
+  return Got;
+}
+
+} // namespace
+
+Status cable::sendBytes(int Fd, const char *Data, size_t Len) {
+  size_t Sent = 0;
+  while (Sent < Len) {
+    ssize_t N = ::send(Fd, Data + Sent, Len - Sent, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return ioError("send on worker socket");
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return Status::ok();
+}
+
+Status cable::sendFrame(int Fd, std::string_view Payload) {
+  if (Payload.size() > MaxFrameBytes)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "frame payload exceeds the 1 GiB wire limit");
+  std::string Frame = encodeFramedRecord(Payload);
+  return sendBytes(Fd, Frame.data(), Frame.size());
+}
+
+StatusOr<std::string> cable::recvFrame(int Fd, int TimeoutMs) {
+  std::optional<std::chrono::steady_clock::time_point> Deadline;
+  if (TimeoutMs >= 0)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(TimeoutMs);
+
+  char Header[8];
+  StatusOr<size_t> HeaderGot = readFull(Fd, Header, sizeof(Header), Deadline);
+  if (!HeaderGot)
+    return HeaderGot.status();
+  if (*HeaderGot == 0)
+    return Status::error(ErrorCode::IoError, "peer closed the connection");
+  if (*HeaderGot < sizeof(Header))
+    return Status::error(ErrorCode::IoError,
+                         "torn frame: EOF inside the 8-byte header");
+
+  uint32_t Len = 0, Crc = 0;
+  for (int I = 3; I >= 0; --I) {
+    Len = (Len << 8) | static_cast<unsigned char>(Header[I]);
+    Crc = (Crc << 8) | static_cast<unsigned char>(Header[I + 4]);
+  }
+  if (Len > MaxFrameBytes)
+    return Status::error(ErrorCode::IoError,
+                         "corrupt frame: length " + std::to_string(Len) +
+                             " exceeds the wire limit");
+
+  std::string Payload(Len, '\0');
+  if (Len > 0) {
+    StatusOr<size_t> BodyGot = readFull(Fd, Payload.data(), Len, Deadline);
+    if (!BodyGot)
+      return BodyGot.status();
+    if (*BodyGot < Len)
+      return Status::error(ErrorCode::IoError,
+                           "torn frame: EOF after " + std::to_string(*BodyGot) +
+                               " of " + std::to_string(Len) +
+                               " payload bytes");
+  }
+  if (crc32(Payload) != Crc)
+    return Status::error(ErrorCode::IoError,
+                         "corrupt frame: payload checksum mismatch");
+  return Payload;
+}
+
+bool Subprocess::forkSupported() {
+#if defined(__unix__) || defined(__APPLE__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+StatusOr<Subprocess> Subprocess::spawn(const ChildMain &Main,
+                                       const std::vector<int> &CloseInChild) {
+  int Pair[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Pair) != 0)
+    return ioError("socketpair");
+
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    int E = errno;
+    ::close(Pair[0]);
+    ::close(Pair[1]);
+    return Status::error(ErrorCode::ResourceExhausted,
+                         std::string("fork: ") + std::strerror(E));
+  }
+  if (Pid == 0) {
+    // Child. Drop the parent's end and every sibling fd so a sibling
+    // worker's death is visible to the supervisor as a prompt EOF.
+    ::close(Pair[0]);
+    for (int Sibling : CloseInChild)
+      if (Sibling >= 0)
+        ::close(Sibling);
+    // The first worker-lifecycle failpoint: a `crash` here simulates a
+    // worker SIGKILLed before it ever answers (the supervisor must respawn
+    // or degrade); an `error` is a worker that comes up broken and exits
+    // nonzero before serving a single shard.
+    int Code;
+    if (Status S = Failpoint::hit("shard-pre-fork"); !S.isOk())
+      Code = 7;
+    else
+      Code = Main(Pair[1]);
+    // _exit, not exit: the child shares the parent's stdio buffers and
+    // atexit list and must touch neither.
+    ::_exit(Code);
+  }
+
+  ::close(Pair[1]);
+  trackChild(Pid);
+  Subprocess P;
+  P.Fd = Pair[0];
+  P.Pid = Pid;
+  return P;
+}
+
+Subprocess::Subprocess(Subprocess &&Other) noexcept
+    : Fd(Other.Fd), Pid(Other.Pid) {
+  Other.Fd = -1;
+  Other.Pid = -1;
+}
+
+Subprocess &Subprocess::operator=(Subprocess &&Other) noexcept {
+  if (this != &Other) {
+    if (running()) {
+      kill();
+      wait();
+    }
+    closeFd();
+    Fd = Other.Fd;
+    Pid = Other.Pid;
+    Other.Fd = -1;
+    Other.Pid = -1;
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+  if (running()) {
+    kill();
+    wait();
+  }
+  closeFd();
+}
+
+void Subprocess::kill() {
+  if (Pid > 0)
+    ::kill(Pid, SIGKILL);
+}
+
+void Subprocess::closeFd() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+Subprocess::ExitStatus Subprocess::wait() {
+  ExitStatus Out;
+  if (Pid <= 0)
+    return Out;
+  int Raw = 0;
+  pid_t Reaped;
+  do {
+    Reaped = ::waitpid(Pid, &Raw, 0);
+  } while (Reaped < 0 && errno == EINTR);
+  untrackChild(Pid);
+  Pid = -1;
+  if (Reaped > 0) {
+    if (WIFSIGNALED(Raw)) {
+      Out.Signaled = true;
+      Out.Code = WTERMSIG(Raw);
+    } else if (WIFEXITED(Raw)) {
+      Out.Code = WEXITSTATUS(Raw);
+    }
+  }
+  return Out;
+}
+
+std::optional<Subprocess::ExitStatus> Subprocess::tryWait() {
+  if (Pid <= 0)
+    return std::nullopt;
+  int Raw = 0;
+  pid_t Reaped = ::waitpid(Pid, &Raw, WNOHANG);
+  if (Reaped == 0)
+    return std::nullopt;
+  untrackChild(Pid);
+  Pid = -1;
+  ExitStatus Out;
+  if (Reaped > 0) {
+    if (WIFSIGNALED(Raw)) {
+      Out.Signaled = true;
+      Out.Code = WTERMSIG(Raw);
+    } else if (WIFEXITED(Raw)) {
+      Out.Code = WEXITSTATUS(Raw);
+    }
+  }
+  return Out;
+}
+
+void Subprocess::killActiveFromSignalHandler() {
+  for (size_t I = 0; I < MaxTrackedChildren; ++I) {
+    pid_t Pid = ActiveChildren[I].load(std::memory_order_relaxed);
+    if (Pid > 0)
+      ::kill(Pid, SIGKILL);
+  }
+}

@@ -1,0 +1,147 @@
+//===- support/Subprocess.h - Crash-isolated worker processes ---*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fork-based worker processes plus the length-prefixed, CRC-framed wire
+/// protocol the shard supervisor speaks to them. A Subprocess is a child
+/// forked from the current process connected to it by one AF_UNIX
+/// socketpair; the child runs a caller-provided function over its end of
+/// the socket and _exit()s with its return value, never unwinding into
+/// the parent's destructors or atexit handlers.
+///
+/// Wire frames reuse AtomicFile's record layout exactly:
+///
+///   [u32 length][u32 crc32(payload)][payload]     (both fields LE)
+///
+/// so a half-written reply from a crashed worker is detected the same way
+/// a torn journal tail is: the length or checksum does not hold, and the
+/// frame is rejected rather than trusted. All socket writes use
+/// MSG_NOSIGNAL, so a dead peer produces an EPIPE Status, never a
+/// process-killing SIGPIPE, even in binaries that have not installed a
+/// SIGPIPE disposition.
+///
+/// Every spawned child is tracked in a small async-signal-safe registry;
+/// killActiveFromSignalHandler() lets a SIGINT/SIGTERM handler take the
+/// worker group down with the supervisor instead of leaking orphans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_SUPPORT_SUBPROCESS_H
+#define CABLE_SUPPORT_SUBPROCESS_H
+
+#include "support/Status.h"
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <sys/types.h>
+#include <vector>
+
+namespace cable {
+
+// -- Wire framing ----------------------------------------------------------
+
+/// Writes \p Data to the socket \p Fd with MSG_NOSIGNAL, retrying on EINTR
+/// and short writes. The building block of sendFrame, exposed so callers
+/// that must fault *inside* a frame (the shard-mid-frame failpoint) can
+/// write a frame in pieces.
+Status sendBytes(int Fd, const char *Data, size_t Len);
+
+/// Writes one `[len][crc][payload]` frame to \p Fd, retrying on EINTR and
+/// short writes. Fails with an io-error Status on EPIPE (dead peer) or any
+/// other socket error; never raises SIGPIPE.
+Status sendFrame(int Fd, std::string_view Payload);
+
+/// Reads one frame from \p Fd. \p TimeoutMs < 0 blocks indefinitely;
+/// otherwise the whole frame (header and payload) must arrive within the
+/// budget. Failure modes, all io-error/resource-exhausted Statuses rather
+/// than trust-and-continue:
+///
+///  - EOF before any byte: "peer closed" (clean shutdown or a dead child);
+///  - EOF mid-frame: a torn frame — the residue of a crash mid-write;
+///  - CRC or length check fails: a corrupt frame;
+///  - the timeout elapses: resource-exhausted, the caller's cue to treat
+///    the peer as wedged.
+StatusOr<std::string> recvFrame(int Fd, int TimeoutMs = -1);
+
+/// Frame-length ceiling (1 GiB): a corrupt header cannot make recvFrame
+/// try to allocate petabytes.
+inline constexpr uint32_t MaxFrameBytes = 1u << 30;
+
+// -- Worker processes ------------------------------------------------------
+
+/// One forked worker connected by a socketpair. Move-only; the destructor
+/// SIGKILLs and reaps a still-running child so a supervisor can never leak
+/// workers on an error path.
+class Subprocess {
+public:
+  /// What the child runs over its socket end; the return value becomes the
+  /// child's exit code. Runs after the child has closed every fd listed in
+  /// spawn()'s \p CloseInChild. Must not return control to the caller's
+  /// stack — spawn() _exit()s with the returned code.
+  using ChildMain = std::function<int(int Fd)>;
+
+  /// How a reaped child terminated.
+  struct ExitStatus {
+    bool Signaled = false; ///< Killed by a signal (SIGKILL, SIGSEGV, ...).
+    int Code = 0;          ///< Exit code, or the signal number when Signaled.
+  };
+
+  /// True when this platform can fork workers at all. The supervisor's
+  /// degrade-to-in-process gate.
+  static bool forkSupported();
+
+  /// Forks a child running \p Main over one end of a fresh socketpair.
+  /// \p CloseInChild lists parent-side fds of *other* workers the child
+  /// must not inherit (so a sibling's EOF is observed promptly). Fails
+  /// with a resource-exhausted/io-error Status when the socketpair or the
+  /// fork itself fails; the `shard-pre-fork` lifecycle failpoint fires in
+  /// the child before \p Main runs.
+  static StatusOr<Subprocess> spawn(const ChildMain &Main,
+                                    const std::vector<int> &CloseInChild = {});
+
+  Subprocess() = default;
+  Subprocess(Subprocess &&Other) noexcept;
+  Subprocess &operator=(Subprocess &&Other) noexcept;
+  Subprocess(const Subprocess &) = delete;
+  Subprocess &operator=(const Subprocess &) = delete;
+  ~Subprocess();
+
+  /// Parent's end of the socketpair, or -1 after close()/move.
+  int fd() const { return Fd; }
+  pid_t pid() const { return Pid; }
+
+  /// True while the child has not been reaped.
+  bool running() const { return Pid > 0; }
+
+  /// SIGKILLs the child (idempotent; no-op once reaped).
+  void kill();
+
+  /// Closes the parent's socket end (the child sees EOF on its next read).
+  void closeFd();
+
+  /// Blocks until the child exits, reaps it, and reports how it died.
+  /// After wait() the Subprocess is inert.
+  ExitStatus wait();
+
+  /// Non-blocking reap: returns the exit status if the child has already
+  /// exited, std::nullopt while it is still running.
+  std::optional<ExitStatus> tryWait();
+
+  /// SIGKILLs every currently-live child spawned through this class. Only
+  /// async-signal-safe calls; intended for SIGINT/SIGTERM handlers so the
+  /// worker group dies with the supervisor.
+  static void killActiveFromSignalHandler();
+
+private:
+  int Fd = -1;
+  pid_t Pid = -1;
+};
+
+} // namespace cable
+
+#endif // CABLE_SUPPORT_SUBPROCESS_H

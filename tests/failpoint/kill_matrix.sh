@@ -15,16 +15,34 @@
 # the single in-flight command may be lost, and the script resume replays
 # exactly that command, so even "lost" work reappears.
 #
-# Usage: kill_matrix.sh <cable-cli> <workdir>
-#   KILL_MATRIX_INDICES  override the trigger indices (default spread)
-#   KILL_MATRIX_POINTS   override the failpoint list (default: all)
+# A second phase (KILL_MATRIX_PHASE=shard, spec-lint path as the third
+# argument) drives the multi-process lattice build instead: every
+# worker-lifecycle failpoint (shard-pre-fork, shard-post-compute,
+# shard-pre-reply, shard-mid-frame) x {crash,error} x trigger indices x
+# {1,2,4,8} workers, plus a wedged-worker (hang) sweep under a short
+# --shard-timeout. Worker failpoint hit counters die with the worker, so
+# the observable record is the supervisor's shard.* counters: whenever a
+# run shows fault evidence (worker-crashes / timed-out / error-replies /
+# frames-rejected) it must also show recovery work (retries / reassigned /
+# degraded-*), and every run — faulted or not — must emit a violation
+# lattice byte-identical to the serial golden DOT.
+#
+# Usage: kill_matrix.sh <cable-cli> <workdir> [spec-lint]
+#   KILL_MATRIX_PHASE          session (default) or shard
+#   KILL_MATRIX_INDICES        override the trigger indices (default spread)
+#   KILL_MATRIX_POINTS         override the failpoint list (default: all)
+#   KILL_MATRIX_SHARD_INDICES  override the shard trigger indices
+#   KILL_MATRIX_SHARD_WORKERS  override the shard worker counts
 #
 #===------------------------------------------------------------------------===#
 
 set -u
 
-CLI=${1:?usage: kill_matrix.sh <cable-cli> <workdir>}
-WORK=${2:?usage: kill_matrix.sh <cable-cli> <workdir>}
+CLI=${1:?usage: kill_matrix.sh <cable-cli> <workdir> [spec-lint]}
+WORK=${2:?usage: kill_matrix.sh <cable-cli> <workdir> [spec-lint]}
+LINT=${3:-}
+PHASE=${KILL_MATRIX_PHASE:-session}
+DATA=$(cd "$(dirname "$0")/../../examples/data" && pwd)
 INDICES=${KILL_MATRIX_INDICES:-"1 2 3 4 5 8 13 21 34 50"}
 # Every run gets 2 workers so threadpool dispatch is a real crosspoint even
 # on single-core machines (the lattice is bit-identical at any count), and
@@ -43,6 +61,102 @@ metric_ge1() { grep -q "\"$2\": [1-9]" "$1"; }
 rm -rf "$WORK"
 mkdir -p "$WORK"
 cd "$WORK" || exit 1
+
+say() { printf '%s\n' "$*"; }
+
+#===------------------------------------------------------------------------===#
+# Phase: shard — the multi-process worker-lifecycle matrix.
+#===------------------------------------------------------------------------===#
+
+if [ "$PHASE" = shard ]; then
+  if [ -z "$LINT" ]; then
+    say "FATAL: KILL_MATRIX_PHASE=shard needs a spec-lint path (third argument)"
+    exit 1
+  fi
+  LFLAGS="--spec $DATA/stdio_buggy.fa --traces $DATA/stdio_traces.txt --threads 2"
+  SITES="shard-pre-fork shard-post-compute shard-pre-reply shard-mid-frame"
+  SHARD_INDICES=${KILL_MATRIX_SHARD_INDICES:-"1 2"}
+  SHARD_WORKERS=${KILL_MATRIX_SHARD_WORKERS:-"1 2 4 8"}
+
+  # Golden serial violation lattice. spec-lint exits 1 when violations
+  # exist; every sharded run must reproduce both the exit code and the
+  # DOT bytes.
+  $LINT $LFLAGS --dot golden.dot > golden.out 2>&1
+  golden_rc=$?
+  if [ ! -s golden.dot ]; then
+    say "FATAL: golden spec-lint run produced no DOT output:"
+    cat golden.out
+    exit 1
+  fi
+
+  fail=0
+  cases=0
+  faulted=0
+
+  # One shard-matrix case: site, mode, index, workers, per-shard timeout.
+  shard_case() {
+    local p=$1 mode=$2 n=$3 w=$4 tmo=$5
+    cases=$((cases + 1))
+    rm -f out.dot m.json
+    CABLE_FAILPOINTS="$p=$mode@$n" \
+      $LINT $LFLAGS --shard-workers "$w" --shard-timeout "$tmo" \
+      --shard-retries 2 --dot out.dot --metrics-out m.json > run.out 2>&1
+    local rc=$?
+    local tag="$p=$mode@$n w=$w"
+    if [ $rc -ne $golden_rc ]; then
+      say "FAIL $tag: exit $rc, golden exited $golden_rc"
+      tail -5 run.out
+      fail=1
+      return
+    fi
+    if ! cmp -s golden.dot out.dot; then
+      say "FAIL $tag: sharded violation lattice differs from serial golden"
+      diff golden.dot out.dot | head -10
+      fail=1
+      return
+    fi
+    # The fault is real only if the supervisor saw it (a worker's own hit
+    # counters die with the worker; an @N index a short-lived worker never
+    # reaches leaves a clean run, which is still a valid identity case).
+    if metric_ge1 m.json shard.worker-crashes ||
+       metric_ge1 m.json shard.timed-out ||
+       metric_ge1 m.json shard.error-replies ||
+       metric_ge1 m.json shard.frames-rejected; then
+      faulted=$((faulted + 1))
+      if ! metric_ge1 m.json shard.retries &&
+         ! metric_ge1 m.json shard.reassigned &&
+         ! metric_ge1 m.json shard.degraded-blocks &&
+         ! metric_ge1 m.json shard.degraded-builds; then
+        say "FAIL $tag: fault evidence but no recovery counters"
+        cat m.json
+        fail=1
+      fi
+    fi
+  }
+
+  for p in $SITES; do
+    for mode in crash error; do
+      for n in $SHARD_INDICES; do
+        for w in $SHARD_WORKERS; do
+          shard_case "$p" "$mode" "$n" "$w" 30000
+        done
+      done
+    done
+    # Wedged workers: a short deadline keeps the timeout/kill/reassign
+    # sweep bounded (each hung attempt costs one deadline).
+    shard_case "$p" hang 1 2 500
+  done
+
+  say "shard kill matrix: $cases case(s), $faulted with observed faults, $((cases - faulted)) never triggered"
+  if [ $fail -eq 0 ]; then
+    say "shard kill matrix: PASS"
+  fi
+  exit $fail
+fi
+
+#===------------------------------------------------------------------------===#
+# Phase: session — the durable-session journal matrix.
+#===------------------------------------------------------------------------===#
 
 # A ~50-op session exercising every durable-state path: labeling across
 # selections, undo, focus/unfocus (including undo inside the focus), a
@@ -100,8 +214,6 @@ label c6 tail
 status
 save final.labels
 EOF
-
-say() { printf '%s\n' "$*"; }
 
 # Replays any journal tail and compacts it into the snapshot, so the
 # snapshot alone is the full recoverable state. (A fault injected into the

@@ -1,0 +1,229 @@
+//===- tests/support/SubprocessTest.cpp ------------------------------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The crash-isolation substrate under the shard supervisor: worker spawn
+// and reaping (clean exits, nonzero exits, signal deaths), and the
+// CRC-framed wire protocol's refusal to trust damage — torn headers, torn
+// payloads, flipped bytes, and wedged peers all come back as error
+// Statuses, never as data.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include "support/AtomicFile.h"
+#include "support/Failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <string>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace cable;
+
+namespace {
+
+/// A connected AF_UNIX socket pair torn down with the test.
+struct SocketPair {
+  int Fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds)); }
+  ~SocketPair() {
+    if (Fds[0] >= 0)
+      ::close(Fds[0]);
+    if (Fds[1] >= 0)
+      ::close(Fds[1]);
+  }
+};
+
+TEST(FrameTest, RoundTripsPayloads) {
+  SocketPair SP;
+  for (const std::string &Payload :
+       {std::string(), std::string("x"), std::string("hello frame"),
+        std::string(100000, '\xab')}) {
+    ASSERT_TRUE(sendFrame(SP.Fds[0], Payload).isOk());
+    StatusOr<std::string> Got = recvFrame(SP.Fds[1], 2000);
+    ASSERT_TRUE(Got) << Got.status().message();
+    EXPECT_EQ(Payload, *Got);
+  }
+}
+
+TEST(FrameTest, BackToBackFramesStayDelimited) {
+  SocketPair SP;
+  ASSERT_TRUE(sendFrame(SP.Fds[0], "first").isOk());
+  ASSERT_TRUE(sendFrame(SP.Fds[0], "").isOk());
+  ASSERT_TRUE(sendFrame(SP.Fds[0], "third").isOk());
+  EXPECT_EQ("first", *recvFrame(SP.Fds[1], 2000));
+  EXPECT_EQ("", *recvFrame(SP.Fds[1], 2000));
+  EXPECT_EQ("third", *recvFrame(SP.Fds[1], 2000));
+}
+
+TEST(FrameTest, CleanEofIsPeerClosed) {
+  SocketPair SP;
+  ::close(SP.Fds[0]);
+  SP.Fds[0] = -1;
+  StatusOr<std::string> Got = recvFrame(SP.Fds[1], 2000);
+  ASSERT_FALSE(Got);
+  EXPECT_EQ(ErrorCode::IoError, Got.status().code());
+  EXPECT_NE(std::string::npos, Got.status().message().find("peer closed"));
+}
+
+TEST(FrameTest, EofInsideHeaderIsTorn) {
+  SocketPair SP;
+  std::string Frame = encodeFramedRecord("payload");
+  ASSERT_TRUE(sendBytes(SP.Fds[0], Frame.data(), 5).isOk());
+  ::close(SP.Fds[0]);
+  SP.Fds[0] = -1;
+  StatusOr<std::string> Got = recvFrame(SP.Fds[1], 2000);
+  ASSERT_FALSE(Got);
+  EXPECT_NE(std::string::npos, Got.status().message().find("torn frame"));
+}
+
+TEST(FrameTest, EofInsidePayloadIsTorn) {
+  SocketPair SP;
+  std::string Frame = encodeFramedRecord("a long enough payload to cut");
+  ASSERT_TRUE(sendBytes(SP.Fds[0], Frame.data(), Frame.size() - 7).isOk());
+  ::close(SP.Fds[0]);
+  SP.Fds[0] = -1;
+  StatusOr<std::string> Got = recvFrame(SP.Fds[1], 2000);
+  ASSERT_FALSE(Got);
+  EXPECT_NE(std::string::npos, Got.status().message().find("torn frame"));
+}
+
+TEST(FrameTest, FlippedPayloadByteFailsTheChecksum) {
+  SocketPair SP;
+  std::string Frame = encodeFramedRecord("checksummed payload");
+  Frame[Frame.size() - 3] ^= 0x40;
+  ASSERT_TRUE(sendBytes(SP.Fds[0], Frame.data(), Frame.size()).isOk());
+  StatusOr<std::string> Got = recvFrame(SP.Fds[1], 2000);
+  ASSERT_FALSE(Got);
+  EXPECT_NE(std::string::npos,
+            Got.status().message().find("checksum mismatch"));
+}
+
+TEST(FrameTest, AbsurdLengthHeaderIsRejectedNotAllocated) {
+  SocketPair SP;
+  // Length field 0xffffffff: recvFrame must refuse before allocating.
+  std::string Header = {'\xff', '\xff', '\xff', '\xff', 0, 0, 0, 0};
+  ASSERT_TRUE(sendBytes(SP.Fds[0], Header.data(), Header.size()).isOk());
+  StatusOr<std::string> Got = recvFrame(SP.Fds[1], 2000);
+  ASSERT_FALSE(Got);
+  EXPECT_NE(std::string::npos, Got.status().message().find("wire limit"));
+}
+
+TEST(FrameTest, SilentPeerTimesOut) {
+  SocketPair SP;
+  StatusOr<std::string> Got = recvFrame(SP.Fds[1], 50);
+  ASSERT_FALSE(Got);
+  EXPECT_EQ(ErrorCode::ResourceExhausted, Got.status().code());
+}
+
+TEST(FrameTest, HalfFrameThenSilenceTimesOut) {
+  SocketPair SP;
+  std::string Frame = encodeFramedRecord("will never finish");
+  ASSERT_TRUE(sendBytes(SP.Fds[0], Frame.data(), Frame.size() / 2).isOk());
+  StatusOr<std::string> Got = recvFrame(SP.Fds[1], 50);
+  ASSERT_FALSE(Got);
+  EXPECT_EQ(ErrorCode::ResourceExhausted, Got.status().code());
+}
+
+TEST(SubprocessTest, ChildExitCodeIsReported) {
+  StatusOr<Subprocess> P = Subprocess::spawn([](int) { return 42; });
+  ASSERT_TRUE(P) << P.status().message();
+  Subprocess::ExitStatus E = P->wait();
+  EXPECT_FALSE(E.Signaled);
+  EXPECT_EQ(42, E.Code);
+  EXPECT_FALSE(P->running());
+}
+
+TEST(SubprocessTest, ChildRunsOverTheSocket) {
+  StatusOr<Subprocess> P = Subprocess::spawn([](int Fd) {
+    StatusOr<std::string> Req = recvFrame(Fd, 5000);
+    if (!Req || *Req != "ping")
+      return 1;
+    return sendFrame(Fd, "pong").isOk() ? 0 : 2;
+  });
+  ASSERT_TRUE(P);
+  ASSERT_TRUE(sendFrame(P->fd(), "ping").isOk());
+  StatusOr<std::string> Reply = recvFrame(P->fd(), 5000);
+  ASSERT_TRUE(Reply) << Reply.status().message();
+  EXPECT_EQ("pong", *Reply);
+  EXPECT_EQ(0, P->wait().Code);
+}
+
+TEST(SubprocessTest, SignalDeathIsClassified) {
+  StatusOr<Subprocess> P = Subprocess::spawn([](int) {
+    ::raise(SIGKILL);
+    return 0;
+  });
+  ASSERT_TRUE(P);
+  Subprocess::ExitStatus E = P->wait();
+  EXPECT_TRUE(E.Signaled);
+  EXPECT_EQ(SIGKILL, E.Code);
+}
+
+TEST(SubprocessTest, KillTerminatesAWedgedChild) {
+  StatusOr<Subprocess> P = Subprocess::spawn([](int Fd) {
+    // Block forever waiting for a request that never comes.
+    (void)recvFrame(Fd);
+    return 0;
+  });
+  ASSERT_TRUE(P);
+  EXPECT_FALSE(P->tryWait().has_value());
+  P->kill();
+  Subprocess::ExitStatus E = P->wait();
+  EXPECT_TRUE(E.Signaled);
+  EXPECT_EQ(SIGKILL, E.Code);
+}
+
+TEST(SubprocessTest, ParentSeesEofWhenChildDies) {
+  StatusOr<Subprocess> P = Subprocess::spawn([](int) { return 0; });
+  ASSERT_TRUE(P);
+  StatusOr<std::string> Got = recvFrame(P->fd(), 5000);
+  ASSERT_FALSE(Got);
+  EXPECT_NE(std::string::npos, Got.status().message().find("peer closed"));
+  P->wait();
+}
+
+TEST(SubprocessTest, DestructorReapsARunningChild) {
+  // Must not leak or block: the destructor SIGKILLs and reaps.
+  StatusOr<Subprocess> P = Subprocess::spawn([](int Fd) {
+    (void)recvFrame(Fd);
+    return 0;
+  });
+  ASSERT_TRUE(P);
+  pid_t Pid = P->pid();
+  { Subprocess Doomed = std::move(*P); }
+  // The pid is reaped: kill(pid, 0) on a reaped child is ESRCH (unless
+  // recycled, which a just-freed pid will not be within this process).
+  EXPECT_NE(0, ::kill(Pid, 0));
+}
+
+TEST(SubprocessTest, PreForkFailpointErrorBecomesNonzeroExit) {
+  ASSERT_TRUE(Failpoint::configure("shard-pre-fork=error").isOk());
+  StatusOr<Subprocess> P = Subprocess::spawn([](int) { return 0; });
+  ASSERT_TRUE(P);
+  Subprocess::ExitStatus E = P->wait();
+  Failpoint::reset();
+  EXPECT_FALSE(E.Signaled);
+  EXPECT_EQ(7, E.Code); // The worker came up broken, not dead.
+}
+
+TEST(SubprocessTest, PreForkFailpointCrashKillsOnlyTheChild) {
+  ASSERT_TRUE(Failpoint::configure("shard-pre-fork=crash").isOk());
+  StatusOr<Subprocess> P = Subprocess::spawn([](int) { return 0; });
+  ASSERT_TRUE(P);
+  Subprocess::ExitStatus E = P->wait();
+  Failpoint::reset();
+  EXPECT_FALSE(E.Signaled);
+  EXPECT_EQ(Failpoint::kCrashExitCode, E.Code);
+  // And the parent is, observably, still here.
+}
+
+} // namespace

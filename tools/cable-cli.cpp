@@ -43,6 +43,7 @@
 #include "support/RNG.h"
 #include "support/RunReport.h"
 #include "support/StringUtil.h"
+#include "support/Subprocess.h"
 #include "support/TraceEvent.h"
 #include "workload/Generator.h"
 #include "workload/Oracle.h"
@@ -83,6 +84,17 @@ void printUsage() {
       "  --threads N        lattice-construction workers (0 = hardware\n"
       "                     concurrency, 1 = serial; same lattice either\n"
       "                     way; default 0)\n"
+      "  --shard-workers N  build the lattice in N crash-isolated worker\n"
+      "                     processes under a supervising parent (0 = off,\n"
+      "                     the default); identical lattice at any worker\n"
+      "                     count, degrading in-process when forking is\n"
+      "                     unavailable or workers keep failing\n"
+      "  --shard-timeout MS per-shard deadline before a wedged worker is\n"
+      "                     killed and its partition reassigned\n"
+      "                     (default 30000)\n"
+      "  --shard-retries N  retries per partition beyond the first attempt\n"
+      "                     before it is computed in the supervisor\n"
+      "                     (default 3)\n"
       "\n"
       "resource budgets:\n"
       "  --time-budget MS   wall-clock limit for lattice construction\n"
@@ -578,6 +590,9 @@ volatile sig_atomic_t GJournalFd = -1;
 /// belt and braces; fsync and _exit are both async-signal-safe. Ctrl-C
 /// therefore never loses labels.
 extern "C" void onTerminateSignal(int Sig) {
+  // Take any live shard workers down with the supervisor (kill(2) is
+  // async-signal-safe) so Ctrl-C never leaks orphan processes.
+  Subprocess::killActiveFromSignalHandler();
   int Fd = GJournalFd;
   if (Fd >= 0)
     ::fsync(Fd);
@@ -590,6 +605,11 @@ void installSignalHandlers() {
   SA.sa_handler = onTerminateSignal;
   ::sigaction(SIGINT, &SA, nullptr);
   ::sigaction(SIGTERM, &SA, nullptr);
+  // A dead pipe reader (a closed pager, a crashed shard worker's socket)
+  // must surface as an EPIPE error status, not kill the process.
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &SA, nullptr);
 }
 
 /// Snapshot + compact when due. Only base-level state is snapshotted, so
@@ -613,6 +633,11 @@ void maybeSnapshot(CliState &Cli, bool Force) {
 }
 
 int runCli(int Argc, char **Argv) {
+  // Installed before any work: SIGPIPE must be ignored from the first
+  // write (a dead pipe reader is an EPIPE status, not a process death),
+  // and SIGINT/SIGTERM must reap shard workers even without a journal.
+  // Re-installed harmlessly when a journal opens and GJournalFd is live.
+  installSignalHandlers();
   for (int I = 1; I < Argc; ++I)
     GObs.Args.emplace_back(Argv[I]);
   if (Status St = Failpoint::configureFromEnv(); !St.isOk()) {
@@ -699,6 +724,21 @@ int runCli(int Argc, char **Argv) {
       if (!NextNumber("--threads", N))
         return 1;
       BuildOpts.NumThreads = static_cast<unsigned>(*N);
+    } else if (Arg == "--shard-workers") {
+      std::optional<unsigned long> N;
+      if (!NextNumber("--shard-workers", N))
+        return 1;
+      BuildOpts.ShardWorkers = static_cast<unsigned>(*N);
+    } else if (Arg == "--shard-timeout") {
+      std::optional<unsigned long> N;
+      if (!NextNumber("--shard-timeout", N))
+        return 1;
+      BuildOpts.ShardTimeout = std::chrono::milliseconds(*N);
+    } else if (Arg == "--shard-retries") {
+      std::optional<unsigned long> N;
+      if (!NextNumber("--shard-retries", N))
+        return 1;
+      BuildOpts.ShardRetries = static_cast<unsigned>(*N);
     } else if (Arg == "--time-budget") {
       std::optional<unsigned long> N;
       if (!NextNumber("--time-budget", N))
