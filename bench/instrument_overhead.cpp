@@ -17,14 +17,22 @@
 // within 2%, turning "the disarmed path is free" from a comment into a
 // regression test.
 //
+// A second probe prices *armed* telemetry on the multi-process path: the
+// same context built via ShardedBuilder with telemetry off and then with
+// metrics + trace rings armed in every process (worker deltas and spans
+// crossing the wire and merging in the supervisor).
+// tests/bench/telemetry_guard.sh bounds that one-sided.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
 #include "concepts/NextClosureBuilder.h"
 #include "concepts/ParallelBuilder.h"
+#include "concepts/ShardedBuilder.h"
 #include "support/Metrics.h"
 #include "support/RNG.h"
+#include "support/TraceEvent.h"
 
 #include <algorithm>
 #include <chrono>
@@ -53,6 +61,17 @@ double buildOnceMs(const Context &Ctx) {
                   std::chrono::steady_clock::now() - Start)
                   .count();
   // Keep the build observable so the whole loop cannot be elided.
+  return L.size() > 0 ? Ms : -1;
+}
+
+double buildShardedOnceMs(const Context &Ctx, unsigned Workers) {
+  ShardOptions Opts;
+  Opts.NumWorkers = Workers;
+  auto Start = std::chrono::steady_clock::now();
+  ConceptLattice L = ShardedBuilder::buildLattice(Ctx, Opts);
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
   return L.size() > 0 ? Ms : -1;
 }
 
@@ -93,6 +112,36 @@ int main() {
           ? (ArmedMedian - DisarmedMedian) / DisarmedMedian * 100.0
           : 0;
 
+  // The sharded probe: the same context built through the multi-process
+  // path, first with telemetry disarmed (workers compute, no flush
+  // payloads beyond the empty frames) and then fully armed (metrics +
+  // trace rings on in every process, deltas and spans crossing the wire
+  // and merging in the supervisor). The delta prices the whole telemetry
+  // harvest — encode, frame, decode, merge — against a build that
+  // already pays fork/IPC costs, which is the honest denominator.
+  Metrics::setEnabled(false);
+  TraceLog::setEnabled(false);
+  buildShardedOnceMs(Ctx, /*Workers=*/4); // warm-up: first fork set
+  std::vector<double> ShardedDisarmed;
+  for (int I = 0; I < Samples; ++I)
+    ShardedDisarmed.push_back(buildShardedOnceMs(Ctx, 4));
+
+  Metrics::setEnabled(true);
+  TraceLog::setEnabled(true);
+  std::vector<double> ShardedArmed;
+  for (int I = 0; I < Samples; ++I)
+    ShardedArmed.push_back(buildShardedOnceMs(Ctx, 4));
+  TraceLog::setEnabled(false);
+  TraceLog::reset(); // drop the harvested worker spans; bench never exports
+
+  double ShardedDisarmedMedian = medianOf(ShardedDisarmed);
+  double ShardedArmedMedian = medianOf(ShardedArmed);
+  double ShardedOverheadPct =
+      ShardedDisarmedMedian > 0
+          ? (ShardedArmedMedian - ShardedDisarmedMedian) /
+                ShardedDisarmedMedian * 100.0
+          : 0;
+
   // Greppable lines for the overhead-guard script; min-of-N is the
   // noise-robust statistic for same-machine comparisons.
   std::printf("instrument_overhead: next-closure 512 objects, %d samples\n",
@@ -102,13 +151,23 @@ int main() {
   std::printf("armed_min_ms %.4f\n", minOf(Armed));
   std::printf("armed_median_ms %.4f\n", ArmedMedian);
   std::printf("armed_overhead_pct %.2f\n", OverheadPct);
+  std::printf("sharded_disarmed_min_ms %.4f\n", minOf(ShardedDisarmed));
+  std::printf("sharded_disarmed_median_ms %.4f\n", ShardedDisarmedMedian);
+  std::printf("sharded_armed_min_ms %.4f\n", minOf(ShardedArmed));
+  std::printf("sharded_armed_median_ms %.4f\n", ShardedArmedMedian);
+  std::printf("sharded_telemetry_overhead_pct %.2f\n", ShardedOverheadPct);
 
   BenchReport Report("instrument_overhead");
   for (double Ms : Disarmed)
     Report.sample("next-closure-disarmed", Ms);
   for (double Ms : Armed)
     Report.sample("next-closure-armed", Ms);
+  for (double Ms : ShardedDisarmed)
+    Report.sample("sharded-disarmed", Ms);
+  for (double Ms : ShardedArmed)
+    Report.sample("sharded-armed-telemetry", Ms);
   Report.counter("armed_overhead_pct", OverheadPct);
+  Report.counter("sharded_telemetry_overhead_pct", ShardedOverheadPct);
   Report.write();
   return 0;
 }

@@ -92,6 +92,10 @@ Status Session::init(const SessionOptions &Options) {
       SOpts.ShardTimeout = Options.ShardTimeout;
       SOpts.MaxRetries = Options.ShardRetries;
       SOpts.NumThreads = NumThreads;
+      // Counted even when the build degrades in-process: the session
+      // asked for sharding, and run reports distinguish asked-for from
+      // achieved via the shard.degraded-builds counter.
+      Metrics::counter("session.sharded-builds").add();
       R = ShardedBuilder::buildLatticeBudgeted(Ctx, Meter, SOpts);
     } else {
       R = ParallelBuilder::buildLatticeBudgeted(Ctx, Meter, NumThreads);

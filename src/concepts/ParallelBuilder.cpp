@@ -61,14 +61,24 @@ std::vector<BitVector> ParallelBuilder::blockIntents(const Context &Ctx,
   // args.n is the partition's minimum attribute — the block id.
   TraceSpan Span("lattice-block", static_cast<int64_t>(P));
   size_t M = Ctx.numAttributes();
-  uint64_t LocalClosures = 1;
+  uint64_t LocalClosures = 0;
   std::vector<BitVector> Out;
 
   // Per-block scratch set, reused across every candidate in the block so
   // only accepted concepts allocate (one copy into Out).
   BitVector A(M), B(M), Closed(M), ObjScratch(Ctx.numObjects());
-  B.set(P);
-  Ctx.closeIntentInto(B, ObjScratch, A);
+  if (TopIntent.test(P)) {
+    // p ∈ closure(∅) forces closure({p}) == closure(∅) (monotonicity both
+    // ways), so the probe is free — and must not be counted: the serial
+    // enumerator reaches this block by successor steps from closure(∅)
+    // without ever computing closure({p}), and lattice.closures is kept
+    // schedule-invariant (serial == parallel == sharded).
+    A = TopIntent;
+  } else {
+    B.set(P);
+    Ctx.closeIntentInto(B, ObjScratch, A);
+    ++LocalClosures;
+  }
   // closure({p}) is contained in every closed set whose minimum is p, so
   // it is the block's lectic least — unless it pulls in an attribute
   // below p, in which case no closed set has minimum p at all.
@@ -128,10 +138,17 @@ std::vector<BitVector> ParallelBuilder::allClosedIntents(const Context &Ctx,
   size_t M = Ctx.numAttributes();
   BitVector TopIntent = Ctx.closeIntent(BitVector(M));
 
+  // Every closed intent contains closure(∅), so no closed set has a
+  // minimum attribute above min(TopIntent): blocks past it are provably
+  // empty and are not probed — exactly the positions the serial
+  // enumerator never tries, which keeps closure counts schedule-invariant.
+  size_t MinTop = TopIntent.findFirst();
+  size_t NumBlocks = MinTop == BitVector::npos ? M : MinTop + 1;
+
   // Each block is an independent task; results are merged by attribute
   // index, so the output does not depend on scheduling.
-  std::vector<std::vector<BitVector>> Blocks(M);
-  Pool.parallelFor(M, [&](size_t Begin, size_t End) {
+  std::vector<std::vector<BitVector>> Blocks(NumBlocks);
+  Pool.parallelFor(NumBlocks, [&](size_t Begin, size_t End) {
     for (size_t P = Begin; P < End; ++P)
       Blocks[P] = blockIntents(Ctx, P, TopIntent);
   });
@@ -142,7 +159,7 @@ std::vector<BitVector> ParallelBuilder::allClosedIntents(const Context &Ctx,
     Total += B.size();
   Out.reserve(Total);
   Out.push_back(std::move(TopIntent));
-  for (size_t P = M; P > 0; --P)
+  for (size_t P = NumBlocks; P > 0; --P)
     for (BitVector &Intent : Blocks[P - 1])
       Out.push_back(std::move(Intent));
   NumClosures.add(1); // TopIntent's closure.
@@ -219,13 +236,20 @@ ParallelBuilder::blockIntentsBudgeted(const Context &Ctx, size_t P,
   TraceSpan Span("lattice-block", static_cast<int64_t>(P));
   size_t M = Ctx.numAttributes();
   size_t Max = Meter.budget().MaxConcepts.value_or(SIZE_MAX);
-  uint64_t LocalClosures = 1;
+  uint64_t LocalClosures = 0;
   std::vector<BitVector> Out;
   Stop = BuildStop::Complete;
 
   BitVector A(M), B(M), Closed(M), ObjScratch(Ctx.numObjects());
-  B.set(P);
-  Ctx.closeIntentInto(B, ObjScratch, A);
+  if (TopIntent.test(P)) {
+    // See blockIntents: closure({p}) == closure(∅) here, and counting a
+    // closure for it would break serial/parallel counter conservation.
+    A = TopIntent;
+  } else {
+    B.set(P);
+    Ctx.closeIntentInto(B, ObjScratch, A);
+    ++LocalClosures;
+  }
   if (A.findFirst() != P) {
     NumClosures.add(LocalClosures);
     PartitionSize.record(0);
@@ -309,9 +333,14 @@ ParallelBuilder::allClosedIntentsBudgeted(const Context &Ctx,
   size_t Max = Meter.budget().MaxConcepts.value_or(SIZE_MAX);
   BitVector TopIntent = Ctx.closeIntent(BitVector(M));
 
-  std::vector<std::vector<BitVector>> Blocks(M);
-  std::vector<BuildStop> Stops(M, BuildStop::Complete);
-  Pool.parallelFor(M, [&](size_t Begin, size_t End) {
+  // As in allClosedIntents: blocks above min(TopIntent) are empty and
+  // skipping them preserves serial/parallel closure-count conservation.
+  size_t MinTop = TopIntent.findFirst();
+  size_t NumBlocks = MinTop == BitVector::npos ? M : MinTop + 1;
+
+  std::vector<std::vector<BitVector>> Blocks(NumBlocks);
+  std::vector<BuildStop> Stops(NumBlocks, BuildStop::Complete);
+  Pool.parallelFor(NumBlocks, [&](size_t Begin, size_t End) {
     for (size_t P = Begin; P < End; ++P)
       Blocks[P] = blockIntentsBudgeted(Ctx, P, TopIntent, Meter, Stops[P]);
   });
@@ -324,7 +353,7 @@ ParallelBuilder::allClosedIntentsBudgeted(const Context &Ctx,
   Stop = BuildStop::Complete;
   Out.push_back(std::move(TopIntent));
   NumClosures.add(1); // TopIntent's closure.
-  for (size_t P = M; P > 0; --P) {
+  for (size_t P = NumBlocks; P > 0; --P) {
     for (BitVector &Intent : Blocks[P - 1]) {
       if (Out.size() >= Max) {
         Stop = BuildStop::ConceptCap;

@@ -8,16 +8,30 @@
 // Wire protocol (payloads ride inside Subprocess frames; see FORMATS.md):
 //
 //   request  'B' : u8 'B', u32 block, u64 maxConcepts (0 = none),
-//                  u32 deadlineMs (0 = none)
-//   request  'Q' : u8 'Q'                    -> worker _exit(0)
+//                  u32 deadlineMs (0 = none), u64 flowId, u8 telemetry
+//   request  'Q' : u8 'Q', u8 telemetry      -> final 'T' if requested,
+//                                               then worker _exit(0)
 //   reply    'K' : u8 'K', u32 block, u8 stop, u64 numIntents, u64 numBits,
 //                  numIntents * ceil(numBits/64) LE u64 words
 //   reply    'E' : u8 'E', u32 block, u8 errorCode, message bytes
+//   reply    'T' : u8 'T', u32 block (0xffffffff = shutdown flush),
+//                  u64 flowId, u32 metricsLen, Metrics::encodeSamples
+//                  bytes, u32 numSpans, numSpans span records (see
+//                  FORMATS.md), u64 droppedDelta
 //
 // All integers little-endian. A reply whose length does not match its own
 // counts, whose stop/tag/block is out of range, or whose frame fails the
 // CRC is rejected and handled exactly like a worker crash: the block is
 // reassigned, never trusted.
+//
+// When telemetry is requested ('B'/'Q' flag, set when Metrics or TraceLog
+// is armed in the supervisor), a worker follows every K/E reply — and
+// answers every 'Q' — with one 'T' frame carrying its Metrics delta since
+// the previous flush plus its drained TraceLog ring. The supervisor
+// merges deltas into the process-wide registry and stitches spans into
+// the trace export as per-pid tracks; a flush that never arrives (crash,
+// timeout, torn frame) is counted on `shard.telemetry-lost`, never
+// retried — block results are authoritative, telemetry is best-effort.
 //
 // Failure handling is a ladder, every rung preserving determinism:
 //
@@ -43,6 +57,7 @@
 #include "support/TraceEvent.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <new>
 #include <thread>
@@ -74,10 +89,32 @@ Metrics::Counter &FramesRejected = Metrics::counter("shard.frames-rejected");
 Metrics::Counter &ErrorReplies = Metrics::counter("shard.error-replies");
 Metrics::Counter &DegradedBlocks = Metrics::counter("shard.degraded-blocks");
 Metrics::Counter &DegradedBuilds = Metrics::counter("shard.degraded-builds");
+Metrics::Counter &TelemetryMerged =
+    Metrics::counter("shard.telemetry-merged");
+Metrics::Counter &TelemetryLost = Metrics::counter("shard.telemetry-lost");
+Metrics::Gauge &WorkersGauge = Metrics::gauge("shard.workers");
+
+// The same registry entries the in-process builders maintain: the merge
+// below is the sharded path's share of the closure/concept ledger, and
+// fault-free it must sum (with the workers' flushed deltas) to exactly
+// the serial builder's counts.
+Metrics::Counter &NumClosures = Metrics::counter("lattice.closures");
+Metrics::Counter &NumConcepts = Metrics::counter("lattice.concepts");
+
+/// Process-unique flow ids, one per dispatched block attempt. The
+/// supervisor stamps the id into the 'B' request and records the 's'
+/// flow instant; the worker echoes it as a 't' inside its compute span;
+/// the merge records the 'f' — one arrow per block across pid tracks.
+std::atomic<uint64_t> NextFlowId{1};
 
 // -- Payload encoding ------------------------------------------------------
 
 void putU8(std::string &S, uint8_t V) { S.push_back(static_cast<char>(V)); }
+
+void putU16(std::string &S, uint16_t V) {
+  S.push_back(static_cast<char>(V & 0xff));
+  S.push_back(static_cast<char>((V >> 8) & 0xff));
+}
 
 void putU32(std::string &S, uint32_t V) {
   for (int I = 0; I < 4; ++I)
@@ -94,6 +131,16 @@ bool getU8(std::string_view &S, uint8_t &V) {
     return false;
   V = static_cast<uint8_t>(S[0]);
   S.remove_prefix(1);
+  return true;
+}
+
+bool getU16(std::string_view &S, uint16_t &V) {
+  if (S.size() < 2)
+    return false;
+  V = static_cast<uint16_t>(static_cast<uint8_t>(S[0]) |
+                            (static_cast<uint16_t>(static_cast<uint8_t>(S[1]))
+                             << 8));
+  S.remove_prefix(2);
   return true;
 }
 
@@ -118,12 +165,15 @@ bool getU64(std::string_view &S, uint64_t &V) {
 }
 
 std::string encodeBlockRequest(uint32_t Block, uint64_t MaxConcepts,
-                               uint32_t DeadlineMs) {
+                               uint32_t DeadlineMs, uint64_t FlowId,
+                               bool Telemetry) {
   std::string S;
   putU8(S, 'B');
   putU32(S, Block);
   putU64(S, MaxConcepts);
   putU32(S, DeadlineMs);
+  putU64(S, FlowId);
+  putU8(S, Telemetry ? 1 : 0);
   return S;
 }
 
@@ -149,6 +199,106 @@ std::string encodeErrorReply(uint32_t Block, const Status &S) {
   putU8(Out, static_cast<uint8_t>(S.code()));
   Out.append(S.message());
   return Out;
+}
+
+/// The `block` value a worker stamps on the final flush it sends in
+/// answer to 'Q' — there is no block, the flush covers everything since
+/// the last one.
+constexpr uint32_t ShutdownFlushBlock = 0xffffffffu;
+
+/// Telemetry decode bounds: a corrupted-but-CRC-valid frame (a buggy
+/// worker) must not drive giant allocations in the supervisor.
+constexpr uint32_t MaxWireSpans = 1u << 20;
+constexpr uint16_t MaxWireSpanName = 4096;
+
+/// Encodes one telemetry flush ('T'). Span records are fixed-layout:
+/// u16 nameLen, name, u64 startUs, u64 durUs, u64 arg, u8 hasArg,
+/// u8 flowPhase, u64 flowId, u32 tid, u16 threadNameLen, threadName.
+std::string encodeTelemetry(uint32_t Block, uint64_t FlowId,
+                            const std::vector<Metrics::Sample> &Delta,
+                            const std::vector<TraceLog::RawSpan> &Spans,
+                            uint64_t DroppedDelta) {
+  std::string S;
+  putU8(S, 'T');
+  putU32(S, Block);
+  putU64(S, FlowId);
+  std::string Blob = Metrics::encodeSamples(Delta);
+  putU32(S, static_cast<uint32_t>(Blob.size()));
+  S.append(Blob);
+  putU32(S, static_cast<uint32_t>(Spans.size()));
+  for (const TraceLog::RawSpan &Sp : Spans) {
+    size_t NameLen = std::min<size_t>(Sp.Name.size(), MaxWireSpanName);
+    putU16(S, static_cast<uint16_t>(NameLen));
+    S.append(Sp.Name, 0, NameLen);
+    putU64(S, Sp.StartUs);
+    putU64(S, Sp.DurUs);
+    putU64(S, static_cast<uint64_t>(Sp.Arg));
+    putU8(S, Sp.HasArg ? 1 : 0);
+    putU8(S, Sp.FlowPhase);
+    putU64(S, Sp.FlowId);
+    putU32(S, static_cast<uint32_t>(Sp.Tid));
+    size_t ThreadLen = std::min<size_t>(Sp.ThreadName.size(), MaxWireSpanName);
+    putU16(S, static_cast<uint16_t>(ThreadLen));
+    S.append(Sp.ThreadName, 0, ThreadLen);
+  }
+  putU64(S, DroppedDelta);
+  return S;
+}
+
+/// A decoded worker telemetry flush.
+struct TelemetryRecord {
+  uint32_t Block = 0;
+  uint64_t FlowId = 0;
+  std::vector<Metrics::Sample> Delta;
+  std::vector<TraceLog::RawSpan> Spans;
+  uint64_t DroppedDelta = 0;
+};
+
+bool getBytes(std::string_view &S, size_t N, std::string &Out) {
+  if (S.size() < N)
+    return false;
+  Out.assign(S.substr(0, N));
+  S.remove_prefix(N);
+  return true;
+}
+
+/// Strict telemetry decode, the same stance as decodeReply: every count
+/// is bounds-checked and the payload must be consumed exactly. A failure
+/// costs the flush, never the already-accepted block result.
+bool decodeTelemetry(std::string_view S, TelemetryRecord &T) {
+  uint8_t Tag = 0;
+  if (!getU8(S, Tag) || Tag != 'T' || !getU32(S, T.Block) ||
+      !getU64(S, T.FlowId))
+    return false;
+  uint32_t MetricsLen = 0;
+  if (!getU32(S, MetricsLen) || S.size() < MetricsLen ||
+      !Metrics::decodeSamples(S.substr(0, MetricsLen), T.Delta))
+    return false;
+  S.remove_prefix(MetricsLen);
+  uint32_t NumSpans = 0;
+  if (!getU32(S, NumSpans) || NumSpans > MaxWireSpans)
+    return false;
+  T.Spans.clear();
+  T.Spans.reserve(std::min<uint32_t>(NumSpans, 4096));
+  for (uint32_t I = 0; I < NumSpans; ++I) {
+    TraceLog::RawSpan Sp;
+    uint16_t NameLen = 0, ThreadLen = 0;
+    uint64_t Arg = 0;
+    uint8_t HasArg = 0;
+    uint32_t Tid = 0;
+    if (!getU16(S, NameLen) || NameLen > MaxWireSpanName ||
+        !getBytes(S, NameLen, Sp.Name) || !getU64(S, Sp.StartUs) ||
+        !getU64(S, Sp.DurUs) || !getU64(S, Arg) || !getU8(S, HasArg) ||
+        !getU8(S, Sp.FlowPhase) || !getU64(S, Sp.FlowId) ||
+        !getU32(S, Tid) || !getU16(S, ThreadLen) ||
+        ThreadLen > MaxWireSpanName || !getBytes(S, ThreadLen, Sp.ThreadName))
+      return false;
+    Sp.Arg = static_cast<int64_t>(Arg);
+    Sp.HasArg = HasArg != 0;
+    Sp.Tid = static_cast<int>(Tid);
+    T.Spans.push_back(std::move(Sp));
+  }
+  return getU64(S, T.DroppedDelta) && S.empty();
 }
 
 /// A decoded worker reply. Exactly one of Intents / Err is meaningful,
@@ -232,11 +382,28 @@ bool sendReplySplit(int Fd, std::string_view Payload) {
 
 /// The shard worker loop: serve block requests until 'Q' or a broken
 /// parent socket. Runs in the forked child, which inherits the read-only
-/// \p Ctx and \p TopIntent — only indices and intents cross the wire.
+/// \p Ctx and \p TopIntent — only indices, intents, and telemetry cross
+/// the wire.
 /// Exit codes: 0 clean, 3 parent socket broken, 4 protocol violation,
-/// 9 reply write failed (includes an injected mid-frame fault).
+/// 9 reply or flush write failed (includes an injected mid-frame fault).
 int shardWorkerMain(const Context &Ctx, const BitVector &TopIntent, int Fd) {
   size_t M = Ctx.numAttributes();
+  // The fork copied the supervisor's live counter values into this
+  // process; baseline them away so each flush carries only what this
+  // worker did since the previous one. (The trace rings were already
+  // cleared by Subprocess::spawn.)
+  std::vector<Metrics::Sample> Baseline = Metrics::snapshot();
+  uint64_t DroppedBase = TraceLog::droppedCount();
+  auto flushTelemetry = [&](uint32_t Block, uint64_t FlowId) {
+    std::vector<Metrics::Sample> Delta = Metrics::deltaSince(Baseline);
+    std::vector<TraceLog::RawSpan> Spans = TraceLog::drainSpans();
+    uint64_t Dropped = TraceLog::droppedCount();
+    std::string T =
+        encodeTelemetry(Block, FlowId, Delta, Spans, Dropped - DroppedBase);
+    DroppedBase = Dropped;
+    Baseline = Metrics::snapshot();
+    return sendFrame(Fd, T).isOk();
+  };
   for (;;) {
     StatusOr<std::string> FrameOr = recvFrame(Fd);
     if (!FrameOr)
@@ -245,12 +412,21 @@ int shardWorkerMain(const Context &Ctx, const BitVector &TopIntent, int Fd) {
     uint8_t Tag = 0;
     if (!getU8(In, Tag))
       return 4;
-    if (Tag == 'Q')
+    if (Tag == 'Q') {
+      // The shutdown flush: whatever accumulated since the last block
+      // reply (for a worker that never served one, its whole life).
+      uint8_t Telemetry = 0;
+      if (getU8(In, Telemetry) && Telemetry &&
+          !flushTelemetry(ShutdownFlushBlock, 0))
+        return 9;
       return 0;
+    }
     uint32_t Block = 0, DeadlineMs = 0;
-    uint64_t MaxConcepts = 0;
+    uint64_t MaxConcepts = 0, FlowId = 0;
+    uint8_t Telemetry = 0;
     if (Tag != 'B' || !getU32(In, Block) || !getU64(In, MaxConcepts) ||
-        !getU32(In, DeadlineMs) || Block >= M)
+        !getU32(In, DeadlineMs) || !getU64(In, FlowId) ||
+        !getU8(In, Telemetry) || Block >= M)
       return 4;
 
     std::string Reply;
@@ -262,8 +438,15 @@ int shardWorkerMain(const Context &Ctx, const BitVector &TopIntent, int Fd) {
         B.TimeLimit = std::chrono::milliseconds(DeadlineMs);
       BudgetMeter WorkerMeter(B);
       BuildStop Stop = BuildStop::Complete;
-      std::vector<BitVector> Intents = ParallelBuilder::blockIntentsBudgeted(
-          Ctx, Block, TopIntent, WorkerMeter, Stop);
+      std::vector<BitVector> Intents;
+      {
+        // The worker leg of the dispatch -> compute -> merge flow arrow;
+        // the supervisor stamped FlowId into the request.
+        TraceSpan BlockSpan("shard-block", static_cast<int64_t>(Block));
+        TraceLog::recordFlow(FlowId, 't');
+        Intents = ParallelBuilder::blockIntentsBudgeted(
+            Ctx, Block, TopIntent, WorkerMeter, Stop);
+      }
       if (Status S = Failpoint::hit("shard-post-compute"); !S.isOk())
         Reply = encodeErrorReply(Block, S);
       else {
@@ -282,6 +465,8 @@ int shardWorkerMain(const Context &Ctx, const BitVector &TopIntent, int Fd) {
     }
     if (!sendReplySplit(Fd, Reply))
       return 9;
+    if (Telemetry && !flushTelemetry(Block, FlowId))
+      return 9;
   }
 }
 
@@ -291,7 +476,10 @@ using Clock = std::chrono::steady_clock;
 
 struct WorkerSlot {
   Subprocess Proc;
+  int Index = 0;  ///< Stable slot number; names the worker's trace track.
   int Block = -1; ///< Block in flight, -1 when idle.
+  uint64_t FlowId = 0; ///< Flow id stamped on the in-flight dispatch.
+  Metrics::Counter *BlocksServed = nullptr; ///< shard.worker-blocks.<index>.
   Clock::time_point Deadline{};
   Clock::time_point RespawnAt{};
   unsigned ConsecutiveFailures = 0;
@@ -318,9 +506,28 @@ public:
              const ShardOptions &Opts, const BitVector &TopIntent)
       : Ctx(Ctx), Meter(Meter), Opts(Opts), TopIntent(TopIntent),
         M(Ctx.numAttributes()), Blocks(M), Stops(M, BuildStop::Complete),
-        State(M, BlockState::Pending), Attempts(M, 0) {
-    unsigned Workers = std::min<size_t>(Opts.NumWorkers, M ? M : 1);
+        State(M, BlockState::Pending), Attempts(M, 0),
+        TelemetryOn(Metrics::enabled() || TraceLog::enabled()) {
+    // Every closed intent contains closure(∅), so blocks whose minimum
+    // attribute lies above min(closure(∅)) are provably empty: serial
+    // NextClosure never probes there, and dispatching them would both
+    // waste workers and tilt the closure-count conservation ledger.
+    // Mark them Done up front.
+    size_t MinTop = TopIntent.findFirst();
+    size_t NumBlocks = MinTop == BitVector::npos ? M : MinTop + 1;
+    for (size_t P = NumBlocks; P < M; ++P)
+      State[P] = BlockState::Done;
+    NumDone = M - NumBlocks;
+    unsigned Workers =
+        std::min<size_t>(Opts.NumWorkers, NumBlocks ? NumBlocks : 1);
     Slots.resize(std::max(1u, Workers));
+    for (size_t I = 0; I < Slots.size(); ++I) {
+      Slots[I].Index = static_cast<int>(I);
+      Slots[I].BlocksServed =
+          &Metrics::counter("shard.worker-blocks." + std::to_string(I));
+    }
+    WorkersGauge.set(static_cast<int64_t>(Slots.size()));
+    WorkersGauge.addHighWater(0); // Raise the high-water to the new value.
     RestartBudget = static_cast<unsigned>(Slots.size()) *
                         (Opts.MaxRetries + 1) +
                     8;
@@ -382,6 +589,10 @@ private:
   std::vector<WorkerSlot> Slots;
   unsigned RestartBudget = 0;
   size_t NumDone = 0;
+  /// Captured once at construction: whether 'B'/'Q' requests ask workers
+  /// to flush telemetry. Workers inherit the armed substrate flags by
+  /// fork, so the supervisor's view is authoritative for the whole build.
+  bool TelemetryOn = false;
 
   /// Next block to hand out: highest pending minimum attribute, matching
   /// the canonical merge order so the merge's prefix completes earliest.
@@ -462,10 +673,20 @@ private:
       if (P < 0)
         return;
       ++Attempts[P];
+      uint64_t FlowId = NextFlowId.fetch_add(1, std::memory_order_relaxed);
       std::string Req = encodeBlockRequest(
-          static_cast<uint32_t>(P),
-          Meter.budget().MaxConcepts.value_or(0), remainingBudgetMs(Meter));
-      if (!sendFrame(S.Proc.fd(), Req).isOk()) {
+          static_cast<uint32_t>(P), Meter.budget().MaxConcepts.value_or(0),
+          remainingBudgetMs(Meter), FlowId, TelemetryOn);
+      bool SendOk;
+      {
+        // The supervisor-side origin of the per-block flow arrow; the
+        // 's' instant binds to this span on the supervisor track.
+        TraceSpan Dispatch("shard-dispatch", static_cast<int64_t>(P));
+        SendOk = sendFrame(S.Proc.fd(), Req).isOk();
+        if (SendOk)
+          TraceLog::recordFlow(FlowId, 's');
+      }
+      if (!SendOk) {
         // The worker died while idle; its socket is a dead letter box.
         --Attempts[P]; // The attempt never started.
         slotFailed(S, /*TimedOut=*/false);
@@ -473,6 +694,7 @@ private:
       }
       State[P] = BlockState::InFlight;
       S.Block = P;
+      S.FlowId = FlowId;
       S.Deadline = Clock::now() + Opts.ShardTimeout;
       BlocksDispatched.add();
     }
@@ -510,6 +732,10 @@ private:
       ShardTimedOut.add();
     if (S.Block >= 0) {
       ShardReassigned.add();
+      // The in-flight attempt's flush dies with the worker: whatever it
+      // counted toward this attempt is gone, and the ledger says so.
+      if (TelemetryOn)
+        TelemetryLost.add();
       size_t P = static_cast<size_t>(S.Block);
       S.Block = -1;
       blockAttemptFailed(P);
@@ -527,8 +753,10 @@ private:
       S.Retired = true;
   }
 
-  /// One worker produced a complete, CRC-valid frame; act on it.
-  void handleReply(WorkerSlot &S, std::string_view Payload) {
+  /// One worker produced a complete, CRC-valid frame; act on it. Returns
+  /// true when the worker is still trusted (so a telemetry flush may
+  /// follow on the same stream), false when it was failed and killed.
+  bool handleReply(WorkerSlot &S, std::string_view Payload) {
     StatusOr<ShardReply> ReplyOr = decodeReply(Payload, M);
     if (!ReplyOr ||
         ReplyOr->Block != static_cast<uint32_t>(S.Block)) {
@@ -536,7 +764,7 @@ private:
       // compromised — same path as a crash.
       FramesRejected.add();
       slotFailed(S, /*TimedOut=*/false);
-      return;
+      return false;
     }
     size_t P = static_cast<size_t>(S.Block);
     S.Block = -1;
@@ -547,12 +775,55 @@ private:
       ErrorReplies.add();
       ShardRetries.add();
       blockAttemptFailed(P);
-      return;
+      return true;
     }
-    Blocks[P] = std::move(ReplyOr->Intents);
-    Stops[P] = ReplyOr->Stop;
+    {
+      // Close this block's dispatch -> compute -> merge flow arrow on
+      // the supervisor track.
+      TraceSpan Merge("shard-merge", static_cast<int64_t>(P));
+      TraceLog::recordFlow(S.FlowId, 'f');
+      Blocks[P] = std::move(ReplyOr->Intents);
+      Stops[P] = ReplyOr->Stop;
+    }
     State[P] = BlockState::Done;
     ++NumDone;
+    S.BlocksServed->add();
+    return true;
+  }
+
+  /// Reads and merges the telemetry flush a worker sends right after a
+  /// block reply. The block result (already accepted) is never rolled
+  /// back: a bad or missing flush costs only the flush itself, counted
+  /// on shard.telemetry-lost, and the worker is recycled like a crash.
+  void readTelemetry(WorkerSlot &S) {
+    int FrameMs = static_cast<int>(std::max<int64_t>(
+        1, std::chrono::duration_cast<std::chrono::milliseconds>(
+               S.Deadline - Clock::now())
+               .count()));
+    StatusOr<std::string> FrameOr = recvFrame(S.Proc.fd(), FrameMs);
+    bool TimedOut =
+        !FrameOr && FrameOr.status().code() == ErrorCode::ResourceExhausted;
+    TelemetryRecord T;
+    if (!FrameOr || !decodeTelemetry(*FrameOr, T)) {
+      TelemetryLost.add();
+      slotFailed(S, TimedOut);
+      return;
+    }
+    mergeTelemetry(S, T);
+  }
+
+  /// Folds one decoded flush into the process-wide registry and trace:
+  /// counters add, histograms merge bucket-wise, gauges keep the high
+  /// water; spans land on a per-pid foreign track named after the slot.
+  void mergeTelemetry(WorkerSlot &S, TelemetryRecord &T) {
+    Metrics::mergeDelta(T.Delta);
+    // Ingest even an empty flush: it registers the worker's pid track,
+    // so the exported trace shows every spawned process — an idle
+    // worker renders as an empty named track, not a gap.
+    TraceLog::ingestRemote(S.Proc.pid(),
+                           "shard-worker-" + std::to_string(S.Index),
+                           std::move(T.Spans), T.DroppedDelta);
+    TelemetryMerged.add();
   }
 
   void pollInFlight() {
@@ -600,7 +871,8 @@ private:
         slotFailed(S, TimedOut);
         continue;
       }
-      handleReply(S, *FrameOr);
+      if (handleReply(S, *FrameOr) && TelemetryOn)
+        readTelemetry(S);
     }
   }
 
@@ -624,13 +896,40 @@ private:
   void shutdownWorkers() {
     // Best-effort graceful quit so clean exits show up as such; a worker
     // that does not exit promptly is killed. Idle workers are blocked in
-    // recvFrame, so 'Q' turns around fast.
+    // recvFrame, so 'Q' turns around fast. With telemetry armed the 'Q'
+    // also requests a final flush, which the worker sends before exiting.
     for (WorkerSlot &S : Slots) {
       if (!S.Alive)
         continue;
-      bool Sent = sendFrame(S.Proc.fd(), std::string(1, 'Q')).isOk();
+      if (S.Block >= 0) {
+        // Mid-block at shutdown (cancel or deadline): the next frame on
+        // the wire would be the block reply, not a flush — skip the
+        // handshake, write the attempt's telemetry off as lost, and put
+        // the worker down hard.
+        if (TelemetryOn)
+          TelemetryLost.add();
+        S.Block = -1;
+        S.Proc.kill();
+        S.Proc.wait();
+        S.Proc.closeFd();
+        S.Alive = false;
+        continue;
+      }
+      std::string Quit(1, 'Q');
+      putU8(Quit, TelemetryOn ? 1 : 0);
+      bool Sent = sendFrame(S.Proc.fd(), Quit).isOk();
       if (!Sent)
         S.Proc.kill();
+      if (Sent && TelemetryOn) {
+        // The final-flush handshake: a worker that cannot produce it
+        // within a second forfeits the flush, never the shutdown.
+        StatusOr<std::string> FrameOr = recvFrame(S.Proc.fd(), 1000);
+        TelemetryRecord T;
+        if (FrameOr && decodeTelemetry(*FrameOr, T))
+          mergeTelemetry(S, T);
+        else
+          TelemetryLost.add();
+      }
       if (Sent) {
         // Give it a beat, then force.
         for (int I = 0; I < 100 && S.Proc.running(); ++I) {
@@ -711,6 +1010,14 @@ ShardedBuilder::buildLatticeBudgeted(const Context &Ctx,
           BlockStops[P - 1] != BuildStop::Complete)
         Stop = BlockStops[P - 1];
     }
+
+    // The supervisor's share of the ledger the in-process builders keep:
+    // closure(∅) was computed once, above, in this process. Block-level
+    // closures arrive through worker telemetry flushes (or the inline
+    // degradation path), so a fault-free sharded build's merged
+    // lattice.closures equals the serial builder's count exactly.
+    NumClosures.add(1);
+    NumConcepts.add(Out.size());
 
     if (Stop == BuildStop::Complete && Meter.expired())
       Stop = BuildStop::Time;

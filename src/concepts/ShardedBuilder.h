@@ -32,9 +32,18 @@
 /// Worker-lifecycle failpoints (`shard-pre-fork`, `shard-post-compute`,
 /// `shard-pre-reply`, `shard-mid-frame`) fire in the worker process only;
 /// the kill matrix drives every supervisor recovery path through them.
-/// Supervision is surfaced through `shard.*` metrics — worker hit counters
-/// die with the worker, so the parent-side counters are the observable
-/// record of injected faults.
+/// Supervision is surfaced through `shard.*` metrics, and when
+/// observability is armed the workers themselves are not blind spots:
+/// each block reply (and a final shutdown handshake) carries a telemetry
+/// flush — metric deltas, trace spans, ring-drop counts — that the
+/// supervisor merges into the process-wide registry and trace, stitching
+/// worker activity onto the supervisor's timeline as per-process tracks
+/// with dispatch -> compute -> merge flow arrows. Telemetry is
+/// best-effort: a worker that dies mid-interval loses only that
+/// interval, the loss ticks `shard.telemetry-lost`, and the lattice
+/// result is unaffected. Fault-free, merged counters equal a serial
+/// build's exactly. (See docs/OBSERVABILITY.md, "Multi-process
+/// observability".)
 ///
 //===----------------------------------------------------------------------===//
 

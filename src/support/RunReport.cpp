@@ -24,6 +24,36 @@ void emitBuildStamp(JsonWriter &W) {
   W.member("instrumented", buildinfo::kInstrumented);
 }
 
+/// Emits the `sharded` summary object when this run used (or asked for)
+/// multi-process construction: worker count, restart/crash tallies, the
+/// telemetry merge-vs-lost ledger, and per-worker block attribution.
+/// Quiet runs (no sharding requested) get no section at all.
+void emitShardedSection(JsonWriter &W) {
+  uint64_t Builds = Metrics::counterValue("shard.builds");
+  uint64_t Degraded = Metrics::counterValue("shard.degraded-builds");
+  int64_t Workers = Metrics::gauge("shard.workers").high();
+  if (Builds == 0 && Degraded == 0 && Workers == 0)
+    return;
+  W.key("sharded");
+  W.beginObject();
+  W.member("builds", Builds);
+  W.member("degraded_builds", Degraded);
+  W.member("workers", Workers);
+  W.member("worker_restarts", Metrics::counterValue("shard.worker-restarts"));
+  W.member("worker_crashes", Metrics::counterValue("shard.worker-crashes"));
+  W.member("blocks_dispatched",
+           Metrics::counterValue("shard.blocks-dispatched"));
+  W.member("flushes_merged", Metrics::counterValue("shard.telemetry-merged"));
+  W.member("flushes_lost", Metrics::counterValue("shard.telemetry-lost"));
+  W.key("blocks_per_worker");
+  W.beginArray();
+  for (int64_t I = 0; I < Workers; ++I)
+    W.value(Metrics::counterValue("shard.worker-blocks." +
+                                  std::to_string(I)));
+  W.endArray();
+  W.endObject();
+}
+
 } // namespace
 
 std::string cable::renderMetricsJson(std::string_view Tool) {
@@ -32,6 +62,7 @@ std::string cable::renderMetricsJson(std::string_view Tool) {
   W.member("schema", std::string_view("cable-metrics/1"));
   W.member("tool", Tool);
   emitBuildStamp(W);
+  emitShardedSection(W);
   W.key("metrics");
   W.rawValue(Metrics::snapshotJson());
   W.endObject();
@@ -57,6 +88,7 @@ std::string cable::renderRunReport(const RunReportInfo &Info) {
   W.member("truncated", Info.Truncated);
   W.member("clean_exit", Info.CleanExit);
   W.member("exit_code", static_cast<int64_t>(Info.ExitCode));
+  emitShardedSection(W);
   W.key("metrics");
   W.rawValue(Metrics::snapshotJson());
   W.endObject();

@@ -9,6 +9,7 @@
 
 #include "support/AtomicFile.h"
 #include "support/Failpoint.h"
+#include "support/TraceEvent.h"
 
 #include <atomic>
 #include <cerrno>
@@ -201,6 +202,10 @@ StatusOr<Subprocess> Subprocess::spawn(const ChildMain &Main,
     for (int Sibling : CloseInChild)
       if (Sibling >= 0)
         ::close(Sibling);
+    // The fork copied the parent's trace rings wholesale; clear them so
+    // the child's telemetry flushes carry only spans it recorded itself.
+    // The shared epoch survives, keeping both processes on one timeline.
+    TraceLog::resetAfterFork();
     // The first worker-lifecycle failpoint: a `crash` here simulates a
     // worker SIGKILLed before it ever answers (the supervisor must respawn
     // or degrade); an `error` is a worker that comes up broken and exits

@@ -10,6 +10,7 @@
 #include "support/AtomicFile.h"
 #include "support/BuildInfo.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <chrono>
@@ -25,12 +26,24 @@ std::atomic<bool> TraceLog::Armed{false};
 
 namespace {
 
+/// Satellite of the overwrite-oldest ring policy: truncation is visible
+/// in --stats and run reports, never silent.
+Metrics::Counter &SpansDropped = Metrics::counter("trace.spans-dropped");
+
 struct Event {
   std::string Name;
   uint64_t StartUs = 0;
   uint64_t DurUs = 0;
   int64_t Arg = 0;
   bool HasArg = false;
+  uint8_t FlowPhase = 0; ///< 0 = span; 's'/'t'/'f' = flow instant
+  uint64_t FlowId = 0;
+};
+
+/// A span adopted from another process (a shard worker's flush).
+struct ForeignSpan {
+  int64_t Pid = 0;
+  TraceLog::RawSpan S;
 };
 
 /// One thread's span ring. Appends come only from the owning thread; the
@@ -55,6 +68,12 @@ struct Global {
   size_t RingCapacity = 65536;
   std::chrono::steady_clock::time_point Epoch =
       std::chrono::steady_clock::now();
+  /// Spans ingested from worker processes, plus their track names.
+  /// Bounded so a chatty fleet cannot grow the supervisor without limit.
+  std::vector<ForeignSpan> Foreign;
+  std::vector<std::pair<int64_t, std::string>> ForeignProcs;
+  size_t ForeignCapacity = 1 << 20;
+  uint64_t ForeignDropped = 0;
 };
 
 /// Intentionally leaked (spans can be recorded during static teardown).
@@ -97,25 +116,116 @@ void TraceLog::setThreadName(std::string Name) {
   R.Name = std::move(Name);
 }
 
-void TraceLog::record(std::string Name, uint64_t StartUs, uint64_t DurUs,
-                      int64_t Arg, bool HasArg) {
+namespace {
+
+void appendEvent(Event E) {
   ThreadRing &R = myRing();
   std::lock_guard<std::mutex> Lock(R.Mutex);
-  Event E;
-  E.Name = std::move(Name);
-  E.StartUs = StartUs;
-  E.DurUs = DurUs;
-  E.Arg = Arg;
-  E.HasArg = HasArg;
   if (R.Ring.size() < R.Capacity) {
     R.Ring.push_back(std::move(E));
   } else {
     // Wraparound: overwrite the oldest slot.
     R.Ring[R.Next] = std::move(E);
     ++R.Dropped;
+    SpansDropped.add();
   }
   R.Next = (R.Next + 1) % R.Capacity;
   ++R.Total;
+}
+
+} // namespace
+
+void TraceLog::record(std::string Name, uint64_t StartUs, uint64_t DurUs,
+                      int64_t Arg, bool HasArg) {
+  Event E;
+  E.Name = std::move(Name);
+  E.StartUs = StartUs;
+  E.DurUs = DurUs;
+  E.Arg = Arg;
+  E.HasArg = HasArg;
+  appendEvent(std::move(E));
+}
+
+void TraceLog::recordFlow(uint64_t FlowId, char Phase) {
+  if (!enabled())
+    return;
+  Event E;
+  E.Name = "shard-flow";
+  E.StartUs = nowUs();
+  E.FlowPhase = static_cast<uint8_t>(Phase);
+  E.FlowId = FlowId;
+  appendEvent(std::move(E));
+}
+
+std::vector<TraceLog::RawSpan> TraceLog::drainSpans() {
+  Global &G = global();
+  std::vector<std::shared_ptr<ThreadRing>> Rings;
+  {
+    std::lock_guard<std::mutex> Lock(G.Mutex);
+    Rings = G.Rings;
+  }
+  std::vector<RawSpan> Out;
+  for (const auto &RP : Rings) {
+    std::lock_guard<std::mutex> Lock(RP->Mutex);
+    ThreadRing &R = *RP;
+    size_t N = R.Ring.size();
+    size_t First = N < R.Capacity ? 0 : R.Next;
+    for (size_t I = 0; I < N; ++I) {
+      Event &E = R.Ring[(First + I) % N];
+      RawSpan S;
+      S.Name = std::move(E.Name);
+      S.StartUs = E.StartUs;
+      S.DurUs = E.DurUs;
+      S.Arg = E.Arg;
+      S.HasArg = E.HasArg;
+      S.FlowPhase = E.FlowPhase;
+      S.FlowId = E.FlowId;
+      S.Tid = R.Tid;
+      S.ThreadName = R.Name;
+      Out.push_back(std::move(S));
+    }
+    R.Ring.clear();
+    R.Next = 0;
+  }
+  return Out;
+}
+
+void TraceLog::ingestRemote(int64_t Pid, std::string_view ProcessName,
+                            std::vector<RawSpan> Spans, uint64_t DroppedDelta) {
+  Global &G = global();
+  std::lock_guard<std::mutex> Lock(G.Mutex);
+  bool Known = false;
+  for (const auto &[P, Name] : G.ForeignProcs)
+    Known = Known || P == Pid;
+  if (!Known)
+    G.ForeignProcs.emplace_back(Pid, std::string(ProcessName));
+  G.ForeignDropped += DroppedDelta;
+  for (RawSpan &S : Spans) {
+    if (G.Foreign.size() >= G.ForeignCapacity) {
+      ++G.ForeignDropped;
+      SpansDropped.add();
+      continue;
+    }
+    ForeignSpan F;
+    F.Pid = Pid;
+    F.S = std::move(S);
+    G.Foreign.push_back(std::move(F));
+  }
+}
+
+void TraceLog::resetAfterFork() {
+  Global &G = global();
+  std::lock_guard<std::mutex> Lock(G.Mutex);
+  for (const auto &R : G.Rings) {
+    std::lock_guard<std::mutex> RLock(R->Mutex);
+    R->Ring.clear();
+    R->Next = 0;
+    R->Total = 0;
+    R->Dropped = 0;
+  }
+  G.Foreign.clear();
+  G.ForeignProcs.clear();
+  G.ForeignDropped = 0;
 }
 
 uint64_t TraceLog::spanCount() {
@@ -132,7 +242,7 @@ uint64_t TraceLog::spanCount() {
 uint64_t TraceLog::droppedCount() {
   Global &G = global();
   std::lock_guard<std::mutex> Lock(G.Mutex);
-  uint64_t N = 0;
+  uint64_t N = G.ForeignDropped; // Remote losses reported via ingestRemote.
   for (const auto &R : G.Rings) {
     std::lock_guard<std::mutex> RLock(R->Mutex);
     N += R->Dropped;
@@ -151,6 +261,9 @@ void TraceLog::reset() {
     R->Dropped = 0;
     R->Capacity = std::max<size_t>(G.RingCapacity, 4);
   }
+  G.Foreign.clear();
+  G.ForeignProcs.clear();
+  G.ForeignDropped = 0;
 }
 
 void TraceLog::setRingCapacity(size_t Events) {
@@ -158,6 +271,56 @@ void TraceLog::setRingCapacity(size_t Events) {
   std::lock_guard<std::mutex> Lock(G.Mutex);
   G.RingCapacity = std::max<size_t>(Events, 4);
 }
+
+namespace {
+
+/// One trace event, local or foreign. Flow instants ('s'/'t'/'f') bind
+/// by (cat, id) to the slice enclosing their timestamp on their track;
+/// a finish ('f') needs bp:"e" to attach to the enclosing slice.
+void writeEventJson(JsonWriter &W, const Event &E, int64_t Pid, int Tid) {
+  W.beginObject();
+  W.member("name", std::string_view(E.Name));
+  if (E.FlowPhase == 0) {
+    W.member("cat", std::string_view("cable"));
+    W.member("ph", std::string_view("X"));
+    W.member("ts", E.StartUs);
+    W.member("dur", E.DurUs);
+  } else {
+    char Ph[2] = {static_cast<char>(E.FlowPhase), 0};
+    W.member("cat", std::string_view("shard"));
+    W.member("ph", std::string_view(Ph, 1));
+    W.member("id", E.FlowId);
+    W.member("ts", E.StartUs);
+    if (E.FlowPhase == 'f')
+      W.member("bp", std::string_view("e"));
+  }
+  W.member("pid", Pid);
+  W.member("tid", static_cast<int64_t>(Tid));
+  if (E.HasArg) {
+    W.key("args");
+    W.beginObject();
+    W.member("n", E.Arg);
+    W.endObject();
+  }
+  W.endObject();
+}
+
+void writeMetadataJson(JsonWriter &W, std::string_view MetaName, int64_t Pid,
+                       int64_t Tid, bool HasTid, std::string_view Name) {
+  W.beginObject();
+  W.member("name", MetaName);
+  W.member("ph", std::string_view("M"));
+  W.member("pid", Pid);
+  if (HasTid)
+    W.member("tid", Tid);
+  W.key("args");
+  W.beginObject();
+  W.member("name", Name);
+  W.endObject();
+  W.endObject();
+}
+
+} // namespace
 
 std::string TraceLog::exportJson(std::string_view ToolName) {
   Global &G = global();
@@ -174,44 +337,48 @@ std::string TraceLog::exportJson(std::string_view ToolName) {
   W.beginObject();
   W.key("traceEvents");
   W.beginArray();
+  writeMetadataJson(W, "process_name", Pid, 0, false, ToolName);
   uint64_t TotalDropped = 0;
   for (const auto &RP : Rings) {
     std::lock_guard<std::mutex> Lock(RP->Mutex);
     ThreadRing &R = *RP;
     TotalDropped += R.Dropped;
-    if (!R.Name.empty()) {
-      W.beginObject();
-      W.member("name", std::string_view("thread_name"));
-      W.member("ph", std::string_view("M"));
-      W.member("pid", Pid);
-      W.member("tid", static_cast<int64_t>(R.Tid));
-      W.key("args");
-      W.beginObject();
-      W.member("name", std::string_view(R.Name));
-      W.endObject();
-      W.endObject();
-    }
+    if (!R.Name.empty())
+      writeMetadataJson(W, "thread_name", Pid, R.Tid, true, R.Name);
     // Oldest-first: after wraparound the oldest surviving event sits at
     // the insertion cursor.
     size_t N = R.Ring.size();
     size_t First = N < R.Capacity ? 0 : R.Next;
-    for (size_t I = 0; I < N; ++I) {
-      const Event &E = R.Ring[(First + I) % N];
-      W.beginObject();
-      W.member("name", std::string_view(E.Name));
-      W.member("cat", std::string_view("cable"));
-      W.member("ph", std::string_view("X"));
-      W.member("ts", E.StartUs);
-      W.member("dur", E.DurUs);
-      W.member("pid", Pid);
-      W.member("tid", static_cast<int64_t>(R.Tid));
-      if (E.HasArg) {
-        W.key("args");
-        W.beginObject();
-        W.member("n", E.Arg);
-        W.endObject();
+    for (size_t I = 0; I < N; ++I)
+      writeEventJson(W, R.Ring[(First + I) % N], Pid, R.Tid);
+  }
+  // Spans ingested from worker processes render as their own pid tracks
+  // on the same steady-clock timeline (fork preserves the epoch).
+  {
+    std::lock_guard<std::mutex> Lock(G.Mutex);
+    TotalDropped += G.ForeignDropped;
+    for (const auto &[FPid, Name] : G.ForeignProcs)
+      writeMetadataJson(W, "process_name", FPid, 0, false, Name);
+    std::vector<std::pair<int64_t, int>> NamedThreads;
+    for (const ForeignSpan &F : G.Foreign) {
+      if (!F.S.ThreadName.empty()) {
+        std::pair<int64_t, int> Key(F.Pid, F.S.Tid);
+        if (std::find(NamedThreads.begin(), NamedThreads.end(), Key) ==
+            NamedThreads.end()) {
+          NamedThreads.push_back(Key);
+          writeMetadataJson(W, "thread_name", F.Pid, F.S.Tid, true,
+                            F.S.ThreadName);
+        }
       }
-      W.endObject();
+      Event E;
+      E.Name = F.S.Name;
+      E.StartUs = F.S.StartUs;
+      E.DurUs = F.S.DurUs;
+      E.Arg = F.S.Arg;
+      E.HasArg = F.S.HasArg;
+      E.FlowPhase = F.S.FlowPhase;
+      E.FlowId = F.S.FlowId;
+      writeEventJson(W, E, F.Pid, F.S.Tid);
     }
   }
   W.endArray();

@@ -20,8 +20,10 @@
 #include "concepts/ShardedBuilder.h"
 
 #include "support/Failpoint.h"
+#include "support/Metrics.h"
 #include "support/RNG.h"
 #include "support/Subprocess.h"
+#include "support/TraceEvent.h"
 
 #include <gtest/gtest.h>
 
@@ -309,4 +311,130 @@ TEST_F(OomContainmentTest, WorkerOomBecomesAnErrorReplyNotACrash) {
   // parent's own copy of the failpoint.
   ConceptLattice Sharded = ShardedBuilder::buildLattice(Ctx, shardOpts(2));
   expectIdenticalLattices(Serial, Sharded, "worker oom");
+}
+
+/// Cross-process telemetry: workers flush Metrics deltas and TraceLog
+/// rings back to the supervisor, which merges them so a fault-free
+/// sharded build reports exactly the serial enumeration ledger, crashes
+/// are accounted on shard.telemetry-lost, and one trace export shows
+/// every process on a shared timeline.
+class ShardedTelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Metrics::reset();
+    TraceLog::reset();
+    Metrics::setEnabled(true);
+  }
+  void TearDown() override {
+    Metrics::setEnabled(false);
+    TraceLog::setEnabled(false);
+    Failpoint::reset();
+    Metrics::reset();
+    TraceLog::reset();
+  }
+};
+
+TEST_F(ShardedTelemetryTest, FaultFreeClosureCountsMatchSerial) {
+  Context Ctx = seededContext(99);
+  ConceptLattice Serial = NextClosureBuilder::buildLattice(Ctx);
+  uint64_t SerialClosures = Metrics::counterValue("lattice.closures");
+  uint64_t SerialConcepts = Metrics::counterValue("lattice.concepts");
+  ASSERT_GT(SerialClosures, 0u);
+  for (unsigned W : {1u, 2u, 4u, 8u}) {
+    Metrics::reset();
+    ConceptLattice Sharded = ShardedBuilder::buildLattice(Ctx, shardOpts(W));
+    expectIdenticalLattices(Serial, Sharded, "workers=" + std::to_string(W));
+    // Counter conservation: the supervisor's own closure(∅) plus the
+    // workers' flushed per-block deltas must equal the serial ledger —
+    // same closures performed, merely in other processes.
+    EXPECT_EQ(Metrics::counterValue("lattice.closures"), SerialClosures)
+        << "workers=" << W;
+    EXPECT_EQ(Metrics::counterValue("lattice.concepts"), SerialConcepts)
+        << "workers=" << W;
+    EXPECT_EQ(Metrics::counterValue("shard.telemetry-lost"), 0u)
+        << "workers=" << W;
+    // Every dispatched block's flush plus one shutdown flush per worker.
+    EXPECT_GE(Metrics::counterValue("shard.telemetry-merged"),
+              Metrics::counterValue("shard.blocks-dispatched"))
+        << "workers=" << W;
+  }
+}
+
+TEST_F(ShardedTelemetryTest, KernelCountsAreWorkerCountInvariant) {
+  Context Ctx = seededContext(101);
+  // The in-process parallel builder shares the sharded path's assembly,
+  // so its armed kernel tally is the reference the merged cross-process
+  // tally must hit exactly, at every worker count.
+  BudgetMeter RefMeter{Budget{}};
+  ParallelBuilder::buildLatticeBudgeted(Ctx, RefMeter, /*NumThreads=*/2);
+  uint64_t RefFusedAnd = Metrics::counterValue("kernels.fused-and-calls");
+  uint64_t RefSigma = Metrics::counterValue("context.sigma-calls");
+  for (unsigned W : {1u, 2u, 4u, 8u}) {
+    Metrics::reset();
+    ShardedBuilder::buildLattice(Ctx, shardOpts(W));
+    EXPECT_EQ(Metrics::counterValue("kernels.fused-and-calls"), RefFusedAnd)
+        << "workers=" << W;
+    EXPECT_EQ(Metrics::counterValue("context.sigma-calls"), RefSigma)
+        << "workers=" << W;
+  }
+}
+
+TEST_F(ShardedTelemetryTest, CrashedWorkersAreAccountedAsLostFlushes) {
+  Context Ctx = seededContext(99);
+  ASSERT_TRUE(Failpoint::configure("shard-pre-reply=crash").isOk());
+  ConceptLattice Serial = NextClosureBuilder::buildLattice(Ctx);
+  Metrics::reset();
+  ConceptLattice Sharded = ShardedBuilder::buildLattice(Ctx, faultyOpts(2));
+  expectIdenticalLattices(Serial, Sharded, "crash accounting");
+  // Every crash-killed attempt forfeits its flush; the ledger must say
+  // so, and merged + lost must cover every dispatched attempt.
+  uint64_t Lost = Metrics::counterValue("shard.telemetry-lost");
+  uint64_t Merged = Metrics::counterValue("shard.telemetry-merged");
+  uint64_t Dispatched = Metrics::counterValue("shard.blocks-dispatched");
+  EXPECT_GE(Lost, 1u);
+  EXPECT_GE(Merged + Lost, Dispatched);
+}
+
+TEST_F(ShardedTelemetryTest, SharedTraceShowsWorkerTracksAndFlowArrows) {
+  TraceLog::setEnabled(true);
+  Context Ctx = seededContext(99);
+  ShardedBuilder::buildLattice(Ctx, shardOpts(2));
+  std::string Json = TraceLog::exportJson("shard-test");
+  // Supervisor-side spans plus at least one ingested worker track with
+  // the full dispatch -> compute -> merge flow chain.
+  EXPECT_NE(Json.find("\"shard-supervise\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"shard-dispatch\""), std::string::npos);
+  EXPECT_NE(Json.find("\"shard-block\""), std::string::npos);
+  EXPECT_NE(Json.find("\"shard-merge\""), std::string::npos);
+  EXPECT_NE(Json.find("\"shard-worker-"), std::string::npos);
+  EXPECT_NE(Json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"t\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(Json.find("\"bp\": \"e\""), std::string::npos);
+}
+
+TEST_F(ShardedTelemetryTest, PerWorkerBlockAttributionCoversAllBlocks) {
+  Context Ctx = seededContext(99);
+  ShardedBuilder::buildLattice(Ctx, shardOpts(4));
+  uint64_t Dispatched = Metrics::counterValue("shard.blocks-dispatched");
+  ASSERT_GT(Dispatched, 0u);
+  uint64_t Attributed = 0;
+  for (int I = 0; I < 8; ++I)
+    Attributed += Metrics::counterValue("shard.worker-blocks." +
+                                        std::to_string(I));
+  // Fault-free every dispatched block lands on exactly one worker.
+  EXPECT_EQ(Attributed, Dispatched);
+  EXPECT_GE(Metrics::gauge("shard.workers").high(), 1);
+}
+
+TEST_F(ShardedTelemetryTest, DisarmedBuildsSkipTelemetryEntirely) {
+  Metrics::setEnabled(false);
+  Context Ctx = seededContext(99);
+  ConceptLattice Serial = NextClosureBuilder::buildLattice(Ctx);
+  ConceptLattice Sharded = ShardedBuilder::buildLattice(Ctx, shardOpts(2));
+  expectIdenticalLattices(Serial, Sharded, "disarmed telemetry");
+  Metrics::setEnabled(true);
+  EXPECT_EQ(Metrics::counterValue("shard.telemetry-merged"), 0u);
+  EXPECT_EQ(Metrics::counterValue("shard.telemetry-lost"), 0u);
 }

@@ -20,12 +20,14 @@
 # worker-lifecycle failpoint (shard-pre-fork, shard-post-compute,
 # shard-pre-reply, shard-mid-frame) x {crash,error} x trigger indices x
 # {1,2,4,8} workers, plus a wedged-worker (hang) sweep under a short
-# --shard-timeout. Worker failpoint hit counters die with the worker, so
-# the observable record is the supervisor's shard.* counters: whenever a
+# --shard-timeout. A crashed worker's counters die with it, so the
+# observable record is the supervisor's shard.* counters: whenever a
 # run shows fault evidence (worker-crashes / timed-out / error-replies /
 # frames-rejected) it must also show recovery work (retries / reassigned /
-# degraded-*), and every run — faulted or not — must emit a violation
-# lattice byte-identical to the serial golden DOT.
+# degraded-*), the telemetry ledger must balance (merged + lost flushes
+# cover every dispatched block — nothing vanishes silently), and every
+# run — faulted or not — must emit a violation lattice byte-identical to
+# the serial golden DOT.
 #
 # Usage: kill_matrix.sh <cable-cli> <workdir> [spec-lint]
 #   KILL_MATRIX_PHASE          session (default) or shard
@@ -57,6 +59,12 @@ MAX_RESTARTS=60
 # ("journal.unclean-recoveries": 1) instead of grepping stderr prose;
 # snapshotJson() guarantees the exact `"name": value` spacing below.
 metric_ge1() { grep -q "\"$2\": [1-9]" "$1"; }
+# Numeric value of a counter (0 when absent), for arithmetic assertions.
+metric_val() {
+  local v
+  v=$(grep -o "\"$2\": [0-9]*" "$1" | head -1 | grep -o '[0-9]*$')
+  printf '%s' "${v:-0}"
+}
 
 rm -rf "$WORK"
 mkdir -p "$WORK"
@@ -112,6 +120,26 @@ if [ "$PHASE" = shard ]; then
     if ! cmp -s golden.dot out.dot; then
       say "FAIL $tag: sharded violation lattice differs from serial golden"
       diff golden.dot out.dot | head -10
+      fail=1
+      return
+    fi
+    # Telemetry ledger: every dispatched block's flush is either merged
+    # or accounted as lost — faults may destroy worker telemetry but must
+    # never let it vanish silently. A timed-out slot always had a block
+    # in flight, so its flush necessarily lands in the lost column.
+    local merged lost dispatched
+    merged=$(metric_val m.json shard.telemetry-merged)
+    lost=$(metric_val m.json shard.telemetry-lost)
+    dispatched=$(metric_val m.json shard.blocks-dispatched)
+    if [ $((merged + lost)) -lt "$dispatched" ]; then
+      say "FAIL $tag: telemetry leak: merged=$merged + lost=$lost < dispatched=$dispatched"
+      cat m.json
+      fail=1
+      return
+    fi
+    if metric_ge1 m.json shard.timed-out && [ "$lost" -lt 1 ]; then
+      say "FAIL $tag: timed-out worker but no telemetry accounted as lost"
+      cat m.json
       fail=1
       return
     fi

@@ -3,7 +3,15 @@
 must produce: a Chrome trace-event JSON (Perfetto-loadable shape), a
 cable-metrics/1 snapshot, and a cable-run-report/1 document.
 
-Usage: check_observability.py TRACE METRICS REPORT
+Usage: check_observability.py TRACE METRICS REPORT [--sharded SERIAL_METRICS]
+
+With --sharded the run used --shard-workers: the trace must additionally
+stitch every worker process onto its own named pid track with complete
+dispatch -> compute -> merge flow chains, the report must carry the
+`sharded` section, and counter conservation is asserted against a serial
+run's metrics snapshot (fault-free merged lattice.closures equals the
+serial builder's count exactly).
+
 Exits non-zero with a message on the first violated invariant.
 """
 
@@ -16,8 +24,84 @@ def fail(msg):
     sys.exit(1)
 
 
+def check_sharded_trace(events):
+    """One named track per process, flow arrows crossing pid tracks."""
+    proc_names = {}
+    for ev in events:
+        if ev.get("name") == "process_name":
+            pid = ev["pid"]
+            if pid in proc_names:
+                fail("pid %d named twice" % pid)
+            proc_names[pid] = ev["args"]["name"]
+    supervisors = [p for p, n in proc_names.items()
+                   if not n.startswith("shard-worker-")]
+    workers = {p for p, n in proc_names.items()
+               if n.startswith("shard-worker-")}
+    if len(supervisors) != 1:
+        fail("expected exactly one supervisor track, have %r" % proc_names)
+    if not workers:
+        fail("no shard-worker pid tracks in %r" % proc_names)
+    sup = supervisors[0]
+    for ev in events:
+        if ev["pid"] not in proc_names:
+            fail("event on unnamed pid %d: %r" % (ev["pid"], ev))
+
+    # Every flow id must form a complete chain: 's' (dispatch) and 'f'
+    # (merge) on the supervisor track, 't' (compute) on a worker track.
+    flows = {}
+    for ev in events:
+        if ev["ph"] in ("s", "t", "f"):
+            flows.setdefault(ev["id"], {})[ev["ph"]] = ev["pid"]
+    if not flows:
+        fail("no flow events in a sharded trace")
+    for fid, chain in flows.items():
+        if sorted(chain) != ["f", "s", "t"]:
+            fail("flow %r incomplete: %r" % (fid, chain))
+        if chain["s"] != sup or chain["f"] != sup:
+            fail("flow %r dispatch/merge not on the supervisor" % fid)
+        if chain["t"] not in workers:
+            fail("flow %r compute not on a worker track" % fid)
+    worker_spans = [ev for ev in events
+                    if ev["ph"] == "X" and ev["pid"] in workers]
+    if not any(ev["name"] == "shard-block" for ev in worker_spans):
+        fail("no shard-block span on any worker track")
+    return len(workers), len(flows)
+
+
+def check_sharded_ledger(counters, report, serial_counters):
+    """Counter conservation and the report's sharded section."""
+    for name in ("lattice.closures", "lattice.concepts"):
+        got, want = counters.get(name, 0), serial_counters.get(name, 0)
+        if got != want:
+            fail("%s not conserved: sharded merged %d != serial %d"
+                 % (name, got, want))
+    if counters.get("shard.telemetry-lost", 0) != 0:
+        fail("fault-free run lost telemetry: %r"
+             % counters.get("shard.telemetry-lost"))
+    merged = counters.get("shard.telemetry-merged", 0)
+    dispatched = counters.get("shard.blocks-dispatched", 0)
+    if dispatched <= 0:
+        fail("no blocks dispatched in a sharded run")
+    if merged < dispatched:
+        fail("merged flushes %d < dispatched blocks %d"
+             % (merged, dispatched))
+    sharded = report.get("sharded")
+    if not sharded:
+        fail("run report missing the sharded section")
+    if sharded["flushes_lost"] != 0 or sharded["workers"] <= 0:
+        fail("bad sharded section %r" % sharded)
+    if sum(sharded["blocks_per_worker"]) != sharded["blocks_dispatched"]:
+        fail("per-worker attribution %r does not cover %d dispatched"
+             % (sharded["blocks_per_worker"], sharded["blocks_dispatched"]))
+
+
 def main():
     trace_path, metrics_path, report_path = sys.argv[1:4]
+    serial_metrics_path = None
+    if len(sys.argv) > 4:
+        if sys.argv[4] != "--sharded" or len(sys.argv) < 6:
+            fail("usage: TRACE METRICS REPORT [--sharded SERIAL_METRICS]")
+        serial_metrics_path = sys.argv[5]
     trace = json.load(open(trace_path))
     metrics = json.load(open(metrics_path))
     report = json.load(open(report_path))
@@ -26,8 +110,9 @@ def main():
     events = trace["traceEvents"]
     if not isinstance(events, list) or not events:
         fail("traceEvents missing or empty")
+    phases = ("X", "M", "s", "t", "f") if serial_metrics_path else ("X", "M")
     for ev in events:
-        if ev["ph"] not in ("X", "M"):
+        if ev["ph"] not in phases:
             fail("unexpected event phase %r" % ev["ph"])
         if ev["ph"] == "X" and (ev["ts"] < 0 or ev["dur"] < 0):
             fail("negative ts/dur in %r" % ev)
@@ -69,6 +154,17 @@ def main():
     for key in ("version", "git_sha", "build_type"):
         if key not in report:
             fail("report missing %r" % key)
+
+    # --- multi-process stitching and conservation.
+    if serial_metrics_path:
+        serial = json.load(open(serial_metrics_path))
+        num_workers, num_flows = check_sharded_trace(events)
+        check_sharded_ledger(counters, report,
+                             serial["metrics"]["counters"])
+        print("check_observability: OK (%d trace events, %d counters, "
+              "%d worker tracks, %d flow chains)"
+              % (len(events), len(counters), num_workers, num_flows))
+        return
 
     print("check_observability: OK (%d trace events, %d counters)"
           % (len(events), len(counters)))

@@ -88,7 +88,9 @@ void printUsage() {
       "                     processes under a supervising parent (0 = off,\n"
       "                     the default); identical lattice at any worker\n"
       "                     count, degrading in-process when forking is\n"
-      "                     unavailable or workers keep failing\n"
+      "                     unavailable or workers keep failing; worker\n"
+      "                     metrics and trace spans are merged back into\n"
+      "                     the --stats/--metrics-out/--trace-out views\n"
       "  --shard-timeout MS per-shard deadline before a wedged worker is\n"
       "                     killed and its partition reassigned\n"
       "                     (default 30000)\n"
@@ -128,9 +130,13 @@ void printUsage() {
       "  --metrics-out FILE write a cable-metrics/1 JSON snapshot at exit\n"
       "  --trace-out FILE   record tracing spans and write Chrome\n"
       "                     trace-event JSON at exit (open in Perfetto or\n"
-      "                     chrome://tracing)\n"
+      "                     chrome://tracing); with --shard-workers the\n"
+      "                     file shows every worker process as its own\n"
+      "                     track, flow arrows linking each block's\n"
+      "                     dispatch -> compute -> merge\n"
       "  --run-report FILE  write a cable-run-report/1 JSON document (tool,\n"
-      "                     argv, build stamp, metrics, truncation) at exit\n"
+      "                     argv, build stamp, metrics, truncation, and a\n"
+      "                     sharded section for multi-process runs) at exit\n"
       "\n"
       "commands (stdin):\n"
       "  ls                  list concepts (state, size, similarity)\n"

@@ -105,7 +105,9 @@ void printUsage() {
       "  --shard-workers N  cluster violations in N crash-isolated worker\n"
       "                     processes (0 = off, the default); identical\n"
       "                     result at any worker count, degrading\n"
-      "                     in-process when workers keep failing\n"
+      "                     in-process when workers keep failing; worker\n"
+      "                     telemetry is merged into the parent's metrics\n"
+      "                     and trace\n"
       "  --shard-timeout MS per-shard deadline before a wedged worker is\n"
       "                     killed and its partition reassigned\n"
       "                     (default 30000)\n"
@@ -124,8 +126,11 @@ void printUsage() {
       "  --stats            print the metrics table before exiting\n"
       "  --metrics-out FILE write a cable-metrics/1 JSON snapshot at exit\n"
       "  --trace-out FILE   record tracing spans, write Chrome trace-event\n"
-      "                     JSON at exit (Perfetto / chrome://tracing)\n"
-      "  --run-report FILE  write a cable-run-report/1 JSON document\n");
+      "                     JSON at exit (Perfetto / chrome://tracing);\n"
+      "                     sharded runs show one track per worker process\n"
+      "                     with dispatch -> compute -> merge flow arrows\n"
+      "  --run-report FILE  write a cable-run-report/1 JSON document, with\n"
+      "                     a sharded section for multi-process runs\n");
 }
 
 /// Observability outputs, written on every exit path of main.
