@@ -10,16 +10,45 @@
 #include "concepts/BuildResult.h"
 #include "concepts/ParallelBuilder.h"
 #include "concepts/ShardedBuilder.h"
+#include "support/ArtifactStore.h"
 #include "support/Dot.h"
+#include "support/Failpoint.h"
 #include "support/Metrics.h"
 #include "support/StringUtil.h"
 #include "support/TraceEvent.h"
 
+#include <optional>
 #include <unordered_map>
 
 #include <cassert>
 
 using namespace cable;
+
+namespace {
+
+/// The builder-family half of the cache key. All batch paths (serial
+/// NextClosure, ParallelBuilder, ShardedBuilder) enumerate the same
+/// canonical lectic order and are bit-for-bit interchangeable, so they
+/// share one id and one artifact.
+constexpr const char *kLatticeBuilderId = "nextclosure";
+
+/// The budget half of the cache key. Only deterministic caps participate:
+/// a MaxConcepts-truncated lattice is an exact lectic prefix, so the cap
+/// must distinguish artifacts; wall-clock deadlines make the result
+/// timing-dependent and are handled by bypassing the cache entirely.
+std::string budgetFingerprint(const Budget &B) {
+  std::string FP;
+  if (B.MaxConcepts)
+    FP += "mc" + std::to_string(*B.MaxConcepts);
+  if (B.MaxContextCells) {
+    if (!FP.empty())
+      FP += "-";
+    FP += "cc" + std::to_string(*B.MaxContextCells);
+  }
+  return FP.empty() ? "full" : FP;
+}
+
+} // namespace
 
 Session::Session(TraceSet TracesIn, Automaton ReferenceFA,
                  unsigned NumThreadsIn) {
@@ -75,6 +104,68 @@ Status Session::init(const SessionOptions &Options) {
       !CellsSt.isOk() && !Options.KeepGoing)
     return CellsSt;
 
+  // Content-addressed lattice cache. The key never mentions threads,
+  // workers, or kernel levels (they are bit-for-bit irrelevant), and a
+  // wall-clock budget disables caching outright — a deadline-truncated
+  // lattice is not a pure function of the key.
+  std::optional<ArtifactStore> Store;
+  LatticeArtifactMeta Meta;
+  std::string CacheKey;
+  if (!Options.CacheDir.empty() && !Options.ResourceBudget.TimeLimit) {
+    ArtifactStore Candidate(Options.CacheDir);
+    if (Status S = Candidate.prepare(); S.isOk()) {
+      Store.emplace(std::move(Candidate));
+      Meta.ContextHash = Ctx.contentHash();
+      Meta.Builder = kLatticeBuilderId;
+      Meta.Budget = budgetFingerprint(Options.ResourceBudget);
+      Meta.NumObjects = Ctx.numObjects();
+      Meta.NumAttributes = Ctx.numAttributes();
+      CacheKey = Meta.ContextHash + "." + Meta.Builder + "." + Meta.Budget;
+    } else {
+      CacheDiags.push_back(std::move(S));
+    }
+  }
+  // Attempts a verified load; any failure other than "not there yet"
+  // (corruption -> quarantined by the store, I/O trouble) is recorded and
+  // degrades to a normal build.
+  auto TryLoad = [&]() -> bool {
+    bool Loaded = false;
+    Status S = Store->load(CacheKey, [&](std::string_view Bytes) -> Status {
+      StatusOr<ConceptLattice> L = ConceptLattice::deserialize(
+          Bytes, Meta, Options.CacheVerifyMode, Store->artifactPath(CacheKey));
+      if (!L.isOk())
+        return L.status();
+      Lattice = std::move(*L);
+      Loaded = true;
+      return Status::ok();
+    });
+    if (!S.isOk() && S.code() != ErrorCode::NotFound)
+      CacheDiags.push_back(std::move(S));
+    return Loaded;
+  };
+
+  ArtifactStore::KeyLock Lock;
+  if (Store) {
+    TraceSpan CacheSpan("cache-lookup");
+    CacheHit = TryLoad();
+    if (!CacheHit) {
+      // Single-flight: whoever holds the key lock builds and publishes;
+      // everyone else waits, re-loads, and hits. A timed-out wait (a
+      // wedged holder) just means we build inline and skip publishing.
+      Lock = Store->lockKey(CacheKey, Options.CacheLockTimeout);
+      if (Lock.held())
+        CacheHit = TryLoad();
+    }
+    Metrics::counter(CacheHit ? "cache.hits" : "cache.misses").add();
+  }
+  if (CacheHit) {
+    Truncated = false;
+    BuildSt = Status::ok();
+    Metrics::counter("session.builds").add();
+    Labels.assign(Classes.numClasses(), std::nullopt);
+    return Status::ok();
+  }
+
   // Step 1c: concept analysis. The parallel batch builder is the default
   // path; its lattice is bit-for-bit identical at every thread count, as
   // is the truncation point when the budget runs out.
@@ -113,6 +204,22 @@ Status Session::init(const SessionOptions &Options) {
   Lattice = std::move(R.Lattice);
   Truncated = R.Truncated;
   BuildSt = std::move(R.BuildStatus);
+
+  // Publish the artifact, but only when this process won the key lock
+  // (otherwise a peer is publishing, or the wait for one timed out) and
+  // the lattice is complete — truncated prefixes under a concept cap
+  // would be correct to cache, but deadline-free complete builds are the
+  // only artifacts the warm path should ever trust blindly after verify.
+  if (Store && Lock.held() && !Truncated && BuildSt.isOk()) {
+    Status SS = Failpoint::hit("cache-serialize");
+    if (SS.isOk()) {
+      TraceSpan StoreSpan("cache-store");
+      Meta.Truncated = false;
+      SS = Store->store(CacheKey, Lattice.serialize(Meta));
+    }
+    if (!SS.isOk())
+      CacheDiags.push_back(std::move(SS));
+  }
 
   Labels.assign(Classes.numClasses(), std::nullopt);
   return Status::ok();

@@ -96,6 +96,27 @@ struct SessionOptions {
   /// Retries per block beyond the first attempt before it is computed
   /// inline in the supervisor.
   unsigned ShardRetries = 3;
+
+  /// Directory of the content-addressed lattice artifact store; "" (the
+  /// default) disables caching. The key is context hash x builder x
+  /// budget fingerprint — deliberately independent of thread count,
+  /// shard-worker count, and simd kernel level, all of which produce
+  /// bit-identical lattices. Every cache failure (corrupt artifact, I/O
+  /// error, lock timeout) degrades to a normal build and is reported via
+  /// cacheDiagnostics(); a poisoned cache costs time, never correctness.
+  /// Builds under a wall-clock budget bypass the cache entirely: deadline
+  /// truncation is timing-dependent, so the result is not a pure function
+  /// of the key.
+  std::string CacheDir;
+
+  /// Verification depth for cache loads: Full (default) checks the body
+  /// CRC as well as the header and structure; Header skips the body CRC
+  /// (structural bounds are always enforced).
+  LatticeVerify CacheVerifyMode = LatticeVerify::Full;
+
+  /// Bound on waiting for a concurrent process building the same key
+  /// (stale-lock breaking: after this, build inline without publishing).
+  std::chrono::milliseconds CacheLockTimeout{60000};
 };
 
 /// One Cable debugging session.
@@ -133,6 +154,16 @@ public:
 
   /// Ok, or the diagnostic explaining why the lattice was truncated.
   const Status &buildStatus() const { return BuildSt; }
+
+  /// True when the lattice was loaded from the artifact store instead of
+  /// built (the warm-start path).
+  bool cacheHit() const { return CacheHit; }
+
+  /// Non-fatal cache problems encountered during build(): a quarantined
+  /// corrupt artifact, an I/O error, a lock timeout. The build itself
+  /// succeeded regardless (graceful degradation); tools surface these as
+  /// warnings.
+  const std::vector<Status> &cacheDiagnostics() const { return CacheDiags; }
 
   /// The §5 identical-trace-class baseline clustering — always complete,
   /// even when the lattice is truncated (graceful degradation target).
@@ -295,7 +326,9 @@ private:
   std::vector<size_t> Rejected;
   unsigned NumThreads = 0;
   bool Truncated = false;
+  bool CacheHit = false;
   Status BuildSt;
+  std::vector<Status> CacheDiags;
 
   std::vector<std::optional<LabelId>> Labels;
   std::vector<std::string> LabelNames;

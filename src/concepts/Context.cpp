@@ -12,6 +12,7 @@
 
 #include <bit>
 #include <cassert>
+#include <cstdio>
 #include <unordered_map>
 
 using namespace cable;
@@ -295,6 +296,28 @@ void Context::closeExtentInto(const BitVector &Objects, BitVector &AttrScratch,
   }
   sigmaInto(Objects, AttrScratch);
   tauInto(AttrScratch, Out);
+}
+
+std::string Context::contentHash() const {
+  // FNV-1a 64 over a canonical little-endian byte stream. Deliberately a
+  // plain scalar loop: the digest keys the artifact store, so it must not
+  // depend on the simd dispatch level or any parallel decomposition.
+  uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](uint64_t W) {
+    for (int B = 0; B < 8; ++B) {
+      H ^= (W >> (8 * B)) & 0xffu;
+      H *= 1099511628211ULL;
+    }
+  };
+  Mix(NObj);
+  Mix(NAttr);
+  for (size_t O = 0; O < NObj; ++O)
+    for (size_t W = 0; W < RowStride; ++W)
+      Mix(RowArena[O * RowStride + W]);
+  char Hex[17];
+  std::snprintf(Hex, sizeof(Hex), "%016llx",
+                static_cast<unsigned long long>(H));
+  return std::string(Hex, 16);
 }
 
 Context Context::clarified(std::vector<size_t> *ObjectMap,

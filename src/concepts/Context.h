@@ -123,6 +123,16 @@ public:
   void setUseReferencePaths(bool On) { UseReferencePaths = On; }
   bool useReferencePaths() const { return UseReferencePaths; }
 
+  /// Canonical content hash of the context: a 16-hex-digit FNV-1a digest
+  /// of (numObjects, numAttributes, object-major incidence words in
+  /// little-endian byte order). This is the content-addressing key of the
+  /// lattice artifact store, so it is computed with a plain scalar loop —
+  /// never a SIMD kernel — and is byte-identical regardless of the
+  /// CABLE_KERNEL dispatch level, thread count, or shard-worker count.
+  /// Arena tail bits past numAttributes() are always zero (only relate()
+  /// writes them), so the digest is a pure function of the relation.
+  std::string contentHash() const;
+
   /// Standard FCA clarification: merges objects with identical rows and
   /// attributes with identical columns. The clarified context has an
   /// isomorphic concept lattice but can be much smaller to build. The

@@ -21,6 +21,7 @@
 
 #include "concepts/Context.h"
 #include "support/BitVector.h"
+#include "support/Status.h"
 
 #include <functional>
 #include <optional>
@@ -28,6 +29,32 @@
 #include <vector>
 
 namespace cable {
+
+/// Metadata stamped into (serialize) and verified against (deserialize) a
+/// `cable-lattice/1` artifact. The (ContextHash, Builder, Budget) triple is
+/// the artifact store's content-addressing key; object/attribute counts
+/// pin the bit-vector geometry so a hash collision or a renamed file can
+/// never be decoded against the wrong context shape.
+struct LatticeArtifactMeta {
+  /// Context::contentHash() of the source context (16 hex digits).
+  std::string ContextHash;
+  /// Builder family id, e.g. "nextclosure". Names the canonical concept
+  /// order, not the execution engine: serial, parallel, and sharded
+  /// builds all produce this same artifact byte-for-byte.
+  std::string Builder;
+  /// Budget fingerprint, e.g. "full" or "mc500" (see Session).
+  std::string Budget;
+  size_t NumObjects = 0;
+  size_t NumAttributes = 0;
+  /// True when the lattice is a budget-truncated prefix. The store only
+  /// keeps complete lattices, but the format records it regardless.
+  bool Truncated = false;
+};
+
+/// Verification depth for ConceptLattice::deserialize. Structural bounds
+/// (node ids, section lengths, bit-vector tails) are always checked —
+/// Header only skips the body CRC pass.
+enum class LatticeVerify { Full, Header };
 
 /// A formal concept: an extent/intent pair.
 struct Concept {
@@ -114,6 +141,32 @@ public:
                                       const std::vector<NodeId> &Order,
                                       const std::vector<size_t> &Card,
                                       size_t AI);
+
+  /// Encodes the lattice as a `cable-lattice/1` artifact (docs/FORMATS.md):
+  /// a fixed little-endian preamble (magic, format version, section
+  /// lengths and CRCs), a hand-readable text header carrying \p Meta and
+  /// the build stamp, and a packed body — extent and intent words, then
+  /// both cover adjacency lists (parents and children, in stored order) as
+  /// CSR offset/id arrays, so a round-trip restores the label-inheritance
+  /// structure bit-for-bit, including iteration order.
+  std::string serialize(const LatticeArtifactMeta &Meta) const;
+
+  /// Decodes a serialize() artifact, verifying magic, format version,
+  /// header CRC, and that \p Expect's context hash / builder / budget /
+  /// dimensions match the stamped header (empty Expect fields match
+  /// anything). \p Mode Full additionally checks the body CRC. Every
+  /// structural invariant is validated before use: section bounds, node
+  /// ids in range, clean bit-vector tails, parent/child symmetry, and
+  /// top/bottom consistency. Failures produce a positioned Diagnostic
+  /// naming \p File and the byte offset — corrupt artifacts are rejected,
+  /// never half-loaded. \p Got, when non-null, receives the stamped
+  /// metadata (even on some failures, best-effort).
+  static StatusOr<ConceptLattice> deserialize(std::string_view Bytes,
+                                              const LatticeArtifactMeta &Expect,
+                                              LatticeVerify Mode,
+                                              const std::string &File,
+                                              LatticeArtifactMeta *Got
+                                              = nullptr);
 
   /// Verifies lattice integrity against \p Ctx: every node is a concept of
   /// \p Ctx, every concept of the order appears exactly once, cover edges

@@ -1,0 +1,249 @@
+//===- support/ArtifactStore.cpp - Content-addressed artifacts -------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArtifactStore.h"
+
+#include "support/AtomicFile.h"
+#include "support/Failpoint.h"
+#include "support/Metrics.h"
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace cable;
+
+namespace {
+
+// The five cache fault-injection sites. cache-serialize guards the encode
+// step in Session (before any bytes exist to publish); the other four are
+// hit below at their syscall boundaries.
+Failpoint::Registrar RegSerialize("cache-serialize");
+Failpoint::Registrar RegPublish("cache-publish");
+Failpoint::Registrar RegLock("cache-lock");
+Failpoint::Registrar RegLoad("cache-load");
+Failpoint::Registrar RegMmap("cache-mmap");
+
+Status ioError(const std::string &Path, const std::string &What) {
+  Diagnostic D;
+  D.Level = Severity::Error;
+  D.Code = ErrorCode::IoError;
+  D.File = Path;
+  D.Message = What + ": " + std::strerror(errno);
+  return Status::error(std::move(D));
+}
+
+Status notFound(const std::string &Path) {
+  Diagnostic D;
+  D.Level = Severity::Error;
+  D.Code = ErrorCode::NotFound;
+  D.File = Path;
+  D.Message = "no artifact for this key";
+  return Status::error(std::move(D));
+}
+
+/// RAII over either an mmap'd region or a heap copy of the file.
+class FileBytes {
+public:
+  ~FileBytes() {
+    if (Mapped)
+      ::munmap(Mapped, MappedLen);
+  }
+  std::string_view view() const {
+    return Mapped ? std::string_view(static_cast<const char *>(Mapped),
+                                     MappedLen)
+                  : std::string_view(Copy);
+  }
+  void *Mapped = nullptr;
+  size_t MappedLen = 0;
+  std::string Copy;
+};
+
+} // namespace
+
+Status ArtifactStore::prepare() const {
+  // mkdir -p over the store path; EEXIST at every level is the fast path.
+  std::string Partial;
+  Partial.reserve(Dir.size());
+  for (size_t I = 0; I <= Dir.size(); ++I) {
+    if (I < Dir.size() && Dir[I] != '/') {
+      Partial += Dir[I];
+      continue;
+    }
+    if (!Partial.empty() &&
+        ::mkdir(Partial.c_str(), 0755) != 0 && errno != EEXIST)
+      return ioError(Partial, "cannot create cache directory");
+    if (I < Dir.size())
+      Partial += '/';
+  }
+  return Status::ok();
+}
+
+std::string ArtifactStore::artifactPath(const std::string &Key) const {
+  return Dir + "/" + Key;
+}
+
+Status ArtifactStore::load(
+    const std::string &Key,
+    const std::function<Status(std::string_view)> &Consume) const {
+  const std::string Path = artifactPath(Key);
+  if (Status S = Failpoint::hit("cache-load"); !S.isOk())
+    return S;
+  int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0)
+    return errno == ENOENT ? notFound(Path) : ioError(Path, "cannot open");
+  struct stat St;
+  if (::fstat(Fd, &St) != 0) {
+    Status S = ioError(Path, "cannot stat");
+    ::close(Fd);
+    return S;
+  }
+  const size_t Len = static_cast<size_t>(St.st_size);
+
+  FileBytes Bytes;
+  // Small artifacts are cheaper to read() than to fault in page by page;
+  // mmap only pays past a few hundred KB, where it also caps peak RSS.
+  // The failpoint is evaluated unconditionally so the site stays live in
+  // the kill matrix at every artifact size.
+  constexpr size_t kMmapThreshold = 256 * 1024;
+  bool MmapOk = Failpoint::hit("cache-mmap").isOk();
+  bool UseMap = Len >= kMmapThreshold && MmapOk;
+  if (UseMap) {
+    void *Map = ::mmap(nullptr, Len, PROT_READ, MAP_PRIVATE, Fd, 0);
+    if (Map == MAP_FAILED)
+      UseMap = false; // degrade to read()
+    else {
+      Bytes.Mapped = Map;
+      Bytes.MappedLen = Len;
+    }
+  }
+  if (!UseMap && Len > 0) {
+    Bytes.Copy.resize(Len);
+    size_t Got = 0;
+    while (Got < Len) {
+      ssize_t N = ::read(Fd, Bytes.Copy.data() + Got, Len - Got);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0) {
+        Status S = ioError(Path, "short read");
+        ::close(Fd);
+        return S;
+      }
+      Got += static_cast<size_t>(N);
+    }
+  }
+  ::close(Fd);
+
+  Status Verdict = Consume(Bytes.view());
+  if (!Verdict.isOk()) {
+    // The consumer rejected the bytes: the artifact is corrupt (or keyed
+    // wrong). Move it out of the hot path so the rebuild can republish,
+    // and keep the evidence for post-mortem.
+    Metrics::counter("cache.verify-failed").add();
+    if (quarantine(Key).isOk())
+      Metrics::counter("cache.quarantined").add();
+  }
+  return Verdict;
+}
+
+Status ArtifactStore::store(const std::string &Key,
+                            std::string_view Bytes) const {
+  if (Status S = Failpoint::hit("cache-publish"); !S.isOk())
+    return S;
+  if (Status S = AtomicFile::write(artifactPath(Key), Bytes); !S.isOk())
+    return S;
+  Metrics::counter("cache.stores").add();
+  return Status::ok();
+}
+
+StatusOr<std::string> ArtifactStore::quarantine(const std::string &Key) const {
+  const std::string Path = artifactPath(Key);
+  for (unsigned N = 0; N < 1000; ++N) {
+    std::string Target = Path + ".corrupt." + std::to_string(N);
+    // O_EXCL claims the slot atomically even when several processes
+    // quarantine the same artifact at once.
+    int Fd = ::open(Target.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC,
+                    0644);
+    if (Fd < 0) {
+      if (errno == EEXIST)
+        continue;
+      return ioError(Target, "cannot create quarantine slot");
+    }
+    ::close(Fd);
+    if (::rename(Path.c_str(), Target.c_str()) != 0) {
+      Status S = ioError(Path, "cannot quarantine");
+      ::unlink(Target.c_str());
+      return S;
+    }
+    return Target;
+  }
+  return Status::error(ErrorCode::IoError,
+                       "quarantine slots exhausted for " + Path);
+}
+
+ArtifactStore::KeyLock &
+ArtifactStore::KeyLock::operator=(KeyLock &&O) noexcept {
+  if (this != &O) {
+    release();
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+void ArtifactStore::KeyLock::release() {
+  if (Fd >= 0) {
+    ::flock(Fd, LOCK_UN);
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+ArtifactStore::KeyLock
+ArtifactStore::lockKey(const std::string &Key,
+                       std::chrono::milliseconds MaxWait) const {
+  if (!Failpoint::hit("cache-lock").isOk())
+    return KeyLock();
+  const std::string Path = artifactPath(Key) + ".lock";
+  int Fd = ::open(Path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (Fd < 0)
+    return KeyLock();
+  if (::flock(Fd, LOCK_EX | LOCK_NB) == 0)
+    return KeyLock(Fd);
+
+  // Contended: another process is building this key. Wait (bounded) for
+  // it to publish; the kernel frees the flock the moment the holder exits
+  // for any reason, so only a live-but-wedged holder can run the clock
+  // out — and then we break the stalemate by building inline.
+  Metrics::counter("cache.lock-waits").add();
+  const auto Start = std::chrono::steady_clock::now();
+  const auto Deadline = Start + MaxWait;
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (::flock(Fd, LOCK_EX | LOCK_NB) == 0) {
+      Metrics::counter("cache.lock-wait-ms")
+          .add(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count()));
+      return KeyLock(Fd);
+    }
+    if (std::chrono::steady_clock::now() >= Deadline)
+      break;
+  }
+  Metrics::counter("cache.lock-wait-ms")
+      .add(static_cast<uint64_t>(MaxWait.count()));
+  Metrics::counter("cache.lock-timeouts").add();
+  ::close(Fd);
+  return KeyLock();
+}

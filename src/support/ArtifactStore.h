@@ -1,0 +1,113 @@
+//===- support/ArtifactStore.h - Content-addressed artifacts ----*- C++ -*-===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A crash-safe, content-addressed artifact store: one directory of
+/// immutable files, each named by its content key. Designed so a poisoned
+/// or torn cache can cost time but never correctness:
+///
+///  - store() publishes only through AtomicFile (write-temp + fsync +
+///    rename + parent-directory fsync), so a crash at any instant leaves
+///    the key either absent or fully written — never torn.
+///  - load() memory-maps the artifact read-only (falling back to read())
+///    and hands the bytes to a caller-supplied verifying consumer. When
+///    the consumer rejects them, the artifact is moved aside to
+///    `<key>.corrupt.<n>` (quarantine — kept for post-mortem, out of the
+///    hot path) and the rejection is returned so the caller can rebuild.
+///  - lockKey() takes a per-key advisory flock on `<key>.lock` so N
+///    concurrent processes racing a cold key build once: one wins the
+///    lock and publishes, the rest wait, re-load, and hit. The kernel
+///    releases an flock when its holder dies, so a crashed builder never
+///    strands the key; a *wedged* holder is broken by the bounded wait —
+///    the waiter times out, builds inline, and simply skips publishing.
+///
+/// Every syscall boundary is failpoint-instrumented (`cache-lock`,
+/// `cache-load`, `cache-mmap`, `cache-publish`; `cache-serialize` is
+/// registered here for the encode step its callers run) and ticks the
+/// `cache.*` metric counters documented in docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CABLE_SUPPORT_ARTIFACTSTORE_H
+#define CABLE_SUPPORT_ARTIFACTSTORE_H
+
+#include "support/Status.h"
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace cable {
+
+class ArtifactStore {
+public:
+  /// A store rooted at \p Dir. No I/O happens until prepare().
+  explicit ArtifactStore(std::string Dir) : Dir(std::move(Dir)) {}
+
+  const std::string &dir() const { return Dir; }
+
+  /// Creates the store directory (and parents) if absent.
+  Status prepare() const;
+
+  /// Path of \p Key's artifact file.
+  std::string artifactPath(const std::string &Key) const;
+
+  /// Loads \p Key and passes the bytes (mmap'd when possible) to
+  /// \p Consume, which must verify before trusting them. Returns
+  /// not-found when the key is absent, an io-error on read failure, and
+  /// \p Consume's own status otherwise. A rejecting consumer quarantines
+  /// the artifact (ticking `cache.verify-failed` / `cache.quarantined`);
+  /// the bytes are only valid for the duration of the call.
+  Status load(const std::string &Key,
+              const std::function<Status(std::string_view)> &Consume) const;
+
+  /// Publishes \p Bytes under \p Key atomically. Ticks `cache.stores`.
+  Status store(const std::string &Key, std::string_view Bytes) const;
+
+  /// Moves \p Key's artifact aside to `<key>.corrupt.<n>` (first free n).
+  /// Returns the quarantine path.
+  StatusOr<std::string> quarantine(const std::string &Key) const;
+
+  /// A held (or failed/timed-out) per-key advisory lock. Releases on
+  /// destruction; the `.lock` file itself is left behind — it carries no
+  /// state, the kernel flock does.
+  class KeyLock {
+  public:
+    KeyLock() = default;
+    KeyLock(KeyLock &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+    KeyLock &operator=(KeyLock &&O) noexcept;
+    ~KeyLock() { release(); }
+    KeyLock(const KeyLock &) = delete;
+    KeyLock &operator=(const KeyLock &) = delete;
+
+    /// True when this process holds the exclusive lock.
+    bool held() const { return Fd >= 0; }
+    void release();
+
+  private:
+    friend class ArtifactStore;
+    explicit KeyLock(int Fd) : Fd(Fd) {}
+    int Fd = -1;
+  };
+
+  /// Acquires `<key>.lock` exclusively, waiting up to \p MaxWait for a
+  /// concurrent holder. On timeout (or any lock error) the returned
+  /// KeyLock reports !held() — the caller proceeds without the lock and
+  /// must then skip store(), which keeps a wedged peer from blocking
+  /// progress while the eventual winner's atomic rename stays safe.
+  /// Ticks `cache.lock-waits` / `cache.lock-wait-ms` / `cache.lock-timeouts`.
+  KeyLock lockKey(const std::string &Key,
+                  std::chrono::milliseconds MaxWait) const;
+
+private:
+  std::string Dir;
+};
+
+} // namespace cable
+
+#endif // CABLE_SUPPORT_ARTIFACTSTORE_H

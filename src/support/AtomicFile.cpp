@@ -28,19 +28,27 @@ Failpoint::Registrar RegFsync("atomicfile-fsync");
 Failpoint::Registrar RegRename("atomicfile-rename");
 Failpoint::Registrar RegRead("file-read");
 
-/// CRC-32 (IEEE), reflected polynomial, table generated on first use.
-const uint32_t *crcTable() {
-  static const auto Table = [] {
-    std::array<uint32_t, 256> T{};
+/// CRC-32 (IEEE), reflected polynomial. Eight slicing tables generated on
+/// first use: table 0 is the classic byte-at-a-time table; tables 1..7
+/// extend it so eight input bytes fold in per iteration (slicing-by-8),
+/// which matters now that whole lattice artifact bodies are checksummed
+/// on every warm cache load, not just journal frames.
+using CrcTables = std::array<std::array<uint32_t, 256>, 8>;
+const CrcTables &crcTables() {
+  static const auto Tables = [] {
+    CrcTables T{};
     for (uint32_t I = 0; I < 256; ++I) {
       uint32_t C = I;
       for (int K = 0; K < 8; ++K)
         C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
-      T[I] = C;
+      T[0][I] = C;
     }
+    for (size_t S = 1; S < 8; ++S)
+      for (uint32_t I = 0; I < 256; ++I)
+        T[S][I] = (T[S - 1][I] >> 8) ^ T[0][T[S - 1][I] & 0xFF];
     return T;
   }();
-  return Table.data();
+  return Tables;
 }
 
 Status ioError(const std::string &Path, const std::string &What) {
@@ -82,10 +90,25 @@ uint32_t getU32(std::string_view Data, size_t At) {
 } // namespace
 
 uint32_t cable::crc32(std::string_view Data, uint32_t Seed) {
-  const uint32_t *T = crcTable();
+  const CrcTables &T = crcTables();
   uint32_t C = Seed ^ 0xFFFFFFFFu;
-  for (unsigned char Ch : Data)
-    C = T[(C ^ Ch) & 0xFF] ^ (C >> 8);
+  const unsigned char *P = reinterpret_cast<const unsigned char *>(Data.data());
+  size_t N = Data.size();
+  while (N >= 8) {
+    // One table lookup per byte, but the eight lookups are independent of
+    // each other (only of C), so the loop pipelines ~4-5x better than the
+    // strictly serial byte-at-a-time recurrence.
+    uint32_t Lo = C ^ (static_cast<uint32_t>(P[0]) |
+                       static_cast<uint32_t>(P[1]) << 8 |
+                       static_cast<uint32_t>(P[2]) << 16 |
+                       static_cast<uint32_t>(P[3]) << 24);
+    C = T[7][Lo & 0xFF] ^ T[6][(Lo >> 8) & 0xFF] ^ T[5][(Lo >> 16) & 0xFF] ^
+        T[4][Lo >> 24] ^ T[3][P[4]] ^ T[2][P[5]] ^ T[1][P[6]] ^ T[0][P[7]];
+    P += 8;
+    N -= 8;
+  }
+  for (; N; --N, ++P)
+    C = T[0][(C ^ *P) & 0xFF] ^ (C >> 8);
   return C ^ 0xFFFFFFFFu;
 }
 

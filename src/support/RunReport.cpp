@@ -54,6 +54,28 @@ void emitShardedSection(JsonWriter &W) {
   W.endObject();
 }
 
+/// Emits the `cache` summary object when this run consulted the lattice
+/// artifact store: hit/miss/store tallies, verification failures with
+/// their quarantines, and lock-contention totals. Runs without a cache
+/// directory get no section at all.
+void emitCacheSection(JsonWriter &W) {
+  uint64_t Hits = Metrics::counterValue("cache.hits");
+  uint64_t Misses = Metrics::counterValue("cache.misses");
+  if (Hits == 0 && Misses == 0)
+    return;
+  W.key("cache");
+  W.beginObject();
+  W.member("hits", Hits);
+  W.member("misses", Misses);
+  W.member("stores", Metrics::counterValue("cache.stores"));
+  W.member("verify_failed", Metrics::counterValue("cache.verify-failed"));
+  W.member("quarantined", Metrics::counterValue("cache.quarantined"));
+  W.member("lock_waits", Metrics::counterValue("cache.lock-waits"));
+  W.member("lock_wait_ms", Metrics::counterValue("cache.lock-wait-ms"));
+  W.member("lock_timeouts", Metrics::counterValue("cache.lock-timeouts"));
+  W.endObject();
+}
+
 } // namespace
 
 std::string cable::renderMetricsJson(std::string_view Tool) {
@@ -63,6 +85,7 @@ std::string cable::renderMetricsJson(std::string_view Tool) {
   W.member("tool", Tool);
   emitBuildStamp(W);
   emitShardedSection(W);
+  emitCacheSection(W);
   W.key("metrics");
   W.rawValue(Metrics::snapshotJson());
   W.endObject();
@@ -89,6 +112,7 @@ std::string cable::renderRunReport(const RunReportInfo &Info) {
   W.member("clean_exit", Info.CleanExit);
   W.member("exit_code", static_cast<int64_t>(Info.ExitCode));
   emitShardedSection(W);
+  emitCacheSection(W);
   W.key("metrics");
   W.rawValue(Metrics::snapshotJson());
   W.endObject();

@@ -29,12 +29,19 @@
 # run — faulted or not — must emit a violation lattice byte-identical to
 # the serial golden DOT.
 #
+# A third phase (KILL_MATRIX_PHASE=cache) drives the lattice artifact
+# store: every cache failpoint x {crash,error} x trigger indices, against
+# cold and pre-warmed stores. Injected errors must degrade to an uncached
+# build with golden output; crashes must leave the store empty-or-valid,
+# proven by a golden-identical recovery run with zero verify failures.
+#
 # Usage: kill_matrix.sh <cable-cli> <workdir> [spec-lint]
-#   KILL_MATRIX_PHASE          session (default) or shard
+#   KILL_MATRIX_PHASE          session (default), shard, or cache
 #   KILL_MATRIX_INDICES        override the trigger indices (default spread)
 #   KILL_MATRIX_POINTS         override the failpoint list (default: all)
 #   KILL_MATRIX_SHARD_INDICES  override the shard trigger indices
 #   KILL_MATRIX_SHARD_WORKERS  override the shard worker counts
+#   KILL_MATRIX_CACHE_INDICES  override the cache trigger indices
 #
 #===------------------------------------------------------------------------===#
 
@@ -183,6 +190,132 @@ if [ "$PHASE" = shard ]; then
 fi
 
 #===------------------------------------------------------------------------===#
+# Phase: cache — the lattice artifact-store matrix.
+#===------------------------------------------------------------------------===#
+#
+# Every cache failpoint (cache-serialize, cache-publish, cache-lock,
+# cache-load, cache-mmap) x {crash,error} x trigger indices, against both a
+# cold and a pre-warmed store. The contract under test:
+#
+#  - error mode: the cache degrades, it never decides. The faulted run
+#    itself must exit with the golden rc and a bit-identical DOT.
+#  - crash mode: a crash at any cache site leaves the store empty or
+#    valid — proven by a recovery run (same store, no failpoints) that is
+#    bit-identical to the golden and reports zero verification failures
+#    and zero quarantines.
+
+if [ "$PHASE" = cache ]; then
+  if [ -z "$LINT" ]; then
+    say "FATAL: KILL_MATRIX_PHASE=cache needs a spec-lint path (third argument)"
+    exit 1
+  fi
+  LFLAGS="--spec $DATA/stdio_buggy.fa --traces $DATA/stdio_traces.txt --threads 2"
+  SITES="cache-serialize cache-publish cache-lock cache-load cache-mmap"
+  CACHE_INDICES=${KILL_MATRIX_CACHE_INDICES:-"1 2"}
+
+  # Golden uncached run: the cache must never change this, only its cost.
+  $LINT $LFLAGS --no-cache --dot golden.dot > golden.out 2>&1
+  golden_rc=$?
+  if [ ! -s golden.dot ]; then
+    say "FATAL: golden spec-lint run produced no DOT output:"
+    cat golden.out
+    exit 1
+  fi
+
+  fail=0
+  cases=0
+  faulted=0
+
+  # One cache-matrix case: site, mode, trigger index, store temperature.
+  cache_case() {
+    local p=$1 mode=$2 n=$3 temp=$4
+    cases=$((cases + 1))
+    local tag="$p=$mode@$n $temp"
+    rm -rf C
+    if [ "$temp" = warm ]; then
+      $LINT $LFLAGS --cache-dir C --dot prime.dot > prime.out 2>&1
+      local prc=$?
+      if [ $prc -ne $golden_rc ]; then
+        say "FAIL $tag: warm-store priming run exited $prc, golden $golden_rc"
+        tail -5 prime.out
+        fail=1
+        return
+      fi
+      if ! ls C/*.nextclosure.* > prime_ls.out 2>&1; then
+        say "FAIL $tag: priming run published no artifact"
+        fail=1
+        return
+      fi
+    fi
+    rm -f out.dot m.json
+    CABLE_FAILPOINTS="$p=$mode@$n" \
+      $LINT $LFLAGS --cache-dir C --dot out.dot --metrics-out m.json \
+      > run.out 2>&1
+    local rc=$?
+    if [ "$mode" = crash ] && [ $rc -eq 86 ]; then
+      faulted=$((faulted + 1))
+    elif [ $rc -ne $golden_rc ]; then
+      say "FAIL $tag: exit $rc, golden exited $golden_rc"
+      tail -5 run.out
+      fail=1
+      return
+    else
+      # Error-mode (or a crash index the run never reached): the faulted
+      # run itself must already be the golden build.
+      if ! cmp -s golden.dot out.dot; then
+        say "FAIL $tag: degraded run's lattice differs from golden"
+        diff golden.dot out.dot | head -10
+        fail=1
+        return
+      fi
+      [ "$mode" = error ] && metric_ge1 m.json failpoint.hits &&
+        faulted=$((faulted + 1))
+    fi
+    # Recovery run against whatever the fault left behind: the store must
+    # read as empty or valid — never as a half-written artifact that a
+    # verifier has to quarantine.
+    rm -f out.dot m.json
+    $LINT $LFLAGS --cache-dir C --dot out.dot --metrics-out m.json \
+      > recover.out 2>&1
+    local rrc=$?
+    if [ $rrc -ne $golden_rc ]; then
+      say "FAIL $tag: recovery run exited $rrc, golden exited $golden_rc"
+      tail -5 recover.out
+      fail=1
+      return
+    fi
+    if ! cmp -s golden.dot out.dot; then
+      say "FAIL $tag: recovered lattice differs from golden"
+      diff golden.dot out.dot | head -10
+      fail=1
+      return
+    fi
+    if metric_ge1 m.json cache.verify-failed ||
+       metric_ge1 m.json cache.quarantined; then
+      say "FAIL $tag: crash left a torn artifact (verify-failed/quarantined)"
+      cat m.json
+      fail=1
+      return
+    fi
+  }
+
+  for p in $SITES; do
+    for mode in crash error; do
+      for n in $CACHE_INDICES; do
+        cache_case "$p" "$mode" "$n" cold
+        cache_case "$p" "$mode" "$n" warm
+      done
+    done
+  done
+
+  say "cache kill matrix: $cases case(s), $faulted with observed faults, $((cases - faulted)) never triggered"
+  if [ $fail -eq 0 ]; then
+    say "cache kill matrix: PASS"
+  fi
+  exit $fail
+fi
+
+#===------------------------------------------------------------------------===#
 # Phase: session — the durable-session journal matrix.
 #===------------------------------------------------------------------------===#
 
@@ -248,7 +381,11 @@ EOF
 # final compaction leaves a valid stale-snapshot + tail journal; the state
 # is intact but must be drained before byte comparison.)
 drain() {
-  "$CLI" $FLAGS --script /dev/null --journal "$1" > drain.out 2>&1
+  # An empty file, not /dev/null: on a sandboxed system where /dev/null is
+  # a plain file, other processes' redirected output becomes readable
+  # there, and the drain would replay it as commands.
+  : > empty.script
+  "$CLI" $FLAGS --script empty.script --journal "$1" > drain.out 2>&1
 }
 
 # Golden, uninterrupted run (also journaled: its final snapshot is the

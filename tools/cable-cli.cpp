@@ -51,6 +51,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -97,6 +98,21 @@ void printUsage() {
       "  --shard-retries N  retries per partition beyond the first attempt\n"
       "                     before it is computed in the supervisor\n"
       "                     (default 3)\n"
+      "\n"
+      "lattice cache:\n"
+      "  --cache-dir DIR    content-addressed lattice artifact store: a\n"
+      "                     completed build publishes its lattice (atomic\n"
+      "                     write-temp + fsync + rename), later runs with\n"
+      "                     the same context x builder x budget key start\n"
+      "                     from a verified mmap instead of rebuilding;\n"
+      "                     concurrent cold starts build once (per-key\n"
+      "                     flock single-flight); corrupt artifacts are\n"
+      "                     quarantined to <key>.corrupt.<n> and rebuilt\n"
+      "                     (default: $CABLE_CACHE_DIR, else off)\n"
+      "  --no-cache         ignore $CABLE_CACHE_DIR and any --cache-dir\n"
+      "  --cache-verify M   'full' verifies every section checksum on\n"
+      "                     load (default); 'header' skips the body CRC\n"
+      "                     (structural bounds are always checked)\n"
       "\n"
       "resource budgets:\n"
       "  --time-budget MS   wall-clock limit for lattice construction\n"
@@ -655,6 +671,7 @@ int runCli(int Argc, char **Argv) {
   std::string TracesFile, RefRegex, RefFile, SeedEvent, ProtocolName;
   std::string JournalDir, ScriptFile, JournalSync;
   bool Recommended = false;
+  bool NoCache = false;
   SessionOptions BuildOpts;
   unsigned long SnapshotEvery = 25;
   for (int I = 1; I < Argc; ++I) {
@@ -757,6 +774,23 @@ int runCli(int Argc, char **Argv) {
       BuildOpts.ResourceBudget.MaxConcepts = *N;
     } else if (Arg == "--keep-going") {
       BuildOpts.KeepGoing = true;
+    } else if (Arg == "--cache-dir") {
+      BuildOpts.CacheDir = Next();
+    } else if (Arg == "--no-cache") {
+      NoCache = true;
+    } else if (Arg == "--cache-verify") {
+      std::string Mode = Next();
+      if (Mode == "full")
+        BuildOpts.CacheVerifyMode = LatticeVerify::Full;
+      else if (Mode == "header")
+        BuildOpts.CacheVerifyMode = LatticeVerify::Header;
+      else {
+        std::fprintf(stderr,
+                     "error: --cache-verify expects 'full' or 'header', "
+                     "got '%s'\n",
+                     Mode.c_str());
+        return 1;
+      }
     } else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return 0;
@@ -765,6 +799,11 @@ int runCli(int Argc, char **Argv) {
       return 1;
     }
   }
+  if (BuildOpts.CacheDir.empty() && !NoCache)
+    if (const char *Env = std::getenv("CABLE_CACHE_DIR"))
+      BuildOpts.CacheDir = Env;
+  if (NoCache)
+    BuildOpts.CacheDir.clear();
 
   CliState Cli;
   Cli.SnapshotEvery = SnapshotEvery;
@@ -867,6 +906,17 @@ int runCli(int Argc, char **Argv) {
   }
   Cli.Base = std::make_unique<Session>(std::move(*Built));
   GObs.Truncated = Cli.Base->truncated();
+  // Cache problems never fail a build — they degrade to a normal one —
+  // but each is worth a warning (a quarantined artifact is evidence of
+  // disk corruption or a foreign file in the store).
+  for (const Status &CacheSt : Cli.Base->cacheDiagnostics()) {
+    Diagnostic Warn = CacheSt.diagnostic();
+    Warn.Level = Severity::Warning;
+    std::fprintf(stderr, "%s\n", Warn.render().c_str());
+  }
+  if (Cli.Base->cacheHit())
+    std::printf("lattice loaded from cache (%s)\n",
+                BuildOpts.CacheDir.c_str());
   if (Cli.Base->truncated()) {
     const Diagnostic &D = Cli.Base->buildStatus().diagnostic();
     if (!BuildOpts.KeepGoing) {

@@ -39,6 +39,7 @@
 #include "verifier/Verifier.h"
 
 #include <cstdarg>
+#include <cstdlib>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -120,6 +121,16 @@ void printUsage() {
       "  --keep-going       on budget exhaustion, report what was computed\n"
       "                     (prefix of scenarios, partial clusters) instead\n"
       "                     of exiting with an error\n"
+      "  --cache-dir DIR    content-addressed lattice artifact store for\n"
+      "                     the violation-clustering step: verified warm\n"
+      "                     hits skip the rebuild, corrupt artifacts are\n"
+      "                     quarantined and rebuilt, concurrent cold\n"
+      "                     starts build once (per-key flock)\n"
+      "                     (default: $CABLE_CACHE_DIR, else off)\n"
+      "  --no-cache         ignore $CABLE_CACHE_DIR and any --cache-dir\n"
+      "  --cache-verify M   'full' checks every artifact checksum on load\n"
+      "                     (default); 'header' skips the body CRC\n"
+      "  --list-failpoints  list fault-injection point names and exit\n"
       "\n"
       "observability (see docs/OBSERVABILITY.md):\n"
       "  --version          print version, git SHA, and build type; exit\n"
@@ -211,6 +222,7 @@ int runLint(int Argc, char **Argv) {
   std::string SpecFile, SpecRegex, TracesFile, RunsFile, SeedsArg;
   std::string ReportFile, DotFile;
   size_t MaxSamples = 3;
+  bool NoCache = false;
   SessionOptions BuildOpts;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -258,6 +270,27 @@ int runLint(int Argc, char **Argv) {
         BuildOpts.ResourceBudget.MaxConcepts = N;
     } else if (Arg == "--keep-going") {
       BuildOpts.KeepGoing = true;
+    } else if (Arg == "--cache-dir") {
+      BuildOpts.CacheDir = Next();
+    } else if (Arg == "--no-cache") {
+      NoCache = true;
+    } else if (Arg == "--cache-verify") {
+      std::string Mode = Next();
+      if (Mode == "full")
+        BuildOpts.CacheVerifyMode = LatticeVerify::Full;
+      else if (Mode == "header")
+        BuildOpts.CacheVerifyMode = LatticeVerify::Header;
+      else {
+        std::fprintf(stderr,
+                     "error: --cache-verify expects 'full' or 'header', "
+                     "got '%s'\n",
+                     Mode.c_str());
+        return 1;
+      }
+    } else if (Arg == "--list-failpoints") {
+      for (const std::string &Name : Failpoint::registeredNames())
+        std::printf("%s\n", Name.c_str());
+      return 0;
     } else if (Arg == "--version") {
       std::printf("%s\n", buildinfo::versionLine("spec-lint").c_str());
       return 0;
@@ -287,6 +320,11 @@ int runLint(int Argc, char **Argv) {
     printUsage();
     return 1;
   }
+  if (BuildOpts.CacheDir.empty() && !NoCache)
+    if (const char *Env = std::getenv("CABLE_CACHE_DIR"))
+      BuildOpts.CacheDir = Env;
+  if (NoCache)
+    BuildOpts.CacheDir.clear();
 
   // Load traces or runs.
   std::string InputPath = TracesFile.empty() ? RunsFile : TracesFile;
@@ -399,6 +437,13 @@ int runLint(int Argc, char **Argv) {
     return 1;
   }
   Session &S = *Built;
+  // Cache trouble degrades to a plain rebuild; each incident still gets a
+  // warning so a corrupting disk or a foreign file in the store is seen.
+  for (const Status &CacheSt : S.cacheDiagnostics()) {
+    Diagnostic Warn = CacheSt.diagnostic();
+    Warn.Level = Severity::Warning;
+    std::fprintf(stderr, "%s\n", Warn.render().c_str());
+  }
   if (S.truncated()) {
     GObs.Truncated = true;
     const Diagnostic &D = S.buildStatus().diagnostic();
