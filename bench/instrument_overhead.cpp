@@ -30,6 +30,7 @@
 #include "concepts/NextClosureBuilder.h"
 #include "concepts/ParallelBuilder.h"
 #include "concepts/ShardedBuilder.h"
+#include "support/Log.h"
 #include "support/Metrics.h"
 #include "support/RNG.h"
 #include "support/TraceEvent.h"
@@ -105,11 +106,29 @@ int main() {
   for (int I = 0; I < Samples; ++I)
     Armed.push_back(buildOnceMs(Ctx));
 
+  // Armed-but-quiet logging: --log-out arms the Log gate for the whole
+  // process, but log events mark rare conditions (cache faults, worker
+  // crashes, torn journals) — the closure hot loop emits nothing. The
+  // only admissible cost is the relaxed load at whatever CABLE_LOG sites
+  // the build passes, so this phase must clock in at disarmed speed.
+  Metrics::setEnabled(false);
+  Log::setEnabled(true);
+  std::vector<double> LogArmed;
+  for (int I = 0; I < Samples; ++I)
+    LogArmed.push_back(buildOnceMs(Ctx));
+  Log::setEnabled(false);
+  Log::drainRecords(); // drop anything a cold path emitted
+
   double DisarmedMedian = medianOf(Disarmed);
   double ArmedMedian = medianOf(Armed);
   double OverheadPct =
       DisarmedMedian > 0
           ? (ArmedMedian - DisarmedMedian) / DisarmedMedian * 100.0
+          : 0;
+  double LogArmedMedian = medianOf(LogArmed);
+  double LogOverheadPct =
+      DisarmedMedian > 0
+          ? (LogArmedMedian - DisarmedMedian) / DisarmedMedian * 100.0
           : 0;
 
   // The sharded probe: the same context built through the multi-process
@@ -151,6 +170,9 @@ int main() {
   std::printf("armed_min_ms %.4f\n", minOf(Armed));
   std::printf("armed_median_ms %.4f\n", ArmedMedian);
   std::printf("armed_overhead_pct %.2f\n", OverheadPct);
+  std::printf("log_armed_min_ms %.4f\n", minOf(LogArmed));
+  std::printf("log_armed_median_ms %.4f\n", LogArmedMedian);
+  std::printf("log_armed_overhead_pct %.2f\n", LogOverheadPct);
   std::printf("sharded_disarmed_min_ms %.4f\n", minOf(ShardedDisarmed));
   std::printf("sharded_disarmed_median_ms %.4f\n", ShardedDisarmedMedian);
   std::printf("sharded_armed_min_ms %.4f\n", minOf(ShardedArmed));
@@ -162,11 +184,14 @@ int main() {
     Report.sample("next-closure-disarmed", Ms);
   for (double Ms : Armed)
     Report.sample("next-closure-armed", Ms);
+  for (double Ms : LogArmed)
+    Report.sample("next-closure-log-armed", Ms);
   for (double Ms : ShardedDisarmed)
     Report.sample("sharded-disarmed", Ms);
   for (double Ms : ShardedArmed)
     Report.sample("sharded-armed-telemetry", Ms);
   Report.counter("armed_overhead_pct", OverheadPct);
+  Report.counter("log_armed_overhead_pct", LogOverheadPct);
   Report.counter("sharded_telemetry_overhead_pct", ShardedOverheadPct);
   Report.write();
   return 0;

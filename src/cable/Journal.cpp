@@ -9,6 +9,7 @@
 
 #include "support/AtomicFile.h"
 #include "support/Failpoint.h"
+#include "support/Log.h"
 #include "support/Metrics.h"
 #include "support/StringUtil.h"
 #include "support/TraceEvent.h"
@@ -258,11 +259,25 @@ StatusOr<Journal> Journal::open(const std::string &DirPath, Recovery &Out) {
   ::close(MarkerFd);
 
   NumRecoveries.add();
-  if (Out.UncleanShutdown)
+  if (Out.UncleanShutdown) {
     NumUncleanRecoveries.add();
-  if (!Out.TornTail.isOk())
+    CABLE_LOG_WARN("journal", "journal-unclean-recovery",
+                   "previous session died with the journal open",
+                   {Log::str("dir", DirPath)});
+  }
+  if (!Out.TornTail.isOk()) {
     NumTornTails.add();
+    CABLE_LOG_WARN("journal", "journal-torn-tail",
+                   "torn tail truncated during recovery",
+                   {Log::str("dir", DirPath),
+                    Log::str("error", Out.TornTail.message())});
+  }
   NumReplayed.add(Out.Commands.size());
+  if (!Out.Commands.empty())
+    CABLE_LOG_INFO("journal", "journal-replayed",
+                   "recovered commands will be replayed",
+                   {Log::num("commands",
+                             static_cast<int64_t>(Out.Commands.size()))});
 
   return J;
 }

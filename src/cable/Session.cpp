@@ -13,6 +13,7 @@
 #include "support/ArtifactStore.h"
 #include "support/Dot.h"
 #include "support/Failpoint.h"
+#include "support/Log.h"
 #include "support/Metrics.h"
 #include "support/StringUtil.h"
 #include "support/TraceEvent.h"
@@ -122,6 +123,9 @@ Status Session::init(const SessionOptions &Options) {
       Meta.NumAttributes = Ctx.numAttributes();
       CacheKey = Meta.ContextHash + "." + Meta.Builder + "." + Meta.Budget;
     } else {
+      CABLE_LOG_WARN("cache", "cache-prepare-failed",
+                     "cache directory unusable; building uncached",
+                     {Log::str("error", S.message())});
       CacheDiags.push_back(std::move(S));
     }
   }
@@ -139,8 +143,13 @@ Status Session::init(const SessionOptions &Options) {
       Loaded = true;
       return Status::ok();
     });
-    if (!S.isOk() && S.code() != ErrorCode::NotFound)
+    if (!S.isOk() && S.code() != ErrorCode::NotFound) {
+      CABLE_LOG_WARN("cache", "cache-load-failed",
+                     "cached artifact unusable; degrading to a build",
+                     {Log::str("key", CacheKey),
+                      Log::str("error", S.message())});
       CacheDiags.push_back(std::move(S));
+    }
     return Loaded;
   };
 
@@ -157,6 +166,10 @@ Status Session::init(const SessionOptions &Options) {
         CacheHit = TryLoad();
     }
     Metrics::counter(CacheHit ? "cache.hits" : "cache.misses").add();
+    CABLE_LOG_INFO("cache", CacheHit ? "cache-hit" : "cache-miss",
+                   CacheHit ? "lattice served from the artifact store"
+                            : "no usable artifact; building",
+                   {Log::str("key", CacheKey)});
   }
   if (CacheHit) {
     Truncated = false;
@@ -193,8 +206,13 @@ Status Session::init(const SessionOptions &Options) {
     }
   }
   Metrics::counter("session.builds").add();
-  if (R.Truncated)
+  if (R.Truncated) {
     Metrics::counter("session.truncated-builds").add();
+    CABLE_LOG_WARN("session", "build-truncated",
+                   "resource budget truncated the lattice",
+                   {Log::num("concepts",
+                             static_cast<int64_t>(R.Lattice.size()))});
+  }
   if (Options.ResourceBudget.TimeLimit) {
     int64_t Headroom = static_cast<int64_t>(
                            Options.ResourceBudget.TimeLimit->count()) -
@@ -217,8 +235,13 @@ Status Session::init(const SessionOptions &Options) {
       Meta.Truncated = false;
       SS = Store->store(CacheKey, Lattice.serialize(Meta));
     }
-    if (!SS.isOk())
+    if (!SS.isOk()) {
+      CABLE_LOG_WARN("cache", "cache-store-failed",
+                     "artifact publish failed; result still served",
+                     {Log::str("key", CacheKey),
+                      Log::str("error", SS.message())});
       CacheDiags.push_back(std::move(SS));
+    }
   }
 
   Labels.assign(Classes.numClasses(), std::nullopt);

@@ -50,8 +50,12 @@
 #include "concepts/NextClosureBuilder.h"
 #include "concepts/ParallelBuilder.h"
 #include "support/AtomicFile.h"
+#include "support/CrashDump.h"
 #include "support/Failpoint.h"
+#include "support/Json.h"
+#include "support/Log.h"
 #include "support/Metrics.h"
+#include "support/RunReport.h"
 #include "support/Subprocess.h"
 #include "support/ThreadPool.h"
 #include "support/TraceEvent.h"
@@ -217,7 +221,9 @@ constexpr uint16_t MaxWireSpanName = 4096;
 std::string encodeTelemetry(uint32_t Block, uint64_t FlowId,
                             const std::vector<Metrics::Sample> &Delta,
                             const std::vector<TraceLog::RawSpan> &Spans,
-                            uint64_t DroppedDelta) {
+                            uint64_t DroppedDelta,
+                            const std::vector<Log::Record> &LogRecords,
+                            uint64_t LogDroppedDelta) {
   std::string S;
   putU8(S, 'T');
   putU32(S, Block);
@@ -242,6 +248,14 @@ std::string encodeTelemetry(uint32_t Block, uint64_t FlowId,
     S.append(Sp.ThreadName, 0, ThreadLen);
   }
   putU64(S, DroppedDelta);
+  // Piggybacked structured-log delta (docs/FORMATS.md): the records a
+  // worker emitted since its previous flush, riding the same frame so the
+  // supervisor merges one coherent multi-process log with no extra wire
+  // round-trips.
+  std::string LogBlob = Log::encodeRecords(LogRecords);
+  putU32(S, static_cast<uint32_t>(LogBlob.size()));
+  S.append(LogBlob);
+  putU64(S, LogDroppedDelta);
   return S;
 }
 
@@ -252,6 +266,8 @@ struct TelemetryRecord {
   std::vector<Metrics::Sample> Delta;
   std::vector<TraceLog::RawSpan> Spans;
   uint64_t DroppedDelta = 0;
+  std::vector<Log::Record> LogRecords;
+  uint64_t LogDroppedDelta = 0;
 };
 
 bool getBytes(std::string_view &S, size_t N, std::string &Out) {
@@ -298,7 +314,14 @@ bool decodeTelemetry(std::string_view S, TelemetryRecord &T) {
     Sp.Tid = static_cast<int>(Tid);
     T.Spans.push_back(std::move(Sp));
   }
-  return getU64(S, T.DroppedDelta) && S.empty();
+  if (!getU64(S, T.DroppedDelta))
+    return false;
+  uint32_t LogLen = 0;
+  if (!getU32(S, LogLen) || S.size() < LogLen ||
+      !Log::decodeRecords(S.substr(0, LogLen), T.LogRecords))
+    return false;
+  S.remove_prefix(LogLen);
+  return getU64(S, T.LogDroppedDelta) && S.empty();
 }
 
 /// A decoded worker reply. Exactly one of Intents / Err is meaningful,
@@ -394,13 +417,26 @@ int shardWorkerMain(const Context &Ctx, const BitVector &TopIntent, int Fd) {
   // cleared by Subprocess::spawn.)
   std::vector<Metrics::Sample> Baseline = Metrics::snapshot();
   uint64_t DroppedBase = TraceLog::droppedCount();
+  uint64_t LogDroppedBase = Log::droppedCount();
+  // One hello per worker: even a fault-free merged log shows every
+  // process that took part, and the kill matrix can tell "worker died
+  // before serving" from "worker never started".
+  CABLE_LOG_INFO("shard", "shard-worker-started",
+                 "worker online, serving block requests",
+                 {Log::num("attributes", static_cast<int64_t>(M))});
   auto flushTelemetry = [&](uint32_t Block, uint64_t FlowId) {
     std::vector<Metrics::Sample> Delta = Metrics::deltaSince(Baseline);
     std::vector<TraceLog::RawSpan> Spans = TraceLog::drainSpans();
     uint64_t Dropped = TraceLog::droppedCount();
+    // drainRecords is its own delta: Subprocess::spawn cleared the rings
+    // at fork, and each flush empties them again.
+    std::vector<Log::Record> LogRecords = Log::drainRecords();
+    uint64_t LogDropped = Log::droppedCount();
     std::string T =
-        encodeTelemetry(Block, FlowId, Delta, Spans, Dropped - DroppedBase);
+        encodeTelemetry(Block, FlowId, Delta, Spans, Dropped - DroppedBase,
+                        LogRecords, LogDropped - LogDroppedBase);
     DroppedBase = Dropped;
+    LogDroppedBase = LogDropped;
     Baseline = Metrics::snapshot();
     return sendFrame(Fd, T).isOk();
   };
@@ -507,7 +543,8 @@ public:
       : Ctx(Ctx), Meter(Meter), Opts(Opts), TopIntent(TopIntent),
         M(Ctx.numAttributes()), Blocks(M), Stops(M, BuildStop::Complete),
         State(M, BlockState::Pending), Attempts(M, 0),
-        TelemetryOn(Metrics::enabled() || TraceLog::enabled()) {
+        TelemetryOn(Metrics::enabled() || TraceLog::enabled() ||
+                    Log::structuredEnabled()) {
     // Every closed intent contains closure(∅), so blocks whose minimum
     // attribute lies above min(closure(∅)) are provably empty: serial
     // NextClosure never probes there, and dispatching them would both
@@ -654,8 +691,13 @@ private:
     Slot.Proc = std::move(*P);
     Slot.Alive = true;
     Slot.Block = -1;
-    if (IsRestart)
+    if (IsRestart) {
       WorkerRestarts.add();
+      CABLE_LOG_INFO("shard", "shard-worker-respawn",
+                     "worker slot respawned after a failure",
+                     {Log::num("slot", Slot.Index),
+                      Log::num("pid", Slot.Proc.pid())});
+    }
   }
 
   void respawnDueSlots() {
@@ -704,6 +746,10 @@ private:
   /// per-block degradation rung, used when a block runs out of retries.
   void computeInline(size_t P) {
     DegradedBlocks.add();
+    CABLE_LOG_WARN("shard", "shard-block-degraded",
+                   "block out of retries; computing in the supervisor",
+                   {Log::num("block", static_cast<int64_t>(P)),
+                    Log::num("attempts", Attempts[P])});
     Blocks[P] = ParallelBuilder::blockIntentsBudgeted(Ctx, P, TopIntent,
                                                       Meter, Stops[P]);
     State[P] = BlockState::Done;
@@ -725,25 +771,67 @@ private:
       State[P] = BlockState::Pending;
   }
 
+  /// Attaches a crashed worker's flight-recorder dump to the run report
+  /// (sharded.crash_dumps). Only dumps the worker actually wrote count:
+  /// SIGKILLed and hung workers leave an empty pre-opened file, which is
+  /// skipped, as is anything that fails JSON validation — a half-written
+  /// dump must not corrupt the report.
+  void collectWorkerDump(int Pid) {
+    if (!CrashDump::installed())
+      return;
+    StatusOr<std::string> Doc =
+        readFileToString(CrashDump::dumpPathForPid(Pid));
+    if (!Doc || Doc->empty())
+      return;
+    while (!Doc->empty() && (Doc->back() == '\n' || Doc->back() == ' '))
+      Doc->pop_back();
+    std::string Err;
+    if (Doc->empty() || !validateJson(*Doc, Err))
+      return;
+    addCollectedCrashDump(std::move(*Doc));
+  }
+
   /// Kills and reaps a failed worker, reassigns its block, and schedules a
   /// backed-off respawn.
   void slotFailed(WorkerSlot &S, bool TimedOut) {
-    if (TimedOut)
+    int FailedBlock = S.Block;
+    // wait() reaps the child and clears its pid; the log records and the
+    // flight-recorder dump path both need the pid it died under.
+    int FailedPid = static_cast<int>(S.Proc.pid());
+    if (TimedOut) {
       ShardTimedOut.add();
+      CABLE_LOG_WARN("shard", "shard-worker-hung",
+                     "worker missed its shard deadline; killing it",
+                     {Log::num("slot", S.Index), Log::num("pid", FailedPid),
+                      Log::num("block", FailedBlock)});
+    }
     if (S.Block >= 0) {
       ShardReassigned.add();
       // The in-flight attempt's flush dies with the worker: whatever it
       // counted toward this attempt is gone, and the ledger says so.
-      if (TelemetryOn)
+      if (TelemetryOn) {
         TelemetryLost.add();
+        CABLE_LOG_WARN("shard", "shard-telemetry-lost",
+                       "in-flight attempt's flush died with the worker",
+                       {Log::num("slot", S.Index),
+                        Log::num("block", FailedBlock)});
+      }
       size_t P = static_cast<size_t>(S.Block);
       S.Block = -1;
       blockAttemptFailed(P);
     }
     S.Proc.kill();
     Subprocess::ExitStatus Exit = S.Proc.wait();
-    if (Exit.Signaled || Exit.Code != 0)
+    if (Exit.Signaled || Exit.Code != 0) {
       WorkerCrashes.add();
+      CABLE_LOG_WARN("shard", "shard-worker-crashed",
+                     "worker died abnormally; containing the failure",
+                     {Log::num("slot", S.Index), Log::num("pid", FailedPid),
+                      Log::num("block", FailedBlock),
+                      Log::str("cause", Exit.Signaled ? "signal" : "exit"),
+                      Log::num("code", Exit.Code)});
+      collectWorkerDump(FailedPid);
+    }
     S.Proc.closeFd();
     S.Alive = false;
     unsigned Shift = std::min(S.ConsecutiveFailures, 6u);
@@ -806,6 +894,9 @@ private:
     TelemetryRecord T;
     if (!FrameOr || !decodeTelemetry(*FrameOr, T)) {
       TelemetryLost.add();
+      CABLE_LOG_WARN("shard", "shard-telemetry-lost",
+                     "post-reply flush missing or torn",
+                     {Log::num("slot", S.Index)});
       slotFailed(S, TimedOut);
       return;
     }
@@ -823,6 +914,8 @@ private:
     TraceLog::ingestRemote(S.Proc.pid(),
                            "shard-worker-" + std::to_string(S.Index),
                            std::move(T.Spans), T.DroppedDelta);
+    Log::ingestRemote(static_cast<int>(S.Proc.pid()),
+                      std::move(T.LogRecords), T.LogDroppedDelta);
     TelemetryMerged.add();
   }
 
@@ -906,8 +999,13 @@ private:
         // the wire would be the block reply, not a flush — skip the
         // handshake, write the attempt's telemetry off as lost, and put
         // the worker down hard.
-        if (TelemetryOn)
+        if (TelemetryOn) {
           TelemetryLost.add();
+          CABLE_LOG_WARN("shard", "shard-telemetry-lost",
+                         "worker still mid-block at shutdown",
+                         {Log::num("slot", S.Index),
+                          Log::num("block", S.Block)});
+        }
         S.Block = -1;
         S.Proc.kill();
         S.Proc.wait();
@@ -925,10 +1023,14 @@ private:
         // within a second forfeits the flush, never the shutdown.
         StatusOr<std::string> FrameOr = recvFrame(S.Proc.fd(), 1000);
         TelemetryRecord T;
-        if (FrameOr && decodeTelemetry(*FrameOr, T))
+        if (FrameOr && decodeTelemetry(*FrameOr, T)) {
           mergeTelemetry(S, T);
-        else
+        } else {
           TelemetryLost.add();
+          CABLE_LOG_WARN("shard", "shard-telemetry-lost",
+                         "final flush not produced within the grace period",
+                         {Log::num("slot", S.Index)});
+        }
       }
       if (Sent) {
         // Give it a beat, then force.
@@ -956,8 +1058,13 @@ ShardedBuilder::buildLatticeBudgeted(const Context &Ctx,
   if (Opts.NumWorkers == 0 || !Subprocess::forkSupported()) {
     // Sharding unavailable or not requested: the whole-build rung of the
     // degradation ladder.
-    if (Opts.NumWorkers != 0)
+    if (Opts.NumWorkers != 0) {
       DegradedBuilds.add();
+      CABLE_LOG_WARN("shard", "shard-build-degraded",
+                     "sharding unavailable; whole build runs in-process",
+                     {Log::num("workers_requested",
+                               static_cast<int64_t>(Opts.NumWorkers))});
+    }
     return ParallelBuilder::buildLatticeBudgeted(Ctx, Meter, Opts.NumThreads);
   }
 

@@ -9,6 +9,7 @@
 
 #include "support/AtomicFile.h"
 #include "support/Failpoint.h"
+#include "support/Log.h"
 #include "support/Metrics.h"
 
 #include <cerrno>
@@ -150,8 +151,16 @@ Status ArtifactStore::load(
     // wrong). Move it out of the hot path so the rebuild can republish,
     // and keep the evidence for post-mortem.
     Metrics::counter("cache.verify-failed").add();
-    if (quarantine(Key).isOk())
+    CABLE_LOG_WARN("cache", "cache-verify-failed",
+                   "stored artifact failed verification",
+                   {Log::str("key", Key),
+                    Log::str("error", Verdict.message())});
+    if (quarantine(Key).isOk()) {
       Metrics::counter("cache.quarantined").add();
+      CABLE_LOG_WARN("cache", "cache-quarantined",
+                     "corrupt artifact moved aside for post-mortem",
+                     {Log::str("key", Key)});
+    }
   }
   return Verdict;
 }
@@ -244,6 +253,10 @@ ArtifactStore::lockKey(const std::string &Key,
   Metrics::counter("cache.lock-wait-ms")
       .add(static_cast<uint64_t>(MaxWait.count()));
   Metrics::counter("cache.lock-timeouts").add();
+  CABLE_LOG_WARN("cache", "cache-lock-timeout",
+                 "single-flight lock wait timed out; building inline",
+                 {Log::str("key", Key),
+                  Log::num("wait_ms", static_cast<int64_t>(MaxWait.count()))});
   ::close(Fd);
   return KeyLock();
 }

@@ -7,6 +7,8 @@
 
 #include "support/Failpoint.h"
 
+#include "support/CrashDump.h"
+#include "support/Log.h"
 #include "support/Metrics.h"
 #include "support/StringUtil.h"
 
@@ -140,9 +142,21 @@ Status Failpoint::hitSlow(const char *Name) {
   Metrics::counter("failpoint.hits").add();
   if (P.Hits != P.TriggerAt || P.Fired)
     return Status::ok();
+  const char *ModeName = P.Mode == FailMode::Crash  ? "crash"
+                         : P.Mode == FailMode::Hang ? "hang"
+                                                    : "error";
+  CABLE_LOG_WARN("failpoint", "failpoint-hit", "armed failpoint triggered",
+                 {Log::str("name", Name), Log::str("mode", ModeName),
+                  Log::num("hit", static_cast<int64_t>(P.Hits))});
   if (P.Mode == FailMode::Crash) {
     // Simulate abrupt process death: no stdio flush, no destructors, no
-    // atexit — buffered-but-unsynced state must not survive.
+    // atexit — buffered-but-unsynced state must not survive. The flight
+    // recorder is the one component allowed to see this coming: the dump
+    // (when installed) is what the kill matrix reads post-mortem.
+    CABLE_LOG_ERROR("failpoint", "failpoint-crash",
+                    "failpoint killing the process",
+                    {Log::str("name", Name)});
+    CrashDump::dumpNow("failpoint-crash");
     std::_Exit(kCrashExitCode);
   }
   if (P.Mode == FailMode::Hang) {

@@ -42,6 +42,38 @@ Registry &registry() {
   return *R;
 }
 
+/// Fixed-size crash index over the registry, readable from a signal
+/// handler: name pointers into the leaked map's keys (stable), value
+/// pointers at the never-freed metric objects. Appends publish the new
+/// count with a release store; crashIndexRead walks it acquire-side with
+/// no lock. 4096 slots is an order of magnitude beyond the catalog.
+constexpr size_t kMaxCrashIndex = 4096;
+
+struct CrashIndexSlot {
+  const char *Name = nullptr;
+  Metrics::Sample::Kind Kind = Metrics::Sample::KindCounter;
+  const Metrics::Counter *C = nullptr;
+  const Metrics::Gauge *G = nullptr;
+  const Metrics::Histogram *H = nullptr;
+};
+
+CrashIndexSlot GCrashIndex[kMaxCrashIndex];
+std::atomic<size_t> GCrashIndexCount{0};
+
+/// Called under the registry mutex, once per newly registered metric.
+void crashIndexAppend(const std::string &Name, const Entry &E) {
+  size_t N = GCrashIndexCount.load(std::memory_order_relaxed);
+  if (N >= kMaxCrashIndex)
+    return; // overflow: the tail of the catalog is absent from dumps
+  CrashIndexSlot &S = GCrashIndex[N];
+  S.Name = Name.c_str();
+  S.Kind = E.Kind;
+  S.C = E.C.get();
+  S.G = E.G.get();
+  S.H = E.H.get();
+  GCrashIndexCount.store(N + 1, std::memory_order_release);
+}
+
 Entry &findOrCreate(std::string_view Name, Metrics::Sample::Kind Kind) {
   Registry &R = registry();
   std::lock_guard<std::mutex> Lock(R.Mutex);
@@ -61,6 +93,7 @@ Entry &findOrCreate(std::string_view Name, Metrics::Sample::Kind Kind) {
       break;
     }
     It = R.Entries.emplace(std::string(Name), std::move(E)).first;
+    crashIndexAppend(It->first, It->second);
   }
   if (It->second.Kind != Kind) {
     std::fprintf(stderr,
@@ -75,6 +108,33 @@ Entry &findOrCreate(std::string_view Name, Metrics::Sample::Kind Kind) {
 
 void Metrics::setEnabled(bool On) {
   Armed.store(On, std::memory_order_relaxed);
+}
+
+size_t Metrics::crashIndexRead(CrashEntry *Out, size_t Cap) {
+  size_t N = GCrashIndexCount.load(std::memory_order_acquire);
+  size_t Written = 0;
+  for (size_t I = 0; I < N && Written < Cap; ++I) {
+    const CrashIndexSlot &S = GCrashIndex[I];
+    CrashEntry &E = Out[Written];
+    E.Name = S.Name;
+    E.K = S.Kind;
+    switch (S.Kind) {
+    case Sample::KindCounter:
+      E.Count = S.C->value();
+      break;
+    case Sample::KindGauge:
+      E.Value = S.G->value();
+      E.High = S.G->high();
+      break;
+    case Sample::KindHistogram:
+      E.Count = S.H->count();
+      E.Sum = S.H->sum();
+      E.Max = S.H->max();
+      break;
+    }
+    ++Written;
+  }
+  return Written;
 }
 
 Metrics::Counter &Metrics::counter(std::string_view Name) {

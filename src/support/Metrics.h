@@ -252,6 +252,27 @@ public:
   /// `--stats` flag); empty metrics are omitted.
   static std::string renderTable();
 
+  /// One metric as read by the async-signal-safe crash index: the name
+  /// pointer is the registry's own (stable — the registry is leaked and
+  /// map nodes never move), values are plain relaxed atomic loads.
+  /// Histograms carry count/sum/max only; bucket arrays are a normal
+  /// snapshot's job.
+  struct CrashEntry {
+    const char *Name = nullptr;
+    Sample::Kind K = Sample::KindCounter;
+    uint64_t Count = 0; ///< counter value / histogram count
+    int64_t Value = 0;  ///< gauge value
+    int64_t High = 0;   ///< gauge high-water mark
+    uint64_t Sum = 0;   ///< histogram sum
+    uint64_t Max = 0;   ///< histogram max
+  };
+
+  /// Async-signal-safe registry walk for the flight recorder: fills up to
+  /// \p Cap entries from the fixed crash index (no locks, no allocation)
+  /// and returns how many were written. Entries appear in registration
+  /// order.
+  static size_t crashIndexRead(CrashEntry *Out, size_t Cap);
+
 private:
   static std::atomic<bool> Armed;
 };

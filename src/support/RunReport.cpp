@@ -16,6 +16,15 @@ using namespace cable;
 
 namespace {
 
+/// Worker crash dumps the shard supervisor collected this run (validated
+/// JSON documents, embedded verbatim into the sharded section). Leaked
+/// like the metrics registry: report rendering can run from handlers late
+/// in process teardown.
+std::vector<std::string> &collectedDumps() {
+  static std::vector<std::string> *Dumps = new std::vector<std::string>();
+  return *Dumps;
+}
+
 void emitBuildStamp(JsonWriter &W) {
   W.member("version", std::string_view(buildinfo::kVersion));
   W.member("git_sha", std::string_view(buildinfo::kGitSha));
@@ -51,6 +60,13 @@ void emitShardedSection(JsonWriter &W) {
     W.value(Metrics::counterValue("shard.worker-blocks." +
                                   std::to_string(I)));
   W.endArray();
+  if (!collectedDumps().empty()) {
+    W.key("crash_dumps");
+    W.beginArray();
+    for (const std::string &Doc : collectedDumps())
+      W.rawValue(Doc);
+    W.endArray();
+  }
   W.endObject();
 }
 
@@ -122,4 +138,12 @@ std::string cable::renderRunReport(const RunReportInfo &Info) {
 Status cable::writeRunReport(const std::string &Path,
                              const RunReportInfo &Info) {
   return AtomicFile::write(Path, renderRunReport(Info));
+}
+
+void cable::addCollectedCrashDump(std::string Document) {
+  collectedDumps().push_back(std::move(Document));
+}
+
+const std::vector<std::string> &cable::collectedCrashDumps() {
+  return collectedDumps();
 }

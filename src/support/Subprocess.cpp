@@ -8,7 +8,9 @@
 #include "support/Subprocess.h"
 
 #include "support/AtomicFile.h"
+#include "support/CrashDump.h"
 #include "support/Failpoint.h"
+#include "support/Log.h"
 #include "support/TraceEvent.h"
 
 #include <atomic>
@@ -202,10 +204,14 @@ StatusOr<Subprocess> Subprocess::spawn(const ChildMain &Main,
     for (int Sibling : CloseInChild)
       if (Sibling >= 0)
         ::close(Sibling);
-    // The fork copied the parent's trace rings wholesale; clear them so
-    // the child's telemetry flushes carry only spans it recorded itself.
-    // The shared epoch survives, keeping both processes on one timeline.
+    // The fork copied the parent's trace and log rings wholesale; clear
+    // them so the child's telemetry flushes carry only events it recorded
+    // itself. The shared epoch survives, keeping both processes on one
+    // timeline, and the flight recorder re-points at crash.<childpid>.json
+    // before the first failpoint can fire.
     TraceLog::resetAfterFork();
+    Log::resetAfterFork();
+    CrashDump::reinstallAfterFork();
     // The first worker-lifecycle failpoint: a `crash` here simulates a
     // worker SIGKILLed before it ever answers (the supervisor must respawn
     // or degrade); an `error` is a worker that comes up broken and exits

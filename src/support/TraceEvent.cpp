@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -23,6 +24,7 @@
 using namespace cable;
 
 std::atomic<bool> TraceLog::Armed{false};
+std::atomic<bool> TraceLog::StacksArmed{false};
 
 namespace {
 
@@ -270,6 +272,106 @@ void TraceLog::setRingCapacity(size_t Events) {
   Global &G = global();
   std::lock_guard<std::mutex> Lock(G.Mutex);
   G.RingCapacity = std::max<size_t>(Events, 4);
+}
+
+//===----------------------------------------------------------------------===//
+// Active-span stacks. All storage is fixed and pre-allocated (the global
+// slot array is static, the per-thread stacks are leaked heap blocks
+// registered with a release-stored count), so a signal handler can walk
+// every thread's stack with plain loads. Depth is published with release
+// stores after the name bytes land; a racing reader sees at worst a stale
+// frame, never a torn one.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct SpanStack {
+  uint32_t Tid = 0;
+  char ThreadName[TraceLog::kCrashStackNameBytes] = {0};
+  std::atomic<uint32_t> Depth{0};
+  char Frames[TraceLog::kCrashStackMaxDepth]
+             [TraceLog::kCrashStackNameBytes] = {{0}};
+};
+
+constexpr size_t kMaxSpanStacks = 256;
+SpanStack *GSpanStacks[kMaxSpanStacks];
+std::atomic<size_t> GNumSpanStacks{0};
+
+thread_local SpanStack *MySpanStack = nullptr;
+
+void copyFrameName(char *Dst, std::string_view Name) {
+  size_t N = std::min(Name.size(), TraceLog::kCrashStackNameBytes - 1);
+  std::memcpy(Dst, Name.data(), N);
+  Dst[N] = '\0';
+}
+
+SpanStack *mySpanStack() {
+  if (MySpanStack)
+    return MySpanStack;
+  // Resolve the ring first (it takes the global lock itself): the stack
+  // shares the ring's tid and thread name so dumps and traces correlate.
+  ThreadRing &Ring = myRing();
+  auto *S = new SpanStack; // leaked: dumps may outlive the thread
+  S->Tid = static_cast<uint32_t>(Ring.Tid);
+  {
+    std::lock_guard<std::mutex> Lock(Ring.Mutex);
+    copyFrameName(S->ThreadName, Ring.Name);
+  }
+  Global &G = global();
+  std::lock_guard<std::mutex> Lock(G.Mutex);
+  size_t N = GNumSpanStacks.load(std::memory_order_relaxed);
+  if (N >= kMaxSpanStacks) {
+    delete S;
+    return nullptr; // beyond any plausible thread count; frames just absent
+  }
+  GSpanStacks[N] = S;
+  GNumSpanStacks.store(N + 1, std::memory_order_release);
+  MySpanStack = S;
+  return S;
+}
+
+} // namespace
+
+void TraceLog::setStackCapture(bool On) {
+  global(); // pin the epoch/registry like setEnabled does
+  StacksArmed.store(On, std::memory_order_relaxed);
+}
+
+bool TraceLog::pushCrashStack(std::string_view Name) {
+  SpanStack *S = mySpanStack();
+  if (!S)
+    return false;
+  uint32_t D = S->Depth.load(std::memory_order_relaxed);
+  if (D >= kCrashStackMaxDepth)
+    return false; // deeper frames silently absent from dumps
+  copyFrameName(S->Frames[D], Name);
+  S->Depth.store(D + 1, std::memory_order_release);
+  return true;
+}
+
+void TraceLog::popCrashStack() {
+  SpanStack *S = MySpanStack;
+  if (!S)
+    return;
+  uint32_t D = S->Depth.load(std::memory_order_relaxed);
+  if (D > 0)
+    S->Depth.store(D - 1, std::memory_order_release);
+}
+
+size_t TraceLog::crashStackCount() {
+  return GNumSpanStacks.load(std::memory_order_acquire);
+}
+
+bool TraceLog::crashStackRead(size_t I, CrashStackView &Out) {
+  if (I >= GNumSpanStacks.load(std::memory_order_acquire))
+    return false;
+  const SpanStack *S = GSpanStacks[I];
+  Out.Tid = S->Tid;
+  Out.ThreadName = S->ThreadName;
+  uint32_t D = S->Depth.load(std::memory_order_acquire);
+  Out.Depth = D < kCrashStackMaxDepth ? D : kCrashStackMaxDepth;
+  Out.Frames = &S->Frames[0][0];
+  return true;
 }
 
 namespace {

@@ -134,13 +134,55 @@ public:
   /// (default 65536). Minimum 4.
   static void setRingCapacity(size_t Events);
 
+  //===--------------------------------------------------------------------===//
+  // Active-span stacks (the flight recorder's "where was every thread").
+  //
+  // Armed by CrashDump::install via setStackCapture: each live TraceSpan
+  // pushes its name onto a fixed-storage per-thread stack at construction
+  // and pops at destruction, so a fatal-signal dump can report the active
+  // span stack of every thread without touching the heap. Disarmed (the
+  // default) the cost is one extra relaxed load per span.
+  //===--------------------------------------------------------------------===//
+
+  static constexpr size_t kCrashStackMaxDepth = 24;
+  static constexpr size_t kCrashStackNameBytes = 48;
+
+  static bool stackCaptureEnabled() {
+#ifdef CABLE_NO_INSTRUMENT
+    return false;
+#else
+    return StacksArmed.load(std::memory_order_relaxed);
+#endif
+  }
+  static void setStackCapture(bool On);
+
+  /// One thread's active spans, read async-signal-safely: \p Frames
+  /// points at \p Depth NUL-terminated names spaced kCrashStackNameBytes
+  /// apart, innermost last. The storage is fixed and never freed; a
+  /// racing push/pop can at worst show a stale frame, never a torn
+  /// pointer.
+  struct CrashStackView {
+    uint32_t Tid = 0;
+    const char *ThreadName = nullptr; ///< may be empty, never null
+    uint32_t Depth = 0;
+    const char *Frames = nullptr;
+  };
+
+  /// Async-signal-safe: number of registered per-thread stacks.
+  static size_t crashStackCount();
+  /// Async-signal-safe: fills \p Out for stack \p I (< crashStackCount()).
+  static bool crashStackRead(size_t I, CrashStackView &Out);
+
 private:
   friend class TraceSpan;
   static void record(std::string Name, uint64_t StartUs, uint64_t DurUs,
                      int64_t Arg, bool HasArg);
   static uint64_t nowUs();
+  static bool pushCrashStack(std::string_view Name);
+  static void popCrashStack();
 
   static std::atomic<bool> Armed;
+  static std::atomic<bool> StacksArmed;
 };
 
 /// One scoped span. Records [construction, destruction) on the current
@@ -157,6 +199,8 @@ public:
   TraceSpan &operator=(const TraceSpan &) = delete;
 
   ~TraceSpan() {
+    if (Pushed)
+      TraceLog::popCrashStack();
     if (!Active)
       return;
     uint64_t End = TraceLog::nowUs();
@@ -170,9 +214,12 @@ private:
       this->Name.assign(Name);
       StartUs = TraceLog::nowUs();
     }
+    if (TraceLog::stackCaptureEnabled())
+      Pushed = TraceLog::pushCrashStack(Name);
   }
 
   bool Active;
+  bool Pushed = false;
   int64_t Arg;
   bool HasArg;
   uint64_t StartUs = 0;

@@ -15,8 +15,9 @@
 # instrumented binary's min-of-N NextClosure wall time to be at most 2%
 # slower than the stripped one (faster is trivially a pass).
 #
-# Exit codes: 0 pass, 1 regression, 77 skip (nested build unavailable or
-# the machine is too noisy to produce a stable baseline).
+# Exit codes: 0 pass, 1 regression or malformed bench output, 77 skip —
+# strictly for a missing/unbuildable bench binary or nested tree. A bench
+# that runs but prints garbage is a failure, not a skip.
 #
 # Usage: overhead_guard.sh <source-dir> <build-dir>
 #
@@ -28,6 +29,10 @@ SRC=${1:?usage: overhead_guard.sh <source-dir> <build-dir>}
 BUILD=${2:?usage: overhead_guard.sh <source-dir> <build-dir>}
 NESTED="$BUILD/no_instrument"
 THRESHOLD_PCT=${CABLE_OVERHEAD_THRESHOLD_PCT:-2.0}
+# Armed-but-quiet logging (--log-out set, no hot-loop emit sites) gets a
+# looser one-sided bound than the disarmed check: the gate load is the
+# same, but the phase runs later in the process so it sees more drift.
+LOG_THRESHOLD_PCT=${CABLE_LOG_THRESHOLD_PCT:-10.0}
 ATTEMPTS=3
 
 say() { printf '%s\n' "$*"; }
@@ -69,34 +74,52 @@ stripped="$NESTED/bench/instrument_overhead"
 # reports armed == disarmed because arming is impossible.
 "$stripped" > /dev/null 2>&1 || { say "SKIP: stripped binary does not run"; exit 77; }
 
-min_ms() { # min_ms <binary> -> disarmed_min_ms
+mins_of() { # mins_of <binary> -> "disarmed_min_ms log_armed_min_ms"
   CABLE_BENCH_QUICK=1 CABLE_BENCH_OUT="${TMPDIR:-/tmp}" "$1" 2>/dev/null \
-    | sed -n 's/^disarmed_min_ms //p'
+    | awk '/^disarmed_min_ms /{d=$2} /^log_armed_min_ms /{l=$2}
+           END{if (d && l) print d, l}'
 }
 
 best_delta=""
 for attempt in $(seq 1 $ATTEMPTS); do
   # Interleave the runs so slow drift (thermal, noisy neighbors) hits
   # both binaries equally; keep the per-binary minimum.
-  a1=$(min_ms "$instrumented"); b1=$(min_ms "$stripped")
-  a2=$(min_ms "$instrumented"); b2=$(min_ms "$stripped")
-  # One-sided: only instrumented-slower-than-stripped counts as overhead.
-  # A faster instrumented binary (codegen/alignment luck) is a pass.
+  set -- $(mins_of "$instrumented"); a1=${1:-}; l1=${2:-}
+  set -- $(mins_of "$stripped");     b1=${1:-}
+  set -- $(mins_of "$instrumented"); a2=${1:-}; l2=${2:-}
+  set -- $(mins_of "$stripped");     b2=${1:-}
+  # The bench ran but its output is structurally wrong — that is a broken
+  # bench, not a missing one; fail rather than skip.
+  if [ -z "$a1" ] || [ -z "$a2" ] || [ -z "$b1" ] || [ -z "$b2" ] \
+     || [ -z "$l1" ] || [ -z "$l2" ]; then
+    say "overhead guard: FAIL (could not parse bench output)"
+    exit 1
+  fi
+  # One-sided on both checks: only slower-than-baseline counts as
+  # overhead. A faster run (codegen/alignment luck) is a pass.
   result=$(awk -v a1="$a1" -v a2="$a2" -v b1="$b1" -v b2="$b2" \
-               -v thr="$THRESHOLD_PCT" 'BEGIN {
+               -v l1="$l1" -v l2="$l2" \
+               -v thr="$THRESHOLD_PCT" -v lthr="$LOG_THRESHOLD_PCT" 'BEGIN {
     a = (a1 < a2) ? a1 : a2
     b = (b1 < b2) ? b1 : b2
-    if (a <= 0 || b <= 0) { print "bad"; exit }
+    l = (l1 < l2) ? l1 : l2
+    if (a <= 0 || b <= 0 || l <= 0) { print "bad"; exit }
     d = (a - b) / b * 100
-    printf "%.2f %.4f %.4f %s\n", d, a, b, (d <= thr ? "pass" : "over")
+    ld = (l - a) / a * 100
+    printf "%.2f %.2f %.4f %.4f %.4f %s\n", d, ld, a, b, l,
+           (d <= thr && ld <= lthr ? "pass" : "over")
   }')
   set -- $result
-  [ "${1:-bad}" = bad ] && { say "SKIP: could not parse bench output"; exit 77; }
-  delta=$1; a=$2; b=$3; verdict=$4
+  [ "${1:-bad}" = bad ] && { say "overhead guard: FAIL (non-positive bench timings)"; exit 1; }
+  delta=$1; ldelta=$2; a=$3; b=$4; l=$5; verdict=$6
   say "attempt $attempt: instrumented-disarmed ${a}ms vs no-instrument ${b}ms (overhead ${delta}%)"
+  say "attempt $attempt: log-armed-quiet ${l}ms vs disarmed ${a}ms (overhead ${ldelta}%)"
   [ -z "$best_delta" ] && best_delta=$delta
   best_delta=$(awk -v x="$best_delta" -v y="$delta" 'BEGIN{print (y<x)?y:x}')
-  [ "$verdict" = pass ] && { say "overhead guard: PASS (overhead ${delta}% <= ${THRESHOLD_PCT}%)"; exit 0; }
+  if [ "$verdict" = pass ]; then
+    say "overhead guard: PASS (disarmed ${delta}% <= ${THRESHOLD_PCT}%, log-armed ${ldelta}% <= ${LOG_THRESHOLD_PCT}%)"
+    exit 0
+  fi
 done
 
 say "overhead guard: FAIL (best overhead ${best_delta}% > ${THRESHOLD_PCT}% after $ATTEMPTS attempts)"

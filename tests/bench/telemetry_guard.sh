@@ -17,8 +17,9 @@
 # 2% disarmed guard: armed telemetry is opt-in (--stats/--metrics-out/
 # --trace-out), so it buys observability with bounded — not zero — cost.
 #
-# Exit codes: 0 pass, 1 regression, 77 skip (bench missing or the output
-# cannot be parsed).
+# Exit codes: 0 pass, 1 regression or malformed bench output, 77 skip —
+# strictly for a missing/unbuildable bench binary. A bench that runs but
+# prints garbage is a failure, not a skip.
 #
 # Usage: telemetry_guard.sh <source-dir> <build-dir>
 #
@@ -56,8 +57,8 @@ for attempt in $(seq 1 $ATTEMPTS); do
   set -- $(run_mins)
   d=${1:-}; a=${2:-}
   if [ -z "$d" ] || [ -z "$a" ]; then
-    say "SKIP: could not parse bench output"
-    exit 77
+    say "telemetry guard: FAIL (could not parse bench output)"
+    exit 1
   fi
   # One-sided: only armed-slower-than-disarmed counts as overhead.
   result=$(awk -v d="$d" -v a="$a" -v thr="$THRESHOLD_PCT" 'BEGIN {
@@ -66,7 +67,7 @@ for attempt in $(seq 1 $ATTEMPTS); do
     printf "%.2f %s\n", pct, (pct <= thr ? "pass" : "over")
   }')
   set -- $result
-  [ "${1:-bad}" = bad ] && { say "SKIP: non-positive bench timings"; exit 77; }
+  [ "${1:-bad}" = bad ] && { say "telemetry guard: FAIL (non-positive bench timings)"; exit 1; }
   delta=$1; verdict=$2
   say "attempt $attempt: sharded disarmed ${d}ms vs armed telemetry ${a}ms (overhead ${delta}%)"
   [ -z "$best_delta" ] && best_delta=$delta

@@ -79,6 +79,34 @@ cd "$WORK" || exit 1
 
 say() { printf '%s\n' "$*"; }
 
+# Flight-recorder assertions: every injected crash must leave a parseable
+# cable-crashdump/1 black box in the per-case CABLE_CRASH_DIR whose
+# captured log tail names the failpoint that killed the process. The
+# schema check needs python3; without it only the nonempty-dump check
+# runs (the matrix itself never skips).
+HAVE_PY=0
+command -v python3 > /dev/null 2>&1 && HAVE_PY=1
+CHECK_OBS=$(cd "$(dirname "$0")/../integration" && pwd)/check_observability.py
+
+assert_dump() { # assert_dump <tag> <failpoint> -> sets fail on violation
+  local tag=$1 p=$2 dump
+  # Hung/SIGKILLed processes leave the pre-opened file empty; a crash
+  # that went through the dumper leaves a nonempty document.
+  dump=$(find D -name 'crash.*.json' -size +0c 2>/dev/null | head -1)
+  if [ -z "$dump" ]; then
+    say "FAIL $tag: injected crash left no flight-recorder dump"
+    fail=1
+    return
+  fi
+  if [ "$HAVE_PY" = 1 ] &&
+     ! python3 "$CHECK_OBS" --crashdump "$dump" --expect-failpoint "$p" \
+         > dumpcheck.out 2>&1; then
+    say "FAIL $tag: crash dump $dump does not identify failpoint $p"
+    cat dumpcheck.out
+    fail=1
+  fi
+}
+
 #===------------------------------------------------------------------------===#
 # Phase: shard — the multi-process worker-lifecycle matrix.
 #===------------------------------------------------------------------------===#
@@ -113,7 +141,8 @@ if [ "$PHASE" = shard ]; then
     local p=$1 mode=$2 n=$3 w=$4 tmo=$5
     cases=$((cases + 1))
     rm -f out.dot m.json
-    CABLE_FAILPOINTS="$p=$mode@$n" \
+    rm -rf D && mkdir D
+    CABLE_FAILPOINTS="$p=$mode@$n" CABLE_CRASH_DIR="$PWD/D" \
       $LINT $LFLAGS --shard-workers "$w" --shard-timeout "$tmo" \
       --shard-retries 2 --dot out.dot --metrics-out m.json > run.out 2>&1
     local rc=$?
@@ -166,6 +195,11 @@ if [ "$PHASE" = shard ]; then
         cat m.json
         fail=1
       fi
+    fi
+    # A crashed worker's flight recorder must have fired before _Exit;
+    # hang cases are SIGKILLed and rightly leave no dump.
+    if [ "$mode" = crash ] && metric_ge1 m.json shard.worker-crashes; then
+      assert_dump "$tag" "$p"
     fi
   }
 
@@ -248,12 +282,14 @@ if [ "$PHASE" = cache ]; then
       fi
     fi
     rm -f out.dot m.json
-    CABLE_FAILPOINTS="$p=$mode@$n" \
+    rm -rf D && mkdir D
+    CABLE_FAILPOINTS="$p=$mode@$n" CABLE_CRASH_DIR="$PWD/D" \
       $LINT $LFLAGS --cache-dir C --dot out.dot --metrics-out m.json \
       > run.out 2>&1
     local rc=$?
     if [ "$mode" = crash ] && [ $rc -eq 86 ]; then
       faulted=$((faulted + 1))
+      assert_dump "$tag" "$p"
     elif [ $rc -ne $golden_rc ]; then
       say "FAIL $tag: exit $rc, golden exited $golden_rc"
       tail -5 run.out
@@ -417,11 +453,17 @@ for p in $points; do
     for n in $INDICES; do
       cases=$((cases + 1))
       rm -rf J final.labels mid.labels fault.mjson recover.mjson
-      CABLE_FAILPOINTS="$p=$mode@$n" \
+      rm -rf D && mkdir D
+      CABLE_FAILPOINTS="$p=$mode@$n" CABLE_CRASH_DIR="$PWD/D" \
         "$CLI" $FLAGS --metrics-out fault.mjson --script script.txt \
         --journal J > run.out 2>&1
       rc=$?
       first_rc=$rc
+      # rc 86 is the injected-crash exit: the flight recorder must have
+      # written its black box on the way down.
+      if [ "$mode" = crash ] && [ $rc -eq 86 ]; then
+        assert_dump "$p=$mode@$n" "$p"
+      fi
       # Whether the fault landed while the journal was open: only then
       # does the restart owe us an unclean-recovery count. A crash before
       # Journal::open (e.g. threadpool-dispatch during the initial session

@@ -1,9 +1,13 @@
 #!/usr/bin/env python3
-"""Validates the three run artifacts a journaled cable-cli script run
-must produce: a Chrome trace-event JSON (Perfetto-loadable shape), a
-cable-metrics/1 snapshot, and a cable-run-report/1 document.
+"""Validates the run artifacts a journaled cable-cli script run must
+produce: a Chrome trace-event JSON (Perfetto-loadable shape), a
+cable-metrics/1 snapshot, and a cable-run-report/1 document — plus the
+black-box artifacts of the logging layer.
 
-Usage: check_observability.py TRACE METRICS REPORT [--sharded SERIAL_METRICS]
+Usage:
+  check_observability.py TRACE METRICS REPORT [--sharded SERIAL_METRICS]
+  check_observability.py --log FILE [--multiproc]
+  check_observability.py --crashdump FILE [--expect-failpoint NAME]
 
 With --sharded the run used --shard-workers: the trace must additionally
 stitch every worker process onto its own named pid track with complete
@@ -11,6 +15,16 @@ dispatch -> compute -> merge flow chains, the report must carry the
 `sharded` section, and counter conservation is asserted against a serial
 run's metrics snapshot (fault-free merged lattice.closures equals the
 serial builder's count exactly).
+
+With --log the file must be cable-log/1 JSONL: a header object followed
+by records sorted by (pid, seq) with per-pid strictly increasing
+sequence numbers; --multiproc additionally requires records from more
+than one pid (a merged supervisor+worker log).
+
+With --crashdump the file must be one cable-crashdump/1 JSON document;
+--expect-failpoint NAME additionally requires the captured log tail to
+end in a failpoint-crash record naming that failpoint — the black box
+must identify what killed the process.
 
 Exits non-zero with a message on the first violated invariant.
 """
@@ -95,7 +109,119 @@ def check_sharded_ledger(counters, report, serial_counters):
              % (sharded["blocks_per_worker"], sharded["blocks_dispatched"]))
 
 
+LEVELS = ("debug", "info", "warn", "error")
+
+
+def check_log(path, multiproc):
+    """cable-log/1 JSONL: header, then records sorted by (pid, seq)."""
+    lines = [ln for ln in open(path).read().splitlines() if ln]
+    if not lines:
+        fail("log file is empty")
+    try:
+        docs = [json.loads(ln) for ln in lines]
+    except ValueError as e:
+        fail("log line is not JSON: %s" % e)
+    header, records = docs[0], docs[1:]
+    if header.get("schema") != "cable-log/1":
+        fail("bad log schema %r" % header.get("schema"))
+    for key in ("tool", "pid"):
+        if key not in header:
+            fail("log header missing %r" % key)
+    # A signal-interrupted run writes the header from the async-signal-safe
+    # dumper, which cannot take the locks droppedCount needs; only those
+    # headers may omit the counter.
+    if "dropped" not in header and not header.get("interrupted"):
+        fail("log header missing 'dropped'")
+    if header.get("dropped", 0) < 0:
+        fail("negative dropped count %r" % header["dropped"])
+
+    last = {}  # pid -> last seq
+    prev_pid = None
+    for rec in records:
+        for key in ("seq", "pid", "tid", "t_us", "level", "event",
+                    "subsystem", "msg"):
+            if key not in rec:
+                fail("record missing %r: %r" % (key, rec))
+        if rec["level"] not in LEVELS:
+            fail("bad level %r" % rec["level"])
+        for code in (rec["event"], rec["subsystem"]):
+            if not code or not all(c.islower() or c.isdigit() or c == "-"
+                                   for c in code):
+                fail("event/subsystem not kebab-case: %r" % code)
+        pid = rec["pid"]
+        # Export order is (pid, seq): pid blocks never interleave, and
+        # within a pid the sequence is strictly increasing — one coherent
+        # per-process story even in a merged multi-process log.
+        if prev_pid is not None and pid != prev_pid and pid in last:
+            fail("pid %d appears in two separate blocks" % pid)
+        if pid in last and rec["seq"] <= last[pid]:
+            fail("pid %d seq not increasing: %d after %d"
+                 % (pid, rec["seq"], last[pid]))
+        last[pid] = rec["seq"]
+        prev_pid = pid
+    if multiproc and len(last) < 2:
+        fail("merged log has records from %d pid(s), expected several"
+             % len(last))
+    print("check_observability: OK (log: %d records from %d pid(s), "
+          "%s dropped)" % (len(records), len(last),
+                           header.get("dropped", "?")))
+
+
+def check_crashdump(path, expect_failpoint):
+    """One cable-crashdump/1 document; optionally pin the cause."""
+    try:
+        dump = json.load(open(path))
+    except ValueError as e:
+        fail("crash dump is not JSON: %s" % e)
+    if dump.get("schema") != "cable-crashdump/1":
+        fail("bad crash dump schema %r" % dump.get("schema"))
+    for key in ("tool", "pid", "reason", "log_records", "span_stacks",
+                "metrics"):
+        if key not in dump:
+            fail("crash dump missing %r" % key)
+    if dump["reason"] not in ("signal", "terminate", "unhandled-exception",
+                              "failpoint-crash"):
+        fail("unknown crash reason %r" % dump["reason"])
+    if dump["reason"] == "signal" and "signal" not in dump:
+        fail("signal dump carries no signal number")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in dump["metrics"]:
+            fail("crash dump metrics missing %r" % section)
+    for rec in dump["log_records"]:
+        if "event" not in rec or "seq" not in rec:
+            fail("malformed captured log record %r" % rec)
+    if expect_failpoint:
+        crash_recs = [r for r in dump["log_records"]
+                      if r["event"] == "failpoint-crash"]
+        if not crash_recs:
+            fail("no failpoint-crash record in the captured log tail")
+        name = crash_recs[-1].get("fields", {}).get("name")
+        if name != expect_failpoint:
+            fail("crash record names failpoint %r, expected %r"
+                 % (name, expect_failpoint))
+    print("check_observability: OK (crash dump: reason %s, %d log records, "
+          "%d span stacks)" % (dump["reason"], len(dump["log_records"]),
+                               len(dump["span_stacks"])))
+
+
 def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "--log":
+        if len(sys.argv) < 3:
+            fail("usage: --log FILE [--multiproc]")
+        check_log(sys.argv[2], "--multiproc" in sys.argv[3:])
+        return
+    if len(sys.argv) > 1 and sys.argv[1] == "--crashdump":
+        if len(sys.argv) < 3:
+            fail("usage: --crashdump FILE [--expect-failpoint NAME]")
+        expect = None
+        if "--expect-failpoint" in sys.argv[3:]:
+            at = sys.argv.index("--expect-failpoint")
+            if at + 1 >= len(sys.argv):
+                fail("--expect-failpoint needs a name")
+            expect = sys.argv[at + 1]
+        check_crashdump(sys.argv[2], expect)
+        return
+
     trace_path, metrics_path, report_path = sys.argv[1:4]
     serial_metrics_path = None
     if len(sys.argv) > 4:

@@ -1,0 +1,112 @@
+//===- tests/support/JsonTest.cpp - JSON emitter escaping tests ------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The observability documents (metrics, run reports, traces, bench JSON,
+// crash dumps) all funnel arbitrary bytes — paths, error strings, user
+// spec names — through JsonWriter. These tests pin the escaping contract:
+// whatever goes in, the emitted document parses under the repo's own
+// strict validator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace cable;
+
+namespace {
+
+/// quote() then check the result is one strict-JSON string literal.
+std::string quoteAndValidate(std::string_view S) {
+  std::string Q = JsonWriter::quote(S);
+  std::string Err;
+  EXPECT_TRUE(validateJson(Q, Err)) << Err << "\n" << Q;
+  return Q;
+}
+
+TEST(JsonQuoteTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(quoteAndValidate("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(quoteAndValidate("a\\b\\\\c"), "\"a\\\\b\\\\\\\\c\"");
+  EXPECT_EQ(quoteAndValidate("C:\\path\"x"), "\"C:\\\\path\\\"x\"");
+}
+
+TEST(JsonQuoteTest, EscapesNamedWhitespace) {
+  EXPECT_EQ(quoteAndValidate("a\nb\rc\td"), "\"a\\nb\\rc\\td\"");
+}
+
+TEST(JsonQuoteTest, HexEscapesRemainingControlChars) {
+  EXPECT_EQ(quoteAndValidate(std::string_view("\x00\x01\x1f", 3)),
+            "\"\\u0000\\u0001\\u001f\"");
+  // 0x20 (space) is the first byte that passes through untouched.
+  EXPECT_EQ(quoteAndValidate(" \x1f "), "\" \\u001f \"");
+}
+
+TEST(JsonQuoteTest, EmptyAndPlainStringsAreJustDelimited) {
+  EXPECT_EQ(quoteAndValidate(""), "\"\"");
+  EXPECT_EQ(quoteAndValidate("cache-verify-failed"),
+            "\"cache-verify-failed\"");
+}
+
+TEST(JsonQuoteTest, ValidUtf8PassesThroughByteExact) {
+  // é (U+00E9) and a 4-byte emoji: multi-byte sequences are not escaped,
+  // the document stays valid UTF-8 because the input was.
+  EXPECT_EQ(quoteAndValidate("caf\xc3\xa9"), "\"caf\xc3\xa9\"");
+  EXPECT_EQ(quoteAndValidate("\xf0\x9f\x94\xa7"), "\"\xf0\x9f\x94\xa7\"");
+}
+
+TEST(JsonQuoteTest, InvalidUtf8StaysDelimitedAndSyntacticallyValid) {
+  // JsonWriter is byte-transparent above 0x1F: invalid UTF-8 (stray
+  // continuation bytes, lone 0xFF from a hostile filename) passes
+  // through. The validator is a syntax checker, not a UTF-8 checker, so
+  // the literal still parses; consumers needing guaranteed-clean text
+  // use the Log renderer, which hex-escapes >= 0x7F.
+  std::string Q = quoteAndValidate(std::string_view("\xff\xfe\x80", 3));
+  EXPECT_EQ(Q, std::string("\"\xff\xfe\x80\"", 5));
+  // The quoting never loses the delimiters even around hostile bytes.
+  EXPECT_EQ(Q.front(), '"');
+  EXPECT_EQ(Q.back(), '"');
+}
+
+TEST(JsonWriterTest, KeysAndValuesShareTheEscaper) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("pa\"th");
+  W.value("a\nb");
+  W.key("nested");
+  W.beginArray();
+  W.value(std::string_view("\x02", 1));
+  W.endArray();
+  W.endObject();
+  std::string Doc = W.take();
+  EXPECT_EQ(Doc, "{\"pa\\\"th\": \"a\\nb\",\"nested\": [\"\\u0002\"]}");
+  std::string Err;
+  EXPECT_TRUE(validateJson(Doc, Err)) << Err;
+}
+
+TEST(JsonWriterTest, HostileBytesEverywhereStillValidate) {
+  // One document using every writer entry point with adversarial strings.
+  std::string Hostile;
+  for (int C = 0; C < 256; ++C)
+    Hostile.push_back(static_cast<char>(C));
+  JsonWriter W;
+  W.beginObject();
+  W.member("all_bytes", std::string_view(Hostile));
+  W.key(Hostile);
+  W.value(int64_t(-7));
+  W.member("flag", true);
+  W.key("null");
+  W.valueNull();
+  W.endObject();
+  std::string Doc = W.take();
+  std::string Err;
+  EXPECT_TRUE(validateJson(Doc, Err)) << Err;
+}
+
+} // namespace

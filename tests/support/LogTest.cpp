@@ -1,0 +1,287 @@
+//===- tests/support/LogTest.cpp - Structured logging tests ----------------===//
+//
+// Part of the Cable reproduction of "Debugging Temporal Specifications with
+// Concept Analysis" (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// This file lives in cable_parallel_tests so the concurrent-emit test runs
+// under -DCABLE_SANITIZE=thread: the armed path's contract is per-thread
+// rings that are lock-free against each other, which TSan verifies has no
+// data race rather than a benign one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/Log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace cable;
+
+namespace {
+
+/// Arms structured logging for one test and restores the disarmed default
+/// (other tests in this binary assume instrumentation is off). The
+/// registry has no dedicated test reset; resetAfterFork clears exactly
+/// the state a test can leave behind (local rings, foreign batches, the
+/// crash ring) so it doubles as the fixture scrub.
+class LogTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Log::resetAfterFork();
+    Log::setLevel(Log::Level::Info);
+    Log::setEnabled(true);
+  }
+  void TearDown() override {
+    Log::setEnabled(false);
+    Log::setCrashCapture(false);
+    Log::resetAfterFork();
+    Log::setLevel(Log::Level::Info);
+  }
+};
+
+/// Splits JSONL into its non-empty lines.
+std::vector<std::string> lines(const std::string &Doc) {
+  std::vector<std::string> Out;
+  size_t At = 0;
+  while (At < Doc.size()) {
+    size_t Nl = Doc.find('\n', At);
+    if (Nl == std::string::npos)
+      Nl = Doc.size();
+    if (Nl > At)
+      Out.push_back(Doc.substr(At, Nl - At));
+    At = Nl + 1;
+  }
+  return Out;
+}
+
+TEST_F(LogTest, DisarmedEmitIsDropped) {
+  Log::setEnabled(false);
+  CABLE_LOG_WARN("test", "test-disarmed", "must not be recorded");
+  Log::emit(Log::Level::Error, "test", "test-disarmed-direct", "nor this");
+  EXPECT_TRUE(Log::drainRecords().empty());
+}
+
+TEST_F(LogTest, ArmedRecordsCarryMonotonicSeqAndFields) {
+  CABLE_LOG_INFO("cache", "cache-miss", "first",
+                 {Log::str("key", "k1"), Log::num("bytes", 42)});
+  CABLE_LOG_WARN("shard", "shard-worker-crashed", "second");
+  CABLE_LOG_ERROR("journal", "journal-torn-tail", "third");
+
+  std::vector<Log::Record> Recs = Log::drainRecords();
+  ASSERT_EQ(Recs.size(), 3u);
+  EXPECT_LT(Recs[0].Seq, Recs[1].Seq);
+  EXPECT_LT(Recs[1].Seq, Recs[2].Seq);
+  EXPECT_EQ(Recs[0].Event, "cache-miss");
+  EXPECT_EQ(Recs[0].Subsystem, "cache");
+  EXPECT_GT(Recs[0].Tid, 0u);
+  ASSERT_EQ(Recs[0].Fields.size(), 2u);
+  EXPECT_EQ(Recs[0].Fields[0].Key, "key");
+  EXPECT_EQ(Recs[0].Fields[0].Value, "k1");
+  EXPECT_FALSE(Recs[0].Fields[0].Numeric);
+  EXPECT_EQ(Recs[0].Fields[1].Value, "42");
+  EXPECT_TRUE(Recs[0].Fields[1].Numeric);
+  EXPECT_EQ(Recs[1].Lvl, Log::Level::Warn);
+  EXPECT_EQ(Recs[2].Lvl, Log::Level::Error);
+
+  // Drained means drained: a second drain is empty.
+  EXPECT_TRUE(Log::drainRecords().empty());
+}
+
+TEST_F(LogTest, LevelThresholdFiltersAtEmit) {
+  Log::setLevel(Log::Level::Warn);
+  CABLE_LOG_INFO("test", "test-below", "dropped at the emit site");
+  CABLE_LOG_WARN("test", "test-at", "kept");
+  CABLE_LOG_ERROR("test", "test-above", "kept");
+
+  std::vector<Log::Record> Recs = Log::drainRecords();
+  ASSERT_EQ(Recs.size(), 2u);
+  EXPECT_EQ(Recs[0].Event, "test-at");
+  EXPECT_EQ(Recs[1].Event, "test-above");
+}
+
+TEST_F(LogTest, ParseLevelAcceptsCanonicalNamesOnly) {
+  Log::Level L;
+  ASSERT_TRUE(Log::parseLevel("debug", L));
+  EXPECT_EQ(L, Log::Level::Debug);
+  ASSERT_TRUE(Log::parseLevel("warn", L));
+  EXPECT_EQ(L, Log::Level::Warn);
+  ASSERT_TRUE(Log::parseLevel("warning", L));
+  EXPECT_EQ(L, Log::Level::Warn);
+  ASSERT_TRUE(Log::parseLevel("error", L));
+  EXPECT_EQ(L, Log::Level::Error);
+  EXPECT_FALSE(Log::parseLevel("", L));
+  EXPECT_FALSE(Log::parseLevel("WARN", L));
+  EXPECT_FALSE(Log::parseLevel("verbose", L));
+}
+
+TEST_F(LogTest, WireRoundTripPreservesEveryMember) {
+  std::vector<Log::Record> In(2);
+  In[0].Seq = 7;
+  In[0].TimeUs = 123456;
+  In[0].Lvl = Log::Level::Warn;
+  In[0].Event = "cache-verify-failed";
+  In[0].Subsystem = "cache";
+  In[0].Msg = "stored artifact failed verification";
+  In[0].Fields = {Log::str("key", "abc"), Log::num("bytes", -3)};
+  In[0].Tid = 2;
+  In[1].Seq = 9;
+  In[1].TimeUs = 123999;
+  In[1].Lvl = Log::Level::Error;
+  In[1].Event = "failpoint-crash";
+  In[1].Subsystem = "failpoint";
+  In[1].Msg = "";
+  In[1].Tid = 1;
+
+  std::string Wire = Log::encodeRecords(In);
+  std::vector<Log::Record> Out;
+  ASSERT_TRUE(Log::decodeRecords(Wire, Out));
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0].Seq, 7u);
+  EXPECT_EQ(Out[0].TimeUs, 123456u);
+  EXPECT_EQ(Out[0].Lvl, Log::Level::Warn);
+  EXPECT_EQ(Out[0].Event, "cache-verify-failed");
+  EXPECT_EQ(Out[0].Subsystem, "cache");
+  EXPECT_EQ(Out[0].Msg, "stored artifact failed verification");
+  ASSERT_EQ(Out[0].Fields.size(), 2u);
+  EXPECT_EQ(Out[0].Fields[0].Key, "key");
+  EXPECT_EQ(Out[0].Fields[0].Value, "abc");
+  EXPECT_FALSE(Out[0].Fields[0].Numeric);
+  EXPECT_EQ(Out[0].Fields[1].Value, "-3");
+  EXPECT_TRUE(Out[0].Fields[1].Numeric);
+  EXPECT_EQ(Out[0].Tid, 2u);
+  EXPECT_EQ(Out[1].Event, "failpoint-crash");
+  EXPECT_EQ(Out[1].Msg, "");
+
+  // Empty batch round-trips too (the common fault-free flush).
+  std::string Empty = Log::encodeRecords({});
+  ASSERT_TRUE(Log::decodeRecords(Empty, Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST_F(LogTest, DecodeIsStrictAboutTruncationAndTrailingBytes) {
+  std::vector<Log::Record> In(1);
+  In[0].Seq = 1;
+  In[0].Event = "cache-hit";
+  In[0].Subsystem = "cache";
+  In[0].Msg = "m";
+  In[0].Fields = {Log::str("key", "k")};
+  std::string Wire = Log::encodeRecords(In);
+  std::vector<Log::Record> Out;
+
+  // Every proper prefix is a truncated frame and must be rejected.
+  for (size_t Len = 0; Len < Wire.size(); ++Len)
+    EXPECT_FALSE(Log::decodeRecords(std::string_view(Wire.data(), Len), Out))
+        << "prefix of " << Len << " bytes accepted";
+
+  // Exact-consume: one trailing byte is corruption, not slack.
+  EXPECT_FALSE(Log::decodeRecords(Wire + '\0', Out));
+
+  // Out-of-range level byte (offset 4 count + 8 seq + 8 time).
+  std::string BadLevel = Wire;
+  BadLevel[20] = 9;
+  EXPECT_FALSE(Log::decodeRecords(BadLevel, Out));
+
+  // The pristine frame still decodes after all that prodding.
+  EXPECT_TRUE(Log::decodeRecords(Wire, Out));
+}
+
+TEST_F(LogTest, ExportMergesRemoteRecordsByPidThenSeq) {
+  CABLE_LOG_INFO("test", "test-local-a", "local one");
+  CABLE_LOG_INFO("test", "test-local-b", "local two");
+
+  std::vector<Log::Record> Remote(2);
+  Remote[0].Seq = 5;
+  Remote[0].Event = "test-remote-late";
+  Remote[0].Subsystem = "test";
+  Remote[1].Seq = 2;
+  Remote[1].Event = "test-remote-early";
+  Remote[1].Subsystem = "test";
+  // A pid above any real one so the foreign block sorts after local.
+  Log::ingestRemote(1 << 30, std::move(Remote), 3);
+
+  std::string Doc = Log::exportJsonl("spec-lint");
+  std::vector<std::string> Ls = lines(Doc);
+  ASSERT_EQ(Ls.size(), 5u); // header + 2 local + 2 remote
+
+  std::string Err;
+  for (const std::string &L : Ls)
+    EXPECT_TRUE(validateJson(L, Err)) << Err << "\n" << L;
+
+  EXPECT_NE(Ls[0].find("\"schema\":\"cable-log/1\""), std::string::npos);
+  EXPECT_NE(Ls[0].find("\"tool\":\"spec-lint\""), std::string::npos);
+  // The ingested drop delta is folded into the header's counter.
+  EXPECT_NE(Ls[0].find("\"dropped\":"), std::string::npos);
+  EXPECT_NE(Ls[1].find("test-local-a"), std::string::npos);
+  EXPECT_NE(Ls[2].find("test-local-b"), std::string::npos);
+  // Foreign pid block last, reordered by seq within the pid.
+  EXPECT_NE(Ls[3].find("test-remote-early"), std::string::npos);
+  EXPECT_NE(Ls[4].find("test-remote-late"), std::string::npos);
+  EXPECT_NE(Ls[3].find("\"pid\":" + std::to_string(1 << 30)),
+            std::string::npos);
+}
+
+TEST_F(LogTest, ExportedLinesAreAsciiJsonEvenWithHostileBytes) {
+  std::string Hostile = "quote\" slash\\ ctl\x01 nl\n high\xff\xc3\xa9";
+  CABLE_LOG_WARN("test", "test-hostile", Hostile,
+                 {Log::str("path", Hostile)});
+
+  std::string Doc = Log::exportJsonl("cable-cli");
+  std::string Err;
+  for (const std::string &L : lines(Doc))
+    ASSERT_TRUE(validateJson(L, Err)) << Err << "\n" << L;
+  // Stricter than JsonWriter: every byte >= 0x7F is hex-escaped so the
+  // log is pure ASCII no matter what the message carried.
+  for (unsigned char C : Doc)
+    EXPECT_LT(C, 0x7Fu);
+  EXPECT_NE(Doc.find("\\u00ff"), std::string::npos);
+}
+
+TEST_F(LogTest, CrashRingCapturesParseableLinesWithoutStructuredArming) {
+  Log::setEnabled(false);
+  Log::setCrashCapture(true);
+  CABLE_LOG_ERROR("failpoint", "failpoint-crash", "injected crash",
+                  {Log::str("name", "cache-publish")});
+
+  char Buf[8192];
+  size_t N = Log::copyCrashRecords(Buf, sizeof(Buf));
+  ASSERT_GT(N, 0u);
+  std::string Captured(Buf, N);
+  EXPECT_NE(Captured.find("failpoint-crash"), std::string::npos);
+  EXPECT_NE(Captured.find("cache-publish"), std::string::npos);
+  std::string Err;
+  for (const std::string &L : lines(Captured))
+    EXPECT_TRUE(validateJson(L, Err)) << Err << "\n" << L;
+
+  // A buffer too small for one whole line gets nothing, never a torn
+  // prefix — the dump must stay parseable.
+  EXPECT_EQ(Log::copyCrashRecords(Buf, 8), 0u);
+}
+
+TEST_F(LogTest, ConcurrentEmittersKeepDistinctSeqs) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < kThreads; ++T)
+    Workers.emplace_back([T] {
+      for (int I = 0; I < kPerThread; ++I)
+        CABLE_LOG_INFO("test", "test-concurrent", "t" + std::to_string(T));
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  std::vector<Log::Record> Recs = Log::drainRecords();
+  ASSERT_EQ(Recs.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (size_t I = 1; I < Recs.size(); ++I)
+    EXPECT_LT(Recs[I - 1].Seq, Recs[I].Seq); // drained sorted, all unique
+}
+
+} // namespace

@@ -38,7 +38,9 @@
 #include "fa/Templates.h"
 #include "support/AtomicFile.h"
 #include "support/BuildInfo.h"
+#include "support/CrashDump.h"
 #include "support/Failpoint.h"
+#include "support/Log.h"
 #include "support/Metrics.h"
 #include "support/RNG.h"
 #include "support/RunReport.h"
@@ -153,6 +155,13 @@ void printUsage() {
       "  --run-report FILE  write a cable-run-report/1 JSON document (tool,\n"
       "                     argv, build stamp, metrics, truncation, and a\n"
       "                     sharded section for multi-process runs) at exit\n"
+      "  --log-out FILE     write structured cable-log/1 JSONL at exit\n"
+      "                     (default: $CABLE_LOG, else off); with\n"
+      "                     --shard-workers, one merged multi-process log\n"
+      "  --log-level LEVEL  debug|info|warn|error (default info)\n"
+      "                     $CABLE_CRASH_DIR=DIR arms the flight recorder:\n"
+      "                     a fatal signal, std::terminate, or injected\n"
+      "                     crash leaves DIR/crash.<pid>.json\n"
       "\n"
       "commands (stdin):\n"
       "  ls                  list concepts (state, size, similarity)\n"
@@ -571,6 +580,7 @@ struct ObservabilityOptions {
   std::string TraceOut;
   std::string MetricsOut;
   std::string RunReportOut;
+  std::string LogOut;
   bool PrintStats = false;
   std::vector<std::string> Args; ///< argv[1..] as invoked.
   bool Truncated = false;        ///< The lattice build was truncated.
@@ -581,15 +591,25 @@ void emitObservability(int ExitCode) {
     std::printf("\n-- run statistics --\n%s", Metrics::renderTable().c_str());
   if (!GObs.TraceOut.empty()) {
     if (Status St = TraceLog::writeJson(GObs.TraceOut, "cable-cli");
-        !St.isOk())
+        !St.isOk()) {
+      CABLE_LOG_WARN("tool", "observability-write-failed",
+                     "trace not written",
+                     {Log::str("path", GObs.TraceOut),
+                      Log::str("error", St.message())});
       std::fprintf(stderr, "warning: cannot write trace: %s\n",
                    St.diagnostic().render().c_str());
+    }
   }
   if (!GObs.MetricsOut.empty()) {
     if (Status St = writeMetricsJson(GObs.MetricsOut, "cable-cli");
-        !St.isOk())
+        !St.isOk()) {
+      CABLE_LOG_WARN("tool", "observability-write-failed",
+                     "metrics not written",
+                     {Log::str("path", GObs.MetricsOut),
+                      Log::str("error", St.message())});
       std::fprintf(stderr, "warning: cannot write metrics: %s\n",
                    St.diagnostic().render().c_str());
+    }
   }
   if (!GObs.RunReportOut.empty()) {
     RunReportInfo Info;
@@ -598,8 +618,20 @@ void emitObservability(int ExitCode) {
     Info.Truncated = GObs.Truncated;
     Info.CleanExit = ExitCode == 0;
     Info.ExitCode = ExitCode;
-    if (Status St = writeRunReport(GObs.RunReportOut, Info); !St.isOk())
+    if (Status St = writeRunReport(GObs.RunReportOut, Info); !St.isOk()) {
+      CABLE_LOG_WARN("tool", "observability-write-failed",
+                     "run report not written",
+                     {Log::str("path", GObs.RunReportOut),
+                      Log::str("error", St.message())});
       std::fprintf(stderr, "warning: cannot write run report: %s\n",
+                   St.diagnostic().render().c_str());
+    }
+  }
+  // The log is written last so failures of the other artifact writers are
+  // themselves on record as observability-write-failed events.
+  if (!GObs.LogOut.empty()) {
+    if (Status St = Log::writeJsonl(GObs.LogOut, "cable-cli"); !St.isOk())
+      std::fprintf(stderr, "warning: cannot write log: %s\n",
                    St.diagnostic().render().c_str());
   }
 }
@@ -618,6 +650,10 @@ extern "C" void onTerminateSignal(int Sig) {
   int Fd = GJournalFd;
   if (Fd >= 0)
     ::fsync(Fd);
+  // Flush the requested observability artifacts through the signal-safe
+  // writer (crash-ring log records, crash-index metrics) so an
+  // interrupted run still leaves evidence instead of empty paths.
+  CrashDump::writeArtifactsFromSignal(128 + Sig);
   ::_exit(128 + Sig);
 }
 
@@ -742,6 +778,22 @@ int runCli(int Argc, char **Argv) {
       GObs.TraceOut = Next();
       TraceLog::setEnabled(true);
       TraceLog::setThreadName("main");
+    } else if (Arg == "--log-out") {
+      // Armed at parse time like --metrics-out, so journal-recovery and
+      // cache events from session setup are captured.
+      GObs.LogOut = Next();
+      Log::setEnabled(true);
+    } else if (Arg == "--log-level") {
+      std::string LevelText = Next();
+      Log::Level L;
+      if (!Log::parseLevel(LevelText, L)) {
+        std::fprintf(stderr,
+                     "error: --log-level expects debug, info, warn, or "
+                     "error, got '%s'\n",
+                     LevelText.c_str());
+        return 1;
+      }
+      Log::setLevel(L);
     } else if (Arg == "--threads") {
       std::optional<unsigned long> N;
       if (!NextNumber("--threads", N))
@@ -804,6 +856,18 @@ int runCli(int Argc, char **Argv) {
       BuildOpts.CacheDir = Env;
   if (NoCache)
     BuildOpts.CacheDir.clear();
+  if (GObs.LogOut.empty())
+    if (const char *Env = std::getenv("CABLE_LOG"); Env && *Env) {
+      GObs.LogOut = Env;
+      Log::setEnabled(true);
+    }
+  // The flight recorder (a no-op without $CABLE_CRASH_DIR) and the
+  // signal-exit artifact paths: both must be armed before the journal
+  // opens so the earliest failure already leaves a black box.
+  CrashDump::install("cable-cli");
+  CrashDump::registerSignalArtifacts("cable-cli", GObs.LogOut,
+                                     GObs.MetricsOut, GObs.RunReportOut,
+                                     GObs.Args);
 
   CliState Cli;
   Cli.SnapshotEvery = SnapshotEvery;
@@ -1101,10 +1165,17 @@ int main(int Argc, char **Argv) {
     Code = runCli(Argc, Argv);
   } catch (const std::exception &E) {
     std::fprintf(stderr, "error: unhandled exception: %s\n", E.what());
+    // The exit-4 path is a crash in every sense but the signal: leave a
+    // black box before the normal writers run (they may be the casualty).
+    CABLE_LOG_ERROR("tool", "unhandled-exception", "exception reached main",
+                    {Log::str("what", E.what())});
+    CrashDump::dumpNow("unhandled-exception");
     Code = 4;
   }
   // Trace/metrics/run-report files are written even when the run failed:
   // a report of a failed run is exactly when you want the evidence.
   emitObservability(Code);
+  // Clean exits unlink the recorder's untouched pre-opened file.
+  CrashDump::disarm();
   return Code;
 }

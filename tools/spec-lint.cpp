@@ -30,7 +30,9 @@
 #include "fa/Templates.h"
 #include "support/AtomicFile.h"
 #include "support/BuildInfo.h"
+#include "support/CrashDump.h"
 #include "support/Failpoint.h"
+#include "support/Log.h"
 #include "support/Metrics.h"
 #include "support/RunReport.h"
 #include "support/StringUtil.h"
@@ -141,7 +143,14 @@ void printUsage() {
       "                     sharded runs show one track per worker process\n"
       "                     with dispatch -> compute -> merge flow arrows\n"
       "  --run-report FILE  write a cable-run-report/1 JSON document, with\n"
-      "                     a sharded section for multi-process runs\n");
+      "                     a sharded section for multi-process runs\n"
+      "  --log-out FILE     write structured cable-log/1 JSONL at exit\n"
+      "                     (default: $CABLE_LOG, else off); sharded runs\n"
+      "                     merge worker records into one log\n"
+      "  --log-level LEVEL  debug|info|warn|error (default info)\n"
+      "                     $CABLE_CRASH_DIR=DIR arms the flight recorder:\n"
+      "                     a fatal signal, std::terminate, or injected\n"
+      "                     crash leaves DIR/crash.<pid>.json\n");
 }
 
 /// Observability outputs, written on every exit path of main.
@@ -149,6 +158,7 @@ struct ObservabilityOptions {
   std::string TraceOut;
   std::string MetricsOut;
   std::string RunReportOut;
+  std::string LogOut;
   bool PrintStats = false;
   std::vector<std::string> Args;
   bool Truncated = false;
@@ -185,6 +195,11 @@ void emitObservability(int ExitCode) {
       std::fprintf(stderr, "warning: cannot write run report: %s\n",
                    St.diagnostic().render().c_str());
   }
+  if (!GObs.LogOut.empty()) {
+    if (Status St = Log::writeJsonl(GObs.LogOut, "spec-lint"); !St.isOk())
+      std::fprintf(stderr, "warning: cannot write log: %s\n",
+                   St.diagnostic().render().c_str());
+  }
 }
 
 /// SIGINT/SIGTERM: take any live shard workers down with the process and
@@ -194,6 +209,9 @@ void emitObservability(int ExitCode) {
 /// simply never replaces the previous file.
 extern "C" void onTerminateSignal(int Sig) {
   Subprocess::killActiveFromSignalHandler();
+  // Flush --metrics-out/--run-report/--log-out through the signal-safe
+  // writer; an interrupted lint leaves evidence, not empty paths.
+  CrashDump::writeArtifactsFromSignal(128 + Sig);
   ::_exit(128 + Sig);
 }
 
@@ -307,6 +325,20 @@ int runLint(int Argc, char **Argv) {
       GObs.TraceOut = Next();
       TraceLog::setEnabled(true);
       TraceLog::setThreadName("main");
+    } else if (Arg == "--log-out") {
+      GObs.LogOut = Next();
+      Log::setEnabled(true);
+    } else if (Arg == "--log-level") {
+      std::string LevelText = Next();
+      Log::Level L;
+      if (!Log::parseLevel(LevelText, L)) {
+        std::fprintf(stderr,
+                     "error: --log-level expects debug, info, warn, or "
+                     "error, got '%s'\n",
+                     LevelText.c_str());
+        return 1;
+      }
+      Log::setLevel(L);
     } else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return 0;
@@ -325,6 +357,17 @@ int runLint(int Argc, char **Argv) {
       BuildOpts.CacheDir = Env;
   if (NoCache)
     BuildOpts.CacheDir.clear();
+  if (GObs.LogOut.empty())
+    if (const char *Env = std::getenv("CABLE_LOG"); Env && *Env) {
+      GObs.LogOut = Env;
+      Log::setEnabled(true);
+    }
+  // Flight recorder (no-op without $CABLE_CRASH_DIR) and the signal-exit
+  // artifact paths, armed before any input is read.
+  CrashDump::install("spec-lint");
+  CrashDump::registerSignalArtifacts("spec-lint", GObs.LogOut,
+                                     GObs.MetricsOut, GObs.RunReportOut,
+                                     GObs.Args);
 
   // Load traces or runs.
   std::string InputPath = TracesFile.empty() ? RunsFile : TracesFile;
@@ -517,5 +560,6 @@ int runLint(int Argc, char **Argv) {
 int main(int Argc, char **Argv) {
   int Code = runLint(Argc, Argv);
   emitObservability(Code);
+  CrashDump::disarm();
   return Code;
 }
